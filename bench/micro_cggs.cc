@@ -1,0 +1,98 @@
+// Microbenchmark: CGGS (column generation) versus the full LP over all
+// |T|! orderings as the number of alert types grows — the scaling argument
+// that motivates column generation in the paper (Section III-A).
+#include <benchmark/benchmark.h>
+
+#include <cmath>
+
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/game_lp.h"
+#include "prob/count_distribution.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+// Synthetic game with `num_types` types and a victim per type.
+core::GameInstance MakeScalableGame(int num_types, uint64_t seed) {
+  util::Rng rng(seed);
+  core::GameInstance instance;
+  instance.audit_costs.assign(static_cast<size_t>(num_types), 1.0);
+  for (int t = 0; t < num_types; ++t) {
+    instance.type_names.push_back("t" + std::to_string(t));
+    const double mean = 4.0 + static_cast<double>(rng.UniformInt(6));
+    instance.alert_distributions.push_back(
+        *prob::CountDistribution::DiscretizedGaussian(
+            mean, 1.5, 1, static_cast<int>(mean) + 5));
+  }
+  for (int e = 0; e < 8; ++e) {
+    core::Adversary adversary;
+    adversary.attack_probability = 1.0;
+    adversary.can_opt_out = true;
+    for (int t = 0; t < num_types; ++t) {
+      core::VictimProfile victim;
+      victim.type_probs.assign(static_cast<size_t>(num_types), 0.0);
+      victim.type_probs[static_cast<size_t>(t)] = 1.0;
+      victim.benefit = 3.0 + rng.Uniform(0.0, 4.0);
+      victim.penalty = 5.0;
+      victim.attack_cost = 0.5;
+      adversary.victims.push_back(std::move(victim));
+    }
+    instance.adversaries.push_back(std::move(adversary));
+  }
+  return instance;
+}
+
+std::vector<double> MeanThresholds(const core::GameInstance& instance) {
+  std::vector<double> thresholds;
+  for (int t = 0; t < instance.num_types(); ++t) {
+    thresholds.push_back(std::floor(instance.alert_distributions[t].Mean()));
+  }
+  return thresholds;
+}
+
+void BM_CggsByTypeCount(benchmark::State& state) {
+  const int num_types = static_cast<int>(state.range(0));
+  const core::GameInstance instance = MakeScalableGame(num_types, 7);
+  const auto compiled = core::Compile(instance);
+  auto detection =
+      core::DetectionModel::Create(instance, 2.0 * num_types);
+  const auto thresholds = MeanThresholds(instance);
+  double objective = 0.0;
+  int columns = 0;
+  for (auto _ : state) {
+    auto result = core::SolveCggs(*compiled, *detection, thresholds);
+    objective = result->objective;
+    columns = static_cast<int>(result->columns.size());
+    benchmark::DoNotOptimize(result);
+  }
+  state.counters["objective"] = objective;
+  state.counters["columns"] = columns;
+}
+BENCHMARK(BM_CggsByTypeCount)->DenseRange(3, 8);
+
+void BM_FullLpByTypeCount(benchmark::State& state) {
+  const int num_types = static_cast<int>(state.range(0));
+  const core::GameInstance instance = MakeScalableGame(num_types, 7);
+  const auto compiled = core::Compile(instance);
+  auto detection =
+      core::DetectionModel::Create(instance, 2.0 * num_types);
+  const auto thresholds = MeanThresholds(instance);
+  double objective = 0.0;
+  for (auto _ : state) {
+    auto result = core::SolveFullGameLp(*compiled, *detection, thresholds);
+    objective = result->objective;
+    benchmark::DoNotOptimize(result);
+  }
+  // The gap between this objective and BM_CggsByTypeCount's quantifies the
+  // cost of approximate pricing.
+  state.counters["objective"] = objective;
+}
+// 8! = 40320 orderings is already minutes of work; stop at 7.
+BENCHMARK(BM_FullLpByTypeCount)->DenseRange(3, 6);
+
+}  // namespace
+
+BENCHMARK_MAIN();

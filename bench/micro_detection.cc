@@ -1,0 +1,121 @@
+// Microbenchmarks for the detection-probability estimators: exact
+// (prefix-convolution) vs Monte Carlo across instance sizes, plus the
+// incremental prefix operations CGGS relies on.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "core/detection.h"
+#include "data/credit.h"
+#include "data/emr.h"
+#include "data/syn_a.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+const core::GameInstance& EmrInstance() {
+  static const core::GameInstance* const kInstance = [] {
+    auto instance = data::MakeEmrGame();
+    return new core::GameInstance(*instance);
+  }();
+  return *kInstance;
+}
+
+std::vector<double> HalfMeanThresholds(const core::GameInstance& instance) {
+  std::vector<double> thresholds;
+  for (int t = 0; t < instance.num_types(); ++t) {
+    thresholds.push_back(
+        std::floor(instance.alert_distributions[t].Mean() / 2));
+  }
+  return thresholds;
+}
+
+std::vector<int> IdentityOrdering(int n) {
+  std::vector<int> o(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) o[static_cast<size_t>(i)] = i;
+  return o;
+}
+
+void BM_ExactPalEmr(benchmark::State& state) {
+  const auto& instance = EmrInstance();
+  const double budget = static_cast<double>(state.range(0));
+  auto model = core::DetectionModel::Create(instance, budget);
+  (void)model->SetThresholds(HalfMeanThresholds(instance));
+  const auto ordering = IdentityOrdering(instance.num_types());
+  for (auto _ : state) {
+    auto pal = model->DetectionProbabilities(ordering);
+    benchmark::DoNotOptimize(pal);
+  }
+}
+BENCHMARK(BM_ExactPalEmr)->Arg(20)->Arg(50)->Arg(100)->Arg(200);
+
+void BM_MonteCarloPalEmr(benchmark::State& state) {
+  const auto& instance = EmrInstance();
+  core::DetectionModel::Options options;
+  options.mode = core::DetectionModel::Mode::kMonteCarlo;
+  options.mc_samples = static_cast<int>(state.range(0));
+  auto model = core::DetectionModel::Create(instance, 100.0, options);
+  (void)model->SetThresholds(HalfMeanThresholds(instance));
+  const auto ordering = IdentityOrdering(instance.num_types());
+  for (auto _ : state) {
+    auto pal = model->DetectionProbabilities(ordering);
+    benchmark::DoNotOptimize(pal);
+  }
+}
+BENCHMARK(BM_MonteCarloPalEmr)->Arg(500)->Arg(2000)->Arg(10000);
+
+void BM_SetThresholdsEmr(benchmark::State& state) {
+  const auto& instance = EmrInstance();
+  auto model = core::DetectionModel::Create(instance, 100.0);
+  const auto thresholds = HalfMeanThresholds(instance);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(model->SetThresholds(thresholds));
+  }
+}
+BENCHMARK(BM_SetThresholdsEmr);
+
+void BM_PrefixExtendAndQuery(benchmark::State& state) {
+  const auto& instance = EmrInstance();
+  auto model = core::DetectionModel::Create(instance, 100.0);
+  (void)model->SetThresholds(HalfMeanThresholds(instance));
+  for (auto _ : state) {
+    core::DetectionModel::Prefix prefix = model->EmptyPrefix();
+    double total = 0.0;
+    for (int t = 0; t < instance.num_types(); ++t) {
+      total += model->PalGivenPrefix(prefix, t);
+      model->ExtendPrefix(prefix, t);
+    }
+    benchmark::DoNotOptimize(total);
+  }
+}
+BENCHMARK(BM_PrefixExtendAndQuery);
+
+// Accuracy study (reported as a counter): max |exact - MC| over types.
+void BM_MonteCarloError(benchmark::State& state) {
+  const auto& instance = EmrInstance();
+  auto exact = core::DetectionModel::Create(instance, 100.0);
+  (void)exact->SetThresholds(HalfMeanThresholds(instance));
+  core::DetectionModel::Options options;
+  options.mode = core::DetectionModel::Mode::kMonteCarlo;
+  options.mc_samples = static_cast<int>(state.range(0));
+  auto mc = core::DetectionModel::Create(instance, 100.0, options);
+  (void)mc->SetThresholds(HalfMeanThresholds(instance));
+  const auto ordering = IdentityOrdering(instance.num_types());
+  double max_error = 0.0;
+  for (auto _ : state) {
+    const auto pal_exact = exact->DetectionProbabilities(ordering);
+    const auto pal_mc = mc->DetectionProbabilities(ordering);
+    for (int t = 0; t < instance.num_types(); ++t) {
+      max_error = std::max(max_error,
+                           std::fabs((*pal_exact)[t] - (*pal_mc)[t]));
+    }
+  }
+  state.counters["max_abs_error"] = max_error;
+}
+BENCHMARK(BM_MonteCarloError)->Arg(500)->Arg(2000)->Arg(10000);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,70 @@
+// Microbenchmarks for the LP substrate: dense two-phase simplex on random
+// feasible LPs of increasing size, and on the structured game LP.
+#include <benchmark/benchmark.h>
+
+#include "core/detection.h"
+#include "core/game_lp.h"
+#include "data/syn_a.h"
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/combinatorics.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+// Random LP with rows constructed around a known feasible point, so every
+// instance is feasible and bounded.
+lp::LpModel RandomFeasibleLp(int n, int m, uint64_t seed) {
+  util::Rng rng(seed);
+  lp::LpModel model;
+  std::vector<double> x0(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    x0[static_cast<size_t>(j)] = rng.Uniform(0.0, 5.0);
+    model.AddVariable(rng.Uniform(-2.0, 2.0), 0.0, 10.0);
+  }
+  for (int i = 0; i < m; ++i) {
+    double activity = 0.0;
+    std::vector<double> coeffs(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      coeffs[static_cast<size_t>(j)] = rng.Uniform(-3.0, 3.0);
+      activity += coeffs[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+    }
+    const int row = model.AddConstraint(lp::Sense::kLessEqual,
+                                        activity + rng.Uniform(0.0, 2.0));
+    for (int j = 0; j < n; ++j) {
+      model.AddCoefficient(row, j, coeffs[static_cast<size_t>(j)]);
+    }
+  }
+  return model;
+}
+
+void BM_SimplexRandomLp(benchmark::State& state) {
+  const int n = static_cast<int>(state.range(0));
+  const lp::LpModel model = RandomFeasibleLp(n, n, 1234);
+  for (auto _ : state) {
+    auto solution = lp::SimplexSolver::Solve(model);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_SimplexRandomLp)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+
+// The structured restricted game LP on Syn A with all 24 orderings.
+void BM_GameLpSynA(benchmark::State& state) {
+  const auto instance = data::MakeSynA();
+  const auto compiled = core::Compile(*instance);
+  auto detection = core::DetectionModel::Create(*instance, 10.0);
+  (void)detection->SetThresholds({3.0, 3.0, 3.0, 3.0});
+  const auto orderings = util::AllPermutations(4);
+  for (auto _ : state) {
+    auto solution =
+        core::SolveRestrictedGameLp(*compiled, *detection, orderings);
+    benchmark::DoNotOptimize(solution);
+  }
+}
+BENCHMARK(BM_GameLpSynA);
+
+}  // namespace
+
+BENCHMARK_MAIN();

@@ -1,0 +1,131 @@
+// EMR auditing end to end — the workload the paper's introduction
+// motivates. This example runs the complete operational pipeline:
+//
+//   1. Generate a hospital population and 28 days of access events.
+//   2. Classify every access with the Table VIII rule engine and
+//      accumulate an alert log.
+//   3. LEARN the per-type alert-volume distributions F_t from that log
+//      (the paper's "obtained from historical alert logs").
+//   4. Solve the Stackelberg game (ISHM + CGGS) for a daily audit policy.
+//   5. Replay 2000 simulated audit days with strategic insiders
+//      best-responding to the policy and report the empirical detection
+//      rate against the analytic prediction.
+#include <iostream>
+
+#include "audit/executor.h"
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/ishm.h"
+#include "core/policy.h"
+#include "data/emr.h"
+#include "util/random.h"
+
+using namespace auditgame;  // NOLINT
+
+int main() {
+  data::EmrConfig config;
+  config.num_employees = 25;
+  config.num_patients = 25;
+
+  // --- 1-2: population, access stream, alert log ------------------------
+  auto world = data::GenerateEmrWorld(config);
+  if (!world.ok()) {
+    std::cerr << world.status() << "\n";
+    return 1;
+  }
+  auto log = data::SimulateAccessLog(*world, /*days=*/28,
+                                     /*accesses_per_employee_per_day=*/40,
+                                     config.seed);
+  if (!log.ok()) {
+    std::cerr << log.status() << "\n";
+    return 1;
+  }
+  std::cout << "=== 28 days of EMR alerts (learned from simulated logs) ===\n";
+  for (int t = 0; t < data::kEmrNumTypes; ++t) {
+    auto counts = log->PeriodCounts(t);
+    double mean = 0;
+    for (int c : *counts) mean += c;
+    mean /= counts->size();
+    std::cout << "  type " << t + 1 << ": mean " << mean << " alerts/day\n";
+  }
+
+  // --- 3: game with learned distributions --------------------------------
+  auto game = data::MakeEmrGameFromLogs(config, 28, 40);
+  if (!game.ok()) {
+    std::cerr << game.status() << "\n";
+    return 1;
+  }
+
+  // --- 4: solve for the audit policy --------------------------------------
+  const double budget = 30.0;
+  auto compiled = core::Compile(*game);
+  auto detection = core::DetectionModel::Create(*game, budget);
+  if (!compiled.ok() || !detection.ok()) {
+    std::cerr << compiled.status() << " / " << detection.status() << "\n";
+    return 1;
+  }
+  core::IshmOptions ishm_options;
+  ishm_options.step_size = 0.2;
+  auto policy = core::SolveIshm(
+      *game, core::MakeCggsEvaluator(*compiled, *detection), ishm_options);
+  if (!policy.ok()) {
+    std::cerr << policy.status() << "\n";
+    return 1;
+  }
+  std::cout << "\n=== Daily audit policy (budget " << budget << ") ===\n"
+            << "Expected auditor loss: " << policy->objective << "\n"
+            << "Support size: " << policy->policy.orderings.size()
+            << " orderings\n";
+
+  // --- 5: adversarial replay ----------------------------------------------
+  // Each strategic insider picks the victim class maximizing expected
+  // utility; days are replayed with the attack alert injected.
+  auto eval = core::EvaluatePolicy(*compiled, *detection, policy->policy);
+  auto mixed = core::MixedDetectionProbabilities(*detection, policy->policy);
+  if (!eval.ok() || !mixed.ok()) {
+    std::cerr << eval.status() << " / " << mixed.status() << "\n";
+    return 1;
+  }
+  // Find an undeterred group (if all are deterred, report and exit).
+  int attack_type = -1;
+  for (size_t g = 0; g < compiled->groups.size(); ++g) {
+    const int victim_index = eval->best_response_victim[g];
+    if (victim_index < 0) continue;
+    const auto& victim =
+        compiled->groups[g].victims[static_cast<size_t>(victim_index)];
+    for (int t = 0; t < game->num_types(); ++t) {
+      if (victim.type_probs[static_cast<size_t>(t)] > 0) attack_type = t;
+    }
+    if (attack_type >= 0) break;
+  }
+  if (attack_type < 0) {
+    std::cout << "All insiders are deterred at this budget — nothing to "
+                 "replay.\n";
+    return 0;
+  }
+
+  util::Rng rng(777);
+  const int days = 2000;
+  int detected = 0;
+  for (int day = 0; day < days; ++day) {
+    // Draw an ordering from the mixture, then realize the day.
+    const size_t o = rng.Categorical(policy->policy.probabilities);
+    audit::AuditConfiguration audit_config;
+    audit_config.ordering = policy->policy.orderings[o];
+    audit_config.thresholds = policy->policy.thresholds;
+    audit_config.audit_costs = game->audit_costs;
+    audit_config.budget = budget;
+    const std::vector<int> benign =
+        prob::SampleJoint(game->alert_distributions, rng);
+    auto outcome = audit::SimulateDay(audit_config, benign, attack_type, rng);
+    if (outcome.ok() && outcome->attack_detected) ++detected;
+  }
+  std::cout << "\n=== Adversarial replay (" << days << " days) ===\n"
+            << "Best-response attack raises alert type " << attack_type + 1
+            << "\n"
+            << "Analytic detection probability: "
+            << (*mixed)[static_cast<size_t>(attack_type)] << "\n"
+            << "Empirical detection rate:        "
+            << static_cast<double>(detected) / days << "\n";
+  return 0;
+}

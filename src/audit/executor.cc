@@ -1,0 +1,88 @@
+#include "audit/executor.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace auditgame::audit {
+
+util::Status AuditConfiguration::Validate() const {
+  const int t = num_types();
+  if (static_cast<int>(thresholds.size()) != t) {
+    return util::InvalidArgumentError("thresholds size != num types");
+  }
+  if (static_cast<int>(ordering.size()) != t) {
+    return util::InvalidArgumentError("ordering size != num types");
+  }
+  std::vector<bool> seen(t, false);
+  for (int type : ordering) {
+    if (type < 0 || type >= t) {
+      return util::InvalidArgumentError("ordering entry out of range");
+    }
+    if (seen[type]) {
+      return util::InvalidArgumentError("ordering repeats type " +
+                                        std::to_string(type));
+    }
+    seen[type] = true;
+  }
+  for (double c : audit_costs) {
+    if (c <= 0) return util::InvalidArgumentError("audit cost must be > 0");
+  }
+  for (double b : thresholds) {
+    if (b < 0) return util::InvalidArgumentError("threshold must be >= 0");
+  }
+  if (budget < 0) return util::InvalidArgumentError("budget must be >= 0");
+  return util::OkStatus();
+}
+
+util::StatusOr<std::vector<int>> AuditedCounts(
+    const AuditConfiguration& config, const std::vector<int>& alert_counts) {
+  RETURN_IF_ERROR(config.Validate());
+  if (alert_counts.size() != static_cast<size_t>(config.num_types())) {
+    return util::InvalidArgumentError("alert_counts size != num types");
+  }
+  std::vector<int> audited(config.num_types(), 0);
+  double consumed = 0.0;  // sum of min(b_{o_i}, Z_{o_i} C_{o_i}) so far
+  for (int type : config.ordering) {
+    const double cost = config.audit_costs[type];
+    const double threshold = config.thresholds[type];
+    const int count = alert_counts[type];
+    const double remaining_budget =
+        std::max(std::floor((config.budget - consumed) / cost), 0.0);
+    const double per_type_cap = std::floor(threshold / cost);
+    const double n =
+        std::min({remaining_budget, per_type_cap, static_cast<double>(count)});
+    audited[type] = static_cast<int>(n);
+    consumed += std::min(threshold, count * cost);
+  }
+  return audited;
+}
+
+util::StatusOr<DayOutcome> SimulateDay(const AuditConfiguration& config,
+                                       const std::vector<int>& benign_counts,
+                                       int attack_type, util::Rng& rng) {
+  if (benign_counts.size() != static_cast<size_t>(config.num_types())) {
+    return util::InvalidArgumentError("benign_counts size != num types");
+  }
+  DayOutcome outcome;
+  outcome.alert_counts = benign_counts;
+  if (attack_type >= 0) {
+    if (attack_type >= config.num_types()) {
+      return util::InvalidArgumentError("attack_type out of range");
+    }
+    outcome.attack_alert_raised = true;
+    outcome.alert_counts[attack_type] += 1;
+  }
+  ASSIGN_OR_RETURN(outcome.audited, AuditedCounts(config, outcome.alert_counts));
+  if (outcome.attack_alert_raised) {
+    // The audited subset of each bin is uniformly random, so the attack
+    // alert is inspected with probability audited / bin_size.
+    const int bin = outcome.alert_counts[attack_type];
+    const int n = outcome.audited[attack_type];
+    outcome.attack_detected =
+        bin > 0 && rng.Uniform() < static_cast<double>(n) / bin;
+  }
+  return outcome;
+}
+
+}  // namespace auditgame::audit

@@ -1,0 +1,53 @@
+#ifndef AUDIT_GAME_AUDIT_EXECUTOR_H_
+#define AUDIT_GAME_AUDIT_EXECUTOR_H_
+
+#include <vector>
+
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::audit {
+
+/// One concrete auditing pure strategy: inspect alert bins in `ordering`,
+/// spending at most `thresholds[t]` budget on type t and at most `budget`
+/// overall. Auditing one alert of type t costs `audit_costs[t]`.
+struct AuditConfiguration {
+  std::vector<int> ordering;        // permutation of {0..T-1}
+  std::vector<double> thresholds;   // b_t, in budget units
+  std::vector<double> audit_costs;  // C_t > 0
+  double budget = 0.0;              // B
+
+  int num_types() const { return static_cast<int>(audit_costs.size()); }
+  util::Status Validate() const;
+};
+
+/// Implements the paper's recourse semantics (Section II-B): walking the
+/// ordering, type t at position k has remaining budget
+///   B_t = max(floor((B - sum_{i<k} min(b_{o_i}, Z_{o_i} * C_{o_i})) / C_t), 0)
+/// and audits n_t = min(B_t, floor(b_t / C_t), Z_t) alerts.
+///
+/// Returns n_t for every type (0 for types not in the ordering).
+util::StatusOr<std::vector<int>> AuditedCounts(const AuditConfiguration& config,
+                                               const std::vector<int>& alert_counts);
+
+/// Outcome of simulating a single audit period.
+struct DayOutcome {
+  std::vector<int> alert_counts;  // bin sizes, attack alert included
+  std::vector<int> audited;       // audited per type
+  bool attack_alert_raised = false;
+  bool attack_detected = false;
+};
+
+/// Simulates one audit period: benign alerts arrive per `benign_counts`, an
+/// optional attack alert of type `attack_type` (-1 for none) is appended to
+/// its bin, the auditor runs `config`, and the audited subset of each bin is
+/// chosen uniformly at random. Used by integration tests to validate the
+/// analytic detection probabilities empirically.
+util::StatusOr<DayOutcome> SimulateDay(const AuditConfiguration& config,
+                                       const std::vector<int>& benign_counts,
+                                       int attack_type, util::Rng& rng);
+
+}  // namespace auditgame::audit
+
+#endif  // AUDIT_GAME_AUDIT_EXECUTOR_H_

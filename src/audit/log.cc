@@ -1,0 +1,64 @@
+#include "audit/log.h"
+
+#include <cmath>
+#include <string>
+
+namespace auditgame::audit {
+
+AlertLog::AlertLog(int num_types) : counts_(std::max(num_types, 0)) {}
+
+void AlertLog::StartPeriod() {
+  ++num_periods_;
+  for (auto& per_type : counts_) per_type.push_back(0);
+}
+
+util::Status AlertLog::Record(int type, int count) {
+  if (type < 0 || type >= num_types()) {
+    return util::InvalidArgumentError("invalid alert type " +
+                                      std::to_string(type));
+  }
+  if (num_periods_ == 0) {
+    return util::FailedPreconditionError("no open period; call StartPeriod");
+  }
+  if (count < 0) return util::InvalidArgumentError("negative count");
+  counts_[type].back() += count;
+  return util::OkStatus();
+}
+
+util::StatusOr<std::vector<int>> AlertLog::PeriodCounts(int type) const {
+  if (type < 0 || type >= num_types()) {
+    return util::InvalidArgumentError("invalid alert type " +
+                                      std::to_string(type));
+  }
+  return counts_[type];
+}
+
+util::StatusOr<prob::CountDistribution> AlertLog::LearnDistribution(
+    int type) const {
+  ASSIGN_OR_RETURN(std::vector<int> samples, PeriodCounts(type));
+  if (samples.empty()) {
+    return util::FailedPreconditionError("log has no periods");
+  }
+  return prob::CountDistribution::FromSamples(samples);
+}
+
+util::StatusOr<prob::CountDistribution> AlertLog::LearnGaussianFit(
+    int type, double coverage) const {
+  ASSIGN_OR_RETURN(std::vector<int> samples, PeriodCounts(type));
+  if (samples.size() < 2) {
+    return util::FailedPreconditionError("need at least 2 periods");
+  }
+  double mean = 0.0;
+  for (int s : samples) mean += s;
+  mean /= static_cast<double>(samples.size());
+  double var = 0.0;
+  for (int s : samples) var += (s - mean) * (s - mean);
+  var /= static_cast<double>(samples.size() - 1);
+  if (var <= 0) {
+    return util::FailedPreconditionError("zero sample variance");
+  }
+  return prob::CountDistribution::DiscretizedGaussianWithCoverage(
+      mean, std::sqrt(var), coverage);
+}
+
+}  // namespace auditgame::audit

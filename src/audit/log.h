@@ -1,0 +1,50 @@
+#ifndef AUDIT_GAME_AUDIT_LOG_H_
+#define AUDIT_GAME_AUDIT_LOG_H_
+
+#include <vector>
+
+#include "prob/count_distribution.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::audit {
+
+/// Aggregated alert log: per-period (e.g. per-workday) alert counts for each
+/// type. This is the artifact privacy officers actually possess — the paper
+/// assumes F_t is "obtained from historical alert logs", which is exactly
+/// LearnDistribution below.
+class AlertLog {
+ public:
+  /// Creates a log for `num_types` alert types.
+  explicit AlertLog(int num_types);
+
+  int num_types() const { return static_cast<int>(counts_.size()); }
+  int num_periods() const { return num_periods_; }
+
+  /// Opens a new period (day); subsequent Record calls accumulate into it.
+  void StartPeriod();
+
+  /// Records `count` additional alerts of `type` in the current period.
+  /// Requires StartPeriod to have been called and a valid type.
+  util::Status Record(int type, int count = 1);
+
+  /// Per-period counts observed for `type`.
+  util::StatusOr<std::vector<int>> PeriodCounts(int type) const;
+
+  /// Learns the empirical per-period count distribution F_t for `type`.
+  util::StatusOr<prob::CountDistribution> LearnDistribution(int type) const;
+
+  /// Learns a discretized-Gaussian fit (moment matching) instead of the raw
+  /// empirical distribution; mirrors the paper's Gaussian modeling of alert
+  /// volumes. Requires at least 2 periods and positive sample variance.
+  util::StatusOr<prob::CountDistribution> LearnGaussianFit(
+      int type, double coverage = 0.995) const;
+
+ private:
+  std::vector<std::vector<int>> counts_;  // [type][period]
+  int num_periods_ = 0;
+};
+
+}  // namespace auditgame::audit
+
+#endif  // AUDIT_GAME_AUDIT_LOG_H_

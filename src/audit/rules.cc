@@ -1,0 +1,105 @@
+#include "audit/rules.h"
+
+#include <cmath>
+
+namespace auditgame::audit {
+
+Predicate StringAttrEquals(std::string key, std::string value) {
+  return [key = std::move(key), value = std::move(value)](const AccessEvent& e) {
+    return e.GetString(key) == value;
+  };
+}
+
+Predicate StringAttrsMatch(std::string key_a, std::string key_b) {
+  return [key_a = std::move(key_a), key_b = std::move(key_b)](const AccessEvent& e) {
+    const std::string& a = e.GetString(key_a);
+    return !a.empty() && a == e.GetString(key_b);
+  };
+}
+
+Predicate NumericAttrLess(std::string key, double value) {
+  return [key = std::move(key), value](const AccessEvent& e) {
+    return e.HasNumeric(key) && e.GetNumeric(key) < value;
+  };
+}
+
+Predicate NumericAttrGreater(std::string key, double value) {
+  return [key = std::move(key), value](const AccessEvent& e) {
+    return e.HasNumeric(key) && e.GetNumeric(key) > value;
+  };
+}
+
+Predicate EuclideanWithin(std::string x_a, std::string y_a, std::string x_b,
+                          std::string y_b, double radius) {
+  return [=](const AccessEvent& e) {
+    if (!e.HasNumeric(x_a) || !e.HasNumeric(y_a) || !e.HasNumeric(x_b) ||
+        !e.HasNumeric(y_b)) {
+      return false;
+    }
+    const double dx = e.GetNumeric(x_a) - e.GetNumeric(x_b);
+    const double dy = e.GetNumeric(y_a) - e.GetNumeric(y_b);
+    return std::sqrt(dx * dx + dy * dy) <= radius;
+  };
+}
+
+Predicate And(Predicate a, Predicate b) {
+  return [a = std::move(a), b = std::move(b)](const AccessEvent& e) {
+    return a(e) && b(e);
+  };
+}
+
+Predicate Or(Predicate a, Predicate b) {
+  return [a = std::move(a), b = std::move(b)](const AccessEvent& e) {
+    return a(e) || b(e);
+  };
+}
+
+Predicate Not(Predicate a) {
+  return [a = std::move(a)](const AccessEvent& e) { return !a(e); };
+}
+
+Predicate Always() {
+  return [](const AccessEvent&) { return true; };
+}
+
+util::Status RuleEngine::AddRule(AlertRule rule) {
+  if (rule.alert_type < 0) {
+    return util::InvalidArgumentError("alert_type must be >= 0");
+  }
+  if (rule.trigger_probability < 0.0 || rule.trigger_probability > 1.0) {
+    return util::InvalidArgumentError("trigger_probability must be in [0,1]");
+  }
+  if (!rule.predicate) {
+    return util::InvalidArgumentError("rule has no predicate");
+  }
+  rules_.push_back(std::move(rule));
+  return util::OkStatus();
+}
+
+std::optional<std::pair<int, double>> RuleEngine::Match(
+    const AccessEvent& event) const {
+  for (const AlertRule& rule : rules_) {
+    if (rule.predicate(event)) {
+      return std::make_pair(rule.alert_type, rule.trigger_probability);
+    }
+  }
+  return std::nullopt;
+}
+
+std::optional<int> RuleEngine::Trigger(const AccessEvent& event,
+                                       util::Rng& rng) const {
+  const auto match = Match(event);
+  if (!match.has_value()) return std::nullopt;
+  if (rng.Uniform() < match->second) return match->first;
+  return std::nullopt;
+}
+
+int RuleEngine::max_alert_type() const {
+  int max_type = -1;
+  for (const AlertRule& rule : rules_) {
+    max_type = std::max(max_type, rule.alert_type);
+  }
+  return max_type;
+}
+
+}  // namespace auditgame::audit

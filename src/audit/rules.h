@@ -1,0 +1,88 @@
+#ifndef AUDIT_GAME_AUDIT_RULES_H_
+#define AUDIT_GAME_AUDIT_RULES_H_
+
+#include <functional>
+#include <optional>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "audit/event.h"
+#include "util/random.h"
+#include "util/status.h"
+
+namespace auditgame::audit {
+
+/// A boolean predicate over access events.
+using Predicate = std::function<bool(const AccessEvent&)>;
+
+/// ---- Predicate combinators -------------------------------------------
+
+/// True when the event's string attribute `key` equals `value`.
+Predicate StringAttrEquals(std::string key, std::string value);
+
+/// True when two string attributes of the event are equal and non-empty
+/// (e.g. employee_last_name == patient_last_name).
+Predicate StringAttrsMatch(std::string key_a, std::string key_b);
+
+/// True when the numeric attribute satisfies the comparison.
+Predicate NumericAttrLess(std::string key, double value);
+Predicate NumericAttrGreater(std::string key, double value);
+
+/// True when the Euclidean distance between points (x_a, y_a) and
+/// (x_b, y_b), read from numeric attributes, is at most `radius`.
+/// Implements "neighbor within a distance threshold" style rules.
+Predicate EuclideanWithin(std::string x_a, std::string y_a, std::string x_b,
+                          std::string y_b, double radius);
+
+Predicate And(Predicate a, Predicate b);
+Predicate Or(Predicate a, Predicate b);
+Predicate Not(Predicate a);
+
+/// Always true — catch-all rules.
+Predicate Always();
+
+/// ---- Rule engine --------------------------------------------------------
+
+/// A single alert rule: when `predicate` matches, an alert of `alert_type`
+/// is raised with probability `trigger_probability` (the paper's stochastic
+/// event -> type mapping P^t_ev).
+struct AlertRule {
+  std::string name;
+  int alert_type = 0;
+  double trigger_probability = 1.0;
+  Predicate predicate;
+};
+
+/// Ordered rule list implementing the paper's TDMT assumption that each
+/// event maps to at most one alert type: the FIRST matching rule wins, so
+/// composite types ("same last name AND same address") must be registered
+/// before their components.
+class RuleEngine {
+ public:
+  /// Appends a rule. Returns an error for invalid probability or negative
+  /// type ids.
+  util::Status AddRule(AlertRule rule);
+
+  /// Returns (alert_type, trigger_probability) of the first matching rule,
+  /// or nullopt when no rule matches (benign event).
+  std::optional<std::pair<int, double>> Match(const AccessEvent& event) const;
+
+  /// Stochastic classification: applies Match and then flips the trigger
+  /// coin. Returns the raised alert type or nullopt.
+  std::optional<int> Trigger(const AccessEvent& event, util::Rng& rng) const;
+
+  int num_rules() const { return static_cast<int>(rules_.size()); }
+  const AlertRule& rule(int i) const { return rules_[i]; }
+
+  /// Largest alert type id across rules (+1 gives the type-count needed to
+  /// size count vectors); -1 when empty.
+  int max_alert_type() const;
+
+ private:
+  std::vector<AlertRule> rules_;
+};
+
+}  // namespace auditgame::audit
+
+#endif  // AUDIT_GAME_AUDIT_RULES_H_

@@ -1,0 +1,84 @@
+#include "audit/triage.h"
+
+#include <algorithm>
+#include <numeric>
+#include <string>
+
+namespace auditgame::audit {
+
+AlertQueue::AlertQueue(int num_types)
+    : bins_(static_cast<size_t>(std::max(num_types, 0))) {}
+
+util::Status AlertQueue::Add(PendingAlert alert) {
+  if (alert.type < 0 || alert.type >= num_types()) {
+    return util::InvalidArgumentError("alert type " +
+                                      std::to_string(alert.type) +
+                                      " out of range");
+  }
+  if (alert.alert_id == 0) alert.alert_id = next_id_;
+  next_id_ = std::max(next_id_, alert.alert_id) + 1;
+  bins_[static_cast<size_t>(alert.type)].push_back(std::move(alert));
+  return util::OkStatus();
+}
+
+std::vector<int> AlertQueue::Counts() const {
+  std::vector<int> counts;
+  counts.reserve(bins_.size());
+  for (const auto& bin : bins_) counts.push_back(static_cast<int>(bin.size()));
+  return counts;
+}
+
+void AlertQueue::Clear() {
+  for (auto& bin : bins_) bin.clear();
+}
+
+util::StatusOr<TriagePlan> PlanAuditPeriod(const AuditConfiguration& config,
+                                           const AlertQueue& queue,
+                                           util::Rng& rng) {
+  if (queue.num_types() != config.num_types()) {
+    return util::InvalidArgumentError("queue/config type-count mismatch");
+  }
+  const std::vector<int> counts = queue.Counts();
+  ASSIGN_OR_RETURN(std::vector<int> audited, AuditedCounts(config, counts));
+
+  TriagePlan plan;
+  plan.ordering = config.ordering;
+  plan.audited_counts = audited;
+  for (int type : config.ordering) {
+    const int n = audited[static_cast<size_t>(type)];
+    if (n <= 0) continue;
+    // Uniform n-subset of the bin via a partial Fisher-Yates shuffle of
+    // indices.
+    const auto& bin = queue.bin(type);
+    std::vector<int> indices(bin.size());
+    std::iota(indices.begin(), indices.end(), 0);
+    for (int k = 0; k < n; ++k) {
+      const size_t j = static_cast<size_t>(k) + static_cast<size_t>(rng.UniformInt(
+                           static_cast<uint64_t>(indices.size() - k)));
+      std::swap(indices[static_cast<size_t>(k)], indices[j]);
+      plan.selected.push_back(bin[static_cast<size_t>(indices[static_cast<size_t>(k)])]);
+    }
+    plan.spent += n * config.audit_costs[static_cast<size_t>(type)];
+  }
+  return plan;
+}
+
+util::StatusOr<TriagePlan> PlanPeriodFromMixture(
+    const std::vector<std::vector<int>>& orderings,
+    const std::vector<double>& probabilities,
+    const std::vector<double>& thresholds,
+    const std::vector<double>& audit_costs, double budget,
+    const AlertQueue& queue, util::Rng& rng) {
+  if (orderings.empty() || orderings.size() != probabilities.size()) {
+    return util::InvalidArgumentError("mixture is empty or misaligned");
+  }
+  const size_t draw = rng.Categorical(probabilities);
+  AuditConfiguration config;
+  config.ordering = orderings[draw];
+  config.thresholds = thresholds;
+  config.audit_costs = audit_costs;
+  config.budget = budget;
+  return PlanAuditPeriod(config, queue, rng);
+}
+
+}  // namespace auditgame::audit

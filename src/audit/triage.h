@@ -1,0 +1,85 @@
+#ifndef AUDIT_GAME_AUDIT_TRIAGE_H_
+#define AUDIT_GAME_AUDIT_TRIAGE_H_
+
+#include <string>
+#include <vector>
+
+#include "audit/executor.h"
+#include "util/random.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::audit {
+
+/// One alert awaiting investigation.
+struct PendingAlert {
+  int64_t alert_id = 0;
+  int type = 0;
+  std::string subject_id;
+  std::string object_id;
+  int64_t raised_at = 0;
+};
+
+/// The per-period alert bins a privacy office actually works from: alerts
+/// accumulate per type; the triage planner (below) decides which concrete
+/// alerts get inspected under a sampled pure strategy.
+class AlertQueue {
+ public:
+  /// Creates bins for `num_types` alert types.
+  explicit AlertQueue(int num_types);
+
+  int num_types() const { return static_cast<int>(bins_.size()); }
+
+  /// Enqueues an alert; assigns a sequential alert_id if the alert carries
+  /// none (id 0). Fails on an out-of-range type.
+  util::Status Add(PendingAlert alert);
+
+  /// Bin size per type.
+  std::vector<int> Counts() const;
+
+  const std::vector<PendingAlert>& bin(int type) const { return bins_[type]; }
+
+  /// Drops all alerts (end of period).
+  void Clear();
+
+  int64_t total_alerts() const { return next_id_ - 1; }
+
+ private:
+  std::vector<std::vector<PendingAlert>> bins_;
+  int64_t next_id_ = 1;
+};
+
+/// A concrete work order for one audit period.
+struct TriagePlan {
+  /// The pure ordering used (drawn from the mixed policy by the caller or
+  /// by PlanPeriodFromMixture).
+  std::vector<int> ordering;
+  /// Number of alerts audited per type (the executor's n_t).
+  std::vector<int> audited_counts;
+  /// The selected alerts, in inspection order.
+  std::vector<PendingAlert> selected;
+  /// Budget actually spent.
+  double spent = 0.0;
+};
+
+/// Applies the recourse semantics of `config` to the realized queue and
+/// picks, for each type, a uniformly random subset of its bin of size n_t.
+/// Uniform selection is what makes the analytic detection probability
+/// n_t / Z_t correct, so it is not a configuration knob.
+util::StatusOr<TriagePlan> PlanAuditPeriod(const AuditConfiguration& config,
+                                           const AlertQueue& queue,
+                                           util::Rng& rng);
+
+/// Draws a pure ordering from a mixed strategy (orderings + probabilities)
+/// and plans the period with it. `thresholds`, `audit_costs` and `budget`
+/// complete the configuration.
+util::StatusOr<TriagePlan> PlanPeriodFromMixture(
+    const std::vector<std::vector<int>>& orderings,
+    const std::vector<double>& probabilities,
+    const std::vector<double>& thresholds,
+    const std::vector<double>& audit_costs, double budget,
+    const AlertQueue& queue, util::Rng& rng);
+
+}  // namespace auditgame::audit
+
+#endif  // AUDIT_GAME_AUDIT_TRIAGE_H_

@@ -1,0 +1,148 @@
+#include "core/baselines.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "util/combinatorics.h"
+#include "util/random.h"
+
+namespace auditgame::core {
+
+util::StatusOr<RandomOrderResult> RandomOrderBaseline(
+    const CompiledGame& game, DetectionModel& detection,
+    const std::vector<double>& thresholds, int num_orders, uint64_t seed) {
+  if (num_orders <= 0) {
+    return util::InvalidArgumentError("num_orders must be > 0");
+  }
+  util::Rng rng(seed);
+  const int t_count = game.num_types;
+  const uint64_t total_orders =
+      t_count <= 20 ? util::Factorial(t_count)
+                    : std::numeric_limits<uint64_t>::max();
+  const uint64_t want =
+      std::min<uint64_t>(static_cast<uint64_t>(num_orders), total_orders);
+
+  std::set<std::vector<int>> sampled;
+  std::vector<int> ordering(t_count);
+  std::iota(ordering.begin(), ordering.end(), 0);
+  // Rejection sampling without replacement; the cap is far below |T|! in
+  // all realistic uses so this terminates quickly.
+  uint64_t guard = 0;
+  while (sampled.size() < want && guard < want * 200 + 1000) {
+    rng.Shuffle(ordering);
+    sampled.insert(ordering);
+    ++guard;
+  }
+
+  RandomOrderResult result;
+  result.policy.budget = detection.budget();
+  result.policy.thresholds = thresholds;
+  const double p = 1.0 / static_cast<double>(sampled.size());
+  for (const auto& o : sampled) {
+    result.policy.orderings.push_back(o);
+    result.policy.probabilities.push_back(p);
+  }
+  ASSIGN_OR_RETURN(PolicyEvaluation eval,
+                   EvaluatePolicy(game, detection, result.policy));
+  result.auditor_loss = eval.auditor_loss;
+  return result;
+}
+
+util::StatusOr<RandomThresholdResult> RandomThresholdBaseline(
+    const GameInstance& instance, const CompiledGame& game,
+    DetectionModel& detection, int num_draws, uint64_t seed,
+    const CggsOptions& cggs_options) {
+  if (num_draws <= 0) {
+    return util::InvalidArgumentError("num_draws must be > 0");
+  }
+  util::Rng rng(seed);
+  const int t_count = instance.num_types();
+  std::vector<int> upper(t_count);
+  double upper_budget = 0.0;
+  for (int t = 0; t < t_count; ++t) {
+    upper[t] = instance.alert_distributions[t].max_value();
+    upper_budget += upper[t] * instance.audit_costs[t];
+  }
+  if (upper_budget < detection.budget()) {
+    return util::InvalidArgumentError(
+        "budget exceeds the total threshold upper bounds");
+  }
+
+  RandomThresholdResult result;
+  result.min_auditor_loss = std::numeric_limits<double>::infinity();
+  result.max_auditor_loss = -std::numeric_limits<double>::infinity();
+  double total = 0.0;
+  for (int draw = 0; draw < num_draws; ++draw) {
+    // Rejection-sample an integer vector with sum b_t C_t >= B.
+    std::vector<double> thresholds(t_count);
+    for (int attempt = 0;; ++attempt) {
+      double sum = 0.0;
+      for (int t = 0; t < t_count; ++t) {
+        const int audits = static_cast<int>(rng.UniformInt(
+            static_cast<uint64_t>(upper[t]) + 1));
+        thresholds[t] = audits * instance.audit_costs[t];
+        sum += thresholds[t];
+      }
+      if (sum >= detection.budget()) break;
+      if (attempt > 100000) {
+        return util::InternalError("threshold rejection sampling stalled");
+      }
+    }
+    CggsOptions local = cggs_options;
+    local.seed = rng();
+    ASSIGN_OR_RETURN(CggsResult cggs,
+                     SolveCggs(game, detection, thresholds, local));
+    total += cggs.objective;
+    result.min_auditor_loss = std::min(result.min_auditor_loss, cggs.objective);
+    result.max_auditor_loss = std::max(result.max_auditor_loss, cggs.objective);
+    ++result.draws;
+  }
+  result.mean_auditor_loss = total / result.draws;
+  return result;
+}
+
+std::vector<double> PerTypeBenefits(const CompiledGame& game) {
+  std::vector<double> benefit(game.num_types, 0.0);
+  for (const auto& group : game.groups) {
+    for (const auto& victim : group.victims) {
+      // Attribute the victim's benefit to its dominant alert type.
+      int dominant = -1;
+      double best_p = 0.0;
+      for (int t = 0; t < game.num_types; ++t) {
+        if (victim.type_probs[t] > best_p) {
+          best_p = victim.type_probs[t];
+          dominant = t;
+        }
+      }
+      if (dominant >= 0) {
+        benefit[dominant] = std::max(benefit[dominant], victim.benefit);
+      }
+    }
+  }
+  return benefit;
+}
+
+util::StatusOr<GreedyBenefitResult> GreedyByBenefitBaseline(
+    const CompiledGame& game, DetectionModel& detection) {
+  const int t_count = game.num_types;
+  const std::vector<double> benefit = PerTypeBenefits(game);
+  GreedyBenefitResult result;
+  result.ordering.resize(t_count);
+  std::iota(result.ordering.begin(), result.ordering.end(), 0);
+  std::stable_sort(result.ordering.begin(), result.ordering.end(),
+                   [&benefit](int a, int b) { return benefit[a] > benefit[b]; });
+
+  result.policy.budget = detection.budget();
+  result.policy.orderings.push_back(result.ordering);
+  result.policy.probabilities.push_back(1.0);
+  // Exhaustive auditing: no per-type cap beyond the global budget.
+  result.policy.thresholds.assign(t_count, detection.budget());
+  ASSIGN_OR_RETURN(PolicyEvaluation eval,
+                   EvaluatePolicy(game, detection, result.policy));
+  result.auditor_loss = eval.auditor_loss;
+  return result;
+}
+
+}  // namespace auditgame::core

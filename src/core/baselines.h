@@ -1,0 +1,66 @@
+#ifndef AUDIT_GAME_CORE_BASELINES_H_
+#define AUDIT_GAME_CORE_BASELINES_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/game.h"
+#include "core/policy.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::core {
+
+/// The three non-game-theoretic baselines of Section V-B. Each returns the
+/// auditor's loss against best-responding adversaries so the benches can
+/// plot them next to the proposed model (Figures 1 and 2).
+
+/// "Audit with random orders of alert types": the thresholds are taken
+/// from the proposed model (the paper uses ISHM with eps = 0.1), but the
+/// ordering is drawn uniformly from up to `num_orders` distinct random
+/// permutations (paper: 2000 without replacement).
+struct RandomOrderResult {
+  double auditor_loss = 0.0;
+  AuditPolicy policy;
+};
+util::StatusOr<RandomOrderResult> RandomOrderBaseline(
+    const CompiledGame& game, DetectionModel& detection,
+    const std::vector<double>& thresholds, int num_orders, uint64_t seed);
+
+/// "Audit with random thresholds": thresholds are drawn uniformly from
+/// integer vectors with b_t <= J_t and sum_t b_t C_t >= B; for each draw the
+/// auditor still optimizes the ordering mixture (via CGGS). Reports the
+/// loss averaged over draws (paper: 5000 draws; the benches default lower —
+/// see DESIGN.md).
+struct RandomThresholdResult {
+  double mean_auditor_loss = 0.0;
+  double min_auditor_loss = 0.0;
+  double max_auditor_loss = 0.0;
+  int draws = 0;
+};
+util::StatusOr<RandomThresholdResult> RandomThresholdBaseline(
+    const GameInstance& instance, const CompiledGame& game,
+    DetectionModel& detection, int num_draws, uint64_t seed,
+    const CggsOptions& cggs_options = {});
+
+/// "Audit based on benefit": a deterministic pure strategy that audits
+/// types in decreasing order of the benefit a successful attack of that
+/// type yields (the auditor's loss), exhausting each bin before moving on
+/// (thresholds = B for every type).
+struct GreedyBenefitResult {
+  double auditor_loss = 0.0;
+  AuditPolicy policy;
+  std::vector<int> ordering;
+};
+util::StatusOr<GreedyBenefitResult> GreedyByBenefitBaseline(
+    const CompiledGame& game, DetectionModel& detection);
+
+/// Helper: per-type "benefit" used by the greedy baseline — the maximum
+/// adversary benefit among victims predominantly mapping to that type.
+std::vector<double> PerTypeBenefits(const CompiledGame& game);
+
+}  // namespace auditgame::core
+
+#endif  // AUDIT_GAME_CORE_BASELINES_H_

@@ -1,0 +1,66 @@
+#include "core/brute_force.h"
+
+#include <limits>
+#include <numeric>
+
+#include "core/game_lp.h"
+#include "util/combinatorics.h"
+
+namespace auditgame::core {
+
+util::StatusOr<BruteForceResult> SolveBruteForce(
+    const GameInstance& instance, double budget,
+    const BruteForceOptions& options,
+    DetectionModel::Options detection_options) {
+  ASSIGN_OR_RETURN(CompiledGame game, Compile(instance));
+  ASSIGN_OR_RETURN(DetectionModel detection,
+                   DetectionModel::Create(instance, budget, detection_options));
+
+  const int t_count = instance.num_types();
+  std::vector<int> upper(t_count);
+  for (int t = 0; t < t_count; ++t) {
+    upper[t] = instance.alert_distributions[t].max_value();
+  }
+
+  BruteForceResult result;
+  result.objective = std::numeric_limits<double>::infinity();
+  result.search_space = 1;
+  for (int t = 0; t < t_count; ++t) {
+    result.search_space *= static_cast<uint64_t>(upper[t]) + 1;
+  }
+
+  util::Status failure = util::OkStatus();
+  util::ForEachIntegerVector(upper, [&](const std::vector<int>& counts) {
+    if (options.require_sum_at_least_budget) {
+      double total = 0.0;
+      for (int t = 0; t < t_count; ++t) {
+        total += counts[t] * instance.audit_costs[t];
+      }
+      if (total < budget) return true;  // skip: wastes budget
+    }
+    std::vector<double> thresholds(t_count);
+    for (int t = 0; t < t_count; ++t) {
+      thresholds[t] = counts[t] * instance.audit_costs[t];
+    }
+    auto full = SolveFullGameLp(game, detection, thresholds);
+    if (!full.ok()) {
+      failure = full.status();
+      return false;
+    }
+    ++result.vectors_evaluated;
+    if (full->objective < result.objective - 1e-12) {
+      result.objective = full->objective;
+      result.thresholds = counts;
+      result.policy = std::move(full->policy);
+    }
+    return true;
+  });
+  RETURN_IF_ERROR(failure);
+  if (result.vectors_evaluated == 0) {
+    return util::InvalidArgumentError(
+        "no feasible threshold vector (budget exceeds total upper bounds?)");
+  }
+  return result;
+}
+
+}  // namespace auditgame::core

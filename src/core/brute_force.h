@@ -1,0 +1,44 @@
+#ifndef AUDIT_GAME_CORE_BRUTE_FORCE_H_
+#define AUDIT_GAME_CORE_BRUTE_FORCE_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detection.h"
+#include "core/game.h"
+#include "core/policy.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::core {
+
+/// Options for the exact OAP solver.
+struct BruteForceOptions {
+  /// Paper's search-space constraint: only consider threshold vectors with
+  /// sum_t b_t >= B (anything less provably wastes budget).
+  bool require_sum_at_least_budget = true;
+};
+
+struct BruteForceResult {
+  double objective = 0.0;
+  /// Optimal integer thresholds (in audits per type, i.e. b_t / C_t).
+  std::vector<int> thresholds;
+  AuditPolicy policy;
+  /// Number of threshold vectors whose LP was solved.
+  uint64_t vectors_evaluated = 0;
+  /// Size of the full search space prod_t (J_t + 1).
+  uint64_t search_space = 0;
+};
+
+/// Exact reference solver for the controlled evaluation (Table III):
+/// enumerates every integer threshold vector b with 0 <= b_t <= J_t (J_t =
+/// the top of F_t's support) and solves the full LP over all |T|! orderings
+/// for each. Exponential in |T|; intended for small instances only.
+util::StatusOr<BruteForceResult> SolveBruteForce(
+    const GameInstance& instance, double budget,
+    const BruteForceOptions& options = {},
+    DetectionModel::Options detection_options = {});
+
+}  // namespace auditgame::core
+
+#endif  // AUDIT_GAME_CORE_BRUTE_FORCE_H_

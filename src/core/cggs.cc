@@ -1,0 +1,142 @@
+#include "core/cggs.h"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+#include <set>
+
+#include "core/game_lp.h"
+#include "util/random.h"
+
+namespace auditgame::core {
+namespace {
+
+// Dual-weighted utility sum_{g,v} y_{g,v} * Ua(pal, <g,v>) — the variable
+// part of a column's reduced cost (the full reduced cost subtracts the
+// convexity dual).
+double DualWeightedUtility(const CompiledGame& game,
+                           const std::vector<std::vector<double>>& duals,
+                           const std::vector<double>& pal) {
+  double total = 0.0;
+  for (size_t g = 0; g < game.groups.size(); ++g) {
+    const auto& victims = game.groups[g].victims;
+    for (size_t v = 0; v < victims.size(); ++v) {
+      const double y = duals[g][v];
+      if (y > 0) total += y * AdversaryUtility(victims[v], pal);
+    }
+  }
+  return total;
+}
+
+// Greedy pricing (Algorithm 1, lines 4-7): grow an ordering one type at a
+// time, always appending the type that minimizes the dual-weighted utility
+// of the partial ordering (un-placed types contribute Pal = 0).
+std::vector<int> GreedyOrdering(const CompiledGame& game,
+                                const DetectionModel& detection,
+                                const std::vector<std::vector<double>>& duals) {
+  const int t_count = game.num_types;
+  std::vector<int> ordering;
+  ordering.reserve(t_count);
+  std::vector<bool> placed(t_count, false);
+  std::vector<double> pal(t_count, 0.0);
+  DetectionModel::Prefix prefix = detection.EmptyPrefix();
+  for (int step = 0; step < t_count; ++step) {
+    int best_type = -1;
+    double best_score = std::numeric_limits<double>::infinity();
+    double best_pal = 0.0;
+    for (int t = 0; t < t_count; ++t) {
+      if (placed[t]) continue;
+      const double candidate_pal = detection.PalGivenPrefix(prefix, t);
+      pal[t] = candidate_pal;
+      const double score = DualWeightedUtility(game, duals, pal);
+      pal[t] = 0.0;
+      if (score < best_score) {
+        best_score = score;
+        best_type = t;
+        best_pal = candidate_pal;
+      }
+    }
+    placed[best_type] = true;
+    pal[best_type] = best_pal;
+    ordering.push_back(best_type);
+    if (step + 1 < t_count) detection.ExtendPrefix(prefix, best_type);
+  }
+  return ordering;
+}
+
+}  // namespace
+
+util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
+                                     DetectionModel& detection,
+                                     const std::vector<double>& thresholds,
+                                     const CggsOptions& options) {
+  RETURN_IF_ERROR(detection.SetThresholds(thresholds));
+  util::Rng rng(options.seed);
+
+  // Q starts from the warm-start set, or the identity ordering.
+  std::vector<std::vector<int>> columns = options.initial_orderings;
+  std::set<std::vector<int>> column_set(columns.begin(), columns.end());
+  if (columns.empty()) {
+    std::vector<int> identity(game.num_types);
+    std::iota(identity.begin(), identity.end(), 0);
+    columns.push_back(identity);
+    column_set.insert(identity);
+  }
+
+  CggsResult result;
+  RestrictedLpSolution master;
+  for (;;) {
+    ASSIGN_OR_RETURN(master,
+                     SolveRestrictedGameLp(game, detection, columns));
+    ++result.lp_solves;
+    if (static_cast<int>(columns.size()) >= options.max_columns) break;
+
+    // Price candidates: the greedy ordering plus a few random probes.
+    std::vector<std::vector<int>> candidates;
+    candidates.push_back(GreedyOrdering(game, detection, master.victim_duals));
+    for (int r = 0; r < options.random_probes; ++r) {
+      std::vector<int> random_ordering(game.num_types);
+      std::iota(random_ordering.begin(), random_ordering.end(), 0);
+      rng.Shuffle(random_ordering);
+      candidates.push_back(std::move(random_ordering));
+    }
+
+    std::vector<int> best_candidate;
+    double best_rc = -options.reduced_cost_tolerance;
+    for (auto& candidate : candidates) {
+      if (column_set.count(candidate)) continue;  // already in Q
+      ASSIGN_OR_RETURN(std::vector<double> pal,
+                       detection.DetectionProbabilities(candidate));
+      const double rc =
+          DualWeightedUtility(game, master.victim_duals, pal) -
+          master.convexity_dual;
+      if (rc < best_rc) {
+        best_rc = rc;
+        best_candidate = std::move(candidate);
+      }
+    }
+    if (best_candidate.empty()) break;  // no improving column
+    column_set.insert(best_candidate);
+    columns.push_back(std::move(best_candidate));
+    ++result.columns_generated;
+  }
+
+  result.objective = master.objective;
+  result.columns = columns;
+  result.policy.budget = detection.budget();
+  result.policy.thresholds = thresholds;
+  for (size_t o = 0; o < columns.size(); ++o) {
+    if (master.ordering_probs[o] > 1e-9) {
+      result.policy.orderings.push_back(columns[o]);
+      result.policy.probabilities.push_back(master.ordering_probs[o]);
+    }
+  }
+  double total = 0.0;
+  for (double p : result.policy.probabilities) total += p;
+  if (total > 0) {
+    for (double& p : result.policy.probabilities) p /= total;
+  }
+  return result;
+}
+
+}  // namespace auditgame::core

@@ -1,0 +1,54 @@
+#ifndef AUDIT_GAME_CORE_CGGS_H_
+#define AUDIT_GAME_CORE_CGGS_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/detection.h"
+#include "core/game.h"
+#include "core/policy.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::core {
+
+/// Options for Column Generation Greedy Search (Algorithm 1).
+struct CggsOptions {
+  /// Cap on generated columns (orderings) — safety net; the search normally
+  /// terminates when no column with negative reduced cost is found.
+  int max_columns = 200;
+  /// A column enters only if its reduced cost is below -tolerance.
+  double reduced_cost_tolerance = 1e-7;
+  /// Extra random candidate orderings priced per iteration, alongside the
+  /// greedy one. The paper's pricing subproblem is itself hard; a few random
+  /// probes make the heuristic noticeably more robust at negligible cost.
+  int random_probes = 2;
+  uint64_t seed = 7;
+  /// Optional warm start: orderings to seed Q with (e.g. the support of the
+  /// solution at a neighboring threshold vector during ISHM).
+  std::vector<std::vector<int>> initial_orderings;
+};
+
+/// Result of a CGGS solve.
+struct CggsResult {
+  double objective = 0.0;
+  AuditPolicy policy;
+  /// All columns considered (Q at termination) — useful for warm starts.
+  std::vector<std::vector<int>> columns;
+  int lp_solves = 0;
+  int columns_generated = 0;
+};
+
+/// Solves the fixed-threshold game LP by column generation (Algorithm 1 of
+/// the paper): repeatedly solve the restricted master over Q, then greedily
+/// build a new ordering that minimizes reduced cost under the current duals
+/// (appending one type at a time), and add it to Q while its reduced cost
+/// is negative.
+util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
+                                     DetectionModel& detection,
+                                     const std::vector<double>& thresholds,
+                                     const CggsOptions& options = {});
+
+}  // namespace auditgame::core
+
+#endif  // AUDIT_GAME_CORE_CGGS_H_

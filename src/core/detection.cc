@@ -1,0 +1,249 @@
+#include "core/detection.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+#include "util/random.h"
+
+namespace auditgame::core {
+namespace {
+
+// Per-realization detection contribution for a bin of z benign alerts and
+// audit capacity `capacity`, under the chosen semantics.
+//  * kExpectedRatio: n/z (Eq. 1 literally); z = 0 is treated as "the attack
+//    alert is the whole bin" — detected iff one audit is affordable.
+//  * kInclusiveAttack: the attack alert joins the bin, so the bin holds
+//    z + 1 alerts and the attack is audited with probability
+//    min(capacity, z+1) / (z+1).
+//  * kRatioOfExpectations: handled by the caller (needs E[min(cap, z)] and
+//    E[z] separately); this helper returns the numerator term min(cap, z).
+double DetectionTerm(DetectionModel::Semantics semantics, int capacity,
+                     int z) {
+  switch (semantics) {
+    case DetectionModel::Semantics::kExpectedRatio:
+      if (z <= 0) return capacity >= 1 ? 1.0 : 0.0;
+      return static_cast<double>(std::min(capacity, z)) / z;
+    case DetectionModel::Semantics::kInclusiveAttack:
+      return static_cast<double>(std::min(capacity, z + 1)) / (z + 1);
+    case DetectionModel::Semantics::kRatioOfExpectations:
+      return static_cast<double>(std::min(capacity, z));
+  }
+  return 0.0;
+}
+
+}  // namespace
+
+util::StatusOr<DetectionModel> DetectionModel::Create(
+    const GameInstance& instance, double budget, const Options& options) {
+  RETURN_IF_ERROR(instance.Validate());
+  if (budget < 0) return util::InvalidArgumentError("budget must be >= 0");
+  if (options.budget_unit <= 0) {
+    return util::InvalidArgumentError("budget_unit must be > 0");
+  }
+  if (options.mode == Mode::kMonteCarlo && options.mc_samples <= 0) {
+    return util::InvalidArgumentError("mc_samples must be > 0");
+  }
+  DetectionModel model;
+  model.options_ = options;
+  model.budget_ = budget;
+  model.audit_costs_ = instance.audit_costs;
+  model.distributions_ = instance.alert_distributions;
+  model.thresholds_.assign(instance.num_types(), 0.0);
+  model.mean_z_.reserve(instance.num_types());
+  for (const auto& dist : model.distributions_) {
+    model.mean_z_.push_back(std::max(dist.Mean(), 1e-12));
+  }
+  if (options.mode == Mode::kMonteCarlo) {
+    // Draw the common random numbers once; all threshold vectors are
+    // evaluated against the same Z samples, which makes search objectives
+    // deterministic and smooth.
+    util::Rng rng(options.seed);
+    const int t_count = model.num_types();
+    model.samples_.resize(static_cast<size_t>(options.mc_samples) * t_count);
+    for (int k = 0; k < options.mc_samples; ++k) {
+      for (int t = 0; t < t_count; ++t) {
+        model.samples_[static_cast<size_t>(k) * t_count + t] =
+            model.distributions_[t].Sample(rng);
+      }
+    }
+  } else {
+    model.grid_size_ =
+        static_cast<int>(std::floor(budget / options.budget_unit)) + 1;
+  }
+  return model;
+}
+
+util::Status DetectionModel::SetThresholds(
+    const std::vector<double>& thresholds) {
+  if (thresholds.size() != static_cast<size_t>(num_types())) {
+    return util::InvalidArgumentError("thresholds size != num types");
+  }
+  for (double b : thresholds) {
+    if (b < 0 || !std::isfinite(b)) {
+      return util::InvalidArgumentError("thresholds must be finite and >= 0");
+    }
+  }
+  thresholds_ = thresholds;
+  if (options_.mode == Mode::kExact) {
+    PrepareExactTables();
+  } else {
+    PrepareMcTables();
+  }
+  return util::OkStatus();
+}
+
+void DetectionModel::PrepareExactTables() {
+  const int t_count = num_types();
+  const double unit = options_.budget_unit;
+  consumption_.assign(t_count, {});
+  g_.assign(t_count, {});
+  for (int t = 0; t < t_count; ++t) {
+    const prob::CountDistribution& dist = distributions_[t];
+    const double cost = audit_costs_[t];
+    const double b = thresholds_[t];
+    const int per_type_cap = static_cast<int>(std::floor(b / cost));
+
+    // Consumption distribution: cell(min(b, z * C)) aggregated over z.
+    // Once z * C >= b every z consumes exactly b, so the support is small.
+    // Under kReserved the whole threshold is consumed deterministically.
+    std::vector<double> cell_prob(static_cast<size_t>(grid_size_), 0.0);
+    for (int z = dist.min_value(); z <= dist.max_value(); ++z) {
+      const double consumed =
+          options_.consumption == Consumption::kReserved ? b
+                                                         : std::min(b, z * cost);
+      int cell = static_cast<int>(std::llround(consumed / unit));
+      cell = std::min(cell, grid_size_ - 1);
+      cell_prob[static_cast<size_t>(cell)] += dist.Pmf(z);
+    }
+    auto& sparse = consumption_[t];
+    for (int cell = 0; cell < grid_size_; ++cell) {
+      if (cell_prob[static_cast<size_t>(cell)] > 0) {
+        sparse.emplace_back(cell, cell_prob[static_cast<size_t>(cell)]);
+      }
+    }
+
+    // g_t(consumed_cells) = E_z[DetectionTerm(capacity, z)].
+    auto& g = g_[t];
+    g.assign(static_cast<size_t>(grid_size_), 0.0);
+    for (int s = 0; s < grid_size_; ++s) {
+      const double remaining = budget_ - s * unit;
+      const int budget_cap =
+          std::max(static_cast<int>(std::floor(remaining / cost)), 0);
+      const int capacity = std::min(budget_cap, per_type_cap);
+      double value = 0.0;
+      if (capacity > 0) {
+        for (int z = dist.min_value(); z <= dist.max_value(); ++z) {
+          value += dist.Pmf(z) * DetectionTerm(options_.semantics, capacity, z);
+        }
+        if (options_.semantics == Semantics::kRatioOfExpectations) {
+          value = std::min(value / mean_z_[static_cast<size_t>(t)], 1.0);
+        }
+      }
+      g[static_cast<size_t>(s)] = value;
+    }
+  }
+}
+
+void DetectionModel::PrepareMcTables() {
+  const int t_count = num_types();
+  const size_t n = samples_.size();
+  mc_consumption_.resize(n);
+  for (size_t i = 0; i < n; ++i) {
+    const int t = static_cast<int>(i % t_count);
+    mc_consumption_[i] =
+        options_.consumption == Consumption::kReserved
+            ? thresholds_[t]
+            : std::min(thresholds_[t], samples_[i] * audit_costs_[t]);
+  }
+}
+
+DetectionModel::Prefix DetectionModel::EmptyPrefix() const {
+  Prefix prefix;
+  if (options_.mode == Mode::kExact) {
+    prefix.data.assign(static_cast<size_t>(grid_size_), 0.0);
+    prefix.data[0] = 1.0;
+  } else {
+    prefix.data.assign(static_cast<size_t>(options_.mc_samples), 0.0);
+  }
+  return prefix;
+}
+
+double DetectionModel::PalGivenPrefix(const Prefix& prefix, int type) const {
+  if (options_.mode == Mode::kExact) {
+    const auto& g = g_[type];
+    double pal = 0.0;
+    for (int s = 0; s < grid_size_; ++s) {
+      const double p = prefix.data[static_cast<size_t>(s)];
+      if (p > 0) pal += p * g[static_cast<size_t>(s)];
+    }
+    return pal;
+  }
+  // Monte Carlo: average the detection term over samples.
+  const int t_count = num_types();
+  const double cost = audit_costs_[type];
+  const int per_type_cap =
+      static_cast<int>(std::floor(thresholds_[type] / cost));
+  double total = 0.0;
+  double z_total = 0.0;
+  for (int k = 0; k < options_.mc_samples; ++k) {
+    const double remaining = budget_ - prefix.data[static_cast<size_t>(k)];
+    const int budget_cap =
+        std::max(static_cast<int>(std::floor(remaining / cost)), 0);
+    const int capacity = std::min(budget_cap, per_type_cap);
+    const int z = samples_[static_cast<size_t>(k) * t_count + type];
+    total += DetectionTerm(options_.semantics, capacity, z);
+    z_total += z;
+  }
+  if (options_.semantics == Semantics::kRatioOfExpectations) {
+    return z_total > 0 ? std::min(total / z_total, 1.0) : 0.0;
+  }
+  return total / options_.mc_samples;
+}
+
+void DetectionModel::ExtendPrefix(Prefix& prefix, int type) const {
+  if (options_.mode == Mode::kExact) {
+    std::vector<double> next(static_cast<size_t>(grid_size_), 0.0);
+    const auto& cons = consumption_[type];
+    for (int s = 0; s < grid_size_; ++s) {
+      const double p = prefix.data[static_cast<size_t>(s)];
+      if (p <= 0) continue;
+      for (const auto& [cell, q] : cons) {
+        const int target = std::min(s + cell, grid_size_ - 1);
+        next[static_cast<size_t>(target)] += p * q;
+      }
+    }
+    prefix.data = std::move(next);
+    return;
+  }
+  const int t_count = num_types();
+  for (int k = 0; k < options_.mc_samples; ++k) {
+    prefix.data[static_cast<size_t>(k)] +=
+        mc_consumption_[static_cast<size_t>(k) * t_count + type];
+  }
+}
+
+util::StatusOr<std::vector<double>> DetectionModel::DetectionProbabilities(
+    const std::vector<int>& ordering) const {
+  const int t_count = num_types();
+  if (static_cast<int>(ordering.size()) != t_count) {
+    return util::InvalidArgumentError("ordering must contain every type");
+  }
+  std::vector<bool> seen(t_count, false);
+  for (int t : ordering) {
+    if (t < 0 || t >= t_count || seen[t]) {
+      return util::InvalidArgumentError("ordering is not a permutation");
+    }
+    seen[t] = true;
+  }
+  std::vector<double> pal(t_count, 0.0);
+  Prefix prefix = EmptyPrefix();
+  for (size_t i = 0; i < ordering.size(); ++i) {
+    const int t = ordering[i];
+    pal[t] = PalGivenPrefix(prefix, t);
+    if (i + 1 < ordering.size()) ExtendPrefix(prefix, t);
+  }
+  return pal;
+}
+
+}  // namespace auditgame::core

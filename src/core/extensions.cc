@@ -1,0 +1,129 @@
+#include "core/extensions.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace auditgame::core {
+namespace {
+
+// Expected utility of every victim of every group under the policy mixture.
+util::StatusOr<std::vector<std::vector<double>>> ExpectedUtilities(
+    const CompiledGame& game, DetectionModel& detection,
+    const AuditPolicy& policy) {
+  RETURN_IF_ERROR(policy.Validate(game.num_types));
+  RETURN_IF_ERROR(detection.SetThresholds(policy.thresholds));
+  std::vector<std::vector<double>> utilities(game.groups.size());
+  for (size_t g = 0; g < game.groups.size(); ++g) {
+    utilities[g].assign(game.groups[g].victims.size(), 0.0);
+  }
+  for (size_t o = 0; o < policy.orderings.size(); ++o) {
+    const double po = policy.probabilities[o];
+    if (po <= 0) continue;
+    ASSIGN_OR_RETURN(std::vector<double> pal,
+                     detection.DetectionProbabilities(policy.orderings[o]));
+    for (size_t g = 0; g < game.groups.size(); ++g) {
+      const auto& victims = game.groups[g].victims;
+      for (size_t v = 0; v < victims.size(); ++v) {
+        utilities[g][v] += po * AdversaryUtility(victims[v], pal);
+      }
+    }
+  }
+  return utilities;
+}
+
+// Mixed detection probability Pat for a victim under the policy mixture.
+double MixedPat(const VictimProfile& victim, const std::vector<double>& mixed_pal) {
+  double pat = 0.0;
+  for (size_t t = 0; t < victim.type_probs.size(); ++t) {
+    pat += victim.type_probs[t] * mixed_pal[t];
+  }
+  return pat;
+}
+
+}  // namespace
+
+util::StatusOr<QuantalResponseEvaluation> EvaluateQuantalResponse(
+    const CompiledGame& game, DetectionModel& detection,
+    const AuditPolicy& policy, double lambda) {
+  if (lambda < 0 || !std::isfinite(lambda)) {
+    return util::InvalidArgumentError("lambda must be finite and >= 0");
+  }
+  ASSIGN_OR_RETURN(std::vector<std::vector<double>> utilities,
+                   ExpectedUtilities(game, detection, policy));
+
+  QuantalResponseEvaluation eval;
+  eval.opt_out_probability.assign(game.groups.size(), 0.0);
+  for (size_t g = 0; g < game.groups.size(); ++g) {
+    const auto& group = game.groups[g];
+    // Softmax over victims (+ opt-out at utility 0 when available), with
+    // the max subtracted for numerical stability.
+    std::vector<double> options = utilities[g];
+    if (group.can_opt_out) options.push_back(0.0);
+    const double max_utility =
+        *std::max_element(options.begin(), options.end());
+    double normalizer = 0.0;
+    for (double u : options) normalizer += std::exp(lambda * (u - max_utility));
+    double group_loss = 0.0;
+    for (size_t v = 0; v < utilities[g].size(); ++v) {
+      const double p =
+          std::exp(lambda * (utilities[g][v] - max_utility)) / normalizer;
+      group_loss += p * utilities[g][v];
+    }
+    if (group.can_opt_out) {
+      eval.opt_out_probability[g] =
+          std::exp(lambda * (0.0 - max_utility)) / normalizer;
+    }
+    eval.auditor_loss += group.weight * group_loss;
+  }
+  return eval;
+}
+
+util::StatusOr<NonZeroSumEvaluation> EvaluateNonZeroSum(
+    const CompiledGame& game, DetectionModel& detection,
+    const AuditPolicy& policy) {
+  ASSIGN_OR_RETURN(std::vector<std::vector<double>> utilities,
+                   ExpectedUtilities(game, detection, policy));
+  ASSIGN_OR_RETURN(std::vector<double> mixed_pal,
+                   MixedDetectionProbabilities(detection, policy));
+
+  NonZeroSumEvaluation eval;
+  for (size_t g = 0; g < game.groups.size(); ++g) {
+    const auto& group = game.groups[g];
+    // Adversary best response w.r.t. its own utility.
+    double best_utility =
+        group.can_opt_out ? 0.0 : -std::numeric_limits<double>::infinity();
+    int best_victim = -1;
+    for (size_t v = 0; v < utilities[g].size(); ++v) {
+      if (utilities[g][v] > best_utility) {
+        best_utility = utilities[g][v];
+        best_victim = static_cast<int>(v);
+      }
+    }
+    eval.zero_sum_loss += group.weight * best_utility;
+    if (best_victim >= 0) {
+      const VictimProfile& victim =
+          group.victims[static_cast<size_t>(best_victim)];
+      const double pat = MixedPat(victim, mixed_pal);
+      eval.auditor_loss += group.weight * (1.0 - pat) * victim.benefit;
+    }
+  }
+  return eval;
+}
+
+GameInstance ScaleUtilities(const GameInstance& instance,
+                            double benefit_multiplier,
+                            double penalty_multiplier,
+                            double attack_cost_multiplier) {
+  GameInstance scaled = instance;
+  for (Adversary& adversary : scaled.adversaries) {
+    for (VictimProfile& victim : adversary.victims) {
+      victim.benefit *= benefit_multiplier;
+      victim.penalty *= penalty_multiplier;
+      victim.attack_cost *= attack_cost_multiplier;
+    }
+  }
+  return scaled;
+}
+
+}  // namespace auditgame::core

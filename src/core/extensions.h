@@ -1,0 +1,65 @@
+#ifndef AUDIT_GAME_CORE_EXTENSIONS_H_
+#define AUDIT_GAME_CORE_EXTENSIONS_H_
+
+#include <vector>
+
+#include "core/detection.h"
+#include "core/game.h"
+#include "core/policy.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::core {
+
+/// Extensions beyond the paper's evaluated model, implementing the three
+/// directions its Discussion section marks as future work: bounded
+/// rationality, non-zero-sum payoffs, and parameter sensitivity.
+
+/// ---- Bounded rationality: quantal-response adversaries ------------------
+///
+/// Instead of best-responding, each adversary picks victim v with
+/// probability proportional to exp(lambda * Ua(v)) (logit quantal
+/// response). lambda -> infinity recovers the rational best response;
+/// lambda = 0 is uniform. The opt-out option participates with utility 0.
+struct QuantalResponseEvaluation {
+  /// Expected auditor loss under the QR attack distribution.
+  double auditor_loss = 0.0;
+  /// Probability that each group refrains entirely (mass on opt-out).
+  std::vector<double> opt_out_probability;
+};
+util::StatusOr<QuantalResponseEvaluation> EvaluateQuantalResponse(
+    const CompiledGame& game, DetectionModel& detection,
+    const AuditPolicy& policy, double lambda);
+
+/// ---- Non-zero-sum auditor objective --------------------------------------
+///
+/// The paper assumes zero sum: the auditor's loss equals the adversary's
+/// utility, including the adversary's attack cost K and capture penalty M.
+/// In reality the auditor mostly cares about damage from SUCCESSFUL
+/// violations. This evaluation keeps the adversaries best-responding with
+/// respect to their own utility (Eq. 3) but scores the auditor by
+///   loss = sum_e p_e * (1 - Pat(v*)) * R(v*)
+/// for the chosen victim v* (0 when the adversary refrains).
+struct NonZeroSumEvaluation {
+  double auditor_loss = 0.0;
+  /// Zero-sum loss of the same policy, for comparison.
+  double zero_sum_loss = 0.0;
+};
+util::StatusOr<NonZeroSumEvaluation> EvaluateNonZeroSum(
+    const CompiledGame& game, DetectionModel& detection,
+    const AuditPolicy& policy);
+
+/// ---- Parameter sensitivity ------------------------------------------------
+///
+/// Returns a copy of `instance` with every victim's benefit, penalty and
+/// attack cost scaled by the given multipliers. Used to study how sensitive
+/// the comparative results are to the (ad hoc) utility parameters, a
+/// question the paper leaves open.
+GameInstance ScaleUtilities(const GameInstance& instance,
+                            double benefit_multiplier,
+                            double penalty_multiplier,
+                            double attack_cost_multiplier);
+
+}  // namespace auditgame::core
+
+#endif  // AUDIT_GAME_CORE_EXTENSIONS_H_

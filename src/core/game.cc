@@ -1,0 +1,137 @@
+#include "core/game.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstring>
+#include <map>
+#include <string>
+
+namespace auditgame::core {
+namespace {
+
+// Byte-exact serialization of a victim profile, used for deduplication.
+// Victims built from the same parameters are bitwise identical, which is
+// the only case we need to collapse.
+std::string VictimKey(const VictimProfile& v) {
+  std::string key;
+  key.reserve(sizeof(double) * (v.type_probs.size() + 3));
+  auto append = [&key](double d) {
+    char buf[sizeof(double)];
+    std::memcpy(buf, &d, sizeof(double));
+    key.append(buf, sizeof(double));
+  };
+  for (double p : v.type_probs) append(p);
+  append(v.benefit);
+  append(v.penalty);
+  append(v.attack_cost);
+  return key;
+}
+
+}  // namespace
+
+util::Status GameInstance::Validate() const {
+  const int t = num_types();
+  if (t == 0) return util::InvalidArgumentError("no alert types");
+  if (static_cast<int>(type_names.size()) != t) {
+    return util::InvalidArgumentError("type_names size mismatch");
+  }
+  if (static_cast<int>(alert_distributions.size()) != t) {
+    return util::InvalidArgumentError("alert_distributions size mismatch");
+  }
+  for (double c : audit_costs) {
+    if (!(c > 0) || !std::isfinite(c)) {
+      return util::InvalidArgumentError("audit costs must be positive");
+    }
+  }
+  if (adversaries.empty()) {
+    return util::InvalidArgumentError("no adversaries");
+  }
+  for (size_t e = 0; e < adversaries.size(); ++e) {
+    const Adversary& adv = adversaries[e];
+    if (adv.attack_probability < 0 || adv.attack_probability > 1) {
+      return util::InvalidArgumentError("p_e out of [0,1] for adversary " +
+                                        std::to_string(e));
+    }
+    if (adv.victims.empty() && !adv.can_opt_out) {
+      return util::InvalidArgumentError("adversary " + std::to_string(e) +
+                                        " has no victims and no opt-out");
+    }
+    for (const VictimProfile& v : adv.victims) {
+      if (static_cast<int>(v.type_probs.size()) != t) {
+        return util::InvalidArgumentError("victim type_probs size mismatch");
+      }
+      double total = 0.0;
+      for (double p : v.type_probs) {
+        if (p < 0 || p > 1 || !std::isfinite(p)) {
+          return util::InvalidArgumentError("victim type prob out of range");
+        }
+        total += p;
+      }
+      if (total > 1.0 + 1e-9) {
+        return util::InvalidArgumentError("victim type probs sum > 1");
+      }
+      if (v.penalty < 0) {
+        return util::InvalidArgumentError(
+            "penalty must be a non-negative magnitude");
+      }
+      if (!std::isfinite(v.benefit) || !std::isfinite(v.attack_cost)) {
+        return util::InvalidArgumentError("non-finite victim economics");
+      }
+    }
+  }
+  return util::OkStatus();
+}
+
+int CompiledGame::num_rows() const {
+  int rows = 0;
+  for (const auto& g : groups) rows += static_cast<int>(g.victims.size());
+  return rows;
+}
+
+util::StatusOr<CompiledGame> Compile(const GameInstance& instance) {
+  RETURN_IF_ERROR(instance.Validate());
+  CompiledGame compiled;
+  compiled.num_types = instance.num_types();
+
+  // Group signature -> group index.
+  std::map<std::string, int> group_index;
+  for (size_t e = 0; e < instance.adversaries.size(); ++e) {
+    const Adversary& adv = instance.adversaries[e];
+    if (adv.attack_probability == 0.0) continue;  // never attacks
+
+    // Canonical, deduplicated victim set.
+    std::map<std::string, const VictimProfile*> dedup;
+    for (const VictimProfile& v : adv.victims) dedup.emplace(VictimKey(v), &v);
+
+    std::string signature = adv.can_opt_out ? "O" : "A";
+    for (const auto& [key, victim] : dedup) signature += key;
+
+    auto [it, inserted] =
+        group_index.emplace(signature, static_cast<int>(compiled.groups.size()));
+    if (inserted) {
+      AdversaryGroup group;
+      group.can_opt_out = adv.can_opt_out;
+      for (const auto& [key, victim] : dedup) group.victims.push_back(*victim);
+      compiled.groups.push_back(std::move(group));
+    }
+    AdversaryGroup& group = compiled.groups[it->second];
+    group.weight += adv.attack_probability;
+    group.members.push_back(static_cast<int>(e));
+  }
+  if (compiled.groups.empty()) {
+    return util::InvalidArgumentError("all adversaries have p_e = 0");
+  }
+  return compiled;
+}
+
+double AdversaryUtility(const VictimProfile& victim,
+                        const std::vector<double>& pal) {
+  double pat = 0.0;
+  for (size_t t = 0; t < victim.type_probs.size(); ++t) {
+    pat += victim.type_probs[t] * pal[t];
+  }
+  return -pat * victim.penalty + (1.0 - pat) * victim.benefit -
+         victim.attack_cost;
+}
+
+}  // namespace auditgame::core

@@ -1,0 +1,91 @@
+#ifndef AUDIT_GAME_CORE_GAME_H_
+#define AUDIT_GAME_CORE_GAME_H_
+
+#include <string>
+#include <vector>
+
+#include "prob/count_distribution.h"
+#include "util/status.h"
+
+namespace auditgame::core {
+
+/// How attacking one particular victim looks to one adversary: the chance
+/// each alert type is raised, and the adversary's economics.
+///
+/// The adversary's expected utility under per-type audit probabilities
+/// Pal (Eq. 2 and 3 of the paper, with the penalty applied negatively; see
+/// DESIGN.md "Calibration notes"):
+///   Pat = sum_t type_probs[t] * Pal[t]
+///   Ua  = -Pat * penalty + (1 - Pat) * benefit - attack_cost.
+struct VictimProfile {
+  /// P^t_ev for each alert type; entries sum to at most 1, the remainder
+  /// being the probability that no alert is raised.
+  std::vector<double> type_probs;
+  /// R<e,v>: gain when the attack goes unaudited.
+  double benefit = 0.0;
+  /// M<e,v> >= 0: penalty magnitude when the attack is audited.
+  double penalty = 0.0;
+  /// K<e,v>: cost of mounting the attack, always paid.
+  double attack_cost = 0.0;
+};
+
+/// A potential adversary e: present with probability `attack_probability`
+/// (the paper's p_e) and free to pick any victim in `victims`, or to refrain
+/// entirely when `can_opt_out` (utility 0).
+struct Adversary {
+  double attack_probability = 1.0;
+  std::vector<VictimProfile> victims;
+  bool can_opt_out = false;
+};
+
+/// A complete instance of the alert-prioritization game (everything except
+/// the audit budget B, which the experiments sweep).
+struct GameInstance {
+  std::vector<std::string> type_names;
+  /// C_t: cost of auditing one alert of type t.
+  std::vector<double> audit_costs;
+  /// F_t: benign alert-count distribution per type.
+  std::vector<prob::CountDistribution> alert_distributions;
+  std::vector<Adversary> adversaries;
+
+  int num_types() const { return static_cast<int>(audit_costs.size()); }
+
+  /// Checks internal consistency (sizes, probability ranges, positivity).
+  util::Status Validate() const;
+};
+
+/// ---- Compiled form -------------------------------------------------------
+///
+/// The LP only sees each adversary through the *set* of utility rows their
+/// victims induce. Compiling (1) deduplicates identical victims within an
+/// adversary and (2) merges adversaries with identical victim sets into
+/// weighted groups. On the paper's Rea A instance this shrinks the LP from
+/// 2500 rows to a few dozen without changing its optimum.
+
+struct AdversaryGroup {
+  /// Sum of attack probabilities p_e over the merged adversaries.
+  double weight = 0.0;
+  bool can_opt_out = false;
+  std::vector<VictimProfile> victims;
+  /// Indices of the original adversaries merged into this group.
+  std::vector<int> members;
+};
+
+struct CompiledGame {
+  int num_types = 0;
+  std::vector<AdversaryGroup> groups;
+
+  /// Total number of (group, victim) utility rows.
+  int num_rows() const;
+};
+
+/// Compiles `instance`; requires Validate() to pass.
+util::StatusOr<CompiledGame> Compile(const GameInstance& instance);
+
+/// Ua for one victim under per-type detection probabilities `pal`.
+double AdversaryUtility(const VictimProfile& victim,
+                        const std::vector<double>& pal);
+
+}  // namespace auditgame::core
+
+#endif  // AUDIT_GAME_CORE_GAME_H_

@@ -1,0 +1,133 @@
+#include "core/game_lp.h"
+
+#include <string>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "util/combinatorics.h"
+
+namespace auditgame::core {
+
+util::StatusOr<RestrictedLpSolution> SolveRestrictedGameLp(
+    const CompiledGame& game, const DetectionModel& detection,
+    const std::vector<std::vector<int>>& orderings) {
+  if (orderings.empty()) {
+    return util::InvalidArgumentError("no candidate orderings");
+  }
+
+  RestrictedLpSolution result;
+  result.pal_per_ordering.reserve(orderings.size());
+  for (const auto& o : orderings) {
+    ASSIGN_OR_RETURN(std::vector<double> pal,
+                     detection.DetectionProbabilities(o));
+    result.pal_per_ordering.push_back(std::move(pal));
+  }
+
+  // Utility of every (ordering, group, victim) triple.
+  const size_t num_groups = game.groups.size();
+  // utilities[o][g][v]
+  std::vector<std::vector<std::vector<double>>> utilities(orderings.size());
+  for (size_t o = 0; o < orderings.size(); ++o) {
+    utilities[o].resize(num_groups);
+    for (size_t g = 0; g < num_groups; ++g) {
+      const auto& victims = game.groups[g].victims;
+      utilities[o][g].resize(victims.size());
+      for (size_t v = 0; v < victims.size(); ++v) {
+        utilities[o][g][v] =
+            AdversaryUtility(victims[v], result.pal_per_ordering[o]);
+      }
+    }
+  }
+
+  // Build the LP.
+  lp::LpModel model;
+  std::vector<int> po_vars;
+  po_vars.reserve(orderings.size());
+  for (size_t o = 0; o < orderings.size(); ++o) {
+    po_vars.push_back(
+        model.AddVariable(0.0, 0.0, lp::kInfinity, "p" + std::to_string(o)));
+  }
+  std::vector<int> u_vars;
+  u_vars.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    const double lb =
+        game.groups[g].can_opt_out ? 0.0 : -lp::kInfinity;
+    u_vars.push_back(model.AddVariable(game.groups[g].weight, lb,
+                                       lp::kInfinity,
+                                       "u" + std::to_string(g)));
+  }
+  // Victim rows: u_g - sum_o p_o Ua >= 0.
+  std::vector<std::vector<int>> victim_rows(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    const auto& victims = game.groups[g].victims;
+    victim_rows[g].resize(victims.size());
+    for (size_t v = 0; v < victims.size(); ++v) {
+      const int row = model.AddConstraint(
+          lp::Sense::kGreaterEqual, 0.0,
+          "g" + std::to_string(g) + "v" + std::to_string(v));
+      victim_rows[g][v] = row;
+      model.AddCoefficient(row, u_vars[g], 1.0);
+      for (size_t o = 0; o < orderings.size(); ++o) {
+        model.AddCoefficient(row, po_vars[o], -utilities[o][g][v]);
+      }
+    }
+  }
+  // Convexity row.
+  const int convexity_row = model.AddConstraint(lp::Sense::kEqual, 1.0, "conv");
+  for (int var : po_vars) model.AddCoefficient(convexity_row, var, 1.0);
+
+  ASSIGN_OR_RETURN(lp::LpSolution lp_solution,
+                   lp::SimplexSolver::Solve(model));
+  if (lp_solution.status != lp::SolveStatus::kOptimal) {
+    return util::InternalError(
+        std::string("game LP not optimal: ") +
+        lp::SolveStatusToString(lp_solution.status));
+  }
+
+  result.objective = lp_solution.objective;
+  result.ordering_probs.resize(orderings.size());
+  for (size_t o = 0; o < orderings.size(); ++o) {
+    result.ordering_probs[o] = std::max(0.0, lp_solution.primal[po_vars[o]]);
+  }
+  result.group_utilities.resize(num_groups);
+  result.victim_duals.resize(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    result.group_utilities[g] = lp_solution.primal[u_vars[g]];
+    result.victim_duals[g].resize(victim_rows[g].size());
+    for (size_t v = 0; v < victim_rows[g].size(); ++v) {
+      result.victim_duals[g][v] = lp_solution.dual[victim_rows[g][v]];
+    }
+  }
+  result.convexity_dual = lp_solution.dual[convexity_row];
+  return result;
+}
+
+util::StatusOr<FullLpResult> SolveFullGameLp(
+    const CompiledGame& game, DetectionModel& detection,
+    const std::vector<double>& thresholds) {
+  RETURN_IF_ERROR(detection.SetThresholds(thresholds));
+  const std::vector<std::vector<int>> orderings =
+      util::AllPermutations(game.num_types);
+  ASSIGN_OR_RETURN(RestrictedLpSolution solution,
+                   SolveRestrictedGameLp(game, detection, orderings));
+  FullLpResult result;
+  result.objective = solution.objective;
+  result.policy.thresholds = thresholds;
+  result.policy.budget = detection.budget();
+  // Keep only the support of the mixture.
+  for (size_t o = 0; o < orderings.size(); ++o) {
+    if (solution.ordering_probs[o] > 1e-9) {
+      result.policy.orderings.push_back(orderings[o]);
+      result.policy.probabilities.push_back(solution.ordering_probs[o]);
+    }
+  }
+  // Renormalize tiny numerical drift.
+  double total = 0.0;
+  for (double p : result.policy.probabilities) total += p;
+  if (total > 0) {
+    for (double& p : result.policy.probabilities) p /= total;
+  }
+  return result;
+}
+
+}  // namespace auditgame::core

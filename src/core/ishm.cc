@@ -1,0 +1,179 @@
+#include "core/ishm.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <map>
+#include <memory>
+#include <set>
+
+#include "core/game_lp.h"
+#include "util/combinatorics.h"
+
+namespace auditgame::core {
+namespace {
+
+// Effective thresholds: whole audits only. Keyed for memoization.
+std::vector<double> EffectiveThresholds(const std::vector<double>& raw,
+                                        const std::vector<double>& costs,
+                                        bool floor_enabled) {
+  std::vector<double> effective(raw.size());
+  for (size_t t = 0; t < raw.size(); ++t) {
+    effective[t] = floor_enabled
+                       ? std::floor(raw[t] / costs[t] + 1e-9) * costs[t]
+                       : raw[t];
+  }
+  return effective;
+}
+
+std::vector<int64_t> CacheKey(const std::vector<double>& effective) {
+  std::vector<int64_t> key(effective.size());
+  for (size_t t = 0; t < effective.size(); ++t) {
+    key[t] = static_cast<int64_t>(std::llround(effective[t] * 4096.0));
+  }
+  return key;
+}
+
+}  // namespace
+
+util::StatusOr<IshmResult> SolveIshm(const GameInstance& instance,
+                                     const ThresholdEvaluator& evaluator,
+                                     const IshmOptions& options) {
+  if (options.step_size <= 0.0 || options.step_size >= 1.0) {
+    return util::InvalidArgumentError("step_size must be in (0, 1)");
+  }
+  RETURN_IF_ERROR(instance.Validate());
+  const int t_count = instance.num_types();
+  const int num_ratios =
+      static_cast<int>(std::ceil(1.0 / options.step_size - 1e-12));
+
+  IshmResult result;
+  result.stats = IshmStats();
+
+  // Memoized evaluation of a raw threshold vector.
+  std::map<std::vector<int64_t>, ThresholdEvaluation> cache;
+  auto evaluate =
+      [&](const std::vector<double>& raw) -> util::StatusOr<ThresholdEvaluation> {
+    ++result.stats.evaluations;
+    const std::vector<double> effective =
+        EffectiveThresholds(raw, instance.audit_costs,
+                            options.floor_to_audit_cost);
+    const std::vector<int64_t> key = CacheKey(effective);
+    auto it = cache.find(key);
+    if (it != cache.end()) return it->second;
+    ++result.stats.distinct_evaluations;
+    ASSIGN_OR_RETURN(ThresholdEvaluation eval, evaluator(effective));
+    cache.emplace(key, eval);
+    return eval;
+  };
+
+  // Line 1: initialize with the full-coverage upper bounds.
+  std::vector<double> thresholds(t_count);
+  for (int t = 0; t < t_count; ++t) {
+    thresholds[t] =
+        instance.audit_costs[t] * instance.alert_distributions[t].max_value();
+  }
+
+  double best_objective = std::numeric_limits<double>::infinity();
+  ThresholdEvaluation best_eval;
+  bool have_best = false;
+
+  int lh = 1;
+  while (lh <= t_count) {
+    const std::vector<std::vector<int>> combos =
+        util::AllCombinations(t_count, lh);
+    int progress = 0;
+    bool improved = false;
+    for (int i = 1; i <= num_ratios; ++i) {
+      const double ratio = std::max(0.0, 1.0 - i * options.step_size);
+      double round_best = std::numeric_limits<double>::infinity();
+      int round_best_combo = -1;
+      ThresholdEvaluation round_best_eval;
+      for (size_t j = 0; j < combos.size(); ++j) {
+        std::vector<double> temp = thresholds;
+        for (int idx : combos[j]) temp[idx] *= ratio;
+        ASSIGN_OR_RETURN(ThresholdEvaluation eval, evaluate(temp));
+        if (eval.objective < round_best) {
+          round_best = eval.objective;
+          round_best_combo = static_cast<int>(j);
+          round_best_eval = eval;
+        }
+      }
+      if (round_best < best_objective - 1e-12) {
+        best_objective = round_best;
+        best_eval = round_best_eval;
+        have_best = true;
+        ++result.stats.improvements;
+        for (int idx : combos[static_cast<size_t>(round_best_combo)]) {
+          thresholds[idx] *= ratio;
+        }
+        improved = true;
+        break;  // restart the sweep from lh = 1
+      }
+      progress = i;
+    }
+    if (improved) {
+      lh = 1;
+    } else if (progress == num_ratios) {
+      ++lh;
+    } else {
+      // Unreachable with the loop structure above, but mirrors the paper's
+      // pseudocode defensively.
+      lh = 1;
+    }
+  }
+
+  if (!have_best) {
+    // Degenerate epsilon (ratio list empty); evaluate the initial vector.
+    ASSIGN_OR_RETURN(best_eval, evaluate(thresholds));
+    best_objective = best_eval.objective;
+  }
+
+  result.objective = best_objective;
+  result.thresholds = thresholds;
+  result.effective_thresholds = EffectiveThresholds(
+      thresholds, instance.audit_costs, options.floor_to_audit_cost);
+  result.policy = best_eval.policy;
+  return result;
+}
+
+ThresholdEvaluator MakeFullLpEvaluator(const CompiledGame& game,
+                                       DetectionModel& detection) {
+  return [&game, &detection](const std::vector<double>& thresholds)
+             -> util::StatusOr<ThresholdEvaluation> {
+    ASSIGN_OR_RETURN(FullLpResult full,
+                     SolveFullGameLp(game, detection, thresholds));
+    ThresholdEvaluation eval;
+    eval.objective = full.objective;
+    eval.policy = std::move(full.policy);
+    return eval;
+  };
+}
+
+ThresholdEvaluator MakeCggsEvaluator(const CompiledGame& game,
+                                     DetectionModel& detection,
+                                     CggsOptions options) {
+  // Shared warm-start pool across evaluations: the support of every solved
+  // LP is fed back as initial columns of the next solve.
+  auto pool = std::make_shared<std::set<std::vector<int>>>();
+  return [&game, &detection, options, pool](
+             const std::vector<double>& thresholds)
+             -> util::StatusOr<ThresholdEvaluation> {
+    CggsOptions local = options;
+    local.initial_orderings.insert(local.initial_orderings.end(),
+                                   pool->begin(), pool->end());
+    ASSIGN_OR_RETURN(CggsResult cggs,
+                     SolveCggs(game, detection, thresholds, local));
+    for (const auto& o : cggs.policy.orderings) pool->insert(o);
+    // Keep the pool bounded: beyond ~4x the type count the extra columns
+    // slow the master LP more than they help.
+    const size_t cap = static_cast<size_t>(4 * game.num_types + 8);
+    while (pool->size() > cap) pool->erase(pool->begin());
+    ThresholdEvaluation eval;
+    eval.objective = cggs.objective;
+    eval.policy = std::move(cggs.policy);
+    return eval;
+  };
+}
+
+}  // namespace auditgame::core

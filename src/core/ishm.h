@@ -1,0 +1,84 @@
+#ifndef AUDIT_GAME_CORE_ISHM_H_
+#define AUDIT_GAME_CORE_ISHM_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/game.h"
+#include "core/policy.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::core {
+
+/// What an ISHM threshold-vector probe returns.
+struct ThresholdEvaluation {
+  double objective = 0.0;
+  AuditPolicy policy;
+};
+
+/// Pluggable evaluator: given a threshold vector, produce the (approximate)
+/// optimal ordering mixture and its objective. Implementations below wrap
+/// the full LP (exact over all |T|! orderings) and CGGS.
+using ThresholdEvaluator =
+    std::function<util::StatusOr<ThresholdEvaluation>(const std::vector<double>&)>;
+
+/// Options for the Iterative Shrink Heuristic Method (Algorithm 2).
+struct IshmOptions {
+  /// The paper's step size epsilon in (0, 1); shrink ratios are
+  /// max(0, 1 - i*eps) for i = 1..ceil(1/eps).
+  double step_size = 0.1;
+  /// Evaluate thresholds floored to whole audits (b_t -> floor(b_t/C_t)*C_t).
+  /// Matches the integer thresholds reported in the paper's tables and
+  /// makes the search landscape finite.
+  bool floor_to_audit_cost = true;
+};
+
+/// Search-effort counters (Table VII reports `evaluations`).
+struct IshmStats {
+  /// Threshold vectors submitted for evaluation (paper's "number of
+  /// threshold vectors checked").
+  int64_t evaluations = 0;
+  /// Distinct effective vectors actually evaluated (cache misses).
+  int64_t distinct_evaluations = 0;
+  /// Accepted improvements.
+  int improvements = 0;
+};
+
+struct IshmResult {
+  double objective = 0.0;
+  /// Raw (un-floored) threshold trajectory endpoint.
+  std::vector<double> thresholds;
+  /// Effective thresholds actually evaluated (floored when enabled).
+  std::vector<double> effective_thresholds;
+  AuditPolicy policy;
+  IshmStats stats;
+};
+
+/// Runs ISHM: initialize every threshold at the full-coverage upper bound
+/// C_t * max(F_t support), then iteratively shrink subsets of thresholds
+/// (subset size lh = 1..|T|, ratio 1 - i*eps), accepting any strict
+/// improvement of the evaluator objective and restarting at lh = 1.
+/// Identical effective vectors are evaluated once (memoized).
+util::StatusOr<IshmResult> SolveIshm(const GameInstance& instance,
+                                     const ThresholdEvaluator& evaluator,
+                                     const IshmOptions& options = {});
+
+/// Evaluator running the exact LP over all |T|! orderings. Suitable for
+/// small |T| (controlled evaluation).
+ThresholdEvaluator MakeFullLpEvaluator(const CompiledGame& game,
+                                       DetectionModel& detection);
+
+/// Evaluator running CGGS. Keeps a shared pool of previously generated
+/// columns as warm starts across calls, which makes neighboring ISHM probes
+/// nearly free.
+ThresholdEvaluator MakeCggsEvaluator(const CompiledGame& game,
+                                     DetectionModel& detection,
+                                     CggsOptions options = {});
+
+}  // namespace auditgame::core
+
+#endif  // AUDIT_GAME_CORE_ISHM_H_

@@ -1,0 +1,105 @@
+#include "core/policy.h"
+
+#include <algorithm>
+#include <cmath>
+#include <string>
+
+namespace auditgame::core {
+
+util::Status AuditPolicy::Validate(int num_types) const {
+  if (orderings.size() != probabilities.size()) {
+    return util::InvalidArgumentError("orderings/probabilities size mismatch");
+  }
+  if (orderings.empty()) {
+    return util::InvalidArgumentError("policy has no orderings");
+  }
+  if (static_cast<int>(thresholds.size()) != num_types) {
+    return util::InvalidArgumentError("thresholds size != num types");
+  }
+  double total = 0.0;
+  for (double p : probabilities) {
+    if (p < -1e-9 || p > 1 + 1e-9) {
+      return util::InvalidArgumentError("ordering probability out of [0,1]");
+    }
+    total += p;
+  }
+  if (std::fabs(total - 1.0) > 1e-6) {
+    return util::InvalidArgumentError("ordering probabilities sum to " +
+                                      std::to_string(total));
+  }
+  for (const auto& o : orderings) {
+    if (static_cast<int>(o.size()) != num_types) {
+      return util::InvalidArgumentError("ordering size != num types");
+    }
+    std::vector<bool> seen(num_types, false);
+    for (int t : o) {
+      if (t < 0 || t >= num_types || seen[t]) {
+        return util::InvalidArgumentError("ordering is not a permutation");
+      }
+      seen[t] = true;
+    }
+  }
+  if (budget < 0) return util::InvalidArgumentError("negative budget");
+  return util::OkStatus();
+}
+
+util::StatusOr<PolicyEvaluation> EvaluatePolicy(const CompiledGame& game,
+                                                DetectionModel& detection,
+                                                const AuditPolicy& policy) {
+  RETURN_IF_ERROR(policy.Validate(game.num_types));
+  RETURN_IF_ERROR(detection.SetThresholds(policy.thresholds));
+
+  // Expected utility per (group, victim) accumulated over the mixture.
+  std::vector<std::vector<double>> expected_utility(game.groups.size());
+  for (size_t g = 0; g < game.groups.size(); ++g) {
+    expected_utility[g].assign(game.groups[g].victims.size(), 0.0);
+  }
+  for (size_t o = 0; o < policy.orderings.size(); ++o) {
+    const double po = policy.probabilities[o];
+    if (po <= 0) continue;
+    ASSIGN_OR_RETURN(std::vector<double> pal,
+                     detection.DetectionProbabilities(policy.orderings[o]));
+    for (size_t g = 0; g < game.groups.size(); ++g) {
+      const auto& victims = game.groups[g].victims;
+      for (size_t v = 0; v < victims.size(); ++v) {
+        expected_utility[g][v] += po * AdversaryUtility(victims[v], pal);
+      }
+    }
+  }
+
+  PolicyEvaluation eval;
+  eval.group_utilities.resize(game.groups.size());
+  eval.best_response_victim.assign(game.groups.size(), -1);
+  for (size_t g = 0; g < game.groups.size(); ++g) {
+    const AdversaryGroup& group = game.groups[g];
+    double best = group.can_opt_out ? 0.0 : -std::numeric_limits<double>::infinity();
+    int best_victim = -1;
+    for (size_t v = 0; v < group.victims.size(); ++v) {
+      if (expected_utility[g][v] > best) {
+        best = expected_utility[g][v];
+        best_victim = static_cast<int>(v);
+      }
+    }
+    eval.group_utilities[g] = best;
+    eval.best_response_victim[g] = best_victim;
+    eval.auditor_loss += group.weight * best;
+  }
+  return eval;
+}
+
+util::StatusOr<std::vector<double>> MixedDetectionProbabilities(
+    DetectionModel& detection, const AuditPolicy& policy) {
+  RETURN_IF_ERROR(policy.Validate(detection.num_types()));
+  RETURN_IF_ERROR(detection.SetThresholds(policy.thresholds));
+  std::vector<double> mixed(detection.num_types(), 0.0);
+  for (size_t o = 0; o < policy.orderings.size(); ++o) {
+    const double po = policy.probabilities[o];
+    if (po <= 0) continue;
+    ASSIGN_OR_RETURN(std::vector<double> pal,
+                     detection.DetectionProbabilities(policy.orderings[o]));
+    for (int t = 0; t < detection.num_types(); ++t) mixed[t] += po * pal[t];
+  }
+  return mixed;
+}
+
+}  // namespace auditgame::core

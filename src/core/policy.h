@@ -1,0 +1,51 @@
+#ifndef AUDIT_GAME_CORE_POLICY_H_
+#define AUDIT_GAME_CORE_POLICY_H_
+
+#include <vector>
+
+#include "core/detection.h"
+#include "core/game.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::core {
+
+/// The auditor's (possibly mixed) strategy: a distribution over alert-type
+/// orderings plus a deterministic threshold vector, under budget `budget`.
+struct AuditPolicy {
+  std::vector<std::vector<int>> orderings;
+  std::vector<double> probabilities;  // p_o, same length as orderings
+  std::vector<double> thresholds;     // b_t
+  double budget = 0.0;
+
+  /// Checks that probabilities form a distribution and orderings are
+  /// permutations of the same type set.
+  util::Status Validate(int num_types) const;
+};
+
+/// Result of evaluating a policy against best-responding adversaries.
+struct PolicyEvaluation {
+  /// The auditor's expected loss: sum_e p_e * max_v E_o[Ua] (clamped at 0
+  /// for adversaries who can opt out). This is the paper's objective
+  /// (Eq. 4).
+  double auditor_loss = 0.0;
+  /// Best-response utility per compiled group.
+  std::vector<double> group_utilities;
+  /// Index of the best-response victim per group (-1 = opt out).
+  std::vector<int> best_response_victim;
+};
+
+/// Evaluates `policy` on the compiled game. `detection` must be bound to the
+/// same instance and budget; its thresholds are set from the policy.
+util::StatusOr<PolicyEvaluation> EvaluatePolicy(const CompiledGame& game,
+                                                DetectionModel& detection,
+                                                const AuditPolicy& policy);
+
+/// Expected per-type detection probabilities under the policy mixture:
+/// sum_o p_o * Pal(o, b, t).
+util::StatusOr<std::vector<double>> MixedDetectionProbabilities(
+    DetectionModel& detection, const AuditPolicy& policy);
+
+}  // namespace auditgame::core
+
+#endif  // AUDIT_GAME_CORE_POLICY_H_

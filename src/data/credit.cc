@@ -1,0 +1,168 @@
+#include "data/credit.h"
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace auditgame::data {
+
+const char* const kCreditPurposes[kCreditNumPurposes] = {
+    "new car",  "used car", "furniture", "appliance",
+    "education", "business", "repairs",   "retraining",
+};
+
+const double kCreditAlertMeans[kCreditNumTypes] = {370.04, 82.42, 5.13, 28.21,
+                                                   8.31};
+const double kCreditAlertStds[kCreditNumTypes] = {15.81, 7.87, 2.08, 5.25,
+                                                  2.96};
+
+audit::RuleEngine BuildCreditRules() {
+  using audit::And;
+  using audit::Or;
+  using audit::StringAttrEquals;
+
+  audit::RuleEngine engine;
+  auto add = [&engine](std::string name, int type, audit::Predicate p) {
+    CHECK(engine.AddRule({std::move(name), type, 1.0, std::move(p)}).ok());
+  };
+  const audit::Predicate no_checking = StringAttrEquals("checking", "none");
+  const audit::Predicate checking_negative =
+      StringAttrEquals("checking", "negative");
+  const audit::Predicate checking_positive =
+      StringAttrEquals("checking", "positive");
+  const audit::Predicate unskilled = StringAttrEquals("skill", "unskilled");
+  const audit::Predicate critical = StringAttrEquals("history", "critical");
+
+  add("no_checking_any_purpose", 0, no_checking);
+  add("negative_newcar_or_education", 1,
+      And(checking_negative, Or(StringAttrEquals("purpose", "new car"),
+                                StringAttrEquals("purpose", "education"))));
+  add("positive_unskilled_education", 2,
+      And(checking_positive,
+          And(unskilled, StringAttrEquals("purpose", "education"))));
+  add("positive_unskilled_appliance", 3,
+      And(checking_positive,
+          And(unskilled, StringAttrEquals("purpose", "appliance"))));
+  add("positive_critical_business", 4,
+      And(checking_positive,
+          And(critical, StringAttrEquals("purpose", "business"))));
+  return engine;
+}
+
+audit::AccessEvent MakeCreditEvent(const CreditApplicant& applicant,
+                                   int purpose_index) {
+  audit::AccessEvent event;
+  event.subject_id = applicant.id;
+  event.object_id = kCreditPurposes[purpose_index];
+  switch (applicant.checking) {
+    case CheckingStatus::kNone:
+      event.string_attrs["checking"] = "none";
+      break;
+    case CheckingStatus::kNegative:
+      event.string_attrs["checking"] = "negative";
+      break;
+    case CheckingStatus::kPositive:
+      event.string_attrs["checking"] = "positive";
+      break;
+  }
+  event.string_attrs["skill"] = applicant.unskilled ? "unskilled" : "skilled";
+  event.string_attrs["history"] =
+      applicant.critical_account ? "critical" : "normal";
+  event.string_attrs["purpose"] = kCreditPurposes[purpose_index];
+  return event;
+}
+
+util::StatusOr<CreditWorld> GenerateCreditWorld(const CreditConfig& config) {
+  if (config.num_applicants <= 0) {
+    return util::InvalidArgumentError("num_applicants must be positive");
+  }
+  if (config.p_no_checking + config.p_checking_negative > 1.0) {
+    return util::InvalidArgumentError("checking-status probabilities sum > 1");
+  }
+  util::Rng rng(config.seed);
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    CreditWorld world;
+    world.rules = BuildCreditRules();
+    for (int a = 0; a < config.num_applicants; ++a) {
+      CreditApplicant applicant;
+      applicant.id = "app" + std::to_string(a);
+      const double u = rng.Uniform();
+      if (u < config.p_no_checking) {
+        applicant.checking = CheckingStatus::kNone;
+      } else if (u < config.p_no_checking + config.p_checking_negative) {
+        applicant.checking = CheckingStatus::kNegative;
+      } else {
+        applicant.checking = CheckingStatus::kPositive;
+      }
+      applicant.unskilled = rng.Uniform() < config.p_unskilled;
+      applicant.critical_account = rng.Uniform() < config.p_critical_account;
+      world.applicants.push_back(std::move(applicant));
+    }
+    world.pair_types.assign(static_cast<size_t>(config.num_applicants),
+                            std::vector<int>(kCreditNumPurposes, -1));
+    std::vector<bool> type_seen(kCreditNumTypes, false);
+    for (int a = 0; a < config.num_applicants; ++a) {
+      for (int p = 0; p < kCreditNumPurposes; ++p) {
+        const auto match = world.rules.Match(
+            MakeCreditEvent(world.applicants[static_cast<size_t>(a)], p));
+        if (match.has_value()) {
+          world.pair_types[static_cast<size_t>(a)][static_cast<size_t>(p)] =
+              match->first;
+          type_seen[static_cast<size_t>(match->first)] = true;
+        }
+      }
+    }
+    bool all_seen = true;
+    for (bool seen : type_seen) all_seen = all_seen && seen;
+    if (all_seen) return world;
+  }
+  return util::InternalError(
+      "could not realize all 5 credit alert types; adjust CreditConfig");
+}
+
+util::StatusOr<core::GameInstance> MakeCreditGame(const CreditConfig& config) {
+  if (config.type_benefits.size() != static_cast<size_t>(kCreditNumTypes)) {
+    return util::InvalidArgumentError("type_benefits must have 5 entries");
+  }
+  ASSIGN_OR_RETURN(CreditWorld world, GenerateCreditWorld(config));
+
+  core::GameInstance instance;
+  instance.type_names = {
+      "No checking account, any purpose",
+      "Checking < 0, new car / education",
+      "Checking > 0, unskilled, education",
+      "Checking > 0, unskilled, appliance",
+      "Checking > 0, critical account, business",
+  };
+  instance.audit_costs.assign(kCreditNumTypes, config.audit_cost);
+  for (int t = 0; t < kCreditNumTypes; ++t) {
+    ASSIGN_OR_RETURN(prob::CountDistribution dist,
+                     prob::CountDistribution::DiscretizedGaussianWithCoverage(
+                         kCreditAlertMeans[t], kCreditAlertStds[t], 0.995));
+    instance.alert_distributions.push_back(std::move(dist));
+  }
+  for (int a = 0; a < config.num_applicants; ++a) {
+    core::Adversary adversary;
+    adversary.attack_probability = config.attack_probability;
+    adversary.can_opt_out = config.can_opt_out;
+    for (int p = 0; p < kCreditNumPurposes; ++p) {
+      const int type =
+          world.pair_types[static_cast<size_t>(a)][static_cast<size_t>(p)];
+      core::VictimProfile victim;
+      victim.type_probs.assign(kCreditNumTypes, 0.0);
+      victim.attack_cost = config.attack_cost;
+      victim.penalty = config.penalty;
+      if (type >= 0) {
+        victim.type_probs[static_cast<size_t>(type)] = 1.0;
+        victim.benefit = config.type_benefits[static_cast<size_t>(type)];
+      } else {
+        victim.benefit = 0.0;
+      }
+      adversary.victims.push_back(std::move(victim));
+    }
+    instance.adversaries.push_back(std::move(adversary));
+  }
+  RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+}  // namespace auditgame::data

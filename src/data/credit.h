@@ -1,0 +1,89 @@
+#ifndef AUDIT_GAME_DATA_CREDIT_H_
+#define AUDIT_GAME_DATA_CREDIT_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/event.h"
+#include "audit/rules.h"
+#include "core/game.h"
+#include "util/statusor.h"
+
+namespace auditgame::data {
+
+/// Synthetic stand-in for the paper's Rea B dataset (UCI Statlog German
+/// credit applications; unavailable offline — see DESIGN.md). Applicant
+/// attributes are drawn to approximate the Statlog marginals (e.g. ~39% of
+/// applicants have no checking account), and the five alert types of Table
+/// IX are assigned by the rule engine over (applicant, purpose) events. The
+/// eight application purposes are the "victims" of the audit game.
+struct CreditConfig {
+  int num_applicants = 100;
+  uint64_t seed = 1000;
+
+  /// Attribute marginals (approximate Statlog frequencies).
+  double p_no_checking = 0.39;
+  double p_checking_negative = 0.27;  // remainder: positive balance
+  double p_unskilled = 0.22;
+  double p_critical_account = 0.29;
+
+  /// Utility parameters (paper defaults, Section V-A).
+  std::vector<double> type_benefits = {15, 15, 14, 20, 18};
+  double penalty = 20.0;
+  double attack_cost = 1.0;
+  double audit_cost = 1.0;
+  double attack_probability = 1.0;
+  bool can_opt_out = true;
+};
+
+/// Checking-account status of an applicant.
+enum class CheckingStatus { kNone, kNegative, kPositive };
+
+struct CreditApplicant {
+  std::string id;
+  CheckingStatus checking = CheckingStatus::kNone;
+  bool unskilled = false;
+  bool critical_account = false;
+};
+
+/// The eight application purposes (victims).
+inline constexpr int kCreditNumPurposes = 8;
+extern const char* const kCreditPurposes[kCreditNumPurposes];
+
+/// Number of alert types in the credit game (Table IX).
+inline constexpr int kCreditNumTypes = 5;
+
+/// Table IX per-type alert-count statistics.
+extern const double kCreditAlertMeans[kCreditNumTypes];
+extern const double kCreditAlertStds[kCreditNumTypes];
+
+/// Builds the Table IX rule set (0-based types):
+///  0: no checking account, any purpose
+///  1: checking < 0, purpose in {new car, education}
+///  2: checking > 0, unskilled, education
+///  3: checking > 0, unskilled, appliance
+///  4: checking > 0, critical account, business
+audit::RuleEngine BuildCreditRules();
+
+/// The application event for applicant `a` applying with purpose index `p`.
+audit::AccessEvent MakeCreditEvent(const CreditApplicant& applicant,
+                                   int purpose_index);
+
+struct CreditWorld {
+  std::vector<CreditApplicant> applicants;
+  audit::RuleEngine rules;
+  /// pair_types[a][p]: 0-based type or -1 (no alert).
+  std::vector<std::vector<int>> pair_types;
+};
+
+/// Generates a deterministic applicant pool; retries until every alert type
+/// occurs.
+util::StatusOr<CreditWorld> GenerateCreditWorld(const CreditConfig& config = {});
+
+/// Assembles the credit-fraud audit game.
+util::StatusOr<core::GameInstance> MakeCreditGame(const CreditConfig& config = {});
+
+}  // namespace auditgame::data
+
+#endif  // AUDIT_GAME_DATA_CREDIT_H_

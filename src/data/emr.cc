@@ -1,0 +1,275 @@
+#include "data/emr.h"
+
+#include <string>
+
+#include "util/logging.h"
+#include "util/random.h"
+
+namespace auditgame::data {
+
+const double kEmrAlertMeans[kEmrNumTypes] = {183.21, 32.18,  113.89, 15.43,
+                                             23.75,  20.07,  32.07};
+const double kEmrAlertStds[kEmrNumTypes] = {46.40, 23.14, 80.44, 14.61,
+                                            11.07, 11.49, 16.54};
+
+audit::RuleEngine BuildEmrRules(double neighbor_radius) {
+  using audit::And;
+  using audit::EuclideanWithin;
+  using audit::StringAttrsMatch;
+
+  audit::RuleEngine engine;
+  const audit::Predicate same_last_name =
+      StringAttrsMatch("employee_last_name", "patient_last_name");
+  const audit::Predicate same_department =
+      StringAttrsMatch("employee_department", "patient_department");
+  const audit::Predicate same_address =
+      StringAttrsMatch("employee_address", "patient_address");
+  const audit::Predicate neighbor =
+      EuclideanWithin("employee_x", "employee_y", "patient_x", "patient_y",
+                      neighbor_radius);
+
+  // Most specific combinations first: the engine assigns the FIRST matching
+  // rule, which realizes the paper's "redefine the set of alert types to
+  // also consider combinations" (Table VIII).
+  auto add = [&engine](std::string name, int type, audit::Predicate p) {
+    CHECK(engine.AddRule({std::move(name), type, 1.0, std::move(p)}).ok());
+  };
+  add("last_name+address+neighbor", 6,
+      And(same_last_name, And(same_address, neighbor)));
+  add("address+neighbor", 5, And(same_address, neighbor));
+  add("last_name+neighbor", 4, And(same_last_name, neighbor));
+  add("last_name+address", 3, And(same_last_name, same_address));
+  add("neighbor", 2, neighbor);
+  add("department_coworker", 1, same_department);
+  add("last_name", 0, same_last_name);
+  return engine;
+}
+
+audit::AccessEvent MakeEmrAccessEvent(const EmrPerson& employee,
+                                      const EmrPerson& patient) {
+  audit::AccessEvent event;
+  event.subject_id = employee.id;
+  event.object_id = patient.id;
+  event.string_attrs["employee_last_name"] = employee.last_name;
+  event.string_attrs["patient_last_name"] = patient.last_name;
+  event.string_attrs["employee_department"] = employee.department;
+  event.string_attrs["patient_department"] = patient.department;
+  event.string_attrs["employee_address"] = employee.address_id;
+  event.string_attrs["patient_address"] = patient.address_id;
+  event.numeric_attrs["employee_x"] = employee.x;
+  event.numeric_attrs["employee_y"] = employee.y;
+  event.numeric_attrs["patient_x"] = patient.x;
+  event.numeric_attrs["patient_y"] = patient.y;
+  return event;
+}
+
+namespace {
+
+EmrPerson GeneratePerson(const EmrConfig& config, const std::string& id,
+                         bool is_employee, util::Rng& rng) {
+  EmrPerson person;
+  person.id = id;
+  // Zipf-ish skew: small name indices are much more common, creating
+  // realistic last-name collisions.
+  std::vector<double> name_weights(static_cast<size_t>(config.last_name_pool));
+  for (size_t i = 0; i < name_weights.size(); ++i) {
+    name_weights[i] = 1.0 / static_cast<double>(i + 1);
+  }
+  person.last_name = "LN" + std::to_string(rng.Categorical(name_weights));
+  if (is_employee) {
+    person.department =
+        "D" + std::to_string(rng.UniformInt(
+                  static_cast<uint64_t>(config.department_pool)));
+  } else {
+    // Some patients are themselves hospital employees (the paper's dataset
+    // flags this); give ~25% of patients a department affiliation.
+    person.department =
+        rng.Uniform() < 0.25
+            ? "D" + std::to_string(rng.UniformInt(
+                        static_cast<uint64_t>(config.department_pool)))
+            : "none_" + id;
+  }
+  person.address_id = "A" + std::to_string(rng.UniformInt(
+                               static_cast<uint64_t>(config.address_pool)));
+  person.x = rng.Uniform(0.0, config.city_size);
+  person.y = rng.Uniform(0.0, config.city_size);
+  return person;
+}
+
+}  // namespace
+
+util::StatusOr<EmrWorld> GenerateEmrWorld(const EmrConfig& config) {
+  if (config.num_employees <= 0 || config.num_patients <= 0) {
+    return util::InvalidArgumentError("population sizes must be positive");
+  }
+  util::Rng rng(config.seed);
+  // Retry until every composite type occurs at least once (the paper
+  // samples employees/patients that generate alerts).
+  for (int attempt = 0; attempt < 64; ++attempt) {
+    EmrWorld world;
+    world.rules = BuildEmrRules(config.neighbor_radius);
+    for (int e = 0; e < config.num_employees; ++e) {
+      world.employees.push_back(
+          GeneratePerson(config, "emp" + std::to_string(e), true, rng));
+    }
+    for (int p = 0; p < config.num_patients; ++p) {
+      world.patients.push_back(
+          GeneratePerson(config, "pat" + std::to_string(p), false, rng));
+    }
+    // Couple a slice of the population: give some patients an employee's
+    // exact last name / address / location (spouses, housemates, coworkers
+    // who are patients), otherwise composite types are vanishingly rare.
+    for (int p = 0; p < config.num_patients; ++p) {
+      if (rng.Uniform() < 0.30) {
+        const EmrPerson& emp = world.employees[static_cast<size_t>(
+            rng.UniformInt(static_cast<uint64_t>(config.num_employees)))];
+        EmrPerson& pat = world.patients[static_cast<size_t>(p)];
+        const double relation = rng.Uniform();
+        if (relation < 0.45) {
+          // Family member living together.
+          pat.last_name = emp.last_name;
+          pat.address_id = emp.address_id;
+          pat.x = emp.x + rng.Uniform(-0.1, 0.1);
+          pat.y = emp.y + rng.Uniform(-0.1, 0.1);
+        } else if (relation < 0.70) {
+          // Relative across town: same name, different address.
+          pat.last_name = emp.last_name;
+        } else if (relation < 0.85) {
+          // Housemate: same address, different name.
+          pat.address_id = emp.address_id;
+          pat.x = emp.x + rng.Uniform(-0.1, 0.1);
+          pat.y = emp.y + rng.Uniform(-0.1, 0.1);
+        } else {
+          // Neighbor down the street.
+          pat.x = emp.x + rng.Uniform(-0.3, 0.3);
+          pat.y = emp.y + rng.Uniform(-0.3, 0.3);
+        }
+      }
+    }
+
+    world.pair_types.assign(static_cast<size_t>(config.num_employees),
+                            std::vector<int>(config.num_patients, -1));
+    std::vector<bool> type_seen(kEmrNumTypes, false);
+    for (int e = 0; e < config.num_employees; ++e) {
+      for (int p = 0; p < config.num_patients; ++p) {
+        const audit::AccessEvent event = MakeEmrAccessEvent(
+            world.employees[static_cast<size_t>(e)],
+            world.patients[static_cast<size_t>(p)]);
+        const auto match = world.rules.Match(event);
+        if (match.has_value()) {
+          world.pair_types[static_cast<size_t>(e)][static_cast<size_t>(p)] =
+              match->first;
+          type_seen[static_cast<size_t>(match->first)] = true;
+        }
+      }
+    }
+    bool all_seen = true;
+    for (bool seen : type_seen) all_seen = all_seen && seen;
+    if (all_seen) return world;
+  }
+  return util::InternalError(
+      "could not realize all 7 EMR alert types; adjust EmrConfig pools");
+}
+
+util::StatusOr<audit::AlertLog> SimulateAccessLog(
+    const EmrWorld& world, int days, double accesses_per_employee_per_day,
+    uint64_t seed) {
+  if (days <= 0) return util::InvalidArgumentError("days must be > 0");
+  if (accesses_per_employee_per_day <= 0) {
+    return util::InvalidArgumentError("access rate must be > 0");
+  }
+  if (world.employees.empty() || world.patients.empty()) {
+    return util::InvalidArgumentError("empty world");
+  }
+  util::Rng rng(seed);
+  audit::AlertLog log(kEmrNumTypes);
+  ASSIGN_OR_RETURN(prob::CountDistribution accesses_per_day,
+                   prob::CountDistribution::TruncatedPoisson(
+                       accesses_per_employee_per_day));
+  for (int day = 0; day < days; ++day) {
+    log.StartPeriod();
+    for (const EmrPerson& employee : world.employees) {
+      const int accesses = accesses_per_day.Sample(rng);
+      for (int a = 0; a < accesses; ++a) {
+        const EmrPerson& patient = world.patients[static_cast<size_t>(
+            rng.UniformInt(static_cast<uint64_t>(world.patients.size())))];
+        const auto type =
+            world.rules.Trigger(MakeEmrAccessEvent(employee, patient), rng);
+        if (type.has_value()) RETURN_IF_ERROR(log.Record(*type));
+      }
+    }
+  }
+  return log;
+}
+
+util::StatusOr<core::GameInstance> MakeEmrGameFromLogs(
+    const EmrConfig& config, int days, double accesses_per_employee_per_day) {
+  ASSIGN_OR_RETURN(core::GameInstance instance, MakeEmrGame(config));
+  ASSIGN_OR_RETURN(EmrWorld world, GenerateEmrWorld(config));
+  ASSIGN_OR_RETURN(audit::AlertLog log,
+                   SimulateAccessLog(world, days,
+                                     accesses_per_employee_per_day,
+                                     config.seed + 99));
+  for (int t = 0; t < kEmrNumTypes; ++t) {
+    auto learned = log.LearnGaussianFit(t);
+    if (!learned.ok()) {
+      // Sparse types may have (near-)constant counts; fall back to the
+      // empirical distribution.
+      ASSIGN_OR_RETURN(learned, log.LearnDistribution(t));
+    }
+    instance.alert_distributions[static_cast<size_t>(t)] =
+        std::move(learned).value();
+  }
+  RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+util::StatusOr<core::GameInstance> MakeEmrGame(const EmrConfig& config) {
+  if (config.type_benefits.size() != static_cast<size_t>(kEmrNumTypes)) {
+    return util::InvalidArgumentError("type_benefits must have 7 entries");
+  }
+  ASSIGN_OR_RETURN(EmrWorld world, GenerateEmrWorld(config));
+
+  core::GameInstance instance;
+  instance.type_names = {
+      "Same Last Name",
+      "Department Co-worker",
+      "Neighbor (<=0.5mi)",
+      "Last Name; Same Address",
+      "Last Name; Neighbor",
+      "Same Address; Neighbor",
+      "Last Name; Same Address; Neighbor",
+  };
+  instance.audit_costs.assign(kEmrNumTypes, config.audit_cost);
+  for (int t = 0; t < kEmrNumTypes; ++t) {
+    ASSIGN_OR_RETURN(prob::CountDistribution dist,
+                     prob::CountDistribution::DiscretizedGaussianWithCoverage(
+                         kEmrAlertMeans[t], kEmrAlertStds[t], 0.995));
+    instance.alert_distributions.push_back(std::move(dist));
+  }
+  for (int e = 0; e < config.num_employees; ++e) {
+    core::Adversary adversary;
+    adversary.attack_probability = config.attack_probability;
+    adversary.can_opt_out = config.can_opt_out;
+    for (int p = 0; p < config.num_patients; ++p) {
+      const int type =
+          world.pair_types[static_cast<size_t>(e)][static_cast<size_t>(p)];
+      core::VictimProfile victim;
+      victim.type_probs.assign(kEmrNumTypes, 0.0);
+      victim.attack_cost = config.attack_cost;
+      victim.penalty = config.penalty;
+      if (type >= 0) {
+        victim.type_probs[static_cast<size_t>(type)] = 1.0;
+        victim.benefit = config.type_benefits[static_cast<size_t>(type)];
+      } else {
+        victim.benefit = 0.0;
+      }
+      adversary.victims.push_back(std::move(victim));
+    }
+    instance.adversaries.push_back(std::move(adversary));
+  }
+  RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+}  // namespace auditgame::data

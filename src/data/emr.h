@@ -1,0 +1,113 @@
+#ifndef AUDIT_GAME_DATA_EMR_H_
+#define AUDIT_GAME_DATA_EMR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "audit/event.h"
+#include "audit/log.h"
+#include "audit/rules.h"
+#include "core/game.h"
+#include "util/statusor.h"
+
+namespace auditgame::data {
+
+/// Synthetic stand-in for the paper's Rea A dataset (VUMC EMR access logs,
+/// which are not publicly available — see DESIGN.md "substitutions").
+///
+/// We generate a hospital population (employees and patients with last
+/// names, departments, residential addresses and coordinates), classify
+/// every employee-patient access with the same seven composite alert types
+/// as Table VIII via the rule engine, and attach the paper's published
+/// per-type alert-volume statistics (Table VIII means/stds) and utility
+/// parameters (Section V-A).
+struct EmrConfig {
+  int num_employees = 50;
+  int num_patients = 50;
+  uint64_t seed = 2017;
+
+  /// Population-shaping knobs.
+  int last_name_pool = 18;
+  int department_pool = 8;
+  int address_pool = 30;
+  /// City side length; the "neighbor" rule radius is 0.5 (miles).
+  double city_size = 3.0;
+  double neighbor_radius = 0.5;
+
+  /// Utility parameters (paper defaults).
+  std::vector<double> type_benefits = {10, 12, 12, 24, 25, 25, 27};
+  double penalty = 15.0;
+  double attack_cost = 1.0;
+  double audit_cost = 1.0;
+  double attack_probability = 1.0;
+  bool can_opt_out = true;
+};
+
+/// One member of the synthetic hospital population.
+struct EmrPerson {
+  std::string id;
+  std::string last_name;
+  std::string department;  // empty for non-employee patients
+  std::string address_id;
+  double x = 0.0;
+  double y = 0.0;
+};
+
+/// The generated world: population, rules and the labeled access matrix.
+struct EmrWorld {
+  std::vector<EmrPerson> employees;
+  std::vector<EmrPerson> patients;
+  audit::RuleEngine rules;
+  /// pair_types[e][p]: 0-based alert type of access <e, p>, or -1 (benign).
+  std::vector<std::vector<int>> pair_types;
+};
+
+/// Builds the Table VIII rule set (composite types first so the
+/// first-match-wins engine resolves combinations correctly). Types are
+/// 0-based: 0 = same last name, 1 = department co-worker, 2 = neighbor,
+/// 3 = last name + same address, 4 = last name + neighbor,
+/// 5 = same address + neighbor, 6 = last name + same address + neighbor.
+audit::RuleEngine BuildEmrRules(double neighbor_radius = 0.5);
+
+/// The access event for employee `e` touching patient `p`'s record, with
+/// all attributes the rules predicate on.
+audit::AccessEvent MakeEmrAccessEvent(const EmrPerson& employee,
+                                      const EmrPerson& patient);
+
+/// Generates a deterministic world from the config seed. Retries internally
+/// until every one of the seven alert types occurs in the access matrix
+/// (mirrors the paper sampling employees/patients that generate alerts).
+util::StatusOr<EmrWorld> GenerateEmrWorld(const EmrConfig& config = {});
+
+/// Number of alert types in the EMR game.
+inline constexpr int kEmrNumTypes = 7;
+
+/// Table VIII per-type daily alert-count statistics.
+extern const double kEmrAlertMeans[kEmrNumTypes];
+extern const double kEmrAlertStds[kEmrNumTypes];
+
+/// Assembles the full game instance (world + Table VIII distributions +
+/// Section V-A utilities).
+util::StatusOr<core::GameInstance> MakeEmrGame(const EmrConfig& config = {});
+
+/// Simulates `days` of benign EMR accesses: every day each employee touches
+/// a random subset of patients (`accesses_per_employee_per_day` on
+/// average), each access is classified by the rule engine, and per-type
+/// alert counts are recorded. Returns the resulting alert log — the
+/// artifact a privacy office would learn F_t from (AlertLog::
+/// LearnGaussianFit / LearnDistribution).
+util::StatusOr<audit::AlertLog> SimulateAccessLog(
+    const EmrWorld& world, int days, double accesses_per_employee_per_day,
+    uint64_t seed);
+
+/// Builds a game instance whose alert-count distributions are LEARNED from
+/// a simulated access log instead of taken from Table VIII. Demonstrates
+/// the paper's "this distribution can be obtained from historical alert
+/// logs" pipeline end to end.
+util::StatusOr<core::GameInstance> MakeEmrGameFromLogs(
+    const EmrConfig& config, int days, double accesses_per_employee_per_day);
+
+}  // namespace auditgame::data
+
+#endif  // AUDIT_GAME_DATA_EMR_H_

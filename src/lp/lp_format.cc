@@ -1,0 +1,108 @@
+#include "lp/lp_format.h"
+
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+namespace auditgame::lp {
+namespace {
+
+std::string FormatCoefficient(double value) {
+  char buf[48];
+  std::snprintf(buf, sizeof(buf), "%.12g", value);
+  return buf;
+}
+
+// LP-format identifiers cannot contain spaces or several symbols; sanitize
+// defensively (names in this codebase are already plain).
+std::string Sanitize(const std::string& name) {
+  std::string result;
+  for (char c : name) {
+    const bool ok = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') ||
+                    (c >= '0' && c <= '9') || c == '_' || c == '.';
+    result += ok ? c : '_';
+  }
+  if (result.empty()) result = "v";
+  return result;
+}
+
+void WriteLinearExpr(std::ostream& os, const LpModel& model,
+                     const std::vector<int>& vars,
+                     const std::vector<double>& coeffs) {
+  bool first = true;
+  for (size_t k = 0; k < vars.size(); ++k) {
+    const double c = coeffs[k];
+    if (c == 0.0) continue;
+    if (first) {
+      if (c < 0) os << "- ";
+      first = false;
+    } else {
+      os << (c < 0 ? " - " : " + ");
+    }
+    os << FormatCoefficient(std::fabs(c)) << " "
+       << Sanitize(model.variable_name(vars[k]));
+  }
+  if (first) os << "0 " << Sanitize(model.variable_name(0));
+}
+
+}  // namespace
+
+std::string WriteLpFormat(const LpModel& model) {
+  std::ostringstream os;
+  os << "\\ written by auditgame lp::WriteLpFormat\n";
+  os << "Minimize\n obj: ";
+  {
+    std::vector<int> vars;
+    std::vector<double> coeffs;
+    for (int j = 0; j < model.num_variables(); ++j) {
+      if (model.cost(j) != 0.0) {
+        vars.push_back(j);
+        coeffs.push_back(model.cost(j));
+      }
+    }
+    if (vars.empty() && model.num_variables() > 0) {
+      os << "0 " << Sanitize(model.variable_name(0));
+    } else {
+      WriteLinearExpr(os, model, vars, coeffs);
+    }
+  }
+  os << "\nSubject To\n";
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    os << " " << Sanitize(model.constraint_name(i)) << ": ";
+    WriteLinearExpr(os, model, model.row_vars(i), model.row_coeffs(i));
+    switch (model.sense(i)) {
+      case Sense::kLessEqual:
+        os << " <= ";
+        break;
+      case Sense::kGreaterEqual:
+        os << " >= ";
+        break;
+      case Sense::kEqual:
+        os << " = ";
+        break;
+    }
+    os << FormatCoefficient(model.rhs(i)) << "\n";
+  }
+  os << "Bounds\n";
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double lb = model.lower_bound(j);
+    const double ub = model.upper_bound(j);
+    const std::string name = Sanitize(model.variable_name(j));
+    if (lb == -kInfinity && ub == kInfinity) {
+      os << " " << name << " free\n";
+    } else if (lb == 0.0 && ub == kInfinity) {
+      // Default bound; omit.
+    } else if (ub == kInfinity) {
+      os << " " << name << " >= " << FormatCoefficient(lb) << "\n";
+    } else if (lb == -kInfinity) {
+      os << " " << name << " <= " << FormatCoefficient(ub) << "\n";
+    } else {
+      os << " " << FormatCoefficient(lb) << " <= " << name
+         << " <= " << FormatCoefficient(ub) << "\n";
+    }
+  }
+  os << "End\n";
+  return os.str();
+}
+
+}  // namespace auditgame::lp

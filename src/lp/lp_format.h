@@ -1,0 +1,26 @@
+#ifndef AUDIT_GAME_LP_LP_FORMAT_H_
+#define AUDIT_GAME_LP_LP_FORMAT_H_
+
+#include <string>
+
+#include "lp/model.h"
+
+namespace auditgame::lp {
+
+/// Renders a model in the CPLEX LP text format, so any external solver
+/// (glpsol, lp_solve, CPLEX, Gurobi) can be used to cross-check the
+/// built-in simplex on a concrete instance:
+///
+///   \ written by auditgame
+///   Minimize
+///    obj: 1 x0 + 2 x1
+///   Subject To
+///    c0: 1 x0 + 1 x1 >= 1
+///   Bounds
+///    x0 free
+///   End
+std::string WriteLpFormat(const LpModel& model);
+
+}  // namespace auditgame::lp
+
+#endif  // AUDIT_GAME_LP_LP_FORMAT_H_

@@ -1,0 +1,85 @@
+#ifndef AUDIT_GAME_LP_SIMPLEX_H_
+#define AUDIT_GAME_LP_SIMPLEX_H_
+
+#include <vector>
+
+#include "lp/model.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::lp {
+
+/// Termination status of a solve.
+enum class SolveStatus {
+  kOptimal,
+  kInfeasible,
+  kUnbounded,
+  kIterationLimit,
+};
+
+const char* SolveStatusToString(SolveStatus status);
+
+/// Result of solving an LpModel.
+struct LpSolution {
+  SolveStatus status = SolveStatus::kIterationLimit;
+
+  /// c'x* + objective constant (meaningful when status == kOptimal).
+  double objective = 0.0;
+
+  /// Optimal primal values, one per model variable.
+  std::vector<double> primal;
+
+  /// Dual values (shadow prices), one per model constraint, oriented for
+  /// the original row: dual[i] = d(objective)/d(rhs[i]). For a minimization
+  /// problem, duals of >= rows are >= 0 and duals of <= rows are <= 0 at
+  /// optimality.
+  std::vector<double> dual;
+
+  /// Reduced costs in the original variable space:
+  ///   rc[j] = c[j] - sum_i dual[i] * a[i][j].
+  /// For a non-basic variable at its lower bound rc[j] >= 0 (minimization).
+  std::vector<double> reduced_cost;
+
+  /// Simplex iterations used in each phase.
+  int phase1_iterations = 0;
+  int phase2_iterations = 0;
+};
+
+/// Dense two-phase primal simplex.
+///
+/// Design notes:
+///  * The model is converted to computational standard form
+///    (min c'x, Ax = b, x >= 0) by shifting/splitting variables and adding
+///    slack/surplus and artificial columns.
+///  * Pricing is Dantzig (most negative reduced cost) with an automatic,
+///    permanent switch to Bland's rule when the objective stalls, which
+///    guarantees termination.
+///  * Duals are recovered as y = c_B * B^{-1}, where B^{-1} is read off the
+///    final tableau at the positions of the initial identity basis.
+///
+/// This is exact (up to floating point) and comfortably fast for the game
+/// LPs in this project (hundreds of rows, hundreds of columns). It is not
+/// intended for large sparse industrial LPs.
+class SimplexSolver {
+ public:
+  struct Options {
+    /// Hard cap on total pivots across both phases.
+    int max_iterations = 200000;
+    /// Pivot magnitude tolerance.
+    double pivot_tolerance = 1e-9;
+    /// Feasibility / optimality tolerance on reduced costs and residuals.
+    double tolerance = 1e-8;
+  };
+
+  /// Solves `model`. Returns an error status only for malformed models;
+  /// infeasible/unbounded outcomes are reported in LpSolution::status.
+  static util::StatusOr<LpSolution> Solve(const LpModel& model,
+                                          const Options& options);
+  static util::StatusOr<LpSolution> Solve(const LpModel& model) {
+    return Solve(model, Options());
+  }
+};
+
+}  // namespace auditgame::lp
+
+#endif  // AUDIT_GAME_LP_SIMPLEX_H_

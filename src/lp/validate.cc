@@ -1,0 +1,113 @@
+#include "lp/validate.h"
+
+#include <cmath>
+#include <string>
+
+namespace auditgame::lp {
+
+util::Status CheckPrimalFeasibility(const LpModel& model,
+                                    const LpSolution& solution,
+                                    const ValidationOptions& options) {
+  if (solution.status != SolveStatus::kOptimal) {
+    return util::FailedPreconditionError("solution is not optimal");
+  }
+  if (static_cast<int>(solution.primal.size()) != model.num_variables()) {
+    return util::InternalError("primal size mismatch");
+  }
+  const double tol = options.feasibility_tolerance;
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double x = solution.primal[j];
+    if (x < model.lower_bound(j) - tol || x > model.upper_bound(j) + tol) {
+      return util::InternalError("variable " + model.variable_name(j) +
+                                 " out of bounds: " + std::to_string(x));
+    }
+  }
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const double activity = model.RowActivity(i, solution.primal);
+    const double rhs = model.rhs(i);
+    bool ok = true;
+    switch (model.sense(i)) {
+      case Sense::kLessEqual:
+        ok = activity <= rhs + tol;
+        break;
+      case Sense::kGreaterEqual:
+        ok = activity >= rhs - tol;
+        break;
+      case Sense::kEqual:
+        ok = std::fabs(activity - rhs) <= tol;
+        break;
+    }
+    if (!ok) {
+      return util::InternalError("constraint " + model.constraint_name(i) +
+                                 " violated: activity=" +
+                                 std::to_string(activity) +
+                                 " rhs=" + std::to_string(rhs));
+    }
+  }
+  return util::OkStatus();
+}
+
+util::Status CheckOptimality(const LpModel& model, const LpSolution& solution,
+                             const ValidationOptions& options) {
+  RETURN_IF_ERROR(CheckPrimalFeasibility(model, solution, options));
+  const double tol = options.duality_gap_tolerance;
+
+  // Dual sign conventions for minimization.
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const double y = solution.dual[i];
+    if (model.sense(i) == Sense::kLessEqual && y > tol) {
+      return util::InternalError("<= row " + model.constraint_name(i) +
+                                 " has positive dual " + std::to_string(y));
+    }
+    if (model.sense(i) == Sense::kGreaterEqual && y < -tol) {
+      return util::InternalError(">= row " + model.constraint_name(i) +
+                                 " has negative dual " + std::to_string(y));
+    }
+  }
+
+  // Lagrangian / strong-duality check:
+  //   objective = y'b + sum_j rc_j * x_j^{bound}
+  // where for each variable the reduced cost multiplier must be consistent
+  // with the bound the variable rests at (rc >= 0 at lower, rc <= 0 at
+  // upper, rc ~ 0 strictly between).
+  double dual_obj = model.objective_constant();
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    dual_obj += solution.dual[i] * model.rhs(i);
+  }
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double rc = solution.reduced_cost[j];
+    const double x = solution.primal[j];
+    const double lb = model.lower_bound(j);
+    const double ub = model.upper_bound(j);
+    const bool at_lower = std::isfinite(lb) && x <= lb + 1e-6;
+    const bool at_upper = std::isfinite(ub) && x >= ub - 1e-6;
+    if (!at_lower && !at_upper && std::fabs(rc) > 1e-5) {
+      return util::InternalError("interior variable " +
+                                 model.variable_name(j) +
+                                 " has nonzero reduced cost " +
+                                 std::to_string(rc));
+    }
+    if (at_lower && !at_upper && rc < -1e-5) {
+      return util::InternalError("variable " + model.variable_name(j) +
+                                 " at lower bound has negative reduced cost");
+    }
+    if (at_upper && !at_lower && rc > 1e-5) {
+      return util::InternalError("variable " + model.variable_name(j) +
+                                 " at upper bound has positive reduced cost");
+    }
+    if (at_lower) {
+      dual_obj += rc * lb;
+    } else if (at_upper) {
+      dual_obj += rc * ub;
+    }
+  }
+  if (std::fabs(dual_obj - solution.objective) >
+      tol * (1.0 + std::fabs(solution.objective))) {
+    return util::InternalError(
+        "duality gap: primal=" + std::to_string(solution.objective) +
+        " dual=" + std::to_string(dual_obj));
+  }
+  return util::OkStatus();
+}
+
+}  // namespace auditgame::lp

@@ -1,0 +1,89 @@
+#include "util/combinatorics.h"
+
+#include <algorithm>
+#include <numeric>
+
+namespace auditgame::util {
+
+uint64_t Factorial(int n) {
+  uint64_t result = 1;
+  for (int i = 2; i <= n; ++i) result *= static_cast<uint64_t>(i);
+  return result;
+}
+
+uint64_t Binomial(int n, int k) {
+  if (k < 0 || k > n) return 0;
+  k = std::min(k, n - k);
+  uint64_t result = 1;
+  for (int i = 1; i <= k; ++i) {
+    result = result * static_cast<uint64_t>(n - k + i) / static_cast<uint64_t>(i);
+  }
+  return result;
+}
+
+std::vector<std::vector<int>> AllPermutations(int n) {
+  std::vector<std::vector<int>> result;
+  result.reserve(Factorial(n));
+  ForEachPermutation(n, [&result](const std::vector<int>& perm) {
+    result.push_back(perm);
+    return true;
+  });
+  return result;
+}
+
+void ForEachPermutation(int n,
+                        const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> perm(n);
+  std::iota(perm.begin(), perm.end(), 0);
+  do {
+    if (!fn(perm)) return;
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+std::vector<std::vector<int>> AllCombinations(int n, int k) {
+  std::vector<std::vector<int>> result;
+  result.reserve(Binomial(n, k));
+  ForEachCombination(n, k, [&result](const std::vector<int>& combo) {
+    result.push_back(combo);
+    return true;
+  });
+  return result;
+}
+
+void ForEachCombination(int n, int k,
+                        const std::function<bool(const std::vector<int>&)>& fn) {
+  if (k < 0 || k > n) return;
+  std::vector<int> combo(k);
+  std::iota(combo.begin(), combo.end(), 0);
+  for (;;) {
+    if (!fn(combo)) return;
+    // Advance to the next combination in lexicographic order.
+    int i = k - 1;
+    while (i >= 0 && combo[i] == n - k + i) --i;
+    if (i < 0) return;
+    ++combo[i];
+    for (int j = i + 1; j < k; ++j) combo[j] = combo[j - 1] + 1;
+  }
+}
+
+void ForEachIntegerVector(const std::vector<int>& dims,
+                          const std::function<bool(const std::vector<int>&)>& fn) {
+  std::vector<int> v(dims.size(), 0);
+  for (;;) {
+    if (!fn(v)) return;
+    // Odometer increment: last coordinate varies fastest.
+    size_t i = dims.size();
+    while (i > 0) {
+      --i;
+      if (v[i] < dims[i]) {
+        ++v[i];
+        break;
+      }
+      v[i] = 0;
+      if (i == 0) return;
+    }
+    if (dims.empty()) return;
+  }
+}
+
+}  // namespace auditgame::util

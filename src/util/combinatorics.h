@@ -1,0 +1,44 @@
+#ifndef AUDIT_GAME_UTIL_COMBINATORICS_H_
+#define AUDIT_GAME_UTIL_COMBINATORICS_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+namespace auditgame::util {
+
+/// Returns n! as a 64-bit integer. Requires 0 <= n <= 20 (21! overflows).
+uint64_t Factorial(int n);
+
+/// Returns the binomial coefficient C(n, k). Requires 0 <= k <= n and a
+/// result that fits in 64 bits.
+uint64_t Binomial(int n, int k);
+
+/// Returns all permutations of {0, 1, ..., n-1} in lexicographic order.
+/// Intended for small n (the controlled evaluation uses n = 4, i.e. 24
+/// permutations); callers enumerating larger spaces should use
+/// ForEachPermutation to avoid materializing the whole set.
+std::vector<std::vector<int>> AllPermutations(int n);
+
+/// Calls `fn` once for each permutation of {0..n-1} in lexicographic order.
+/// Stops early if `fn` returns false.
+void ForEachPermutation(int n, const std::function<bool(const std::vector<int>&)>& fn);
+
+/// Returns all k-element subsets of {0..n-1} in lexicographic order, each
+/// subset sorted ascending. Matches MATLAB's choose(|T|, lh) enumeration
+/// used by ISHM (Algorithm 2, line 4).
+std::vector<std::vector<int>> AllCombinations(int n, int k);
+
+/// Calls `fn` once per k-subset in lexicographic order; stops early if `fn`
+/// returns false.
+void ForEachCombination(int n, int k, const std::function<bool(const std::vector<int>&)>& fn);
+
+/// Enumerates integer vectors v of length `dims.size()` with
+/// 0 <= v[i] <= dims[i], in odometer (row-major) order. Used by the
+/// brute-force OAP solver to sweep threshold vectors. Stops early if `fn`
+/// returns false.
+void ForEachIntegerVector(const std::vector<int>& dims, const std::function<bool(const std::vector<int>&)>& fn);
+
+}  // namespace auditgame::util
+
+#endif  // AUDIT_GAME_UTIL_COMBINATORICS_H_

@@ -1,0 +1,44 @@
+#ifndef AUDIT_GAME_UTIL_CSV_H_
+#define AUDIT_GAME_UTIL_CSV_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace auditgame::util {
+
+/// Minimal CSV emitter used by the benchmark harnesses to print the rows of
+/// each reproduced table/figure in machine-readable form. Fields containing
+/// commas, quotes or newlines are quoted per RFC 4180.
+class CsvWriter {
+ public:
+  /// Writes to `out`; the stream must outlive the writer.
+  explicit CsvWriter(std::ostream& out) : out_(out) {}
+
+  CsvWriter(const CsvWriter&) = delete;
+  CsvWriter& operator=(const CsvWriter&) = delete;
+
+  /// Writes one row. Numeric convenience overloads format with enough
+  /// precision to round-trip doubles.
+  void WriteRow(const std::vector<std::string>& fields);
+
+  /// Escapes a single field per RFC 4180.
+  static std::string Escape(const std::string& field);
+
+  /// Formats a double compactly (up to 10 significant digits, trailing
+  /// zeros trimmed).
+  static std::string FormatDouble(double value);
+
+ private:
+  std::ostream& out_;
+};
+
+/// Splits one CSV line into fields (handles RFC 4180 quoting; does not
+/// handle embedded newlines). Used by tests and example data loaders.
+std::vector<std::string> SplitCsvLine(const std::string& line);
+
+}  // namespace auditgame::util
+
+#endif  // AUDIT_GAME_UTIL_CSV_H_

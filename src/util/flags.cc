@@ -1,0 +1,111 @@
+#include "util/flags.h"
+
+#include <cstdlib>
+#include <sstream>
+
+namespace auditgame::util {
+namespace {
+
+std::vector<std::string> SplitComma(const std::string& s) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : s) {
+    if (c == ',') {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  if (!current.empty()) parts.push_back(current);
+  return parts;
+}
+
+}  // namespace
+
+FlagParser& FlagParser::Define(const std::string& name,
+                               const std::string& default_value,
+                               const std::string& help) {
+  flags_[name] = Flag{default_value, default_value, help};
+  return *this;
+}
+
+Status FlagParser::Parse(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string token = argv[i];
+    if (token == "--help" || token == "-h") {
+      help_requested_ = true;
+      continue;
+    }
+    if (token.rfind("--", 0) != 0) {
+      return InvalidArgumentError("unexpected positional argument: " + token);
+    }
+    token = token.substr(2);
+    std::string name, value;
+    const size_t eq = token.find('=');
+    if (eq != std::string::npos) {
+      name = token.substr(0, eq);
+      value = token.substr(eq + 1);
+    } else {
+      name = token;
+      auto it = flags_.find(name);
+      if (it == flags_.end()) return InvalidArgumentError("unknown flag: --" + name);
+      // Boolean form `--name`, or `--name value`.
+      if (i + 1 < argc && argv[i + 1][0] != '-') {
+        value = argv[++i];
+      } else {
+        value = "true";
+      }
+    }
+    auto it = flags_.find(name);
+    if (it == flags_.end()) return InvalidArgumentError("unknown flag: --" + name);
+    it->second.value = value;
+  }
+  return OkStatus();
+}
+
+std::string FlagParser::HelpString(const std::string& program) const {
+  std::ostringstream os;
+  os << "Usage: " << program << " [flags]\n";
+  for (const auto& [name, flag] : flags_) {
+    os << "  --" << name << " (default: " << flag.default_value << ")\n"
+       << "      " << flag.help << "\n";
+  }
+  return os.str();
+}
+
+std::string FlagParser::GetString(const std::string& name) const {
+  auto it = flags_.find(name);
+  return it == flags_.end() ? std::string() : it->second.value;
+}
+
+int FlagParser::GetInt(const std::string& name) const {
+  return static_cast<int>(std::strtol(GetString(name).c_str(), nullptr, 10));
+}
+
+double FlagParser::GetDouble(const std::string& name) const {
+  return std::strtod(GetString(name).c_str(), nullptr);
+}
+
+bool FlagParser::GetBool(const std::string& name) const {
+  const std::string v = GetString(name);
+  return v == "true" || v == "1" || v == "yes";
+}
+
+std::vector<double> FlagParser::GetDoubleList(const std::string& name) const {
+  std::vector<double> result;
+  for (const std::string& part : SplitComma(GetString(name))) {
+    result.push_back(std::strtod(part.c_str(), nullptr));
+  }
+  return result;
+}
+
+std::vector<int> FlagParser::GetIntList(const std::string& name) const {
+  std::vector<int> result;
+  for (const std::string& part : SplitComma(GetString(name))) {
+    result.push_back(static_cast<int>(std::strtol(part.c_str(), nullptr, 10)));
+  }
+  return result;
+}
+
+}  // namespace auditgame::util

@@ -1,0 +1,56 @@
+#ifndef AUDIT_GAME_UTIL_FLAGS_H_
+#define AUDIT_GAME_UTIL_FLAGS_H_
+
+#include <map>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace auditgame::util {
+
+/// Tiny command-line flag parser for the benchmark harnesses and examples.
+/// Supports `--name=value`, `--name value` and boolean `--name` forms.
+/// Unknown flags are an error so typos in sweep parameters are caught.
+class FlagParser {
+ public:
+  /// Declares a flag with a default value and help text. Returns *this for
+  /// chaining.
+  FlagParser& Define(const std::string& name, const std::string& default_value,
+                     const std::string& help);
+
+  /// Parses argv. On failure returns InvalidArgument with the offending
+  /// token. `--help` is always accepted; after parsing, call help_requested().
+  Status Parse(int argc, char** argv);
+
+  /// True if `--help` was seen.
+  bool help_requested() const { return help_requested_; }
+
+  /// Renders the help text for all defined flags.
+  std::string HelpString(const std::string& program) const;
+
+  /// Typed accessors; the flag must have been defined.
+  std::string GetString(const std::string& name) const;
+  int GetInt(const std::string& name) const;
+  double GetDouble(const std::string& name) const;
+  bool GetBool(const std::string& name) const;
+
+  /// Parses a comma-separated list of doubles (e.g. "--eps=0.1,0.2,0.3").
+  std::vector<double> GetDoubleList(const std::string& name) const;
+
+  /// Parses a comma-separated list of ints.
+  std::vector<int> GetIntList(const std::string& name) const;
+
+ private:
+  struct Flag {
+    std::string value;
+    std::string default_value;
+    std::string help;
+  };
+  std::map<std::string, Flag> flags_;
+  bool help_requested_ = false;
+};
+
+}  // namespace auditgame::util
+
+#endif  // AUDIT_GAME_UTIL_FLAGS_H_

@@ -1,0 +1,348 @@
+#include "util/json.h"
+
+#include <cctype>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+
+namespace auditgame::util {
+namespace {
+
+class Parser {
+ public:
+  explicit Parser(const std::string& text) : text_(text) {}
+
+  StatusOr<JsonValue> Parse() {
+    SkipWhitespace();
+    ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+    SkipWhitespace();
+    if (pos_ != text_.size()) {
+      return Error("trailing characters after JSON value");
+    }
+    return value;
+  }
+
+ private:
+  Status Error(const std::string& message) const {
+    return InvalidArgumentError("JSON parse error at offset " +
+                                std::to_string(pos_) + ": " + message);
+  }
+
+  void SkipWhitespace() {
+    while (pos_ < text_.size() &&
+           (text_[pos_] == ' ' || text_[pos_] == '\t' || text_[pos_] == '\n' ||
+            text_[pos_] == '\r')) {
+      ++pos_;
+    }
+  }
+
+  bool Consume(char c) {
+    if (pos_ < text_.size() && text_[pos_] == c) {
+      ++pos_;
+      return true;
+    }
+    return false;
+  }
+
+  StatusOr<JsonValue> ParseValue() {
+    if (pos_ >= text_.size()) return Error("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return ParseObject();
+      case '[':
+        return ParseArray();
+      case '"': {
+        ASSIGN_OR_RETURN(std::string s, ParseString());
+        return JsonValue(std::move(s));
+      }
+      case 't':
+        if (text_.compare(pos_, 4, "true") == 0) {
+          pos_ += 4;
+          return JsonValue(true);
+        }
+        return Error("invalid literal");
+      case 'f':
+        if (text_.compare(pos_, 5, "false") == 0) {
+          pos_ += 5;
+          return JsonValue(false);
+        }
+        return Error("invalid literal");
+      case 'n':
+        if (text_.compare(pos_, 4, "null") == 0) {
+          pos_ += 4;
+          return JsonValue();
+        }
+        return Error("invalid literal");
+      default:
+        return ParseNumber();
+    }
+  }
+
+  StatusOr<JsonValue> ParseNumber() {
+    const size_t start = pos_;
+    if (Consume('-')) {
+    }
+    while (pos_ < text_.size() &&
+           (std::isdigit(static_cast<unsigned char>(text_[pos_])) ||
+            text_[pos_] == '.' || text_[pos_] == 'e' || text_[pos_] == 'E' ||
+            text_[pos_] == '+' || text_[pos_] == '-')) {
+      ++pos_;
+    }
+    if (pos_ == start) return Error("expected a value");
+    const std::string token = text_.substr(start, pos_ - start);
+    char* end = nullptr;
+    const double value = std::strtod(token.c_str(), &end);
+    if (end != token.c_str() + token.size() || !std::isfinite(value)) {
+      return Error("malformed number '" + token + "'");
+    }
+    return JsonValue(value);
+  }
+
+  StatusOr<std::string> ParseString() {
+    if (!Consume('"')) return Error("expected '\"'");
+    std::string result;
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return result;
+      if (c == '\\') {
+        if (pos_ >= text_.size()) break;
+        const char escape = text_[pos_++];
+        switch (escape) {
+          case '"':
+            result += '"';
+            break;
+          case '\\':
+            result += '\\';
+            break;
+          case '/':
+            result += '/';
+            break;
+          case 'b':
+            result += '\b';
+            break;
+          case 'f':
+            result += '\f';
+            break;
+          case 'n':
+            result += '\n';
+            break;
+          case 'r':
+            result += '\r';
+            break;
+          case 't':
+            result += '\t';
+            break;
+          case 'u': {
+            // Basic \uXXXX support: decode to UTF-8 (no surrogate pairs).
+            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+            const std::string hex = text_.substr(pos_, 4);
+            pos_ += 4;
+            char* end = nullptr;
+            const long code = std::strtol(hex.c_str(), &end, 16);
+            if (end != hex.c_str() + 4) return Error("bad \\u escape");
+            if (code < 0x80) {
+              result += static_cast<char>(code);
+            } else if (code < 0x800) {
+              result += static_cast<char>(0xC0 | (code >> 6));
+              result += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              result += static_cast<char>(0xE0 | (code >> 12));
+              result += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              result += static_cast<char>(0x80 | (code & 0x3F));
+            }
+            break;
+          }
+          default:
+            return Error("unknown escape");
+        }
+      } else {
+        result += c;
+      }
+    }
+    return Error("unterminated string");
+  }
+
+  StatusOr<JsonValue> ParseArray() {
+    if (!Consume('[')) return Error("expected '['");
+    JsonValue::Array array;
+    SkipWhitespace();
+    if (Consume(']')) return JsonValue(std::move(array));
+    for (;;) {
+      SkipWhitespace();
+      ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      array.push_back(std::move(value));
+      SkipWhitespace();
+      if (Consume(']')) return JsonValue(std::move(array));
+      if (!Consume(',')) return Error("expected ',' or ']'");
+    }
+  }
+
+  StatusOr<JsonValue> ParseObject() {
+    if (!Consume('{')) return Error("expected '{'");
+    JsonValue::Object object;
+    SkipWhitespace();
+    if (Consume('}')) return JsonValue(std::move(object));
+    for (;;) {
+      SkipWhitespace();
+      ASSIGN_OR_RETURN(std::string key, ParseString());
+      SkipWhitespace();
+      if (!Consume(':')) return Error("expected ':'");
+      SkipWhitespace();
+      ASSIGN_OR_RETURN(JsonValue value, ParseValue());
+      object.emplace(std::move(key), std::move(value));
+      SkipWhitespace();
+      if (Consume('}')) return JsonValue(std::move(object));
+      if (!Consume(',')) return Error("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  size_t pos_ = 0;
+};
+
+void AppendEscaped(std::string& out, const std::string& s) {
+  out += '"';
+  for (char c : s) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  out += '"';
+}
+
+void AppendNumber(std::string& out, double value) {
+  if (value == std::floor(value) && std::fabs(value) < 1e15) {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.0f", value);
+    out += buf;
+  } else {
+    char buf[32];
+    std::snprintf(buf, sizeof(buf), "%.17g", value);
+    out += buf;
+  }
+}
+
+}  // namespace
+
+util::StatusOr<double> JsonValue::GetNumber(const std::string& key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) return NotFoundError("missing key '" + key + "'");
+  if (!value->is_number()) {
+    return InvalidArgumentError("key '" + key + "' is not a number");
+  }
+  return value->as_number();
+}
+
+util::StatusOr<std::string> JsonValue::GetString(const std::string& key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) return NotFoundError("missing key '" + key + "'");
+  if (!value->is_string()) {
+    return InvalidArgumentError("key '" + key + "' is not a string");
+  }
+  return value->as_string();
+}
+
+util::StatusOr<bool> JsonValue::GetBool(const std::string& key) const {
+  const JsonValue* value = Find(key);
+  if (value == nullptr) return NotFoundError("missing key '" + key + "'");
+  if (!value->is_bool()) {
+    return InvalidArgumentError("key '" + key + "' is not a bool");
+  }
+  return value->as_bool();
+}
+
+const JsonValue* JsonValue::Find(const std::string& key) const {
+  if (!is_object()) return nullptr;
+  auto it = object_.find(key);
+  return it == object_.end() ? nullptr : &it->second;
+}
+
+std::string JsonValue::Dump(int indent) const {
+  std::string out;
+  DumpTo(out, indent, 0);
+  return out;
+}
+
+void JsonValue::DumpTo(std::string& out, int indent, int depth) const {
+  const std::string newline = indent > 0 ? "\n" : "";
+  const std::string pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent * (depth + 1)), ' ')
+                 : "";
+  const std::string closing_pad =
+      indent > 0 ? std::string(static_cast<size_t>(indent * depth), ' ') : "";
+  switch (type_) {
+    case Type::kNull:
+      out += "null";
+      break;
+    case Type::kBool:
+      out += bool_ ? "true" : "false";
+      break;
+    case Type::kNumber:
+      AppendNumber(out, number_);
+      break;
+    case Type::kString:
+      AppendEscaped(out, string_);
+      break;
+    case Type::kArray: {
+      if (array_.empty()) {
+        out += "[]";
+        break;
+      }
+      out += '[';
+      for (size_t i = 0; i < array_.size(); ++i) {
+        if (i > 0) out += ',';
+        out += newline + pad;
+        array_[i].DumpTo(out, indent, depth + 1);
+      }
+      out += newline + closing_pad + ']';
+      break;
+    }
+    case Type::kObject: {
+      if (object_.empty()) {
+        out += "{}";
+        break;
+      }
+      out += '{';
+      bool first = true;
+      for (const auto& [key, value] : object_) {
+        if (!first) out += ',';
+        first = false;
+        out += newline + pad;
+        AppendEscaped(out, key);
+        out += indent > 0 ? ": " : ":";
+        value.DumpTo(out, indent, depth + 1);
+      }
+      out += newline + closing_pad + '}';
+      break;
+    }
+  }
+}
+
+util::StatusOr<JsonValue> JsonValue::Parse(const std::string& text) {
+  return Parser(text).Parse();
+}
+
+}  // namespace auditgame::util

@@ -1,0 +1,84 @@
+#ifndef AUDIT_GAME_UTIL_JSON_H_
+#define AUDIT_GAME_UTIL_JSON_H_
+
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::util {
+
+/// A minimal JSON document model (null / bool / number / string / array /
+/// object) with a strict parser and a writer. Used to serialize game
+/// instances and audit policies so downstream tools can configure the
+/// solver without recompiling (see core/game_io.h and the solve_policy
+/// tool).
+///
+/// Numbers are held as doubles; integers round-trip exactly up to 2^53.
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  using Array = std::vector<JsonValue>;
+  using Object = std::map<std::string, JsonValue>;
+
+  JsonValue() : type_(Type::kNull) {}
+  JsonValue(bool value) : type_(Type::kBool), bool_(value) {}          // NOLINT
+  JsonValue(double value) : type_(Type::kNumber), number_(value) {}    // NOLINT
+  JsonValue(int value) : JsonValue(static_cast<double>(value)) {}      // NOLINT
+  JsonValue(const char* value) : JsonValue(std::string(value)) {}      // NOLINT
+  JsonValue(std::string value)                                         // NOLINT
+      : type_(Type::kString), string_(std::move(value)) {}
+  JsonValue(Array value)                                               // NOLINT
+      : type_(Type::kArray), array_(std::move(value)) {}
+  JsonValue(Object value)                                              // NOLINT
+      : type_(Type::kObject), object_(std::move(value)) {}
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+  bool is_bool() const { return type_ == Type::kBool; }
+  bool is_number() const { return type_ == Type::kNumber; }
+  bool is_string() const { return type_ == Type::kString; }
+  bool is_array() const { return type_ == Type::kArray; }
+  bool is_object() const { return type_ == Type::kObject; }
+
+  /// Typed accessors; calling the wrong one is a programming error checked
+  /// by CHECK in debug flows — prefer the Get* helpers for untrusted data.
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const Array& as_array() const { return array_; }
+  Array& as_array() { return array_; }
+  const Object& as_object() const { return object_; }
+  Object& as_object() { return object_; }
+
+  /// Safe object-field access with type checking.
+  util::StatusOr<double> GetNumber(const std::string& key) const;
+  util::StatusOr<std::string> GetString(const std::string& key) const;
+  util::StatusOr<bool> GetBool(const std::string& key) const;
+  const JsonValue* Find(const std::string& key) const;
+
+  /// Serializes to a compact JSON string; `indent` > 0 pretty-prints.
+  std::string Dump(int indent = 0) const;
+
+  /// Strict parser (no comments, no trailing commas). Returns an error
+  /// with position information on malformed input.
+  static util::StatusOr<JsonValue> Parse(const std::string& text);
+
+ private:
+  void DumpTo(std::string& out, int indent, int depth) const;
+
+  Type type_;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  Array array_;
+  Object object_;
+};
+
+}  // namespace auditgame::util
+
+#endif  // AUDIT_GAME_UTIL_JSON_H_

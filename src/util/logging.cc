@@ -1,0 +1,45 @@
+#include "util/logging.h"
+
+#include <cstdlib>
+
+namespace auditgame::util {
+namespace {
+
+LogSeverity g_min_severity = LogSeverity::kInfo;
+
+const char* SeverityName(LogSeverity s) {
+  switch (s) {
+    case LogSeverity::kDebug:
+      return "D";
+    case LogSeverity::kInfo:
+      return "I";
+    case LogSeverity::kWarning:
+      return "W";
+    case LogSeverity::kError:
+      return "E";
+    case LogSeverity::kFatal:
+      return "F";
+  }
+  return "?";
+}
+
+}  // namespace
+
+void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
+
+LogSeverity MinLogSeverity() { return g_min_severity; }
+
+LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
+    : severity_(severity) {
+  stream_ << "[" << SeverityName(severity) << " " << file << ":" << line
+          << "] ";
+}
+
+LogMessage::~LogMessage() {
+  if (severity_ >= g_min_severity || severity_ == LogSeverity::kFatal) {
+    std::cerr << stream_.str() << std::endl;
+  }
+  if (severity_ == LogSeverity::kFatal) std::abort();
+}
+
+}  // namespace auditgame::util

@@ -1,0 +1,72 @@
+#ifndef AUDIT_GAME_UTIL_LOGGING_H_
+#define AUDIT_GAME_UTIL_LOGGING_H_
+
+#include <iostream>
+#include <sstream>
+#include <string>
+
+namespace auditgame::util {
+
+/// Log severities, ordered. FATAL aborts after logging.
+enum class LogSeverity { kDebug = 0, kInfo = 1, kWarning = 2, kError = 3, kFatal = 4 };
+
+/// Sets the global minimum severity that is actually emitted (default INFO).
+void SetMinLogSeverity(LogSeverity severity);
+
+/// Returns the current global minimum severity.
+LogSeverity MinLogSeverity();
+
+/// Internal: stream-style message collector; emits on destruction.
+class LogMessage {
+ public:
+  LogMessage(LogSeverity severity, const char* file, int line);
+  ~LogMessage();
+
+  LogMessage(const LogMessage&) = delete;
+  LogMessage& operator=(const LogMessage&) = delete;
+
+  std::ostringstream& stream() { return stream_; }
+
+ private:
+  LogSeverity severity_;
+  std::ostringstream stream_;
+};
+
+}  // namespace auditgame::util
+
+/// Stream-style logging macros:  LOG(INFO) << "message";
+#define LOG(severity) LOG_##severity
+#define LOG_DEBUG                                                        \
+  ::auditgame::util::LogMessage(::auditgame::util::LogSeverity::kDebug, \
+                                __FILE__, __LINE__)                      \
+      .stream()
+#define LOG_INFO                                                        \
+  ::auditgame::util::LogMessage(::auditgame::util::LogSeverity::kInfo, \
+                                __FILE__, __LINE__)                     \
+      .stream()
+#define LOG_WARNING                                                        \
+  ::auditgame::util::LogMessage(::auditgame::util::LogSeverity::kWarning, \
+                                __FILE__, __LINE__)                        \
+      .stream()
+#define LOG_ERROR                                                        \
+  ::auditgame::util::LogMessage(::auditgame::util::LogSeverity::kError, \
+                                __FILE__, __LINE__)                      \
+      .stream()
+#define LOG_FATAL                                                        \
+  ::auditgame::util::LogMessage(::auditgame::util::LogSeverity::kFatal, \
+                                __FILE__, __LINE__)                      \
+      .stream()
+
+/// CHECK(cond) aborts with a message when `cond` is false; active in all
+/// build modes (these guard library invariants, not user errors).
+#define CHECK(cond)                                          \
+  if (!(cond)) LOG(FATAL) << "Check failed: " #cond " "
+
+#define CHECK_GE(a, b) CHECK((a) >= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_GT(a, b) CHECK((a) > (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LE(a, b) CHECK((a) <= (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_LT(a, b) CHECK((a) < (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_EQ(a, b) CHECK((a) == (b)) << "(" << (a) << " vs " << (b) << ") "
+#define CHECK_NE(a, b) CHECK((a) != (b)) << "(" << (a) << " vs " << (b) << ") "
+
+#endif  // AUDIT_GAME_UTIL_LOGGING_H_

@@ -1,0 +1,84 @@
+#ifndef AUDIT_GAME_UTIL_STATUS_H_
+#define AUDIT_GAME_UTIL_STATUS_H_
+
+#include <ostream>
+#include <string>
+#include <utility>
+
+namespace auditgame::util {
+
+/// Canonical error codes, modeled after absl::StatusCode. Library code in
+/// this project does not throw exceptions; fallible operations return a
+/// Status (or StatusOr<T> for value-producing operations).
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument = 1,
+  kNotFound = 2,
+  kOutOfRange = 3,
+  kFailedPrecondition = 4,
+  kInternal = 5,
+  kUnimplemented = 6,
+  kResourceExhausted = 7,
+};
+
+/// Returns a stable human-readable name for a status code ("OK",
+/// "INVALID_ARGUMENT", ...).
+const char* StatusCodeToString(StatusCode code);
+
+/// A Status holds either success (OK) or an error code plus a message.
+/// Cheap to copy in the OK case; error messages are heap-allocated strings.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Constructs a status with the given code and message. A message with
+  /// code kOk is allowed but the message is dropped.
+  Status(StatusCode code, std::string message)
+      : code_(code),
+        message_(code == StatusCode::kOk ? std::string() : std::move(message)) {}
+
+  /// True if this status represents success.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error code (kOk for success).
+  StatusCode code() const { return code_; }
+
+  /// The error message (empty for OK statuses).
+  const std::string& message() const { return message_; }
+
+  /// Formats as "OK" or "CODE: message".
+  std::string ToString() const;
+
+  friend bool operator==(const Status& a, const Status& b) {
+    return a.code_ == b.code_ && a.message_ == b.message_;
+  }
+
+ private:
+  StatusCode code_;
+  std::string message_;
+};
+
+std::ostream& operator<<(std::ostream& os, const Status& status);
+
+/// Factory helpers mirroring absl's convenience constructors.
+Status OkStatus();
+Status InvalidArgumentError(std::string message);
+Status NotFoundError(std::string message);
+Status OutOfRangeError(std::string message);
+Status FailedPreconditionError(std::string message);
+Status InternalError(std::string message);
+Status UnimplementedError(std::string message);
+Status ResourceExhaustedError(std::string message);
+
+}  // namespace auditgame::util
+
+/// Evaluates `expr` (a Status expression); returns it from the enclosing
+/// function if it is not OK.
+#define RETURN_IF_ERROR(expr)                          \
+  do {                                                 \
+    ::auditgame::util::Status _status = (expr);        \
+    if (!_status.ok()) return _status;                 \
+  } while (false)
+
+#endif  // AUDIT_GAME_UTIL_STATUS_H_

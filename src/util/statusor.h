@@ -1,0 +1,84 @@
+#ifndef AUDIT_GAME_UTIL_STATUSOR_H_
+#define AUDIT_GAME_UTIL_STATUSOR_H_
+
+#include <cstdlib>
+#include <iostream>
+#include <optional>
+#include <utility>
+
+#include "util/status.h"
+
+namespace auditgame::util {
+
+/// StatusOr<T> holds either a value of type T or a non-OK Status explaining
+/// why the value is absent. Accessing the value of a non-OK StatusOr aborts
+/// the process (library code must check ok() first).
+template <typename T>
+class StatusOr {
+ public:
+  /// Constructs from a value (implicit, mirroring absl::StatusOr).
+  StatusOr(T value) : value_(std::move(value)) {}  // NOLINT
+
+  /// Constructs from a non-OK status. Constructing from an OK status is a
+  /// programming error and is converted to an internal error.
+  StatusOr(Status status) : status_(std::move(status)) {  // NOLINT
+    if (status_.ok()) {
+      status_ = InternalError("StatusOr constructed from OK status");
+    }
+  }
+
+  /// True if a value is present.
+  bool ok() const { return value_.has_value(); }
+
+  /// The status: OK when a value is present.
+  const Status& status() const {
+    static const Status* const kOk = new Status();
+    return ok() ? *kOk : status_;
+  }
+
+  /// Value accessors; abort if no value is held.
+  const T& value() const& {
+    EnsureOk();
+    return *value_;
+  }
+  T& value() & {
+    EnsureOk();
+    return *value_;
+  }
+  T&& value() && {
+    EnsureOk();
+    return *std::move(value_);
+  }
+
+  const T& operator*() const& { return value(); }
+  T& operator*() & { return value(); }
+  const T* operator->() const { return &value(); }
+  T* operator->() { return &value(); }
+
+ private:
+  void EnsureOk() const {
+    if (!ok()) {
+      std::cerr << "Attempted to access value of failed StatusOr: "
+                << status_.ToString() << std::endl;
+      std::abort();
+    }
+  }
+
+  std::optional<T> value_;
+  Status status_;
+};
+
+}  // namespace auditgame::util
+
+/// Evaluates `rexpr` (a StatusOr expression); on error returns the status
+/// from the enclosing function, otherwise moves the value into `lhs`.
+#define AG_STATUS_CONCAT_INNER(a, b) a##b
+#define AG_STATUS_CONCAT(a, b) AG_STATUS_CONCAT_INNER(a, b)
+#define ASSIGN_OR_RETURN_IMPL(statusor, lhs, rexpr) \
+  auto statusor = (rexpr);                          \
+  if (!statusor.ok()) return statusor.status();     \
+  lhs = std::move(statusor).value()
+#define ASSIGN_OR_RETURN(lhs, rexpr) \
+  ASSIGN_OR_RETURN_IMPL(AG_STATUS_CONCAT(_statusor_, __LINE__), lhs, rexpr)
+
+#endif  // AUDIT_GAME_UTIL_STATUSOR_H_

@@ -1,0 +1,76 @@
+#include "util/string_util.h"
+
+#include <cstdio>
+#include <sstream>
+
+namespace auditgame::util {
+
+std::string JoinInts(const std::vector<int>& values, const std::string& sep) {
+  std::string result;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) result += sep;
+    result += std::to_string(values[i]);
+  }
+  return result;
+}
+
+std::string JoinDoubles(const std::vector<double>& values,
+                        const std::string& sep, int precision) {
+  std::ostringstream os;
+  char buf[64];
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) os << sep;
+    std::snprintf(buf, sizeof(buf), "%.*f", precision, values[i]);
+    os << buf;
+  }
+  return os.str();
+}
+
+std::string JoinStrings(const std::vector<std::string>& values,
+                        const std::string& sep) {
+  std::string result;
+  for (size_t i = 0; i < values.size(); ++i) {
+    if (i > 0) result += sep;
+    result += values[i];
+  }
+  return result;
+}
+
+std::string FormatIntVector(const std::vector<int>& values) {
+  return "[" + JoinInts(values, ", ") + "]";
+}
+
+std::string FormatDoubleVector(const std::vector<double>& values, int precision) {
+  return "[" + JoinDoubles(values, ", ", precision) + "]";
+}
+
+std::string Trim(const std::string& s) {
+  size_t begin = 0;
+  size_t end = s.size();
+  while (begin < end && (s[begin] == ' ' || s[begin] == '\t' ||
+                         s[begin] == '\r' || s[begin] == '\n')) {
+    ++begin;
+  }
+  while (end > begin && (s[end - 1] == ' ' || s[end - 1] == '\t' ||
+                         s[end - 1] == '\r' || s[end - 1] == '\n')) {
+    --end;
+  }
+  return s.substr(begin, end - begin);
+}
+
+std::vector<std::string> Split(const std::string& s, char delim) {
+  std::vector<std::string> parts;
+  std::string current;
+  for (char c : s) {
+    if (c == delim) {
+      parts.push_back(current);
+      current.clear();
+    } else {
+      current += c;
+    }
+  }
+  parts.push_back(current);
+  return parts;
+}
+
+}  // namespace auditgame::util

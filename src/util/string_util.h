@@ -1,0 +1,31 @@
+#ifndef AUDIT_GAME_UTIL_STRING_UTIL_H_
+#define AUDIT_GAME_UTIL_STRING_UTIL_H_
+
+#include <string>
+#include <vector>
+
+namespace auditgame::util {
+
+/// Joins elements with a separator; each element is formatted via
+/// std::to_string for arithmetic types or used verbatim for strings.
+std::string JoinInts(const std::vector<int>& values, const std::string& sep);
+std::string JoinDoubles(const std::vector<double>& values, const std::string& sep,
+                        int precision = 4);
+std::string JoinStrings(const std::vector<std::string>& values, const std::string& sep);
+
+/// Formats an integer vector like "[4, 4, 3, 3]" — the paper's threshold
+/// vector notation.
+std::string FormatIntVector(const std::vector<int>& values);
+
+/// Formats a double vector like "[0.3566, 0.3780]".
+std::string FormatDoubleVector(const std::vector<double>& values, int precision = 4);
+
+/// Trims ASCII whitespace from both ends.
+std::string Trim(const std::string& s);
+
+/// Splits on a delimiter character (no quoting).
+std::vector<std::string> Split(const std::string& s, char delim);
+
+}  // namespace auditgame::util
+
+#endif  // AUDIT_GAME_UTIL_STRING_UTIL_H_

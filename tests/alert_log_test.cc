@@ -1,0 +1,85 @@
+#include "audit/log.h"
+
+#include <gtest/gtest.h>
+
+namespace auditgame::audit {
+namespace {
+
+TEST(AlertLogTest, RecordsPerPeriodCounts) {
+  AlertLog log(2);
+  log.StartPeriod();
+  ASSERT_TRUE(log.Record(0, 3).ok());
+  ASSERT_TRUE(log.Record(1).ok());
+  log.StartPeriod();
+  ASSERT_TRUE(log.Record(0, 5).ok());
+
+  const auto type0 = log.PeriodCounts(0);
+  ASSERT_TRUE(type0.ok());
+  EXPECT_EQ(*type0, (std::vector<int>{3, 5}));
+  const auto type1 = log.PeriodCounts(1);
+  ASSERT_TRUE(type1.ok());
+  EXPECT_EQ(*type1, (std::vector<int>{1, 0}));
+}
+
+TEST(AlertLogTest, RecordBeforePeriodFails) {
+  AlertLog log(1);
+  EXPECT_FALSE(log.Record(0).ok());
+}
+
+TEST(AlertLogTest, RejectsInvalidType) {
+  AlertLog log(1);
+  log.StartPeriod();
+  EXPECT_FALSE(log.Record(3).ok());
+  EXPECT_FALSE(log.Record(-1).ok());
+  EXPECT_FALSE(log.PeriodCounts(9).ok());
+}
+
+TEST(AlertLogTest, RejectsNegativeCount) {
+  AlertLog log(1);
+  log.StartPeriod();
+  EXPECT_FALSE(log.Record(0, -2).ok());
+}
+
+TEST(AlertLogTest, LearnsEmpiricalDistribution) {
+  AlertLog log(1);
+  for (int count : {2, 2, 3, 5}) {
+    log.StartPeriod();
+    ASSERT_TRUE(log.Record(0, count).ok());
+  }
+  const auto dist = log.LearnDistribution(0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->min_value(), 2);
+  EXPECT_EQ(dist->max_value(), 5);
+  EXPECT_NEAR(dist->Pmf(2), 0.5, 1e-12);
+  EXPECT_NEAR(dist->Mean(), 3.0, 1e-12);
+}
+
+TEST(AlertLogTest, LearnWithoutPeriodsFails) {
+  AlertLog log(1);
+  EXPECT_FALSE(log.LearnDistribution(0).ok());
+}
+
+TEST(AlertLogTest, GaussianFitMatchesMoments) {
+  AlertLog log(1);
+  // Counts with mean 10, some spread.
+  for (int count : {6, 8, 9, 10, 10, 11, 12, 14}) {
+    log.StartPeriod();
+    ASSERT_TRUE(log.Record(0, count).ok());
+  }
+  const auto dist = log.LearnGaussianFit(0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->Mean(), 10.0, 0.5);
+}
+
+TEST(AlertLogTest, GaussianFitNeedsVariance) {
+  AlertLog log(1);
+  log.StartPeriod();
+  ASSERT_TRUE(log.Record(0, 4).ok());
+  EXPECT_FALSE(log.LearnGaussianFit(0).ok());  // one period
+  log.StartPeriod();
+  ASSERT_TRUE(log.Record(0, 4).ok());
+  EXPECT_FALSE(log.LearnGaussianFit(0).ok());  // zero variance
+}
+
+}  // namespace
+}  // namespace auditgame::audit

@@ -1,0 +1,125 @@
+#include "core/baselines.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "data/syn_a.h"
+#include "tests/test_util.h"
+
+namespace auditgame::core {
+namespace {
+
+using testutil::MakeMediumGame;
+using testutil::MakeTinyGame;
+
+TEST(PerTypeBenefitsTest, PicksDominantTypeMaximum) {
+  const auto compiled = Compile(MakeMediumGame());
+  ASSERT_TRUE(compiled.ok());
+  const auto benefits = PerTypeBenefits(*compiled);
+  ASSERT_EQ(benefits.size(), 3u);
+  EXPECT_NEAR(benefits[0], 5.0, 1e-12);
+  EXPECT_NEAR(benefits[1], 4.0, 1e-12);
+  EXPECT_NEAR(benefits[2], 6.0, 1e-12);
+}
+
+TEST(GreedyBenefitTest, OrdersByDescendingBenefit) {
+  const auto compiled = Compile(MakeMediumGame());
+  ASSERT_TRUE(compiled.ok());
+  const GameInstance instance = MakeMediumGame();
+  auto detection = DetectionModel::Create(instance, 5.0);
+  ASSERT_TRUE(detection.ok());
+  const auto result = GreedyByBenefitBaseline(*compiled, *detection);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->ordering, (std::vector<int>{2, 0, 1}));
+  EXPECT_TRUE(result->policy.Validate(3).ok());
+  EXPECT_EQ(result->policy.orderings.size(), 1u);
+}
+
+TEST(RandomOrderTest, UniformMixtureOverDistinctOrders) {
+  const GameInstance instance = MakeMediumGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 5.0);
+  ASSERT_TRUE(detection.ok());
+  const auto result = RandomOrderBaseline(*compiled, *detection,
+                                          {3.0, 3.0, 3.0}, 100, 42);
+  ASSERT_TRUE(result.ok());
+  // Only 3! = 6 orderings exist; sampling 100 without replacement caps out.
+  EXPECT_EQ(result->policy.orderings.size(), 6u);
+  for (double p : result->policy.probabilities) EXPECT_NEAR(p, 1.0 / 6, 1e-12);
+}
+
+TEST(RandomOrderTest, DeterministicGivenSeed) {
+  const GameInstance instance = MakeMediumGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 5.0);
+  ASSERT_TRUE(detection.ok());
+  const auto a = RandomOrderBaseline(*compiled, *detection, {3, 3, 3}, 3, 7);
+  const auto b = RandomOrderBaseline(*compiled, *detection, {3, 3, 3}, 3, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->auditor_loss, b->auditor_loss);
+  EXPECT_EQ(a->policy.orderings, b->policy.orderings);
+}
+
+TEST(RandomThresholdTest, StatisticsAreConsistent) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 6.0);
+  ASSERT_TRUE(detection.ok());
+  const auto result =
+      RandomThresholdBaseline(*instance, *compiled, *detection, 10, 11);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(result->draws, 10);
+  EXPECT_LE(result->min_auditor_loss, result->mean_auditor_loss + 1e-9);
+  EXPECT_GE(result->max_auditor_loss, result->mean_auditor_loss - 1e-9);
+}
+
+TEST(RandomThresholdTest, RejectsImpossibleBudget) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 100.0);
+  ASSERT_TRUE(detection.ok());
+  EXPECT_FALSE(
+      RandomThresholdBaseline(instance, *compiled, *detection, 5, 1).ok());
+}
+
+TEST(BaselinesTest, GameTheoreticSolutionDominatesBaselines) {
+  // The core claim of Figures 1 and 2 in miniature: the optimal policy is
+  // at least as good as every baseline on Syn A.
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  const double budget = 8.0;
+  const auto optimal = SolveBruteForce(*instance, budget);
+  ASSERT_TRUE(optimal.ok());
+  auto detection = DetectionModel::Create(*instance, budget);
+  ASSERT_TRUE(detection.ok());
+
+  const auto greedy = GreedyByBenefitBaseline(*compiled, *detection);
+  ASSERT_TRUE(greedy.ok());
+  EXPECT_LE(optimal->objective, greedy->auditor_loss + 1e-9);
+
+  std::vector<double> policy_thresholds(optimal->thresholds.size());
+  for (size_t t = 0; t < policy_thresholds.size(); ++t) {
+    policy_thresholds[t] =
+        optimal->thresholds[t] * instance->audit_costs[t];
+  }
+  const auto random_order = RandomOrderBaseline(*compiled, *detection,
+                                                policy_thresholds, 24, 5);
+  ASSERT_TRUE(random_order.ok());
+  EXPECT_LE(optimal->objective, random_order->auditor_loss + 1e-9);
+
+  const auto random_threshold =
+      RandomThresholdBaseline(*instance, *compiled, *detection, 5, 9);
+  ASSERT_TRUE(random_threshold.ok());
+  EXPECT_LE(optimal->objective, random_threshold->mean_auditor_loss + 1e-9);
+}
+
+}  // namespace
+}  // namespace auditgame::core

@@ -1,0 +1,107 @@
+#include "core/brute_force.h"
+
+#include <gtest/gtest.h>
+
+#include "core/game_lp.h"
+#include "data/syn_a.h"
+#include "tests/test_util.h"
+#include "util/combinatorics.h"
+
+namespace auditgame::core {
+namespace {
+
+using testutil::MakeTinyGame;
+
+TEST(BruteForceTest, TinyGameOptimumIsZero) {
+  const GameInstance instance = MakeTinyGame();
+  const auto result = SolveBruteForce(instance, 3.0);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 0.0, 1e-9);
+  EXPECT_TRUE(result->policy.Validate(2).ok());
+}
+
+TEST(BruteForceTest, ReproducesTableIIIAtBudgetTwo) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto result = SolveBruteForce(*instance, 2.0);
+  ASSERT_TRUE(result.ok());
+  // Paper Table III row 1: objective 12.2945 at thresholds [1,1,1,1]; our
+  // exact-convolution estimator gives 12.2457 (within 0.5%).
+  EXPECT_NEAR(result->objective, 12.2945, 0.08);
+  EXPECT_EQ(result->thresholds, (std::vector<int>{1, 1, 1, 1}));
+}
+
+TEST(BruteForceTest, ReproducesTableIIIAtBudgetTen) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto result = SolveBruteForce(*instance, 10.0);
+  ASSERT_TRUE(result.ok());
+  // Paper: -2.1314 at [3,3,3,3].
+  EXPECT_NEAR(result->objective, -2.1314, 0.08);
+  EXPECT_EQ(result->thresholds, (std::vector<int>{3, 3, 3, 3}));
+}
+
+TEST(BruteForceTest, ObjectiveDecreasesWithBudget) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  double previous = 1e18;
+  for (double budget : {2.0, 6.0, 10.0}) {
+    const auto result = SolveBruteForce(*instance, budget);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LT(result->objective, previous);
+    previous = result->objective;
+  }
+}
+
+TEST(BruteForceTest, SearchSpaceAccounting) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto result = SolveBruteForce(*instance, 2.0);
+  ASSERT_TRUE(result.ok());
+  // prod (J_t + 1) = 12 * 10 * 8 * 8.
+  EXPECT_EQ(result->search_space, 7680u);
+  EXPECT_LE(result->vectors_evaluated, result->search_space);
+  EXPECT_GT(result->vectors_evaluated, 0u);
+}
+
+TEST(BruteForceTest, SumConstraintPrunesSearch) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  BruteForceOptions no_prune;
+  no_prune.require_sum_at_least_budget = false;
+  const auto pruned = SolveBruteForce(*instance, 20.0);
+  const auto unpruned = SolveBruteForce(*instance, 20.0, no_prune);
+  ASSERT_TRUE(pruned.ok());
+  ASSERT_TRUE(unpruned.ok());
+  EXPECT_LT(pruned->vectors_evaluated, unpruned->vectors_evaluated);
+  // Pruning never removes the optimum (a vector with sum < B wastes budget).
+  EXPECT_NEAR(pruned->objective, unpruned->objective, 1e-9);
+}
+
+TEST(BruteForceTest, InfeasibleBudgetFails) {
+  const GameInstance instance = MakeTinyGame();
+  // Upper bounds are 2 + 2 = 4 < budget -> no vector satisfies sum >= B.
+  const auto result = SolveBruteForce(instance, 100.0);
+  EXPECT_FALSE(result.ok());
+}
+
+TEST(BruteForceTest, OptimumIsLowerBoundForAnyThresholdVector) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  const auto brute = SolveBruteForce(*instance, 6.0);
+  ASSERT_TRUE(brute.ok());
+  auto detection = DetectionModel::Create(*instance, 6.0);
+  ASSERT_TRUE(detection.ok());
+  for (const std::vector<double>& thresholds :
+       {std::vector<double>{2, 2, 2, 2}, std::vector<double>{6, 0, 0, 0},
+        std::vector<double>{1, 2, 3, 4}}) {
+    const auto full = SolveFullGameLp(*compiled, *detection, thresholds);
+    ASSERT_TRUE(full.ok());
+    EXPECT_GE(full->objective, brute->objective - 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace auditgame::core

@@ -1,0 +1,128 @@
+#include "util/combinatorics.h"
+
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace auditgame::util {
+namespace {
+
+TEST(FactorialTest, SmallValues) {
+  EXPECT_EQ(Factorial(0), 1u);
+  EXPECT_EQ(Factorial(1), 1u);
+  EXPECT_EQ(Factorial(4), 24u);
+  EXPECT_EQ(Factorial(7), 5040u);
+  EXPECT_EQ(Factorial(20), 2432902008176640000ull);
+}
+
+TEST(BinomialTest, KnownValues) {
+  EXPECT_EQ(Binomial(4, 2), 6u);
+  EXPECT_EQ(Binomial(7, 3), 35u);
+  EXPECT_EQ(Binomial(10, 0), 1u);
+  EXPECT_EQ(Binomial(10, 10), 1u);
+  EXPECT_EQ(Binomial(3, 5), 0u);
+  EXPECT_EQ(Binomial(52, 5), 2598960u);
+}
+
+TEST(BinomialTest, SymmetryProperty) {
+  for (int n = 0; n <= 12; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n, n - k));
+    }
+  }
+}
+
+TEST(BinomialTest, PascalRule) {
+  for (int n = 1; n <= 12; ++n) {
+    for (int k = 1; k < n; ++k) {
+      EXPECT_EQ(Binomial(n, k), Binomial(n - 1, k - 1) + Binomial(n - 1, k));
+    }
+  }
+}
+
+TEST(PermutationsTest, CountAndUniqueness) {
+  const auto perms = AllPermutations(4);
+  EXPECT_EQ(perms.size(), 24u);
+  std::set<std::vector<int>> unique(perms.begin(), perms.end());
+  EXPECT_EQ(unique.size(), 24u);
+  for (const auto& p : perms) {
+    std::set<int> elements(p.begin(), p.end());
+    EXPECT_EQ(elements.size(), 4u);
+    EXPECT_EQ(*elements.begin(), 0);
+    EXPECT_EQ(*elements.rbegin(), 3);
+  }
+}
+
+TEST(PermutationsTest, LexicographicOrder) {
+  const auto perms = AllPermutations(3);
+  ASSERT_EQ(perms.size(), 6u);
+  EXPECT_EQ(perms.front(), (std::vector<int>{0, 1, 2}));
+  EXPECT_EQ(perms.back(), (std::vector<int>{2, 1, 0}));
+  for (size_t i = 1; i < perms.size(); ++i) EXPECT_LT(perms[i - 1], perms[i]);
+}
+
+TEST(PermutationsTest, EarlyStop) {
+  int count = 0;
+  ForEachPermutation(5, [&count](const std::vector<int>&) {
+    return ++count < 10;
+  });
+  EXPECT_EQ(count, 10);
+}
+
+TEST(CombinationsTest, CountMatchesBinomial) {
+  for (int n = 1; n <= 7; ++n) {
+    for (int k = 0; k <= n; ++k) {
+      EXPECT_EQ(AllCombinations(n, k).size(), Binomial(n, k));
+    }
+  }
+}
+
+TEST(CombinationsTest, SortedAndUnique) {
+  const auto combos = AllCombinations(6, 3);
+  std::set<std::vector<int>> unique(combos.begin(), combos.end());
+  EXPECT_EQ(unique.size(), combos.size());
+  for (const auto& c : combos) {
+    for (size_t i = 1; i < c.size(); ++i) EXPECT_LT(c[i - 1], c[i]);
+  }
+}
+
+TEST(CombinationsTest, DegenerateCases) {
+  EXPECT_TRUE(AllCombinations(3, 5).empty());
+  EXPECT_EQ(AllCombinations(3, 0).size(), 1u);  // the empty set
+  EXPECT_EQ(AllCombinations(3, 3).size(), 1u);
+}
+
+TEST(IntegerVectorTest, EnumeratesFullBox) {
+  std::vector<std::vector<int>> vectors;
+  ForEachIntegerVector({2, 1, 3}, [&vectors](const std::vector<int>& v) {
+    vectors.push_back(v);
+    return true;
+  });
+  EXPECT_EQ(vectors.size(), static_cast<size_t>(3 * 2 * 4));
+  std::set<std::vector<int>> unique(vectors.begin(), vectors.end());
+  EXPECT_EQ(unique.size(), vectors.size());
+  EXPECT_EQ(vectors.front(), (std::vector<int>{0, 0, 0}));
+  EXPECT_EQ(vectors.back(), (std::vector<int>{2, 1, 3}));
+}
+
+TEST(IntegerVectorTest, EarlyStop) {
+  int count = 0;
+  ForEachIntegerVector({9, 9}, [&count](const std::vector<int>&) {
+    return ++count < 5;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+TEST(IntegerVectorTest, SingleDimension) {
+  int count = 0;
+  ForEachIntegerVector({4}, [&count](const std::vector<int>& v) {
+    EXPECT_EQ(v[0], count);
+    ++count;
+    return true;
+  });
+  EXPECT_EQ(count, 5);
+}
+
+}  // namespace
+}  // namespace auditgame::util

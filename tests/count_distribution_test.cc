@@ -1,0 +1,169 @@
+#include "prob/count_distribution.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace auditgame::prob {
+namespace {
+
+TEST(NormalTest, CdfKnownValues) {
+  EXPECT_NEAR(NormalCdf(0.0), 0.5, 1e-12);
+  EXPECT_NEAR(NormalCdf(1.0), 0.8413447, 1e-6);
+  EXPECT_NEAR(NormalCdf(-1.96), 0.0249979, 1e-6);
+}
+
+TEST(NormalTest, QuantileInvertsCdf) {
+  for (double p : {0.005, 0.1, 0.5, 0.9, 0.9975}) {
+    EXPECT_NEAR(NormalCdf(NormalQuantile(p)), p, 1e-9);
+  }
+}
+
+TEST(CountDistributionTest, FromPmfNormalizes) {
+  auto dist = CountDistribution::FromPmf(2, {1.0, 1.0, 2.0});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->min_value(), 2);
+  EXPECT_EQ(dist->max_value(), 4);
+  EXPECT_NEAR(dist->Pmf(2), 0.25, 1e-12);
+  EXPECT_NEAR(dist->Pmf(4), 0.5, 1e-12);
+  EXPECT_NEAR(dist->Pmf(5), 0.0, 1e-12);
+  EXPECT_NEAR(dist->Cdf(3), 0.5, 1e-12);
+  EXPECT_NEAR(dist->Cdf(100), 1.0, 1e-12);
+  EXPECT_NEAR(dist->Cdf(1), 0.0, 1e-12);
+}
+
+TEST(CountDistributionTest, FromPmfRejectsBadInput) {
+  EXPECT_FALSE(CountDistribution::FromPmf(-1, {1.0}).ok());
+  EXPECT_FALSE(CountDistribution::FromPmf(0, {}).ok());
+  EXPECT_FALSE(CountDistribution::FromPmf(0, {-1.0, 2.0}).ok());
+  EXPECT_FALSE(CountDistribution::FromPmf(0, {0.0, 0.0}).ok());
+}
+
+TEST(CountDistributionTest, DiscretizedGaussianMatchesSynA) {
+  // Syn A type 1: Gaussian(6, 2) on [1, 11].
+  auto dist = CountDistribution::DiscretizedGaussian(6.0, 2.0, 1, 11);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->support_size(), 11);
+  // Symmetric support around the mean -> mean preserved.
+  EXPECT_NEAR(dist->Mean(), 6.0, 1e-9);
+  // The mode is at the mean.
+  for (int z = 1; z <= 11; ++z) EXPECT_LE(dist->Pmf(z), dist->Pmf(6) + 1e-12);
+  double total = 0.0;
+  for (int z = 1; z <= 11; ++z) total += dist->Pmf(z);
+  EXPECT_NEAR(total, 1.0, 1e-12);
+}
+
+TEST(CountDistributionTest, GaussianVarianceApproximatelyMatches) {
+  auto dist = CountDistribution::DiscretizedGaussian(50.0, 5.0, 20, 80);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_NEAR(dist->Mean(), 50.0, 1e-6);
+  // Discretization adds ~1/12 of variance; truncation removes some tails.
+  EXPECT_NEAR(dist->Variance(), 25.0, 0.3);
+}
+
+TEST(CountDistributionTest, CoverageConstructorClipsAtZero) {
+  auto dist = CountDistribution::DiscretizedGaussianWithCoverage(2.0, 5.0, 0.995);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->min_value(), 0);
+  EXPECT_GE(dist->max_value(), 10);
+}
+
+TEST(CountDistributionTest, CoverageHalfWidthMatchesPaper) {
+  // Syn A: mean 6, std 2, 99.5% coverage -> +/-5 (paper Table IIa says 5,
+  // ceil(2.81 * 2) = 6; the published band is z=2.5 ... verify we cover at
+  // least the published +/-5).
+  auto dist = CountDistribution::DiscretizedGaussianWithCoverage(6.0, 2.0, 0.995);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_LE(dist->min_value(), 1);
+  EXPECT_GE(dist->max_value(), 11);
+}
+
+TEST(CountDistributionTest, UpperBoundIsMonotoneInCoverage) {
+  auto dist = CountDistribution::DiscretizedGaussian(10.0, 3.0, 0, 25);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_LE(dist->UpperBound(0.5), dist->UpperBound(0.9));
+  EXPECT_LE(dist->UpperBound(0.9), dist->UpperBound(0.9995));
+  EXPECT_EQ(dist->UpperBound(0.99999999), dist->max_value());
+}
+
+TEST(CountDistributionTest, TruncatedPoissonMoments) {
+  auto dist = CountDistribution::TruncatedPoisson(4.0);
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->min_value(), 0);
+  EXPECT_NEAR(dist->Mean(), 4.0, 0.02);
+  EXPECT_NEAR(dist->Variance(), 4.0, 0.15);
+}
+
+TEST(CountDistributionTest, FromSamplesMatchesEmpirical) {
+  auto dist = CountDistribution::FromSamples({3, 3, 4, 5, 5, 5});
+  ASSERT_TRUE(dist.ok());
+  EXPECT_EQ(dist->min_value(), 3);
+  EXPECT_EQ(dist->max_value(), 5);
+  EXPECT_NEAR(dist->Pmf(3), 2.0 / 6, 1e-12);
+  EXPECT_NEAR(dist->Pmf(4), 1.0 / 6, 1e-12);
+  EXPECT_NEAR(dist->Pmf(5), 3.0 / 6, 1e-12);
+  EXPECT_FALSE(CountDistribution::FromSamples({}).ok());
+  EXPECT_FALSE(CountDistribution::FromSamples({-1}).ok());
+}
+
+TEST(CountDistributionTest, ConstantDistribution) {
+  const CountDistribution dist = CountDistribution::Constant(7);
+  EXPECT_EQ(dist.min_value(), 7);
+  EXPECT_EQ(dist.max_value(), 7);
+  EXPECT_NEAR(dist.Mean(), 7.0, 1e-12);
+  EXPECT_NEAR(dist.Variance(), 0.0, 1e-12);
+  util::Rng rng(5);
+  for (int i = 0; i < 10; ++i) EXPECT_EQ(dist.Sample(rng), 7);
+}
+
+TEST(CountDistributionTest, SamplingMatchesPmf) {
+  auto dist = CountDistribution::FromPmf(0, {0.2, 0.5, 0.3});
+  ASSERT_TRUE(dist.ok());
+  util::Rng rng(99);
+  std::vector<int> histogram(3, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[static_cast<size_t>(dist->Sample(rng))];
+  EXPECT_NEAR(histogram[0] / static_cast<double>(n), 0.2, 0.01);
+  EXPECT_NEAR(histogram[1] / static_cast<double>(n), 0.5, 0.01);
+  EXPECT_NEAR(histogram[2] / static_cast<double>(n), 0.3, 0.01);
+}
+
+TEST(CountDistributionTest, SampleJointIsIndependentPerType) {
+  std::vector<CountDistribution> dists = {CountDistribution::Constant(2),
+                                          CountDistribution::Constant(9)};
+  util::Rng rng(3);
+  const std::vector<int> z = SampleJoint(dists, rng);
+  ASSERT_EQ(z.size(), 2u);
+  EXPECT_EQ(z[0], 2);
+  EXPECT_EQ(z[1], 9);
+}
+
+// Property sweep: discretized Gaussians over a range of parameters keep
+// total mass 1 and mean within the truncation window.
+class GaussianSweepTest
+    : public ::testing::TestWithParam<std::tuple<double, double>> {};
+
+TEST_P(GaussianSweepTest, MassAndMeanSane) {
+  const double mean = std::get<0>(GetParam());
+  const double stddev = std::get<1>(GetParam());
+  auto dist =
+      CountDistribution::DiscretizedGaussianWithCoverage(mean, stddev, 0.995);
+  ASSERT_TRUE(dist.ok());
+  double total = 0.0;
+  for (int z = dist->min_value(); z <= dist->max_value(); ++z) {
+    total += dist->Pmf(z);
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+  EXPECT_NEAR(dist->Mean(), mean, stddev + 1.0);
+  EXPECT_GE(dist->min_value(), 0);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Params, GaussianSweepTest,
+    ::testing::Combine(::testing::Values(1.0, 6.0, 32.18, 113.89, 370.04),
+                       ::testing::Values(0.5, 2.0, 15.81, 80.44)));
+
+}  // namespace
+}  // namespace auditgame::prob

@@ -1,0 +1,154 @@
+#include "data/credit.h"
+
+#include <gtest/gtest.h>
+
+namespace auditgame::data {
+namespace {
+
+CreditApplicant Applicant(CheckingStatus checking, bool unskilled,
+                          bool critical) {
+  CreditApplicant a;
+  a.id = "test";
+  a.checking = checking;
+  a.unskilled = unskilled;
+  a.critical_account = critical;
+  return a;
+}
+
+int PurposeIndex(const std::string& name) {
+  for (int p = 0; p < kCreditNumPurposes; ++p) {
+    if (name == kCreditPurposes[p]) return p;
+  }
+  return -1;
+}
+
+TEST(CreditRulesTest, NoCheckingMatchesAnyPurpose) {
+  audit::RuleEngine rules = BuildCreditRules();
+  const CreditApplicant a = Applicant(CheckingStatus::kNone, false, false);
+  for (int p = 0; p < kCreditNumPurposes; ++p) {
+    const auto match = rules.Match(MakeCreditEvent(a, p));
+    ASSERT_TRUE(match.has_value());
+    EXPECT_EQ(match->first, 0);
+  }
+}
+
+TEST(CreditRulesTest, NegativeCheckingNewCarOrEducation) {
+  audit::RuleEngine rules = BuildCreditRules();
+  const CreditApplicant a = Applicant(CheckingStatus::kNegative, false, false);
+  auto match = rules.Match(MakeCreditEvent(a, PurposeIndex("new car")));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 1);
+  match = rules.Match(MakeCreditEvent(a, PurposeIndex("education")));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 1);
+  EXPECT_FALSE(
+      rules.Match(MakeCreditEvent(a, PurposeIndex("furniture"))).has_value());
+}
+
+TEST(CreditRulesTest, PositiveUnskilledRules) {
+  audit::RuleEngine rules = BuildCreditRules();
+  const CreditApplicant a = Applicant(CheckingStatus::kPositive, true, false);
+  auto match = rules.Match(MakeCreditEvent(a, PurposeIndex("education")));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 2);
+  match = rules.Match(MakeCreditEvent(a, PurposeIndex("appliance")));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 3);
+  EXPECT_FALSE(
+      rules.Match(MakeCreditEvent(a, PurposeIndex("new car"))).has_value());
+}
+
+TEST(CreditRulesTest, PositiveCriticalBusiness) {
+  audit::RuleEngine rules = BuildCreditRules();
+  const CreditApplicant a = Applicant(CheckingStatus::kPositive, false, true);
+  auto match = rules.Match(MakeCreditEvent(a, PurposeIndex("business")));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 4);
+  EXPECT_FALSE(
+      rules.Match(MakeCreditEvent(a, PurposeIndex("repairs"))).has_value());
+}
+
+TEST(CreditRulesTest, SkilledNormalPositiveIsBenign) {
+  audit::RuleEngine rules = BuildCreditRules();
+  const CreditApplicant a = Applicant(CheckingStatus::kPositive, false, false);
+  for (int p = 0; p < kCreditNumPurposes; ++p) {
+    EXPECT_FALSE(rules.Match(MakeCreditEvent(a, p)).has_value());
+  }
+}
+
+TEST(CreditWorldTest, DeterministicAndComplete) {
+  const auto a = GenerateCreditWorld();
+  const auto b = GenerateCreditWorld();
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->pair_types, b->pair_types);
+  std::vector<bool> seen(kCreditNumTypes, false);
+  for (const auto& row : a->pair_types) {
+    for (int type : row) {
+      if (type >= 0) seen[static_cast<size_t>(type)] = true;
+    }
+  }
+  for (int t = 0; t < kCreditNumTypes; ++t) EXPECT_TRUE(seen[t]) << t;
+}
+
+TEST(CreditWorldTest, MarginalsApproximatelyRespected) {
+  CreditConfig config;
+  config.num_applicants = 2000;  // large sample for tight marginals
+  const auto world = GenerateCreditWorld(config);
+  ASSERT_TRUE(world.ok());
+  int no_checking = 0, unskilled = 0;
+  for (const auto& applicant : world->applicants) {
+    if (applicant.checking == CheckingStatus::kNone) ++no_checking;
+    if (applicant.unskilled) ++unskilled;
+  }
+  EXPECT_NEAR(no_checking / 2000.0, config.p_no_checking, 0.04);
+  EXPECT_NEAR(unskilled / 2000.0, config.p_unskilled, 0.04);
+}
+
+TEST(CreditGameTest, MatchesTableIX) {
+  const auto instance = MakeCreditGame();
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->num_types(), kCreditNumTypes);
+  EXPECT_EQ(instance->adversaries.size(), 100u);
+  for (int t = 0; t < kCreditNumTypes; ++t) {
+    EXPECT_NEAR(instance->alert_distributions[t].Mean(), kCreditAlertMeans[t],
+                kCreditAlertStds[t] * 0.2 + 1.0);
+  }
+  for (const auto& adversary : instance->adversaries) {
+    EXPECT_EQ(adversary.victims.size(),
+              static_cast<size_t>(kCreditNumPurposes));
+    EXPECT_TRUE(adversary.can_opt_out);
+    for (const auto& victim : adversary.victims) {
+      EXPECT_DOUBLE_EQ(victim.penalty, 20.0);
+      EXPECT_DOUBLE_EQ(victim.attack_cost, 1.0);
+    }
+  }
+}
+
+TEST(CreditGameTest, CompilesToFewGroups) {
+  const auto instance = MakeCreditGame();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = core::Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  // Applicants fall into a handful of attribute classes -> few groups.
+  EXPECT_LE(compiled->groups.size(), 8u);
+  double weight = 0.0;
+  for (const auto& group : compiled->groups) weight += group.weight;
+  EXPECT_NEAR(weight, 100.0, 1e-9);
+}
+
+TEST(CreditGameTest, RejectsBadConfig) {
+  CreditConfig config;
+  config.num_applicants = 0;
+  EXPECT_FALSE(MakeCreditGame(config).ok());
+  config = CreditConfig();
+  config.p_no_checking = 0.8;
+  config.p_checking_negative = 0.5;
+  EXPECT_FALSE(MakeCreditGame(config).ok());
+  config = CreditConfig();
+  config.type_benefits = {1.0};
+  EXPECT_FALSE(MakeCreditGame(config).ok());
+}
+
+}  // namespace
+}  // namespace auditgame::data

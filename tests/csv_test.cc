@@ -1,0 +1,76 @@
+#include "util/csv.h"
+
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+namespace auditgame::util {
+namespace {
+
+TEST(CsvWriterTest, PlainRow) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"a", "b", "c"});
+  EXPECT_EQ(out.str(), "a,b,c\n");
+}
+
+TEST(CsvWriterTest, QuotesFieldsWithCommas) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  writer.WriteRow({"x,y", "plain"});
+  EXPECT_EQ(out.str(), "\"x,y\",plain\n");
+}
+
+TEST(CsvWriterTest, EscapesQuotes) {
+  EXPECT_EQ(CsvWriter::Escape("say \"hi\""), "\"say \"\"hi\"\"\"");
+}
+
+TEST(CsvWriterTest, QuotesNewlines) {
+  EXPECT_EQ(CsvWriter::Escape("a\nb"), "\"a\nb\"");
+}
+
+TEST(CsvWriterTest, FormatDoubleRoundTrips) {
+  EXPECT_EQ(CsvWriter::FormatDouble(1.5), "1.5");
+  EXPECT_EQ(CsvWriter::FormatDouble(-0.4517), "-0.4517");
+  EXPECT_EQ(CsvWriter::FormatDouble(0), "0");
+}
+
+TEST(SplitCsvLineTest, PlainFields) {
+  const auto fields = SplitCsvLine("a,b,c");
+  ASSERT_EQ(fields.size(), 3u);
+  EXPECT_EQ(fields[0], "a");
+  EXPECT_EQ(fields[2], "c");
+}
+
+TEST(SplitCsvLineTest, QuotedFieldWithComma) {
+  const auto fields = SplitCsvLine("\"x,y\",z");
+  ASSERT_EQ(fields.size(), 2u);
+  EXPECT_EQ(fields[0], "x,y");
+  EXPECT_EQ(fields[1], "z");
+}
+
+TEST(SplitCsvLineTest, EscapedQuote) {
+  const auto fields = SplitCsvLine("\"say \"\"hi\"\"\"");
+  ASSERT_EQ(fields.size(), 1u);
+  EXPECT_EQ(fields[0], "say \"hi\"");
+}
+
+TEST(SplitCsvLineTest, EmptyFields) {
+  const auto fields = SplitCsvLine("a,,b,");
+  ASSERT_EQ(fields.size(), 4u);
+  EXPECT_EQ(fields[1], "");
+  EXPECT_EQ(fields[3], "");
+}
+
+TEST(CsvRoundTripTest, WriteThenSplit) {
+  std::ostringstream out;
+  CsvWriter writer(out);
+  const std::vector<std::string> row = {"plain", "with,comma", "with\"quote"};
+  writer.WriteRow(row);
+  std::string line = out.str();
+  line.pop_back();  // strip newline
+  EXPECT_EQ(SplitCsvLine(line), row);
+}
+
+}  // namespace
+}  // namespace auditgame::util

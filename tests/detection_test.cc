@@ -1,0 +1,261 @@
+#include "core/detection.h"
+
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "audit/executor.h"
+#include "prob/count_distribution.h"
+#include "tests/test_util.h"
+#include "util/random.h"
+
+namespace auditgame::core {
+namespace {
+
+using testutil::MakeTinyGame;
+
+TEST(DetectionModelTest, ConstantCountsAreExact) {
+  // Z = [2, 2], B = 3, thresholds [2, 2]: first type audits 2 of 2
+  // (Pal = 1), consumes 2; second type has budget 1 -> audits 1 of 2
+  // (Pal = 0.5).
+  const GameInstance instance = MakeTinyGame();
+  auto model = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetThresholds({2.0, 2.0}).ok());
+  const auto pal = model->DetectionProbabilities({0, 1});
+  ASSERT_TRUE(pal.ok());
+  EXPECT_NEAR((*pal)[0], 1.0, 1e-12);
+  EXPECT_NEAR((*pal)[1], 0.5, 1e-12);
+}
+
+TEST(DetectionModelTest, OrderingMatters) {
+  const GameInstance instance = MakeTinyGame();
+  auto model = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetThresholds({2.0, 2.0}).ok());
+  const auto pal = model->DetectionProbabilities({1, 0});
+  ASSERT_TRUE(pal.ok());
+  EXPECT_NEAR((*pal)[1], 1.0, 1e-12);
+  EXPECT_NEAR((*pal)[0], 0.5, 1e-12);
+}
+
+TEST(DetectionModelTest, ZeroThresholdMeansNoDetection) {
+  const GameInstance instance = MakeTinyGame();
+  auto model = DetectionModel::Create(instance, 10.0);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetThresholds({0.0, 5.0}).ok());
+  const auto pal = model->DetectionProbabilities({0, 1});
+  ASSERT_TRUE(pal.ok());
+  EXPECT_NEAR((*pal)[0], 0.0, 1e-12);
+  EXPECT_NEAR((*pal)[1], 1.0, 1e-12);
+}
+
+TEST(DetectionModelTest, ZeroBudgetMeansNoDetection) {
+  const GameInstance instance = MakeTinyGame();
+  auto model = DetectionModel::Create(instance, 0.0);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetThresholds({5.0, 5.0}).ok());
+  const auto pal = model->DetectionProbabilities({0, 1});
+  ASSERT_TRUE(pal.ok());
+  EXPECT_NEAR((*pal)[0], 0.0, 1e-12);
+  EXPECT_NEAR((*pal)[1], 0.0, 1e-12);
+}
+
+TEST(DetectionModelTest, RejectsBadInput) {
+  const GameInstance instance = MakeTinyGame();
+  EXPECT_FALSE(DetectionModel::Create(instance, -1.0).ok());
+  auto model = DetectionModel::Create(instance, 5.0);
+  ASSERT_TRUE(model.ok());
+  EXPECT_FALSE(model->SetThresholds({1.0}).ok());
+  EXPECT_FALSE(model->SetThresholds({-1.0, 1.0}).ok());
+  ASSERT_TRUE(model->SetThresholds({1.0, 1.0}).ok());
+  EXPECT_FALSE(model->DetectionProbabilities({0}).ok());
+  EXPECT_FALSE(model->DetectionProbabilities({0, 0}).ok());
+  EXPECT_FALSE(model->DetectionProbabilities({0, 2}).ok());
+}
+
+// The exact (convolution) estimator must agree with direct enumeration of
+// the joint support via the audit executor.
+TEST(DetectionModelTest, ExactMatchesJointEnumeration) {
+  GameInstance instance = MakeTinyGame();
+  instance.alert_distributions = {
+      *prob::CountDistribution::DiscretizedGaussian(3.0, 1.0, 1, 5),
+      *prob::CountDistribution::DiscretizedGaussian(2.0, 1.0, 1, 4)};
+  const double budget = 4.0;
+  const std::vector<double> thresholds = {3.0, 2.0};
+  const std::vector<int> ordering = {0, 1};
+
+  auto model = DetectionModel::Create(instance, budget);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetThresholds(thresholds).ok());
+  const auto pal = model->DetectionProbabilities(ordering);
+  ASSERT_TRUE(pal.ok());
+
+  // Enumerate the joint support, computing E[n_t / Z_t] directly from the
+  // audit executor (independent implementation of the recourse semantics).
+  audit::AuditConfiguration config;
+  config.ordering = ordering;
+  config.thresholds = thresholds;
+  config.audit_costs = instance.audit_costs;
+  config.budget = budget;
+  std::vector<double> expected(2, 0.0);
+  for (int z0 = 1; z0 <= 5; ++z0) {
+    for (int z1 = 1; z1 <= 4; ++z1) {
+      const double p = instance.alert_distributions[0].Pmf(z0) *
+                       instance.alert_distributions[1].Pmf(z1);
+      const auto audited = audit::AuditedCounts(config, {z0, z1});
+      ASSERT_TRUE(audited.ok());
+      expected[0] += p * static_cast<double>((*audited)[0]) / z0;
+      expected[1] += p * static_cast<double>((*audited)[1]) / z1;
+    }
+  }
+  EXPECT_NEAR((*pal)[0], expected[0], 1e-9);
+  EXPECT_NEAR((*pal)[1], expected[1], 1e-9);
+}
+
+TEST(DetectionModelTest, MonteCarloConvergesToExact) {
+  GameInstance instance = MakeTinyGame();
+  instance.alert_distributions = {
+      *prob::CountDistribution::DiscretizedGaussian(4.0, 1.5, 1, 8),
+      *prob::CountDistribution::DiscretizedGaussian(3.0, 1.0, 1, 6)};
+  const std::vector<double> thresholds = {3.0, 3.0};
+
+  auto exact = DetectionModel::Create(instance, 5.0);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(exact->SetThresholds(thresholds).ok());
+  const auto exact_pal = exact->DetectionProbabilities({0, 1});
+  ASSERT_TRUE(exact_pal.ok());
+
+  DetectionModel::Options mc_options;
+  mc_options.mode = DetectionModel::Mode::kMonteCarlo;
+  mc_options.mc_samples = 200000;
+  auto mc = DetectionModel::Create(instance, 5.0, mc_options);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE(mc->SetThresholds(thresholds).ok());
+  const auto mc_pal = mc->DetectionProbabilities({0, 1});
+  ASSERT_TRUE(mc_pal.ok());
+
+  EXPECT_NEAR((*mc_pal)[0], (*exact_pal)[0], 0.005);
+  EXPECT_NEAR((*mc_pal)[1], (*exact_pal)[1], 0.005);
+}
+
+TEST(DetectionModelTest, PrefixApiMatchesFullEvaluation) {
+  GameInstance instance = MakeTinyGame();
+  instance.alert_distributions = {
+      *prob::CountDistribution::DiscretizedGaussian(4.0, 1.5, 1, 8),
+      *prob::CountDistribution::DiscretizedGaussian(3.0, 1.0, 1, 6)};
+  auto model = DetectionModel::Create(instance, 5.0);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetThresholds({3.0, 3.0}).ok());
+  const auto full = model->DetectionProbabilities({1, 0});
+  ASSERT_TRUE(full.ok());
+
+  DetectionModel::Prefix prefix = model->EmptyPrefix();
+  const double pal1 = model->PalGivenPrefix(prefix, 1);
+  model->ExtendPrefix(prefix, 1);
+  const double pal0 = model->PalGivenPrefix(prefix, 0);
+  EXPECT_NEAR(pal1, (*full)[1], 1e-12);
+  EXPECT_NEAR(pal0, (*full)[0], 1e-12);
+}
+
+TEST(DetectionModelTest, MorePrefixConsumptionLowersPal) {
+  const GameInstance instance = MakeTinyGame();
+  auto model = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetThresholds({2.0, 2.0}).ok());
+  DetectionModel::Prefix empty = model->EmptyPrefix();
+  const double before = model->PalGivenPrefix(empty, 1);
+  model->ExtendPrefix(empty, 0);
+  const double after = model->PalGivenPrefix(empty, 1);
+  EXPECT_GT(before, after);
+}
+
+TEST(DetectionModelTest, InclusiveSemanticsLowersPal) {
+  const GameInstance instance = MakeTinyGame();
+  DetectionModel::Options inclusive;
+  inclusive.semantics = DetectionModel::Semantics::kInclusiveAttack;
+  auto a = DetectionModel::Create(instance, 3.0);
+  auto b = DetectionModel::Create(instance, 3.0, inclusive);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  ASSERT_TRUE(a->SetThresholds({2.0, 2.0}).ok());
+  ASSERT_TRUE(b->SetThresholds({2.0, 2.0}).ok());
+  const auto pal_a = a->DetectionProbabilities({0, 1});
+  const auto pal_b = b->DetectionProbabilities({0, 1});
+  ASSERT_TRUE(pal_a.ok());
+  ASSERT_TRUE(pal_b.ok());
+  // Bin of 2 + attack = 3, capacity 2 -> 2/3 < 1; capacity 1 -> 1/3 < 1/2.
+  EXPECT_NEAR((*pal_b)[0], 2.0 / 3, 1e-12);
+  EXPECT_NEAR((*pal_b)[1], 1.0 / 3, 1e-12);
+  EXPECT_LT((*pal_b)[0], (*pal_a)[0]);
+  EXPECT_LT((*pal_b)[1], (*pal_a)[1]);
+}
+
+TEST(DetectionModelTest, ReservedConsumptionStarvesLaterTypes) {
+  // Type 0: threshold 4 but only 2 alerts arrive (constant). Realized
+  // consumption leaves budget for type 1; reserved consumption does not.
+  GameInstance instance = MakeTinyGame();
+  auto realized = DetectionModel::Create(instance, 5.0);
+  DetectionModel::Options opts;
+  opts.consumption = DetectionModel::Consumption::kReserved;
+  auto reserved = DetectionModel::Create(instance, 5.0, opts);
+  ASSERT_TRUE(realized.ok());
+  ASSERT_TRUE(reserved.ok());
+  ASSERT_TRUE(realized->SetThresholds({4.0, 2.0}).ok());
+  ASSERT_TRUE(reserved->SetThresholds({4.0, 2.0}).ok());
+  const auto pal_realized = realized->DetectionProbabilities({0, 1});
+  const auto pal_reserved = reserved->DetectionProbabilities({0, 1});
+  ASSERT_TRUE(pal_realized.ok());
+  ASSERT_TRUE(pal_reserved.ok());
+  // Realized: consumed min(4, 2) = 2 -> 3 left -> type 1 audits 2/2.
+  EXPECT_NEAR((*pal_realized)[1], 1.0, 1e-12);
+  // Reserved: consumed 4 -> 1 left -> type 1 audits 1/2.
+  EXPECT_NEAR((*pal_reserved)[1], 0.5, 1e-12);
+}
+
+// Property sweep: for any ordering and thresholds, Pal values are in [0,1]
+// and monotonically non-increasing when the budget shrinks.
+class DetectionPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(DetectionPropertyTest, BudgetMonotonicity) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 31 + 7);
+  GameInstance instance = MakeTinyGame();
+  instance.type_names = {"a", "b", "c"};
+  instance.audit_costs = {1.0, 1.0, 1.0};
+  instance.alert_distributions.clear();
+  for (int t = 0; t < 3; ++t) {
+    const int mean = 2 + static_cast<int>(rng.UniformInt(4));
+    instance.alert_distributions.push_back(
+        *prob::CountDistribution::DiscretizedGaussian(
+            mean, 1.0 + rng.Uniform(), 1, mean + 4));
+  }
+  instance.adversaries[0].victims[0].type_probs = {1.0, 0.0, 0.0};
+  instance.adversaries[0].victims[1].type_probs = {0.0, 1.0, 0.0};
+
+  std::vector<double> thresholds(3);
+  for (auto& b : thresholds) b = static_cast<double>(rng.UniformInt(6));
+  std::vector<int> ordering = {0, 1, 2};
+  rng.Shuffle(ordering);
+
+  std::vector<double> previous(3, 0.0);
+  for (double budget : {0.0, 2.0, 4.0, 8.0, 16.0}) {
+    auto model = DetectionModel::Create(instance, budget);
+    ASSERT_TRUE(model.ok());
+    ASSERT_TRUE(model->SetThresholds(thresholds).ok());
+    const auto pal = model->DetectionProbabilities(ordering);
+    ASSERT_TRUE(pal.ok());
+    for (int t = 0; t < 3; ++t) {
+      EXPECT_GE((*pal)[t], previous[t] - 1e-9)
+          << "budget " << budget << " type " << t;
+      EXPECT_GE((*pal)[t], -1e-12);
+      EXPECT_LE((*pal)[t], 1.0 + 1e-12);
+      previous[t] = (*pal)[t];
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Random, DetectionPropertyTest, ::testing::Range(0, 20));
+
+}  // namespace
+}  // namespace auditgame::core

@@ -1,0 +1,229 @@
+#include "data/emr.h"
+
+#include <gtest/gtest.h>
+
+#include "core/detection.h"
+
+namespace auditgame::data {
+namespace {
+
+TEST(EmrRulesTest, CompositeTypesResolveFirst) {
+  audit::RuleEngine rules = BuildEmrRules(0.5);
+  EmrPerson employee{"e", "Smith", "D1", "A1", 1.0, 1.0};
+  // Family member at the same address, 0 distance: should be type 6
+  // (last name + address + neighbor), not any component type.
+  EmrPerson spouse{"p", "Smith", "", "A1", 1.0, 1.0};
+  auto match = rules.Match(MakeEmrAccessEvent(employee, spouse));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 6);
+}
+
+TEST(EmrRulesTest, ComponentTypesResolveAlone) {
+  audit::RuleEngine rules = BuildEmrRules(0.5);
+  EmrPerson employee{"e", "Smith", "D1", "A1", 1.0, 1.0};
+
+  // Same last name only, far away, different address.
+  EmrPerson cousin{"p", "Smith", "", "A9", 2.5, 2.5};
+  auto match = rules.Match(MakeEmrAccessEvent(employee, cousin));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 0);
+
+  // Department co-worker.
+  EmrPerson coworker{"p", "Jones", "D1", "A8", 2.9, 0.1};
+  match = rules.Match(MakeEmrAccessEvent(employee, coworker));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 1);
+
+  // Neighbor only.
+  EmrPerson neighbor{"p", "Lee", "", "A7", 1.2, 1.2};
+  match = rules.Match(MakeEmrAccessEvent(employee, neighbor));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 2);
+
+  // Unrelated -> benign.
+  EmrPerson stranger{"p", "Kim", "", "A5", 2.8, 0.2};
+  EXPECT_FALSE(rules.Match(MakeEmrAccessEvent(employee, stranger)).has_value());
+}
+
+TEST(EmrRulesTest, PairwiseCombinations) {
+  audit::RuleEngine rules = BuildEmrRules(0.5);
+  EmrPerson employee{"e", "Smith", "D1", "A1", 1.0, 1.0};
+
+  // Last name + neighbor (different address).
+  EmrPerson sibling{"p", "Smith", "", "A2", 1.1, 1.1};
+  auto match = rules.Match(MakeEmrAccessEvent(employee, sibling));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 4);
+
+  // Address + neighbor (different name).
+  EmrPerson housemate{"p", "Jones", "", "A1", 1.05, 1.0};
+  match = rules.Match(MakeEmrAccessEvent(employee, housemate));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 5);
+
+  // Last name + address, geographically apart (synthetic geocoding allows
+  // the same address id at different coordinates; see DESIGN.md).
+  EmrPerson estranged{"p", "Smith", "", "A1", 2.9, 2.9};
+  match = rules.Match(MakeEmrAccessEvent(employee, estranged));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 3);
+}
+
+TEST(EmrWorldTest, GenerationIsDeterministic) {
+  EmrConfig config;
+  config.num_employees = 20;
+  config.num_patients = 20;
+  const auto a = GenerateEmrWorld(config);
+  const auto b = GenerateEmrWorld(config);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_EQ(a->pair_types, b->pair_types);
+}
+
+TEST(EmrWorldTest, AllSevenTypesOccur) {
+  const auto world = GenerateEmrWorld();
+  ASSERT_TRUE(world.ok());
+  std::vector<bool> seen(kEmrNumTypes, false);
+  for (const auto& row : world->pair_types) {
+    for (int type : row) {
+      if (type >= 0) seen[static_cast<size_t>(type)] = true;
+    }
+  }
+  for (int t = 0; t < kEmrNumTypes; ++t) EXPECT_TRUE(seen[t]) << "type " << t;
+}
+
+TEST(EmrGameTest, MatchesTableVIIIStatistics) {
+  const auto instance = MakeEmrGame();
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->num_types(), kEmrNumTypes);
+  for (int t = 0; t < kEmrNumTypes; ++t) {
+    EXPECT_NEAR(instance->alert_distributions[t].Mean(), kEmrAlertMeans[t],
+                kEmrAlertStds[t] * 0.2 + 1.0)
+        << "type " << t;
+  }
+}
+
+TEST(EmrGameTest, UtilityParametersApplied) {
+  const auto instance = MakeEmrGame();
+  ASSERT_TRUE(instance.ok());
+  EXPECT_EQ(instance->adversaries.size(), 50u);
+  for (const auto& adversary : instance->adversaries) {
+    EXPECT_TRUE(adversary.can_opt_out);
+    EXPECT_DOUBLE_EQ(adversary.attack_probability, 1.0);
+    EXPECT_EQ(adversary.victims.size(), 50u);
+    for (const auto& victim : adversary.victims) {
+      EXPECT_DOUBLE_EQ(victim.penalty, 15.0);
+      EXPECT_DOUBLE_EQ(victim.attack_cost, 1.0);
+    }
+  }
+}
+
+TEST(EmrGameTest, BenefitsFollowTypeVector) {
+  const auto instance = MakeEmrGame();
+  ASSERT_TRUE(instance.ok());
+  const std::vector<double> benefits = {10, 12, 12, 24, 25, 25, 27};
+  for (const auto& adversary : instance->adversaries) {
+    for (const auto& victim : adversary.victims) {
+      int type = -1;
+      for (int t = 0; t < kEmrNumTypes; ++t) {
+        if (victim.type_probs[static_cast<size_t>(t)] > 0) type = t;
+      }
+      if (type >= 0) {
+        EXPECT_DOUBLE_EQ(victim.benefit, benefits[static_cast<size_t>(type)]);
+      } else {
+        EXPECT_DOUBLE_EQ(victim.benefit, 0.0);
+      }
+    }
+  }
+}
+
+TEST(EmrGameTest, CompilesWithLargeReduction) {
+  const auto instance = MakeEmrGame();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = core::Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  // 2500 (e, p) pairs must collapse to at most |T|+1 victim classes per
+  // group and far fewer groups than employees.
+  EXPECT_LE(compiled->num_rows(), 50 * (kEmrNumTypes + 1));
+  EXPECT_LT(compiled->groups.size(), 50u);
+}
+
+TEST(EmrGameTest, RejectsBadBenefitVector) {
+  EmrConfig config;
+  config.type_benefits = {1, 2, 3};
+  EXPECT_FALSE(MakeEmrGame(config).ok());
+}
+
+
+TEST(EmrWorkloadTest, SimulatedLogHasExpectedShape) {
+  EmrConfig config;
+  config.num_employees = 20;
+  config.num_patients = 20;
+  const auto world = GenerateEmrWorld(config);
+  ASSERT_TRUE(world.ok());
+  const auto log = SimulateAccessLog(*world, /*days=*/14,
+                                     /*accesses_per_employee_per_day=*/30,
+                                     /*seed=*/5);
+  ASSERT_TRUE(log.ok());
+  EXPECT_EQ(log->num_types(), kEmrNumTypes);
+  EXPECT_EQ(log->num_periods(), 14);
+  // Some alerts must have fired overall.
+  int64_t total = 0;
+  for (int t = 0; t < kEmrNumTypes; ++t) {
+    const auto counts = log->PeriodCounts(t);
+    ASSERT_TRUE(counts.ok());
+    ASSERT_EQ(counts->size(), 14u);
+    for (int c : *counts) total += c;
+  }
+  EXPECT_GT(total, 0);
+}
+
+TEST(EmrWorkloadTest, SimulatedLogIsDeterministic) {
+  EmrConfig config;
+  config.num_employees = 10;
+  config.num_patients = 10;
+  const auto world = GenerateEmrWorld(config);
+  ASSERT_TRUE(world.ok());
+  const auto a = SimulateAccessLog(*world, 5, 20, 7);
+  const auto b = SimulateAccessLog(*world, 5, 20, 7);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  for (int t = 0; t < kEmrNumTypes; ++t) {
+    EXPECT_EQ(a->PeriodCounts(t).value(), b->PeriodCounts(t).value());
+  }
+}
+
+TEST(EmrWorkloadTest, RejectsBadParameters) {
+  const auto world = GenerateEmrWorld();
+  ASSERT_TRUE(world.ok());
+  EXPECT_FALSE(SimulateAccessLog(*world, 0, 10, 1).ok());
+  EXPECT_FALSE(SimulateAccessLog(*world, 5, 0, 1).ok());
+}
+
+TEST(EmrWorkloadTest, GameFromLogsIsSolvable) {
+  EmrConfig config;
+  config.num_employees = 12;
+  config.num_patients = 12;
+  const auto instance = MakeEmrGameFromLogs(config, /*days=*/20,
+                                            /*accesses=*/40);
+  ASSERT_TRUE(instance.ok()) << instance.status();
+  EXPECT_TRUE(instance->Validate().ok());
+  // The learned distributions differ from Table VIII but must be usable.
+  const auto compiled = core::Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = core::DetectionModel::Create(*instance, 10.0);
+  ASSERT_TRUE(detection.ok());
+  std::vector<double> thresholds(static_cast<size_t>(kEmrNumTypes), 2.0);
+  ASSERT_TRUE(detection->SetThresholds(thresholds).ok());
+  std::vector<int> ordering(static_cast<size_t>(kEmrNumTypes));
+  for (int t = 0; t < kEmrNumTypes; ++t) ordering[static_cast<size_t>(t)] = t;
+  const auto pal = detection->DetectionProbabilities(ordering);
+  ASSERT_TRUE(pal.ok());
+  for (double p : *pal) {
+    EXPECT_GE(p, 0.0);
+    EXPECT_LE(p, 1.0);
+  }
+}
+
+}  // namespace
+}  // namespace auditgame::data

@@ -1,0 +1,158 @@
+#include "audit/executor.h"
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace auditgame::audit {
+namespace {
+
+AuditConfiguration MakeConfig(std::vector<int> ordering,
+                              std::vector<double> thresholds, double budget) {
+  AuditConfiguration config;
+  config.ordering = std::move(ordering);
+  config.thresholds = std::move(thresholds);
+  config.audit_costs.assign(config.thresholds.size(), 1.0);
+  config.budget = budget;
+  return config;
+}
+
+TEST(AuditConfigurationTest, ValidatesPermutation) {
+  EXPECT_TRUE(MakeConfig({0, 1, 2}, {1, 1, 1}, 3).Validate().ok());
+  EXPECT_FALSE(MakeConfig({0, 0, 2}, {1, 1, 1}, 3).Validate().ok());
+  EXPECT_FALSE(MakeConfig({0, 1}, {1, 1, 1}, 3).Validate().ok());
+  EXPECT_FALSE(MakeConfig({0, 1, 3}, {1, 1, 1}, 3).Validate().ok());
+}
+
+TEST(AuditConfigurationTest, ValidatesEconomics) {
+  auto config = MakeConfig({0}, {1}, 1);
+  config.audit_costs = {0.0};
+  EXPECT_FALSE(config.Validate().ok());
+  config.audit_costs = {1.0};
+  config.thresholds = {-1.0};
+  EXPECT_FALSE(config.Validate().ok());
+  config.thresholds = {1.0};
+  config.budget = -1;
+  EXPECT_FALSE(config.Validate().ok());
+}
+
+TEST(AuditedCountsTest, BudgetLimitsTotalAudits) {
+  // B = 2, thresholds 1 each: only the first two types in the order get one
+  // audit each.
+  const auto config = MakeConfig({0, 1, 2, 3}, {1, 1, 1, 1}, 2);
+  const auto audited = AuditedCounts(config, {5, 5, 5, 5});
+  ASSERT_TRUE(audited.ok());
+  EXPECT_EQ(*audited, (std::vector<int>{1, 1, 0, 0}));
+}
+
+TEST(AuditedCountsTest, OrderingControlsWhoIsStarved) {
+  const auto config = MakeConfig({3, 2, 1, 0}, {1, 1, 1, 1}, 2);
+  const auto audited = AuditedCounts(config, {5, 5, 5, 5});
+  ASSERT_TRUE(audited.ok());
+  EXPECT_EQ(*audited, (std::vector<int>{0, 0, 1, 1}));
+}
+
+TEST(AuditedCountsTest, ThresholdCapsPerType) {
+  const auto config = MakeConfig({0, 1}, {3, 10}, 100);
+  const auto audited = AuditedCounts(config, {7, 4});
+  ASSERT_TRUE(audited.ok());
+  EXPECT_EQ((*audited)[0], 3);  // threshold-capped
+  EXPECT_EQ((*audited)[1], 4);  // count-capped
+}
+
+TEST(AuditedCountsTest, RealizedConsumptionFreesBudget) {
+  // Type 0 has threshold 5 but only 2 alerts arrive: it consumes 2, leaving
+  // 8 for type 1 (paper's min(b, Z*C) consumption).
+  const auto config = MakeConfig({0, 1}, {5, 10}, 10);
+  const auto audited = AuditedCounts(config, {2, 20});
+  ASSERT_TRUE(audited.ok());
+  EXPECT_EQ((*audited)[0], 2);
+  EXPECT_EQ((*audited)[1], 8);
+}
+
+TEST(AuditedCountsTest, UnrealizedThresholdStillReservedWhenAlertsArrive) {
+  // Type 0: threshold 5, 9 alerts -> audits 5, consumes 5; type 1 gets 5.
+  const auto config = MakeConfig({0, 1}, {5, 10}, 10);
+  const auto audited = AuditedCounts(config, {9, 20});
+  ASSERT_TRUE(audited.ok());
+  EXPECT_EQ((*audited)[0], 5);
+  EXPECT_EQ((*audited)[1], 5);
+}
+
+TEST(AuditedCountsTest, NonUnitCostsFloorTheCapacity) {
+  AuditConfiguration config;
+  config.ordering = {0, 1};
+  config.thresholds = {5.0, 10.0};
+  config.audit_costs = {2.0, 3.0};
+  config.budget = 10.0;
+  // Type 0: floor(5/2) = 2 audits, consumes min(5, 4*2) = 5.
+  // Type 1: remaining 5 -> floor(5/3) = 1 audit (threshold allows 3).
+  const auto audited = AuditedCounts(config, {4, 9});
+  ASSERT_TRUE(audited.ok());
+  EXPECT_EQ((*audited)[0], 2);
+  EXPECT_EQ((*audited)[1], 1);
+}
+
+TEST(AuditedCountsTest, ZeroBudgetAuditsNothing) {
+  const auto config = MakeConfig({0, 1}, {5, 5}, 0);
+  const auto audited = AuditedCounts(config, {3, 3});
+  ASSERT_TRUE(audited.ok());
+  EXPECT_EQ(*audited, (std::vector<int>{0, 0}));
+}
+
+TEST(AuditedCountsTest, RejectsCountSizeMismatch) {
+  const auto config = MakeConfig({0, 1}, {1, 1}, 2);
+  EXPECT_FALSE(AuditedCounts(config, {1}).ok());
+}
+
+TEST(SimulateDayTest, NoAttackNeverDetects) {
+  const auto config = MakeConfig({0, 1}, {2, 2}, 4);
+  util::Rng rng(7);
+  const auto outcome = SimulateDay(config, {3, 3}, -1, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_FALSE(outcome->attack_alert_raised);
+  EXPECT_FALSE(outcome->attack_detected);
+  EXPECT_EQ(outcome->alert_counts, (std::vector<int>{3, 3}));
+}
+
+TEST(SimulateDayTest, AttackAlertJoinsBin) {
+  const auto config = MakeConfig({0, 1}, {2, 2}, 4);
+  util::Rng rng(7);
+  const auto outcome = SimulateDay(config, {3, 3}, 1, rng);
+  ASSERT_TRUE(outcome.ok());
+  EXPECT_TRUE(outcome->attack_alert_raised);
+  EXPECT_EQ(outcome->alert_counts[1], 4);
+}
+
+TEST(SimulateDayTest, FullCoverageAlwaysDetects) {
+  const auto config = MakeConfig({0}, {100}, 100);
+  util::Rng rng(11);
+  for (int i = 0; i < 20; ++i) {
+    const auto outcome = SimulateDay(config, {5}, 0, rng);
+    ASSERT_TRUE(outcome.ok());
+    EXPECT_TRUE(outcome->attack_detected);
+  }
+}
+
+TEST(SimulateDayTest, EmpiricalDetectionRateMatchesRatio) {
+  // Bin of 4 benign + 1 attack, capacity 2 -> detection prob 2/5.
+  const auto config = MakeConfig({0}, {2}, 2);
+  util::Rng rng(13);
+  int detected = 0;
+  const int n = 50000;
+  for (int i = 0; i < n; ++i) {
+    const auto outcome = SimulateDay(config, {4}, 0, rng);
+    ASSERT_TRUE(outcome.ok());
+    if (outcome->attack_detected) ++detected;
+  }
+  EXPECT_NEAR(detected / static_cast<double>(n), 0.4, 0.01);
+}
+
+TEST(SimulateDayTest, RejectsBadAttackType) {
+  const auto config = MakeConfig({0}, {1}, 1);
+  util::Rng rng(1);
+  EXPECT_FALSE(SimulateDay(config, {1}, 5, rng).ok());
+}
+
+}  // namespace
+}  // namespace auditgame::audit

@@ -1,0 +1,147 @@
+#include "core/extensions.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/cggs.h"
+#include "core/game_lp.h"
+#include "tests/test_util.h"
+
+namespace auditgame::core {
+namespace {
+
+using testutil::MakeTinyGame;
+
+AuditPolicy MixedPolicy() {
+  AuditPolicy policy;
+  policy.budget = 3.0;
+  policy.thresholds = {2.0, 2.0};
+  policy.orderings = {{0, 1}, {1, 0}};
+  policy.probabilities = {0.5, 0.5};
+  return policy;
+}
+
+TEST(QuantalResponseTest, RejectsBadLambda) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  EXPECT_FALSE(EvaluateQuantalResponse(*compiled, *detection, MixedPolicy(),
+                                       -1.0)
+                   .ok());
+}
+
+TEST(QuantalResponseTest, LambdaZeroIsUniform) {
+  // With Pal = [0.75, 0.75] the utilities are v0: -1.5, v1: -1.0, opt
+  // out: 0. Uniform mixing over the three options gives loss -2.5/3.
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto eval =
+      EvaluateQuantalResponse(*compiled, *detection, MixedPolicy(), 0.0);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, -2.5 / 3, 1e-9);
+  EXPECT_NEAR(eval->opt_out_probability[0], 1.0 / 3, 1e-9);
+}
+
+TEST(QuantalResponseTest, LargeLambdaRecoversBestResponse) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto qr =
+      EvaluateQuantalResponse(*compiled, *detection, MixedPolicy(), 100.0);
+  const auto best = EvaluatePolicy(*compiled, *detection, MixedPolicy());
+  ASSERT_TRUE(qr.ok());
+  ASSERT_TRUE(best.ok());
+  EXPECT_NEAR(qr->auditor_loss, best->auditor_loss, 1e-6);
+  // Best response is opt-out here.
+  EXPECT_NEAR(qr->opt_out_probability[0], 1.0, 1e-6);
+}
+
+TEST(QuantalResponseTest, MonotoneInLambdaTowardBestResponse) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  double previous = -1e18;
+  for (double lambda : {0.0, 0.5, 1.0, 2.0, 8.0}) {
+    const auto eval = EvaluateQuantalResponse(*compiled, *detection,
+                                              MixedPolicy(), lambda);
+    ASSERT_TRUE(eval.ok());
+    // Sharper adversaries extract weakly more utility.
+    EXPECT_GE(eval->auditor_loss, previous - 1e-9);
+    previous = eval->auditor_loss;
+  }
+}
+
+TEST(NonZeroSumTest, DeterredAdversaryCostsNothing) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto eval = EvaluateNonZeroSum(*compiled, *detection, MixedPolicy());
+  ASSERT_TRUE(eval.ok());
+  // Under the mixed policy the adversary opts out: both losses are 0.
+  EXPECT_NEAR(eval->zero_sum_loss, 0.0, 1e-9);
+  EXPECT_NEAR(eval->auditor_loss, 0.0, 1e-9);
+}
+
+TEST(NonZeroSumTest, SuccessfulViolationLossExceedsZeroSum) {
+  // Without opt-out the adversary attacks; the zero-sum loss nets out the
+  // adversary's own costs, while the auditor's true loss (1 - Pat) * R is
+  // larger.
+  const GameInstance instance = MakeTinyGame(/*can_opt_out=*/false);
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto eval = EvaluateNonZeroSum(*compiled, *detection, MixedPolicy());
+  ASSERT_TRUE(eval.ok());
+  // Best response is v1 (utility -1.0); (1 - 0.75) * 6 = 1.5.
+  EXPECT_NEAR(eval->zero_sum_loss, -1.0, 1e-9);
+  EXPECT_NEAR(eval->auditor_loss, 1.5, 1e-9);
+  EXPECT_GT(eval->auditor_loss, eval->zero_sum_loss);
+}
+
+TEST(ScaleUtilitiesTest, MultipliersApply) {
+  const GameInstance instance = MakeTinyGame();
+  const GameInstance scaled = ScaleUtilities(instance, 2.0, 0.5, 3.0);
+  const VictimProfile& original = instance.adversaries[0].victims[0];
+  const VictimProfile& modified = scaled.adversaries[0].victims[0];
+  EXPECT_DOUBLE_EQ(modified.benefit, 2.0 * original.benefit);
+  EXPECT_DOUBLE_EQ(modified.penalty, 0.5 * original.penalty);
+  EXPECT_DOUBLE_EQ(modified.attack_cost, 3.0 * original.attack_cost);
+  EXPECT_TRUE(scaled.Validate().ok());
+}
+
+TEST(ScaleUtilitiesTest, HigherPenaltyWeaklyLowersOptimalLoss) {
+  const GameInstance base = MakeTinyGame(/*can_opt_out=*/false);
+  const auto compiled_base = Compile(base);
+  ASSERT_TRUE(compiled_base.ok());
+  auto detection_base = DetectionModel::Create(base, 3.0);
+  ASSERT_TRUE(detection_base.ok());
+  const auto loss_base =
+      SolveFullGameLp(*compiled_base, *detection_base, {2.0, 2.0});
+  ASSERT_TRUE(loss_base.ok());
+
+  const GameInstance harsh = ScaleUtilities(base, 1.0, 4.0, 1.0);
+  const auto compiled_harsh = Compile(harsh);
+  ASSERT_TRUE(compiled_harsh.ok());
+  auto detection_harsh = DetectionModel::Create(harsh, 3.0);
+  ASSERT_TRUE(detection_harsh.ok());
+  const auto loss_harsh =
+      SolveFullGameLp(*compiled_harsh, *detection_harsh, {2.0, 2.0});
+  ASSERT_TRUE(loss_harsh.ok());
+  EXPECT_LE(loss_harsh->objective, loss_base->objective + 1e-9);
+}
+
+}  // namespace
+}  // namespace auditgame::core

@@ -1,0 +1,100 @@
+#include "util/flags.h"
+
+#include <gtest/gtest.h>
+
+namespace auditgame::util {
+namespace {
+
+std::vector<char*> MakeArgv(std::vector<std::string>& args) {
+  std::vector<char*> argv;
+  argv.reserve(args.size());
+  for (auto& a : args) argv.push_back(a.data());
+  return argv;
+}
+
+TEST(FlagParserTest, DefaultsApply) {
+  FlagParser parser;
+  parser.Define("budget", "10", "audit budget");
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.GetInt("budget"), 10);
+}
+
+TEST(FlagParserTest, EqualsSyntax) {
+  FlagParser parser;
+  parser.Define("eps", "0.1", "step size");
+  std::vector<std::string> args = {"prog", "--eps=0.25"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_DOUBLE_EQ(parser.GetDouble("eps"), 0.25);
+}
+
+TEST(FlagParserTest, SpaceSyntax) {
+  FlagParser parser;
+  parser.Define("name", "x", "a name");
+  std::vector<std::string> args = {"prog", "--name", "hello"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_EQ(parser.GetString("name"), "hello");
+}
+
+TEST(FlagParserTest, BooleanForm) {
+  FlagParser parser;
+  parser.Define("verbose", "false", "chatty output");
+  std::vector<std::string> args = {"prog", "--verbose"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(parser.GetBool("verbose"));
+}
+
+TEST(FlagParserTest, UnknownFlagRejected) {
+  FlagParser parser;
+  parser.Define("known", "1", "known flag");
+  std::vector<std::string> args = {"prog", "--unknown=2"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+TEST(FlagParserTest, HelpRequested) {
+  FlagParser parser;
+  parser.Define("x", "1", "something");
+  std::vector<std::string> args = {"prog", "--help"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  EXPECT_TRUE(parser.help_requested());
+  EXPECT_NE(parser.HelpString("prog").find("--x"), std::string::npos);
+}
+
+TEST(FlagParserTest, DoubleList) {
+  FlagParser parser;
+  parser.Define("eps", "0.1,0.2,0.3", "step sizes");
+  std::vector<std::string> args = {"prog"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  const auto values = parser.GetDoubleList("eps");
+  ASSERT_EQ(values.size(), 3u);
+  EXPECT_DOUBLE_EQ(values[1], 0.2);
+}
+
+TEST(FlagParserTest, IntList) {
+  FlagParser parser;
+  parser.Define("budgets", "2,4,6", "budgets");
+  std::vector<std::string> args = {"prog", "--budgets=10,20"};
+  auto argv = MakeArgv(args);
+  ASSERT_TRUE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+  const auto values = parser.GetIntList("budgets");
+  ASSERT_EQ(values.size(), 2u);
+  EXPECT_EQ(values[0], 10);
+  EXPECT_EQ(values[1], 20);
+}
+
+TEST(FlagParserTest, PositionalArgumentRejected) {
+  FlagParser parser;
+  std::vector<std::string> args = {"prog", "positional"};
+  auto argv = MakeArgv(args);
+  EXPECT_FALSE(parser.Parse(static_cast<int>(argv.size()), argv.data()).ok());
+}
+
+}  // namespace
+}  // namespace auditgame::util

@@ -1,0 +1,134 @@
+#include "core/game_io.h"
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "data/syn_a.h"
+#include "tests/test_util.h"
+
+namespace auditgame::core {
+namespace {
+
+using testutil::MakeTinyGame;
+
+TEST(GameIoTest, RoundTripPreservesStructure) {
+  const GameInstance original = MakeTinyGame();
+  const auto reparsed = ParseGame(SerializeGame(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_EQ(reparsed->num_types(), original.num_types());
+  EXPECT_EQ(reparsed->type_names, original.type_names);
+  EXPECT_EQ(reparsed->audit_costs, original.audit_costs);
+  ASSERT_EQ(reparsed->adversaries.size(), original.adversaries.size());
+  for (size_t e = 0; e < original.adversaries.size(); ++e) {
+    const Adversary& a = original.adversaries[e];
+    const Adversary& b = reparsed->adversaries[e];
+    EXPECT_EQ(a.can_opt_out, b.can_opt_out);
+    EXPECT_DOUBLE_EQ(a.attack_probability, b.attack_probability);
+    ASSERT_EQ(a.victims.size(), b.victims.size());
+    for (size_t v = 0; v < a.victims.size(); ++v) {
+      EXPECT_EQ(a.victims[v].type_probs, b.victims[v].type_probs);
+      EXPECT_DOUBLE_EQ(a.victims[v].benefit, b.victims[v].benefit);
+    }
+  }
+  // Distributions survive as pmfs.
+  for (int t = 0; t < original.num_types(); ++t) {
+    EXPECT_EQ(reparsed->alert_distributions[t].min_value(),
+              original.alert_distributions[t].min_value());
+    EXPECT_EQ(reparsed->alert_distributions[t].max_value(),
+              original.alert_distributions[t].max_value());
+    EXPECT_NEAR(reparsed->alert_distributions[t].Mean(),
+                original.alert_distributions[t].Mean(), 1e-9);
+  }
+}
+
+TEST(GameIoTest, RoundTripPreservesSolverResult) {
+  // The acid test: solving the reloaded Syn A gives the same optimum.
+  const auto original = data::MakeSynA();
+  ASSERT_TRUE(original.ok());
+  const auto reparsed = ParseGame(SerializeGame(*original));
+  ASSERT_TRUE(reparsed.ok());
+  const auto a = SolveBruteForce(*original, 6.0);
+  const auto b = SolveBruteForce(*reparsed, 6.0);
+  ASSERT_TRUE(a.ok());
+  ASSERT_TRUE(b.ok());
+  EXPECT_NEAR(a->objective, b->objective, 1e-9);
+  EXPECT_EQ(a->thresholds, b->thresholds);
+}
+
+TEST(GameIoTest, ParsesGaussianAndOtherKinds) {
+  const std::string text = R"({
+    "types": [
+      {"name": "g", "audit_cost": 1,
+       "counts": {"kind": "gaussian", "mean": 6, "stddev": 2,
+                  "min": 1, "max": 11}},
+      {"name": "p", "audit_cost": 2,
+       "counts": {"kind": "poisson", "lambda": 3}},
+      {"name": "c", "audit_cost": 1,
+       "counts": {"kind": "constant", "value": 4}}
+    ],
+    "adversaries": [
+      {"attack_probability": 1, "can_opt_out": true,
+       "victims": [{"type_probs": [1, 0, 0], "benefit": 5,
+                    "penalty": 2, "attack_cost": 1}]}
+    ]
+  })";
+  const auto game = ParseGame(text);
+  ASSERT_TRUE(game.ok()) << game.status();
+  EXPECT_EQ(game->num_types(), 3);
+  EXPECT_EQ(game->alert_distributions[0].min_value(), 1);
+  EXPECT_EQ(game->alert_distributions[0].max_value(), 11);
+  EXPECT_NEAR(game->alert_distributions[1].Mean(), 3.0, 0.05);
+  EXPECT_EQ(game->alert_distributions[2].min_value(), 4);
+  EXPECT_EQ(game->alert_distributions[2].max_value(), 4);
+}
+
+TEST(GameIoTest, RejectsMalformedGames) {
+  EXPECT_FALSE(ParseGame("not json").ok());
+  EXPECT_FALSE(ParseGame("{}").ok());
+  EXPECT_FALSE(ParseGame(R"({"types": [], "adversaries": []})").ok());
+  // Victim with wrong type_probs arity fails instance validation.
+  EXPECT_FALSE(ParseGame(R"({
+    "types": [{"name": "t", "audit_cost": 1,
+               "counts": {"kind": "constant", "value": 2}}],
+    "adversaries": [{"attack_probability": 1,
+                     "victims": [{"type_probs": [1, 0], "benefit": 1,
+                                  "penalty": 1, "attack_cost": 1}]}]
+  })").ok());
+  // Unknown distribution kind.
+  EXPECT_FALSE(ParseGame(R"({
+    "types": [{"name": "t", "audit_cost": 1,
+               "counts": {"kind": "weird"}}],
+    "adversaries": []
+  })").ok());
+}
+
+TEST(PolicyIoTest, RoundTrip) {
+  AuditPolicy policy;
+  policy.budget = 10.0;
+  policy.thresholds = {3.0, 3.0};
+  policy.orderings = {{0, 1}, {1, 0}};
+  policy.probabilities = {0.25, 0.75};
+  const auto reparsed = ParsePolicy(SerializePolicy(policy));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  EXPECT_DOUBLE_EQ(reparsed->budget, 10.0);
+  EXPECT_EQ(reparsed->orderings, policy.orderings);
+  EXPECT_EQ(reparsed->thresholds, policy.thresholds);
+  EXPECT_DOUBLE_EQ(reparsed->probabilities[1], 0.75);
+}
+
+TEST(PolicyIoTest, RejectsInvalidPolicies) {
+  EXPECT_FALSE(ParsePolicy("{}").ok());
+  // Probabilities not summing to 1 fail Validate.
+  EXPECT_FALSE(ParsePolicy(R"({
+    "budget": 5, "thresholds": [1, 1],
+    "orderings": [[0, 1]], "probabilities": [0.5]
+  })").ok());
+  // Ordering not a permutation.
+  EXPECT_FALSE(ParsePolicy(R"({
+    "budget": 5, "thresholds": [1, 1],
+    "orderings": [[0, 0]], "probabilities": [1.0]
+  })").ok());
+}
+
+}  // namespace
+}  // namespace auditgame::core

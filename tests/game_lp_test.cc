@@ -1,0 +1,116 @@
+#include "core/game_lp.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace auditgame::core {
+namespace {
+
+using testutil::MakeMediumGame;
+using testutil::MakeTinyGame;
+
+TEST(GameLpTest, SingleOrderingIsPureStrategy) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_TRUE(detection->SetThresholds({2.0, 2.0}).ok());
+  const auto solution =
+      SolveRestrictedGameLp(*compiled, *detection, {{0, 1}});
+  ASSERT_TRUE(solution.ok());
+  EXPECT_NEAR(solution->ordering_probs[0], 1.0, 1e-9);
+  // Matches the hand-computed best response of policy_test: loss 1.
+  EXPECT_NEAR(solution->objective, 1.0, 1e-9);
+}
+
+TEST(GameLpTest, TwoOrderingsAllowMixing) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_TRUE(detection->SetThresholds({2.0, 2.0}).ok());
+  const auto solution =
+      SolveRestrictedGameLp(*compiled, *detection, {{0, 1}, {1, 0}});
+  ASSERT_TRUE(solution.ok());
+  // With opt-out the auditor can deter completely (see policy_test).
+  EXPECT_NEAR(solution->objective, 0.0, 1e-9);
+  EXPECT_NEAR(solution->ordering_probs[0] + solution->ordering_probs[1], 1.0,
+              1e-9);
+}
+
+TEST(GameLpTest, ObjectiveNeverWorseWithMoreColumns) {
+  const GameInstance instance = MakeMediumGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 5.0);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_TRUE(detection->SetThresholds({3.0, 3.0, 3.0}).ok());
+  const auto restricted =
+      SolveRestrictedGameLp(*compiled, *detection, {{0, 1, 2}});
+  const auto wider = SolveRestrictedGameLp(
+      *compiled, *detection, {{0, 1, 2}, {2, 1, 0}, {1, 2, 0}});
+  ASSERT_TRUE(restricted.ok());
+  ASSERT_TRUE(wider.ok());
+  EXPECT_LE(wider->objective, restricted->objective + 1e-9);
+}
+
+TEST(GameLpTest, DualsHaveExpectedStructure) {
+  const GameInstance instance = MakeTinyGame(/*can_opt_out=*/false);
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_TRUE(detection->SetThresholds({2.0, 2.0}).ok());
+  const auto solution =
+      SolveRestrictedGameLp(*compiled, *detection, {{0, 1}, {1, 0}});
+  ASSERT_TRUE(solution.ok());
+  // The victim-row duals are the adversary's mixed best response: they are
+  // non-negative and, per group, sum to the group weight.
+  double dual_total = 0.0;
+  for (double y : solution->victim_duals[0]) {
+    EXPECT_GE(y, -1e-9);
+    dual_total += y;
+  }
+  EXPECT_NEAR(dual_total, compiled->groups[0].weight, 1e-6);
+}
+
+TEST(GameLpTest, EmptyOrderingSetRejected) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_TRUE(detection->SetThresholds({2.0, 2.0}).ok());
+  EXPECT_FALSE(SolveRestrictedGameLp(*compiled, *detection, {}).ok());
+}
+
+TEST(FullLpTest, MatchesManualMixOnTinyGame) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto full = SolveFullGameLp(*compiled, *detection, {2.0, 2.0});
+  ASSERT_TRUE(full.ok());
+  EXPECT_NEAR(full->objective, 0.0, 1e-9);
+  EXPECT_TRUE(full->policy.Validate(2).ok());
+}
+
+TEST(FullLpTest, PolicyEvaluationAgreesWithLpObjective) {
+  const GameInstance instance = MakeMediumGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 4.0);
+  ASSERT_TRUE(detection.ok());
+  const auto full = SolveFullGameLp(*compiled, *detection, {3.0, 3.0, 4.0});
+  ASSERT_TRUE(full.ok());
+  const auto eval = EvaluatePolicy(*compiled, *detection, full->policy);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, full->objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace auditgame::core

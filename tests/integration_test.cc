@@ -1,0 +1,185 @@
+// End-to-end tests crossing module boundaries:
+//  * analytic detection probabilities vs. empirical audit simulation,
+//  * the full data -> game -> solver -> policy evaluation pipeline,
+//  * consistency of the solvers with each other on real instances.
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "audit/executor.h"
+#include "core/brute_force.h"
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/game_lp.h"
+#include "core/ishm.h"
+#include "core/policy.h"
+#include "data/credit.h"
+#include "data/emr.h"
+#include "data/syn_a.h"
+#include "util/random.h"
+
+namespace auditgame {
+namespace {
+
+// The analytic Pal (Eq. 1, inclusive-attack semantics) must match the
+// detection frequency measured by replaying the audit executor on sampled
+// days. This ties core::DetectionModel to audit::SimulateDay, two
+// independent implementations of the recourse semantics.
+TEST(IntegrationTest, AnalyticDetectionMatchesSimulation) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const double budget = 6.0;
+  const std::vector<double> thresholds = {2.0, 2.0, 2.0, 2.0};
+  const std::vector<int> ordering = {3, 1, 0, 2};
+
+  core::DetectionModel::Options options;
+  options.semantics = core::DetectionModel::Semantics::kInclusiveAttack;
+  auto model = core::DetectionModel::Create(*instance, budget, options);
+  ASSERT_TRUE(model.ok());
+  ASSERT_TRUE(model->SetThresholds(thresholds).ok());
+  const auto pal = model->DetectionProbabilities(ordering);
+  ASSERT_TRUE(pal.ok());
+
+  audit::AuditConfiguration config;
+  config.ordering = ordering;
+  config.thresholds = thresholds;
+  config.audit_costs = instance->audit_costs;
+  config.budget = budget;
+
+  util::Rng rng(20240101);
+  const int days = 60000;
+  for (int attack_type : {0, 2}) {
+    int detected = 0;
+    for (int day = 0; day < days; ++day) {
+      const std::vector<int> benign =
+          prob::SampleJoint(instance->alert_distributions, rng);
+      const auto outcome = audit::SimulateDay(config, benign, attack_type, rng);
+      ASSERT_TRUE(outcome.ok());
+      if (outcome->attack_detected) ++detected;
+    }
+    const double empirical = detected / static_cast<double>(days);
+    EXPECT_NEAR(empirical, (*pal)[attack_type], 0.01)
+        << "attack type " << attack_type;
+  }
+}
+
+// A deterred adversary (expected utility <= 0 for every victim) should also
+// look deterred when utilities are recomputed from first principles.
+TEST(IntegrationTest, DeterrenceIsConsistentWithUtilities) {
+  const auto instance = data::MakeCreditGame();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = core::Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  const double budget = 250.0;
+  auto detection = core::DetectionModel::Create(*instance, budget);
+  ASSERT_TRUE(detection.ok());
+
+  core::IshmOptions ishm_options;
+  ishm_options.step_size = 0.2;
+  auto evaluator = core::MakeCggsEvaluator(*compiled, *detection);
+  const auto result = core::SolveIshm(*instance, evaluator, ishm_options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 0.0, 1e-6);
+
+  // Mixed detection probabilities under the found policy must make every
+  // victim's expected utility non-positive.
+  const auto mixed =
+      core::MixedDetectionProbabilities(*detection, result->policy);
+  ASSERT_TRUE(mixed.ok());
+  for (const auto& group : compiled->groups) {
+    for (const auto& victim : group.victims) {
+      EXPECT_LE(core::AdversaryUtility(victim, *mixed), 1e-6);
+    }
+  }
+}
+
+// CGGS upper-bounds the full LP (it solves a restricted master), and both
+// must agree with direct policy evaluation.
+TEST(IntegrationTest, SolverHierarchyOnEmrGame) {
+  data::EmrConfig config;
+  config.num_employees = 15;
+  config.num_patients = 15;
+  const auto instance = data::MakeEmrGame(config);
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = core::Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  const double budget = 40.0;
+  auto detection = core::DetectionModel::Create(*instance, budget);
+  ASSERT_TRUE(detection.ok());
+
+  std::vector<double> thresholds(static_cast<size_t>(instance->num_types()));
+  for (int t = 0; t < instance->num_types(); ++t) {
+    thresholds[static_cast<size_t>(t)] =
+        0.3 * instance->alert_distributions[t].Mean();
+  }
+  // Round to whole audits.
+  for (double& b : thresholds) b = std::floor(b);
+
+  const auto cggs = core::SolveCggs(*compiled, *detection, thresholds);
+  ASSERT_TRUE(cggs.ok());
+  const auto eval = core::EvaluatePolicy(*compiled, *detection, cggs->policy);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, cggs->objective, 1e-6);
+
+  // Any single-ordering policy is no better than the CGGS mixture.
+  const auto single =
+      core::SolveRestrictedGameLp(*compiled, *detection,
+                                  {cggs->policy.orderings.front()});
+  ASSERT_TRUE(single.ok());
+  EXPECT_LE(cggs->objective, single->objective + 1e-9);
+}
+
+// Brute force is the global optimum: ISHM (any eps) and CGGS variants can
+// never beat it on Syn A.
+TEST(IntegrationTest, NoSolverBeatsBruteForce) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = core::Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  const double budget = 8.0;
+  const auto brute = core::SolveBruteForce(*instance, budget);
+  ASSERT_TRUE(brute.ok());
+  for (double eps : {0.1, 0.3, 0.5}) {
+    auto detection = core::DetectionModel::Create(*instance, budget);
+    ASSERT_TRUE(detection.ok());
+    core::IshmOptions options;
+    options.step_size = eps;
+    const auto full = core::SolveIshm(
+        *instance, core::MakeFullLpEvaluator(*compiled, *detection), options);
+    ASSERT_TRUE(full.ok());
+    EXPECT_GE(full->objective, brute->objective - 1e-9) << "eps " << eps;
+    const auto cggs = core::SolveIshm(
+        *instance, core::MakeCggsEvaluator(*compiled, *detection), options);
+    ASSERT_TRUE(cggs.ok());
+    EXPECT_GE(cggs->objective, brute->objective - 1e-7) << "eps " << eps;
+  }
+}
+
+// The EMR pipeline end to end: world generation -> rule labeling -> game
+// assembly -> solving -> a valid, evaluable policy whose loss decreases
+// with budget.
+TEST(IntegrationTest, EmrLossDecreasesWithBudget) {
+  data::EmrConfig config;
+  config.num_employees = 12;
+  config.num_patients = 12;
+  const auto instance = data::MakeEmrGame(config);
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = core::Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  double previous = 1e18;
+  for (double budget : {10.0, 40.0, 120.0}) {
+    auto detection = core::DetectionModel::Create(*instance, budget);
+    ASSERT_TRUE(detection.ok());
+    core::IshmOptions options;
+    options.step_size = 0.3;
+    const auto result = core::SolveIshm(
+        *instance, core::MakeCggsEvaluator(*compiled, *detection), options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_LE(result->objective, previous + 1e-9) << "budget " << budget;
+    previous = result->objective;
+    EXPECT_TRUE(result->policy.Validate(instance->num_types()).ok());
+  }
+}
+
+}  // namespace
+}  // namespace auditgame

@@ -1,0 +1,149 @@
+#include "core/ishm.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+#include "core/brute_force.h"
+#include "core/game_lp.h"
+#include "data/syn_a.h"
+#include "tests/test_util.h"
+
+namespace auditgame::core {
+namespace {
+
+using testutil::MakeTinyGame;
+
+TEST(IshmTest, RejectsBadStepSize) {
+  const GameInstance instance = MakeTinyGame();
+  auto evaluator = [](const std::vector<double>&)
+      -> util::StatusOr<ThresholdEvaluation> {
+    return ThresholdEvaluation{};
+  };
+  IshmOptions options;
+  options.step_size = 0.0;
+  EXPECT_FALSE(SolveIshm(instance, evaluator, options).ok());
+  options.step_size = 1.0;
+  EXPECT_FALSE(SolveIshm(instance, evaluator, options).ok());
+}
+
+TEST(IshmTest, FindsOptimumOnTinyGame) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  IshmOptions options;
+  options.step_size = 0.25;
+  const auto result = SolveIshm(
+      instance, MakeFullLpEvaluator(*compiled, *detection), options);
+  ASSERT_TRUE(result.ok());
+  // Full deterrence is achievable (policy_test): optimal loss 0.
+  EXPECT_NEAR(result->objective, 0.0, 1e-9);
+  EXPECT_GT(result->stats.evaluations, 0);
+  EXPECT_GE(result->stats.evaluations, result->stats.distinct_evaluations);
+}
+
+TEST(IshmTest, TracksAgainstBruteForceOnSynA) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  for (double budget : {6.0, 12.0}) {
+    const auto brute = SolveBruteForce(*instance, budget);
+    ASSERT_TRUE(brute.ok());
+    auto detection = DetectionModel::Create(*instance, budget);
+    ASSERT_TRUE(detection.ok());
+    IshmOptions options;
+    options.step_size = 0.1;
+    const auto ishm = SolveIshm(
+        *instance, MakeFullLpEvaluator(*compiled, *detection), options);
+    ASSERT_TRUE(ishm.ok());
+    // ISHM can only be worse than the optimum, and per Table VI should be
+    // within ~1% at eps = 0.1.
+    EXPECT_GE(ishm->objective, brute->objective - 1e-9);
+    EXPECT_LE(std::fabs(ishm->objective - brute->objective),
+              0.01 * std::fabs(brute->objective) + 1e-6)
+        << "budget " << budget;
+  }
+}
+
+TEST(IshmTest, SmallerEpsNeverFewerEvaluations) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 8.0);
+  ASSERT_TRUE(detection.ok());
+  int64_t previous = 0;
+  for (double eps : {0.5, 0.25, 0.1}) {
+    IshmOptions options;
+    options.step_size = eps;
+    const auto result = SolveIshm(
+        *instance, MakeFullLpEvaluator(*compiled, *detection), options);
+    ASSERT_TRUE(result.ok());
+    EXPECT_GE(result->stats.evaluations, previous);
+    previous = result->stats.evaluations;
+  }
+}
+
+TEST(IshmTest, EffectiveThresholdsAreWholeAudits) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 10.0);
+  ASSERT_TRUE(detection.ok());
+  IshmOptions options;
+  options.step_size = 0.15;
+  const auto result = SolveIshm(
+      *instance, MakeFullLpEvaluator(*compiled, *detection), options);
+  ASSERT_TRUE(result.ok());
+  for (int t = 0; t < instance->num_types(); ++t) {
+    const double audits = result->effective_thresholds[static_cast<size_t>(t)] /
+                          instance->audit_costs[static_cast<size_t>(t)];
+    EXPECT_NEAR(audits, std::round(audits), 1e-9);
+  }
+}
+
+TEST(IshmTest, CachedEvaluationsAreNotRecomputed) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 8.0);
+  ASSERT_TRUE(detection.ok());
+  int calls = 0;
+  auto counting_evaluator =
+      [&](const std::vector<double>& thresholds)
+      -> util::StatusOr<ThresholdEvaluation> {
+    ++calls;
+    return MakeFullLpEvaluator(*compiled, *detection)(thresholds);
+  };
+  IshmOptions options;
+  options.step_size = 0.2;
+  const auto result = SolveIshm(*instance, counting_evaluator, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(calls, result->stats.distinct_evaluations);
+  EXPECT_LT(result->stats.distinct_evaluations, result->stats.evaluations);
+}
+
+TEST(IshmTest, PolicyMatchesReportedObjective) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 10.0);
+  ASSERT_TRUE(detection.ok());
+  IshmOptions options;
+  options.step_size = 0.2;
+  const auto result = SolveIshm(
+      *instance, MakeFullLpEvaluator(*compiled, *detection), options);
+  ASSERT_TRUE(result.ok());
+  const auto eval = EvaluatePolicy(*compiled, *detection, result->policy);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, result->objective, 1e-6);
+}
+
+}  // namespace
+}  // namespace auditgame::core

@@ -1,0 +1,110 @@
+#include "util/json.h"
+
+#include <gtest/gtest.h>
+
+namespace auditgame::util {
+namespace {
+
+TEST(JsonParseTest, Scalars) {
+  EXPECT_TRUE(JsonValue::Parse("null")->is_null());
+  EXPECT_TRUE(JsonValue::Parse("true")->as_bool());
+  EXPECT_FALSE(JsonValue::Parse("false")->as_bool());
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("3.5")->as_number(), 3.5);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("-17")->as_number(), -17.0);
+  EXPECT_DOUBLE_EQ(JsonValue::Parse("1e3")->as_number(), 1000.0);
+  EXPECT_EQ(JsonValue::Parse("\"hi\"")->as_string(), "hi");
+}
+
+TEST(JsonParseTest, Escapes) {
+  EXPECT_EQ(JsonValue::Parse(R"("a\"b\\c\nd\te")")->as_string(),
+            "a\"b\\c\nd\te");
+  EXPECT_EQ(JsonValue::Parse(R"("A")")->as_string(), "A");
+  EXPECT_EQ(JsonValue::Parse(R"("é")")->as_string(), "\xC3\xA9");
+}
+
+TEST(JsonParseTest, NestedStructures) {
+  const auto value =
+      JsonValue::Parse(R"({"a": [1, 2, {"b": true}], "c": null})");
+  ASSERT_TRUE(value.ok());
+  ASSERT_TRUE(value->is_object());
+  const JsonValue* a = value->Find("a");
+  ASSERT_NE(a, nullptr);
+  ASSERT_TRUE(a->is_array());
+  ASSERT_EQ(a->as_array().size(), 3u);
+  EXPECT_DOUBLE_EQ(a->as_array()[1].as_number(), 2.0);
+  EXPECT_TRUE(a->as_array()[2].Find("b")->as_bool());
+  EXPECT_TRUE(value->Find("c")->is_null());
+}
+
+TEST(JsonParseTest, WhitespaceTolerant) {
+  const auto value = JsonValue::Parse("  { \"x\" :\n[ 1 ,\t2 ] }  ");
+  ASSERT_TRUE(value.ok());
+  EXPECT_EQ(value->Find("x")->as_array().size(), 2u);
+}
+
+TEST(JsonParseTest, RejectsMalformedInput) {
+  EXPECT_FALSE(JsonValue::Parse("").ok());
+  EXPECT_FALSE(JsonValue::Parse("{").ok());
+  EXPECT_FALSE(JsonValue::Parse("[1,]").ok());
+  EXPECT_FALSE(JsonValue::Parse("{\"a\":}").ok());
+  EXPECT_FALSE(JsonValue::Parse("\"unterminated").ok());
+  EXPECT_FALSE(JsonValue::Parse("tru").ok());
+  EXPECT_FALSE(JsonValue::Parse("1 2").ok());
+  EXPECT_FALSE(JsonValue::Parse("nan").ok());
+}
+
+TEST(JsonDumpTest, CompactRoundTrip) {
+  JsonValue::Object object;
+  object["name"] = JsonValue("audit");
+  object["n"] = JsonValue(3);
+  object["p"] = JsonValue(0.25);
+  object["flags"] = JsonValue(JsonValue::Array{JsonValue(true), JsonValue()});
+  const JsonValue value(std::move(object));
+  const std::string text = value.Dump();
+  const auto reparsed = JsonValue::Parse(text);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->GetString("name").value(), "audit");
+  EXPECT_DOUBLE_EQ(reparsed->GetNumber("n").value(), 3.0);
+  EXPECT_DOUBLE_EQ(reparsed->GetNumber("p").value(), 0.25);
+}
+
+TEST(JsonDumpTest, IntegersPrintWithoutDecimals) {
+  EXPECT_EQ(JsonValue(42).Dump(), "42");
+  EXPECT_EQ(JsonValue(-3).Dump(), "-3");
+}
+
+TEST(JsonDumpTest, StringsAreEscaped) {
+  EXPECT_EQ(JsonValue("a\"b\nc").Dump(), R"("a\"b\nc")");
+}
+
+TEST(JsonDumpTest, PrettyPrintIsReparseable) {
+  const auto original =
+      JsonValue::Parse(R"({"a":[1,2],"b":{"c":"d"},"e":3.125})");
+  ASSERT_TRUE(original.ok());
+  const std::string pretty = original->Dump(2);
+  EXPECT_NE(pretty.find('\n'), std::string::npos);
+  const auto reparsed = JsonValue::Parse(pretty);
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->Dump(), original->Dump());
+}
+
+TEST(JsonAccessorsTest, TypedGettersValidate) {
+  const auto value = JsonValue::Parse(R"({"n": 1, "s": "x", "b": true})");
+  ASSERT_TRUE(value.ok());
+  EXPECT_DOUBLE_EQ(value->GetNumber("n").value(), 1.0);
+  EXPECT_EQ(value->GetString("s").value(), "x");
+  EXPECT_TRUE(value->GetBool("b").value());
+  EXPECT_FALSE(value->GetNumber("s").ok());
+  EXPECT_FALSE(value->GetString("missing").ok());
+  EXPECT_EQ(value->Find("missing"), nullptr);
+}
+
+TEST(JsonParseTest, DoubleRoundTripPrecision) {
+  const double original = 0.35659123456789;
+  const auto reparsed = JsonValue::Parse(JsonValue(original).Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_DOUBLE_EQ(reparsed->as_number(), original);
+}
+
+}  // namespace
+}  // namespace auditgame::util

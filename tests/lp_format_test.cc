@@ -1,0 +1,72 @@
+#include "lp/lp_format.h"
+
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+
+namespace auditgame::lp {
+namespace {
+
+TEST(LpFormatTest, GoldenSmallModel) {
+  LpModel model;
+  const int x = model.AddVariable(1.0, 0.0, kInfinity, "x");
+  const int y = model.AddVariable(-2.5, -kInfinity, kInfinity, "y");
+  const int row = model.AddConstraint(Sense::kGreaterEqual, 1.0, "r");
+  model.AddCoefficient(row, x, 1.0);
+  model.AddCoefficient(row, y, -3.0);
+
+  const std::string text = WriteLpFormat(model);
+  EXPECT_EQ(text,
+            "\\ written by auditgame lp::WriteLpFormat\n"
+            "Minimize\n"
+            " obj: 1 x - 2.5 y\n"
+            "Subject To\n"
+            " r: 1 x - 3 y >= 1\n"
+            "Bounds\n"
+            " y free\n"
+            "End\n");
+}
+
+TEST(LpFormatTest, EqualityAndLessEqualSenses) {
+  LpModel model;
+  const int x = model.AddNonNegativeVariable(0.0, "x");
+  const int r1 = model.AddConstraint(Sense::kEqual, 2.0, "eq");
+  model.AddCoefficient(r1, x, 1.0);
+  const int r2 = model.AddConstraint(Sense::kLessEqual, 5.0, "le");
+  model.AddCoefficient(r2, x, 2.0);
+  const std::string text = WriteLpFormat(model);
+  EXPECT_NE(text.find("eq: 1 x = 2"), std::string::npos);
+  EXPECT_NE(text.find("le: 2 x <= 5"), std::string::npos);
+}
+
+TEST(LpFormatTest, BoundsRendering) {
+  LpModel model;
+  model.AddVariable(0.0, 1.0, 4.0, "boxed");
+  model.AddVariable(0.0, -kInfinity, 7.0, "ub_only");
+  model.AddVariable(0.0, 2.0, kInfinity, "lb_only");
+  model.AddVariable(0.0, 0.0, kInfinity, "default");
+  const std::string text = WriteLpFormat(model);
+  EXPECT_NE(text.find("1 <= boxed <= 4"), std::string::npos);
+  EXPECT_NE(text.find("ub_only <= 7"), std::string::npos);
+  EXPECT_NE(text.find("lb_only >= 2"), std::string::npos);
+  // The default 0 <= x < inf bound is omitted.
+  EXPECT_EQ(text.find("default >="), std::string::npos);
+}
+
+TEST(LpFormatTest, SanitizesNames) {
+  LpModel model;
+  model.AddVariable(1.0, 0.0, kInfinity, "bad name!");
+  const std::string text = WriteLpFormat(model);
+  EXPECT_NE(text.find("bad_name_"), std::string::npos);
+  EXPECT_EQ(text.find("bad name!"), std::string::npos);
+}
+
+TEST(LpFormatTest, ZeroObjectiveStillValid) {
+  LpModel model;
+  model.AddNonNegativeVariable(0.0, "x");
+  const std::string text = WriteLpFormat(model);
+  EXPECT_NE(text.find("obj: 0 x"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace auditgame::lp

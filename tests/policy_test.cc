@@ -1,0 +1,126 @@
+#include "core/policy.h"
+
+#include <gtest/gtest.h>
+
+#include "tests/test_util.h"
+
+namespace auditgame::core {
+namespace {
+
+using testutil::MakeTinyGame;
+
+AuditPolicy MakePolicy(std::vector<std::vector<int>> orderings,
+                       std::vector<double> probs,
+                       std::vector<double> thresholds, double budget) {
+  AuditPolicy policy;
+  policy.orderings = std::move(orderings);
+  policy.probabilities = std::move(probs);
+  policy.thresholds = std::move(thresholds);
+  policy.budget = budget;
+  return policy;
+}
+
+TEST(AuditPolicyTest, ValidatesDistribution) {
+  EXPECT_TRUE(
+      MakePolicy({{0, 1}}, {1.0}, {1, 1}, 2).Validate(2).ok());
+  EXPECT_TRUE(MakePolicy({{0, 1}, {1, 0}}, {0.5, 0.5}, {1, 1}, 2)
+                  .Validate(2)
+                  .ok());
+  EXPECT_FALSE(MakePolicy({{0, 1}}, {0.5}, {1, 1}, 2).Validate(2).ok());
+  EXPECT_FALSE(MakePolicy({{0, 1}}, {1.0, 0.0}, {1, 1}, 2).Validate(2).ok());
+  EXPECT_FALSE(MakePolicy({}, {}, {1, 1}, 2).Validate(2).ok());
+}
+
+TEST(AuditPolicyTest, ValidatesOrderings) {
+  EXPECT_FALSE(MakePolicy({{0, 0}}, {1.0}, {1, 1}, 2).Validate(2).ok());
+  EXPECT_FALSE(MakePolicy({{0}}, {1.0}, {1, 1}, 2).Validate(2).ok());
+  EXPECT_FALSE(MakePolicy({{0, 2}}, {1.0}, {1, 1}, 2).Validate(2).ok());
+  EXPECT_FALSE(MakePolicy({{0, 1}}, {1.0}, {1}, 2).Validate(2).ok());
+  EXPECT_FALSE(MakePolicy({{0, 1}}, {1.0}, {1, 1}, -2).Validate(2).ok());
+}
+
+TEST(EvaluatePolicyTest, PureStrategyBestResponse) {
+  // Tiny game, B = 3, thresholds [2, 2], order (0, 1):
+  // Pal = [1.0, 0.5]. Victim utilities:
+  //   v0 (type 0, R 4): -1*2 + 0*4 - 1 = -3
+  //   v1 (type 1, R 6): -0.5*2 + 0.5*6 - 1 = 1
+  // Best response: v1 with utility 1 -> auditor loss 1.
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto eval = EvaluatePolicy(
+      *compiled, *detection, MakePolicy({{0, 1}}, {1.0}, {2, 2}, 3));
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, 1.0, 1e-9);
+  ASSERT_EQ(eval->best_response_victim.size(), 1u);
+  // Compiled victim order is canonical (not insertion order); identify the
+  // best response by its benefit.
+  const int br = eval->best_response_victim[0];
+  ASSERT_GE(br, 0);
+  EXPECT_DOUBLE_EQ(compiled->groups[0].victims[static_cast<size_t>(br)].benefit,
+                   6.0);
+}
+
+TEST(EvaluatePolicyTest, MixingReducesLoss) {
+  // Mixing the two orderings equally gives Pal = [0.75, 0.75]:
+  //   v0: -0.75*2 + 0.25*4 - 1 = -1.5
+  //   v1: -0.75*2 + 0.25*6 - 1 = -1.0 -> opt out (0) is better.
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto eval = EvaluatePolicy(
+      *compiled, *detection,
+      MakePolicy({{0, 1}, {1, 0}}, {0.5, 0.5}, {2, 2}, 3));
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, 0.0, 1e-9);
+  EXPECT_EQ(eval->best_response_victim[0], -1);  // deterred
+}
+
+TEST(EvaluatePolicyTest, NoOptOutAllowsNegativeLoss) {
+  const GameInstance instance = MakeTinyGame(/*can_opt_out=*/false);
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto eval = EvaluatePolicy(
+      *compiled, *detection,
+      MakePolicy({{0, 1}, {1, 0}}, {0.5, 0.5}, {2, 2}, 3));
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, -1.0, 1e-9);
+  const int br = eval->best_response_victim[0];
+  ASSERT_GE(br, 0);
+  EXPECT_DOUBLE_EQ(compiled->groups[0].victims[static_cast<size_t>(br)].benefit,
+                   6.0);
+}
+
+TEST(EvaluatePolicyTest, WeightsScaleLoss) {
+  GameInstance instance = MakeTinyGame(/*can_opt_out=*/false);
+  instance.adversaries[0].attack_probability = 0.5;
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto eval = EvaluatePolicy(
+      *compiled, *detection,
+      MakePolicy({{0, 1}, {1, 0}}, {0.5, 0.5}, {2, 2}, 3));
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, -0.5, 1e-9);
+}
+
+TEST(MixedDetectionTest, AveragesOverOrderings) {
+  const GameInstance instance = MakeTinyGame();
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  const auto mixed = MixedDetectionProbabilities(
+      *detection, MakePolicy({{0, 1}, {1, 0}}, {0.5, 0.5}, {2, 2}, 3));
+  ASSERT_TRUE(mixed.ok());
+  EXPECT_NEAR((*mixed)[0], 0.75, 1e-12);
+  EXPECT_NEAR((*mixed)[1], 0.75, 1e-12);
+}
+
+}  // namespace
+}  // namespace auditgame::core

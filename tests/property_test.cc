@@ -1,0 +1,237 @@
+// Randomized property tests cutting across modules: for arbitrary small
+// game instances, independent code paths must agree and the paper's
+// structural invariants must hold.
+#include <cmath>
+#include <numeric>
+
+#include <gtest/gtest.h>
+
+#include "audit/executor.h"
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/game_io.h"
+#include "core/game_lp.h"
+#include "core/policy.h"
+#include "prob/count_distribution.h"
+#include "util/random.h"
+
+namespace auditgame {
+namespace {
+
+// Builds a random but well-formed game with 2-4 types and 1-4 adversaries.
+core::GameInstance RandomGame(util::Rng& rng) {
+  core::GameInstance instance;
+  const int t_count = 2 + static_cast<int>(rng.UniformInt(3));
+  for (int t = 0; t < t_count; ++t) {
+    instance.type_names.push_back("t" + std::to_string(t));
+    instance.audit_costs.push_back(1.0 + static_cast<double>(rng.UniformInt(2)));
+    const int mean = 2 + static_cast<int>(rng.UniformInt(5));
+    instance.alert_distributions.push_back(
+        *prob::CountDistribution::DiscretizedGaussian(
+            mean, 0.8 + rng.Uniform(), std::max(0, mean - 3), mean + 3));
+  }
+  const int adversary_count = 1 + static_cast<int>(rng.UniformInt(4));
+  for (int e = 0; e < adversary_count; ++e) {
+    core::Adversary adversary;
+    adversary.attack_probability = 0.25 + 0.75 * rng.Uniform();
+    adversary.can_opt_out = rng.Uniform() < 0.5;
+    const int victim_count = 1 + static_cast<int>(rng.UniformInt(4));
+    for (int v = 0; v < victim_count; ++v) {
+      core::VictimProfile victim;
+      victim.type_probs.assign(static_cast<size_t>(t_count), 0.0);
+      // Possibly stochastic mapping: split mass between one or two types.
+      const int primary = static_cast<int>(rng.UniformInt(
+          static_cast<uint64_t>(t_count)));
+      if (rng.Uniform() < 0.3 && t_count > 1) {
+        const int secondary = (primary + 1) % t_count;
+        const double p = 0.3 + 0.4 * rng.Uniform();
+        victim.type_probs[static_cast<size_t>(primary)] = p;
+        victim.type_probs[static_cast<size_t>(secondary)] = 0.9 - p;
+      } else {
+        victim.type_probs[static_cast<size_t>(primary)] = 1.0;
+      }
+      victim.benefit = rng.Uniform(1.0, 8.0);
+      victim.penalty = rng.Uniform(0.0, 6.0);
+      victim.attack_cost = rng.Uniform(0.0, 1.0);
+      adversary.victims.push_back(std::move(victim));
+    }
+    instance.adversaries.push_back(std::move(adversary));
+  }
+  return instance;
+}
+
+std::vector<double> RandomThresholds(const core::GameInstance& instance,
+                                     util::Rng& rng) {
+  std::vector<double> thresholds;
+  for (int t = 0; t < instance.num_types(); ++t) {
+    const int max_audits = instance.alert_distributions[t].max_value();
+    thresholds.push_back(instance.audit_costs[t] *
+                         static_cast<double>(rng.UniformInt(
+                             static_cast<uint64_t>(max_audits) + 1)));
+  }
+  return thresholds;
+}
+
+class RandomGameTest : public ::testing::TestWithParam<int> {
+ protected:
+  util::Rng rng_{static_cast<uint64_t>(GetParam()) * 104729 + 17};
+};
+
+// The LP objective must equal the independently computed best-response
+// evaluation of the policy the LP itself produced.
+TEST_P(RandomGameTest, LpObjectiveMatchesPolicyEvaluation) {
+  const core::GameInstance instance = RandomGame(rng_);
+  const auto compiled = core::Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  const double budget = 1.0 + static_cast<double>(rng_.UniformInt(10));
+  auto detection = core::DetectionModel::Create(instance, budget);
+  ASSERT_TRUE(detection.ok());
+  const auto thresholds = RandomThresholds(instance, rng_);
+  const auto full = core::SolveFullGameLp(*compiled, *detection, thresholds);
+  ASSERT_TRUE(full.ok());
+  const auto eval = core::EvaluatePolicy(*compiled, *detection, full->policy);
+  ASSERT_TRUE(eval.ok());
+  EXPECT_NEAR(eval->auditor_loss, full->objective, 1e-6);
+}
+
+// CGGS is a restriction of the full LP: it can never do better, and with
+// its greedy pricing it should stay within a modest gap.
+TEST_P(RandomGameTest, CggsBoundedByFullLp) {
+  const core::GameInstance instance = RandomGame(rng_);
+  const auto compiled = core::Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  const double budget = 1.0 + static_cast<double>(rng_.UniformInt(10));
+  auto detection = core::DetectionModel::Create(instance, budget);
+  ASSERT_TRUE(detection.ok());
+  const auto thresholds = RandomThresholds(instance, rng_);
+  const auto full = core::SolveFullGameLp(*compiled, *detection, thresholds);
+  const auto cggs = core::SolveCggs(*compiled, *detection, thresholds);
+  ASSERT_TRUE(full.ok());
+  ASSERT_TRUE(cggs.ok());
+  EXPECT_GE(cggs->objective, full->objective - 1e-7);
+  // The greedy pricing is a heuristic (exact pricing is hard), so gaps can
+  // occur; this generous bound only guards against catastrophic
+  // regressions of the column generation.
+  EXPECT_LE(cggs->objective - full->objective,
+            2.0 + 0.25 * std::fabs(full->objective));
+}
+
+// Raising the budget (same thresholds, same mixture) can only help the
+// auditor: every Pal weakly increases, so the best-response loss weakly
+// decreases.
+TEST_P(RandomGameTest, LossMonotoneInBudgetForFixedPolicy) {
+  const core::GameInstance instance = RandomGame(rng_);
+  const auto compiled = core::Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  const auto thresholds = RandomThresholds(instance, rng_);
+
+  core::AuditPolicy policy;
+  policy.thresholds = thresholds;
+  std::vector<int> ordering(static_cast<size_t>(instance.num_types()));
+  std::iota(ordering.begin(), ordering.end(), 0);
+  policy.orderings = {ordering};
+  std::reverse(ordering.begin(), ordering.end());
+  policy.orderings.push_back(ordering);
+  policy.probabilities = {0.5, 0.5};
+
+  double previous = 1e18;
+  for (double budget : {1.0, 3.0, 6.0, 12.0}) {
+    policy.budget = budget;
+    auto detection = core::DetectionModel::Create(instance, budget);
+    ASSERT_TRUE(detection.ok());
+    const auto eval = core::EvaluatePolicy(*compiled, *detection, policy);
+    ASSERT_TRUE(eval.ok());
+    EXPECT_LE(eval->auditor_loss, previous + 1e-9) << "budget " << budget;
+    previous = eval->auditor_loss;
+  }
+}
+
+// Executor invariants on random realizations: per-type caps and the global
+// budget are always respected, for any ordering.
+TEST_P(RandomGameTest, ExecutorRespectsAllCaps) {
+  const core::GameInstance instance = RandomGame(rng_);
+  const auto thresholds = RandomThresholds(instance, rng_);
+  audit::AuditConfiguration config;
+  config.thresholds = thresholds;
+  config.audit_costs = instance.audit_costs;
+  config.budget = 1.0 + static_cast<double>(rng_.UniformInt(12));
+  config.ordering.resize(static_cast<size_t>(instance.num_types()));
+  std::iota(config.ordering.begin(), config.ordering.end(), 0);
+  rng_.Shuffle(config.ordering);
+
+  for (int trial = 0; trial < 20; ++trial) {
+    const std::vector<int> counts =
+        prob::SampleJoint(instance.alert_distributions, rng_);
+    const auto audited = audit::AuditedCounts(config, counts);
+    ASSERT_TRUE(audited.ok());
+    double spent = 0.0;
+    for (int t = 0; t < instance.num_types(); ++t) {
+      EXPECT_GE((*audited)[t], 0);
+      EXPECT_LE((*audited)[t], counts[static_cast<size_t>(t)]);
+      EXPECT_LE((*audited)[t],
+                static_cast<int>(std::floor(
+                    thresholds[static_cast<size_t>(t)] /
+                    instance.audit_costs[static_cast<size_t>(t)])));
+      spent += (*audited)[t] * instance.audit_costs[static_cast<size_t>(t)];
+    }
+    EXPECT_LE(spent, config.budget + 1e-9);
+  }
+}
+
+// Detection probabilities computed analytically must agree with the Monte
+// Carlo estimator on the same game (common distributions).
+TEST_P(RandomGameTest, ExactAndMonteCarloAgree) {
+  const core::GameInstance instance = RandomGame(rng_);
+  const double budget = 2.0 + static_cast<double>(rng_.UniformInt(8));
+  const auto thresholds = RandomThresholds(instance, rng_);
+  std::vector<int> ordering(static_cast<size_t>(instance.num_types()));
+  std::iota(ordering.begin(), ordering.end(), 0);
+  rng_.Shuffle(ordering);
+
+  auto exact = core::DetectionModel::Create(instance, budget);
+  ASSERT_TRUE(exact.ok());
+  ASSERT_TRUE(exact->SetThresholds(thresholds).ok());
+  core::DetectionModel::Options mc_options;
+  mc_options.mode = core::DetectionModel::Mode::kMonteCarlo;
+  mc_options.mc_samples = 60000;
+  mc_options.seed = rng_();
+  auto mc = core::DetectionModel::Create(instance, budget, mc_options);
+  ASSERT_TRUE(mc.ok());
+  ASSERT_TRUE(mc->SetThresholds(thresholds).ok());
+
+  const auto pal_exact = exact->DetectionProbabilities(ordering);
+  const auto pal_mc = mc->DetectionProbabilities(ordering);
+  ASSERT_TRUE(pal_exact.ok());
+  ASSERT_TRUE(pal_mc.ok());
+  for (int t = 0; t < instance.num_types(); ++t) {
+    EXPECT_NEAR((*pal_mc)[t], (*pal_exact)[t], 0.015) << "type " << t;
+  }
+}
+
+// JSON round trip preserves the game up to solver equivalence.
+TEST_P(RandomGameTest, JsonRoundTripPreservesLpObjective) {
+  const core::GameInstance instance = RandomGame(rng_);
+  const auto reparsed = core::ParseGame(core::SerializeGame(instance));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.status();
+  const double budget = 1.0 + static_cast<double>(rng_.UniformInt(8));
+  const auto thresholds = RandomThresholds(instance, rng_);
+
+  const auto compiled_a = core::Compile(instance);
+  const auto compiled_b = core::Compile(*reparsed);
+  ASSERT_TRUE(compiled_a.ok());
+  ASSERT_TRUE(compiled_b.ok());
+  auto detection_a = core::DetectionModel::Create(instance, budget);
+  auto detection_b = core::DetectionModel::Create(*reparsed, budget);
+  ASSERT_TRUE(detection_a.ok());
+  ASSERT_TRUE(detection_b.ok());
+  const auto full_a = core::SolveFullGameLp(*compiled_a, *detection_a, thresholds);
+  const auto full_b = core::SolveFullGameLp(*compiled_b, *detection_b, thresholds);
+  ASSERT_TRUE(full_a.ok());
+  ASSERT_TRUE(full_b.ok());
+  EXPECT_NEAR(full_a->objective, full_b->objective, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, RandomGameTest, ::testing::Range(0, 25));
+
+}  // namespace
+}  // namespace auditgame

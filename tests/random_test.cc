@@ -1,0 +1,138 @@
+#include "util/random.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace auditgame::util {
+namespace {
+
+TEST(RngTest, SameSeedSameStream) {
+  Rng a(42), b(42);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a(), b());
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (a() != b()) ++differing;
+  }
+  EXPECT_GT(differing, 12);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformMeanIsHalf) {
+  Rng rng(11);
+  double total = 0.0;
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) total += rng.Uniform();
+  EXPECT_NEAR(total / n, 0.5, 0.01);
+}
+
+TEST(RngTest, UniformIntRespectsRange) {
+  Rng rng(13);
+  std::vector<int> histogram(7, 0);
+  for (int i = 0; i < 70000; ++i) {
+    const uint64_t v = rng.UniformInt(7);
+    ASSERT_LT(v, 7u);
+    ++histogram[static_cast<size_t>(v)];
+  }
+  for (int count : histogram) EXPECT_NEAR(count, 10000, 500);
+}
+
+TEST(RngTest, UniformIntInclusiveRange) {
+  Rng rng(17);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+  }
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(19);
+  const int n = 200000;
+  double total = 0.0, total_sq = 0.0;
+  for (int i = 0; i < n; ++i) {
+    const double g = rng.Gaussian();
+    total += g;
+    total_sq += g * g;
+  }
+  const double mean = total / n;
+  EXPECT_NEAR(mean, 0.0, 0.02);
+  EXPECT_NEAR(total_sq / n - mean * mean, 1.0, 0.03);
+}
+
+TEST(RngTest, GaussianWithParams) {
+  Rng rng(23);
+  const int n = 100000;
+  double total = 0.0;
+  for (int i = 0; i < n; ++i) total += rng.Gaussian(10.0, 2.0);
+  EXPECT_NEAR(total / n, 10.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(29);
+  std::vector<int> v(20);
+  std::iota(v.begin(), v.end(), 0);
+  rng.Shuffle(v);
+  std::vector<int> sorted = v;
+  std::sort(sorted.begin(), sorted.end());
+  for (int i = 0; i < 20; ++i) EXPECT_EQ(sorted[static_cast<size_t>(i)], i);
+}
+
+TEST(RngTest, ShuffleCoversPermutations) {
+  // With 3 elements, all 6 permutations should occur over many shuffles.
+  Rng rng(31);
+  std::set<std::vector<int>> seen;
+  for (int i = 0; i < 500; ++i) {
+    std::vector<int> v = {0, 1, 2};
+    rng.Shuffle(v);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 6u);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(37);
+  const std::vector<double> weights = {1.0, 3.0, 0.0, 6.0};
+  std::vector<int> histogram(4, 0);
+  const int n = 100000;
+  for (int i = 0; i < n; ++i) ++histogram[rng.Categorical(weights)];
+  EXPECT_NEAR(histogram[0] / static_cast<double>(n), 0.1, 0.01);
+  EXPECT_NEAR(histogram[1] / static_cast<double>(n), 0.3, 0.01);
+  EXPECT_EQ(histogram[2], 0);
+  EXPECT_NEAR(histogram[3] / static_cast<double>(n), 0.6, 0.01);
+}
+
+TEST(RngTest, CategoricalIgnoresNegativeWeights) {
+  Rng rng(41);
+  const std::vector<double> weights = {-5.0, 1.0};
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(rng.Categorical(weights), 1u);
+}
+
+TEST(RngTest, ForkProducesIndependentStream) {
+  Rng parent(43);
+  Rng child = parent.Fork();
+  // The child stream should not track the parent.
+  int equal = 0;
+  for (int i = 0; i < 16; ++i) {
+    if (parent() == child()) ++equal;
+  }
+  EXPECT_LT(equal, 4);
+}
+
+}  // namespace
+}  // namespace auditgame::util

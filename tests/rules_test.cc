@@ -1,0 +1,119 @@
+#include "audit/rules.h"
+
+#include <gtest/gtest.h>
+
+#include "audit/event.h"
+#include "util/random.h"
+
+namespace auditgame::audit {
+namespace {
+
+AccessEvent EventWith(std::map<std::string, std::string> strings,
+                      std::map<std::string, double> numerics = {}) {
+  AccessEvent event;
+  event.string_attrs = std::move(strings);
+  event.numeric_attrs = std::move(numerics);
+  return event;
+}
+
+TEST(PredicateTest, StringAttrEquals) {
+  const Predicate p = StringAttrEquals("color", "red");
+  EXPECT_TRUE(p(EventWith({{"color", "red"}})));
+  EXPECT_FALSE(p(EventWith({{"color", "blue"}})));
+  EXPECT_FALSE(p(EventWith({})));
+}
+
+TEST(PredicateTest, StringAttrsMatchRequiresNonEmpty) {
+  const Predicate p = StringAttrsMatch("a", "b");
+  EXPECT_TRUE(p(EventWith({{"a", "x"}, {"b", "x"}})));
+  EXPECT_FALSE(p(EventWith({{"a", "x"}, {"b", "y"}})));
+  // Both missing -> both empty -> must NOT match.
+  EXPECT_FALSE(p(EventWith({})));
+}
+
+TEST(PredicateTest, NumericComparisons) {
+  EXPECT_TRUE(NumericAttrLess("v", 5.0)(EventWith({}, {{"v", 4.0}})));
+  EXPECT_FALSE(NumericAttrLess("v", 5.0)(EventWith({}, {{"v", 6.0}})));
+  EXPECT_FALSE(NumericAttrLess("v", 5.0)(EventWith({})));  // absent
+  EXPECT_TRUE(NumericAttrGreater("v", 5.0)(EventWith({}, {{"v", 6.0}})));
+  EXPECT_FALSE(NumericAttrGreater("v", 5.0)(EventWith({})));
+}
+
+TEST(PredicateTest, EuclideanWithin) {
+  const Predicate p = EuclideanWithin("x1", "y1", "x2", "y2", 0.5);
+  EXPECT_TRUE(p(EventWith({}, {{"x1", 0}, {"y1", 0}, {"x2", 0.3}, {"y2", 0.4}})));
+  EXPECT_FALSE(p(EventWith({}, {{"x1", 0}, {"y1", 0}, {"x2", 0.4}, {"y2", 0.4}})));
+  EXPECT_FALSE(p(EventWith({}, {{"x1", 0}, {"y1", 0}})));  // missing coords
+}
+
+TEST(PredicateTest, Combinators) {
+  const Predicate yes = Always();
+  const Predicate no = Not(Always());
+  EXPECT_TRUE(And(yes, yes)(EventWith({})));
+  EXPECT_FALSE(And(yes, no)(EventWith({})));
+  EXPECT_TRUE(Or(no, yes)(EventWith({})));
+  EXPECT_FALSE(Or(no, no)(EventWith({})));
+}
+
+TEST(RuleEngineTest, FirstMatchWins) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule({"specific", 2, 1.0,
+                              StringAttrEquals("kind", "both")}).ok());
+  ASSERT_TRUE(engine.AddRule({"general", 1, 1.0, Always()}).ok());
+
+  const auto match = engine.Match(EventWith({{"kind", "both"}}));
+  ASSERT_TRUE(match.has_value());
+  EXPECT_EQ(match->first, 2);
+
+  const auto fallback = engine.Match(EventWith({{"kind", "other"}}));
+  ASSERT_TRUE(fallback.has_value());
+  EXPECT_EQ(fallback->first, 1);
+}
+
+TEST(RuleEngineTest, NoMatchIsBenign) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule({"r", 0, 1.0, StringAttrEquals("k", "v")}).ok());
+  EXPECT_FALSE(engine.Match(EventWith({})).has_value());
+}
+
+TEST(RuleEngineTest, RejectsInvalidRules) {
+  RuleEngine engine;
+  EXPECT_FALSE(engine.AddRule({"bad_type", -1, 1.0, Always()}).ok());
+  EXPECT_FALSE(engine.AddRule({"bad_prob", 0, 1.5, Always()}).ok());
+  EXPECT_FALSE(engine.AddRule({"no_predicate", 0, 1.0, nullptr}).ok());
+  EXPECT_EQ(engine.num_rules(), 0);
+}
+
+TEST(RuleEngineTest, MaxAlertType) {
+  RuleEngine engine;
+  EXPECT_EQ(engine.max_alert_type(), -1);
+  ASSERT_TRUE(engine.AddRule({"a", 3, 1.0, Always()}).ok());
+  ASSERT_TRUE(engine.AddRule({"b", 1, 1.0, Always()}).ok());
+  EXPECT_EQ(engine.max_alert_type(), 3);
+}
+
+TEST(RuleEngineTest, StochasticTriggerRespectsProbability) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule({"half", 0, 0.5, Always()}).ok());
+  util::Rng rng(123);
+  int triggered = 0;
+  const int n = 20000;
+  for (int i = 0; i < n; ++i) {
+    if (engine.Trigger(EventWith({}), rng).has_value()) ++triggered;
+  }
+  EXPECT_NEAR(triggered / static_cast<double>(n), 0.5, 0.02);
+}
+
+TEST(RuleEngineTest, DeterministicTriggerAlwaysFires) {
+  RuleEngine engine;
+  ASSERT_TRUE(engine.AddRule({"always", 4, 1.0, Always()}).ok());
+  util::Rng rng(1);
+  for (int i = 0; i < 50; ++i) {
+    const auto type = engine.Trigger(EventWith({}), rng);
+    ASSERT_TRUE(type.has_value());
+    EXPECT_EQ(*type, 4);
+  }
+}
+
+}  // namespace
+}  // namespace auditgame::audit

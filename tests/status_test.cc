@@ -1,0 +1,100 @@
+#include "util/status.h"
+
+#include <gtest/gtest.h>
+
+#include "util/statusor.h"
+
+namespace auditgame::util {
+namespace {
+
+TEST(StatusTest, DefaultIsOk) {
+  Status status;
+  EXPECT_TRUE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kOk);
+  EXPECT_EQ(status.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status status = InvalidArgumentError("bad input");
+  EXPECT_FALSE(status.ok());
+  EXPECT_EQ(status.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(status.message(), "bad input");
+  EXPECT_EQ(status.ToString(), "INVALID_ARGUMENT: bad input");
+}
+
+TEST(StatusTest, OkStatusDropsMessage) {
+  Status status(StatusCode::kOk, "ignored");
+  EXPECT_TRUE(status.ok());
+  EXPECT_TRUE(status.message().empty());
+}
+
+TEST(StatusTest, EqualityComparesCodeAndMessage) {
+  EXPECT_EQ(InvalidArgumentError("x"), InvalidArgumentError("x"));
+  EXPECT_FALSE(InvalidArgumentError("x") == InvalidArgumentError("y"));
+  EXPECT_FALSE(InvalidArgumentError("x") == NotFoundError("x"));
+}
+
+TEST(StatusTest, AllFactoriesProduceDistinctCodes) {
+  EXPECT_EQ(NotFoundError("m").code(), StatusCode::kNotFound);
+  EXPECT_EQ(OutOfRangeError("m").code(), StatusCode::kOutOfRange);
+  EXPECT_EQ(FailedPreconditionError("m").code(),
+            StatusCode::kFailedPrecondition);
+  EXPECT_EQ(InternalError("m").code(), StatusCode::kInternal);
+  EXPECT_EQ(UnimplementedError("m").code(), StatusCode::kUnimplemented);
+  EXPECT_EQ(ResourceExhaustedError("m").code(),
+            StatusCode::kResourceExhausted);
+}
+
+Status FailsIfNegative(int x) {
+  RETURN_IF_ERROR(x < 0 ? InvalidArgumentError("negative") : OkStatus());
+  return OkStatus();
+}
+
+TEST(StatusTest, ReturnIfErrorMacro) {
+  EXPECT_TRUE(FailsIfNegative(1).ok());
+  EXPECT_FALSE(FailsIfNegative(-1).ok());
+}
+
+StatusOr<int> ParsePositive(int x) {
+  if (x <= 0) return InvalidArgumentError("not positive");
+  return x;
+}
+
+StatusOr<int> DoublePositive(int x) {
+  ASSIGN_OR_RETURN(int value, ParsePositive(x));
+  return value * 2;
+}
+
+TEST(StatusOrTest, HoldsValue) {
+  StatusOr<int> result = ParsePositive(21);
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 21);
+  EXPECT_TRUE(result.status().ok());
+}
+
+TEST(StatusOrTest, HoldsError) {
+  StatusOr<int> result = ParsePositive(-3);
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInvalidArgument);
+}
+
+TEST(StatusOrTest, AssignOrReturnPropagates) {
+  EXPECT_EQ(*DoublePositive(4), 8);
+  EXPECT_FALSE(DoublePositive(0).ok());
+}
+
+TEST(StatusOrTest, MoveOnlyValueWorks) {
+  StatusOr<std::unique_ptr<int>> result(std::make_unique<int>(5));
+  ASSERT_TRUE(result.ok());
+  std::unique_ptr<int> owned = std::move(result).value();
+  EXPECT_EQ(*owned, 5);
+}
+
+TEST(StatusOrTest, ConstructingFromOkStatusBecomesInternalError) {
+  StatusOr<int> result{OkStatus()};
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kInternal);
+}
+
+}  // namespace
+}  // namespace auditgame::util

@@ -1,0 +1,59 @@
+#include "util/string_util.h"
+
+#include <gtest/gtest.h>
+
+namespace auditgame::util {
+namespace {
+
+TEST(JoinTest, Ints) {
+  EXPECT_EQ(JoinInts({1, 2, 3}, ", "), "1, 2, 3");
+  EXPECT_EQ(JoinInts({}, ", "), "");
+  EXPECT_EQ(JoinInts({-4}, ","), "-4");
+}
+
+TEST(JoinTest, DoublesWithPrecision) {
+  EXPECT_EQ(JoinDoubles({0.35659, 0.378}, ", ", 4), "0.3566, 0.3780");
+  EXPECT_EQ(JoinDoubles({1.0}, ",", 2), "1.00");
+}
+
+TEST(JoinTest, Strings) {
+  EXPECT_EQ(JoinStrings({"a", "b"}, "-"), "a-b");
+}
+
+TEST(FormatTest, IntVectorMatchesPaperNotation) {
+  EXPECT_EQ(FormatIntVector({4, 4, 3, 3}), "[4, 4, 3, 3]");
+  EXPECT_EQ(FormatIntVector({}), "[]");
+}
+
+TEST(FormatTest, DoubleVector) {
+  EXPECT_EQ(FormatDoubleVector({0.5, 0.25}, 2), "[0.50, 0.25]");
+}
+
+TEST(TrimTest, RemovesWhitespace) {
+  EXPECT_EQ(Trim("  hello \t\n"), "hello");
+  EXPECT_EQ(Trim(""), "");
+  EXPECT_EQ(Trim("   "), "");
+  EXPECT_EQ(Trim("no-trim"), "no-trim");
+}
+
+TEST(SplitTest, BasicSplit) {
+  const auto parts = Split("a:b:c", ':');
+  ASSERT_EQ(parts.size(), 3u);
+  EXPECT_EQ(parts[0], "a");
+  EXPECT_EQ(parts[2], "c");
+}
+
+TEST(SplitTest, TrailingDelimiterYieldsEmptyField) {
+  const auto parts = Split("a,", ',');
+  ASSERT_EQ(parts.size(), 2u);
+  EXPECT_EQ(parts[1], "");
+}
+
+TEST(SplitTest, EmptyString) {
+  const auto parts = Split("", ',');
+  ASSERT_EQ(parts.size(), 1u);
+  EXPECT_EQ(parts[0], "");
+}
+
+}  // namespace
+}  // namespace auditgame::util

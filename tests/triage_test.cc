@@ -1,0 +1,134 @@
+#include "audit/triage.h"
+
+#include <set>
+
+#include <gtest/gtest.h>
+
+#include "util/random.h"
+
+namespace auditgame::audit {
+namespace {
+
+AuditConfiguration MakeConfig(std::vector<int> ordering,
+                              std::vector<double> thresholds, double budget) {
+  AuditConfiguration config;
+  config.ordering = std::move(ordering);
+  config.thresholds = std::move(thresholds);
+  config.audit_costs.assign(config.thresholds.size(), 1.0);
+  config.budget = budget;
+  return config;
+}
+
+PendingAlert Alert(int type, const std::string& subject) {
+  PendingAlert alert;
+  alert.type = type;
+  alert.subject_id = subject;
+  return alert;
+}
+
+TEST(AlertQueueTest, AssignsSequentialIds) {
+  AlertQueue queue(2);
+  ASSERT_TRUE(queue.Add(Alert(0, "a")).ok());
+  ASSERT_TRUE(queue.Add(Alert(1, "b")).ok());
+  ASSERT_TRUE(queue.Add(Alert(0, "c")).ok());
+  EXPECT_EQ(queue.Counts(), (std::vector<int>{2, 1}));
+  EXPECT_EQ(queue.bin(0)[0].alert_id, 1);
+  EXPECT_EQ(queue.bin(1)[0].alert_id, 2);
+  EXPECT_EQ(queue.bin(0)[1].alert_id, 3);
+  EXPECT_EQ(queue.total_alerts(), 3);
+}
+
+TEST(AlertQueueTest, RejectsBadType) {
+  AlertQueue queue(2);
+  EXPECT_FALSE(queue.Add(Alert(2, "x")).ok());
+  EXPECT_FALSE(queue.Add(Alert(-1, "x")).ok());
+}
+
+TEST(AlertQueueTest, ClearEmptiesBins) {
+  AlertQueue queue(1);
+  ASSERT_TRUE(queue.Add(Alert(0, "a")).ok());
+  queue.Clear();
+  EXPECT_EQ(queue.Counts(), (std::vector<int>{0}));
+}
+
+TEST(PlanAuditPeriodTest, SelectionMatchesExecutorCounts) {
+  AlertQueue queue(2);
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(queue.Add(Alert(0, "s")).ok());
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.Add(Alert(1, "s")).ok());
+  const auto config = MakeConfig({0, 1}, {3, 10}, 5);
+  util::Rng rng(5);
+  const auto plan = PlanAuditPeriod(config, queue, rng);
+  ASSERT_TRUE(plan.ok());
+  // Type 0: capped by threshold at 3; consumes 3; type 1 gets 2.
+  EXPECT_EQ(plan->audited_counts, (std::vector<int>{3, 2}));
+  EXPECT_EQ(plan->selected.size(), 5u);
+  EXPECT_DOUBLE_EQ(plan->spent, 5.0);
+}
+
+TEST(PlanAuditPeriodTest, SelectedAlertsAreDistinctAndFromRightBin) {
+  AlertQueue queue(1);
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(queue.Add(Alert(0, "s")).ok());
+  const auto config = MakeConfig({0}, {4}, 4);
+  util::Rng rng(9);
+  const auto plan = PlanAuditPeriod(config, queue, rng);
+  ASSERT_TRUE(plan.ok());
+  std::set<int64_t> ids;
+  for (const auto& alert : plan->selected) {
+    EXPECT_EQ(alert.type, 0);
+    ids.insert(alert.alert_id);
+  }
+  EXPECT_EQ(ids.size(), 4u);
+}
+
+TEST(PlanAuditPeriodTest, SelectionIsUniform) {
+  // Bin of 4, capacity 2: every alert should be selected ~half the time.
+  AlertQueue queue(1);
+  for (int i = 0; i < 4; ++i) ASSERT_TRUE(queue.Add(Alert(0, "s")).ok());
+  const auto config = MakeConfig({0}, {2}, 2);
+  util::Rng rng(11);
+  std::map<int64_t, int> hits;
+  const int trials = 40000;
+  for (int i = 0; i < trials; ++i) {
+    const auto plan = PlanAuditPeriod(config, queue, rng);
+    ASSERT_TRUE(plan.ok());
+    for (const auto& alert : plan->selected) ++hits[alert.alert_id];
+  }
+  for (const auto& [id, count] : hits) {
+    EXPECT_NEAR(count / static_cast<double>(trials), 0.5, 0.02)
+        << "alert " << id;
+  }
+}
+
+TEST(PlanAuditPeriodTest, TypeCountMismatchRejected) {
+  AlertQueue queue(3);
+  const auto config = MakeConfig({0, 1}, {1, 1}, 2);
+  util::Rng rng(1);
+  EXPECT_FALSE(PlanAuditPeriod(config, queue, rng).ok());
+}
+
+TEST(PlanPeriodFromMixtureTest, DrawsOrderingsByProbability) {
+  AlertQueue queue(2);
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.Add(Alert(0, "s")).ok());
+  for (int i = 0; i < 3; ++i) ASSERT_TRUE(queue.Add(Alert(1, "s")).ok());
+  const std::vector<std::vector<int>> orderings = {{0, 1}, {1, 0}};
+  const std::vector<double> probabilities = {0.8, 0.2};
+  util::Rng rng(3);
+  int first = 0;
+  const int trials = 20000;
+  for (int i = 0; i < trials; ++i) {
+    const auto plan = PlanPeriodFromMixture(orderings, probabilities, {2, 2},
+                                            {1, 1}, 3, queue, rng);
+    ASSERT_TRUE(plan.ok());
+    if (plan->ordering == orderings[0]) ++first;
+  }
+  EXPECT_NEAR(first / static_cast<double>(trials), 0.8, 0.02);
+}
+
+TEST(PlanPeriodFromMixtureTest, RejectsEmptyMixture) {
+  AlertQueue queue(1);
+  util::Rng rng(1);
+  EXPECT_FALSE(PlanPeriodFromMixture({}, {}, {1}, {1}, 1, queue, rng).ok());
+}
+
+}  // namespace
+}  // namespace auditgame::audit

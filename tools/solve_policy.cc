@@ -1,0 +1,110 @@
+// solve_policy: command-line front end to the audit-game solver.
+//
+// Reads a game instance from a JSON file (see core/game_io.h for the
+// schema, or export_game for ready-made instances), solves the optimal
+// auditing problem at the given budget, and writes the audit policy as
+// JSON to stdout or a file.
+//
+//   solve_policy --game=game.json --budget=20 --eps=0.1 --out=policy.json
+#include <fstream>
+#include <iostream>
+#include <sstream>
+
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/game_io.h"
+#include "core/ishm.h"
+#include "util/flags.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("game", "", "path to the game instance JSON (required)");
+  flags.Define("budget", "10", "audit budget B");
+  flags.Define("eps", "0.1", "ISHM step size");
+  flags.Define("solver", "cggs", "LP evaluator: cggs | full");
+  flags.Define("out", "", "output path for the policy JSON (default stdout)");
+  flags.Define("mc_samples", "0",
+               "use Monte Carlo detection with this many samples (0 = exact)");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status << "\n" << flags.HelpString(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested() || flags.GetString("game").empty()) {
+    std::cout << flags.HelpString(argv[0]);
+    return flags.help_requested() ? 0 : 1;
+  }
+
+  std::ifstream in(flags.GetString("game"));
+  if (!in) {
+    std::cerr << "cannot open " << flags.GetString("game") << "\n";
+    return 1;
+  }
+  std::stringstream buffer;
+  buffer << in.rdbuf();
+  auto game = core::ParseGame(buffer.str());
+  if (!game.ok()) {
+    std::cerr << game.status() << "\n";
+    return 1;
+  }
+
+  auto compiled = core::Compile(*game);
+  if (!compiled.ok()) {
+    std::cerr << compiled.status() << "\n";
+    return 1;
+  }
+  core::DetectionModel::Options detection_options;
+  if (flags.GetInt("mc_samples") > 0) {
+    detection_options.mode = core::DetectionModel::Mode::kMonteCarlo;
+    detection_options.mc_samples = flags.GetInt("mc_samples");
+  }
+  auto detection = core::DetectionModel::Create(
+      *game, flags.GetDouble("budget"), detection_options);
+  if (!detection.ok()) {
+    std::cerr << detection.status() << "\n";
+    return 1;
+  }
+
+  core::ThresholdEvaluator evaluator;
+  if (flags.GetString("solver") == "full") {
+    evaluator = core::MakeFullLpEvaluator(*compiled, *detection);
+  } else if (flags.GetString("solver") == "cggs") {
+    evaluator = core::MakeCggsEvaluator(*compiled, *detection);
+  } else {
+    std::cerr << "unknown --solver: " << flags.GetString("solver") << "\n";
+    return 1;
+  }
+  core::IshmOptions ishm_options;
+  ishm_options.step_size = flags.GetDouble("eps");
+  auto result = core::SolveIshm(*game, evaluator, ishm_options);
+  if (!result.ok()) {
+    std::cerr << result.status() << "\n";
+    return 1;
+  }
+
+  std::cerr << "objective (expected auditor loss): " << result->objective
+            << "\n"
+            << "threshold vectors explored: " << result->stats.evaluations
+            << " (" << result->stats.distinct_evaluations << " distinct)\n";
+  const std::string policy_json = core::SerializePolicy(result->policy);
+  if (flags.GetString("out").empty()) {
+    std::cout << policy_json << "\n";
+  } else {
+    std::ofstream out(flags.GetString("out"));
+    if (!out) {
+      std::cerr << "cannot write " << flags.GetString("out") << "\n";
+      return 1;
+    }
+    out << policy_json << "\n";
+    std::cerr << "policy written to " << flags.GetString("out") << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
