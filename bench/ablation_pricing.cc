@@ -13,10 +13,10 @@
 #include <set>
 #include <vector>
 
-#include "core/cggs.h"
 #include "core/detection.h"
 #include "core/game_lp.h"
 #include "data/syn_a.h"
+#include "solver/registry.h"
 #include "util/combinatorics.h"
 #include "util/flags.h"
 #include "util/random.h"
@@ -103,14 +103,23 @@ int Run(int argc, char** argv) {
       return 1;
     }
 
-    core::CggsOptions greedy;
-    greedy.random_probes = 0;
-    auto greedy_result =
-        core::SolveCggs(*compiled, *detection, thresholds, greedy);
-    core::CggsOptions greedy_random;
-    greedy_random.random_probes = 2;
+    // The greedy variants are the "cggs" backend with random probes off/on.
+    solver::SolveRequest request;
+    request.thresholds = thresholds;
+    solver::SolverOptions greedy;
+    greedy.cggs.random_probes = 0;
+    auto greedy_solver = solver::Create("cggs", greedy);
+    solver::SolverOptions greedy_random;
+    greedy_random.cggs.random_probes = 2;
+    auto greedy_random_solver = solver::Create("cggs", greedy_random);
+    if (!greedy_solver.ok() || !greedy_random_solver.ok()) {
+      std::cerr << greedy_solver.status() << " / "
+                << greedy_random_solver.status() << "\n";
+      return 1;
+    }
+    auto greedy_result = (*greedy_solver)->Solve(*compiled, *detection, request);
     auto greedy_random_result =
-        core::SolveCggs(*compiled, *detection, thresholds, greedy_random);
+        (*greedy_random_solver)->Solve(*compiled, *detection, request);
     auto exact = ExactColumnGeneration(*compiled, *detection, thresholds);
     if (!greedy_result.ok() || !greedy_random_result.ok() || !exact.ok()) {
       std::cerr << greedy_result.status() << " / "
@@ -124,7 +133,9 @@ int Run(int argc, char** argv) {
     std::set<std::vector<int>> random_columns;
     std::vector<int> ordering(static_cast<size_t>(instance->num_types()));
     std::iota(ordering.begin(), ordering.end(), 0);
-    const size_t want = greedy_random_result->columns.size();
+    // Q at termination = the identity seed column + the generated ones.
+    const size_t want = static_cast<size_t>(
+        greedy_random_result->stats.columns_generated + 1);
     while (random_columns.size() < want) {
       rng.Shuffle(ordering);
       random_columns.insert(ordering);
@@ -139,11 +150,11 @@ int Run(int argc, char** argv) {
     }
 
     std::cout << budget << ",greedy," << greedy_result->objective << ","
-              << greedy_result->lp_solves << ","
-              << greedy_result->columns.size() << "\n";
+              << greedy_result->stats.lp_solves << ","
+              << greedy_result->stats.columns_generated + 1 << "\n";
     std::cout << budget << ",greedy+r," << greedy_random_result->objective
-              << "," << greedy_random_result->lp_solves << ","
-              << greedy_random_result->columns.size() << "\n";
+              << "," << greedy_random_result->stats.lp_solves << ","
+              << greedy_random_result->stats.columns_generated + 1 << "\n";
     std::cout << budget << ",exact," << exact->first << "," << exact->second
               << "," << exact->second << "\n";
     std::cout << budget << ",random," << random_result->objective << ",1,"

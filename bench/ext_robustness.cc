@@ -10,11 +10,10 @@
 #include <iostream>
 
 #include "core/baselines.h"
-#include "core/cggs.h"
 #include "core/detection.h"
 #include "core/extensions.h"
-#include "core/ishm.h"
 #include "data/syn_a.h"
+#include "solver/engine.h"
 #include "util/flags.h"
 
 namespace {
@@ -22,16 +21,14 @@ namespace {
 using namespace auditgame;  // NOLINT
 
 util::StatusOr<core::AuditPolicy> SolveProposed(
-    const core::GameInstance& instance, core::CompiledGame& game,
-    double budget) {
-  ASSIGN_OR_RETURN(core::DetectionModel detection,
-                   core::DetectionModel::Create(instance, budget));
-  core::IshmOptions options;
-  options.step_size = 0.1;
-  ASSIGN_OR_RETURN(core::IshmResult result,
-                   core::SolveIshm(instance,
-                                   core::MakeCggsEvaluator(game, detection),
-                                   options));
+    const core::GameInstance& instance, double budget) {
+  solver::EngineRequest request;
+  request.solver = "ishm-cggs";
+  request.instance = &instance;
+  request.budget = budget;
+  request.options.ishm.step_size = 0.1;
+  ASSIGN_OR_RETURN(solver::SolveResult result,
+                   solver::SolverEngine::SolveOne(request));
   return result.policy;
 }
 
@@ -62,7 +59,7 @@ int Run(int argc, char** argv) {
     std::cerr << compiled.status() << "\n";
     return 1;
   }
-  auto policy = SolveProposed(*instance, *compiled, budget);
+  auto policy = SolveProposed(*instance, budget);
   if (!policy.ok()) {
     std::cerr << policy.status() << "\n";
     return 1;
@@ -121,7 +118,7 @@ int Run(int argc, char** argv) {
       std::cerr << compiled_scaled.status() << "\n";
       return 1;
     }
-    auto policy_scaled = SolveProposed(scaled, *compiled_scaled, budget);
+    auto policy_scaled = SolveProposed(scaled, budget);
     auto detection_scaled = core::DetectionModel::Create(scaled, budget);
     if (!policy_scaled.ok() || !detection_scaled.ok()) {
       std::cerr << policy_scaled.status() << " / "

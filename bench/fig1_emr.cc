@@ -1,5 +1,5 @@
 // Reproduces Figure 1: auditor's loss versus audit budget on the EMR game
-// (synthetic Rea A; see DESIGN.md for the substitution), comparing the
+// (synthetic Rea A; see docs/DESIGN.md for the substitution), comparing the
 // proposed model (ISHM + CGGS at eps = 0.1/0.2/0.3) with the three
 // baselines: random thresholds, random orders, greedy by benefit.
 #include <iostream>
@@ -19,6 +19,9 @@ int Run(int argc, char** argv) {
   flags.Define("random_orders", "2000", "orderings in the random-order mix");
   flags.Define("rt_draws", "100", "random-threshold baseline draws");
   flags.Define("seed", "20180113", "experiment seed");
+  flags.Define("threads", "0", "solver engine workers (0 = one per core)");
+  flags.Define("json", "BENCH_fig1_emr.json",
+               "machine-readable report path (empty = none)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status << "\n" << flags.HelpString(argv[0]);
@@ -41,6 +44,9 @@ int Run(int argc, char** argv) {
   options.random_orders = flags.GetInt("random_orders");
   options.random_threshold_draws = flags.GetInt("rt_draws");
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.num_threads = flags.GetInt("threads");
+  options.bench_name = "fig1_emr";
+  options.json_path = flags.GetString("json");
 
   std::cout << "# Figure 1: auditor loss vs budget (EMR / Rea A synthetic)\n";
   const auto run = bench::RunFigureSweep(*instance, options, std::cout);

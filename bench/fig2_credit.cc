@@ -1,5 +1,5 @@
 // Reproduces Figure 2: auditor's loss versus audit budget on the credit
-// application game (synthetic Rea B; see DESIGN.md for the substitution),
+// application game (synthetic Rea B; see docs/DESIGN.md for the substitution),
 // comparing the proposed model (ISHM + CGGS) with the three baselines.
 #include <iostream>
 
@@ -19,6 +19,9 @@ int Run(int argc, char** argv) {
   flags.Define("random_orders", "2000", "orderings in the random-order mix");
   flags.Define("rt_draws", "100", "random-threshold baseline draws");
   flags.Define("seed", "20180114", "experiment seed");
+  flags.Define("threads", "0", "solver engine workers (0 = one per core)");
+  flags.Define("json", "BENCH_fig2_credit.json",
+               "machine-readable report path (empty = none)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status << "\n" << flags.HelpString(argv[0]);
@@ -41,6 +44,9 @@ int Run(int argc, char** argv) {
   options.random_orders = flags.GetInt("random_orders");
   options.random_threshold_draws = flags.GetInt("rt_draws");
   options.seed = static_cast<uint64_t>(flags.GetInt("seed"));
+  options.num_threads = flags.GetInt("threads");
+  options.bench_name = "fig2_credit";
+  options.json_path = flags.GetString("json");
 
   std::cout << "# Figure 2: auditor loss vs budget (credit / Rea B synthetic)\n";
   const auto run = bench::RunFigureSweep(*instance, options, std::cout);

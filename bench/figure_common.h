@@ -4,16 +4,23 @@
 // Shared sweep harness for Figures 1 and 2: auditor loss vs budget for the
 // proposed model (ISHM + CGGS at several step sizes) against the three
 // baselines of Section V-B.
+//
+// The proposed-model cells — one per (budget, step size) — are independent
+// solves, so the harness fans all of them through solver::SolverEngine in
+// one batch and assembles rows from the ordered results. Alongside the CSV
+// on `out`, the sweep can emit a machine-readable BENCH_*.json (util/json)
+// so the perf trajectory is trackable across commits.
 
+#include <fstream>
 #include <iostream>
 #include <string>
 #include <vector>
 
 #include "core/baselines.h"
-#include "core/cggs.h"
 #include "core/detection.h"
 #include "core/game.h"
-#include "core/ishm.h"
+#include "solver/engine.h"
+#include "util/json.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -26,45 +33,74 @@ struct FigureSweepOptions {
   /// (paper: 2000).
   int random_orders = 2000;
   /// Draws of the random-threshold baseline (paper: 5000; the default is
-  /// lower because every draw solves a full CGGS — see DESIGN.md).
+  /// lower because every draw solves a full CGGS — see docs/DESIGN.md).
   int random_threshold_draws = 100;
   uint64_t seed = 20180113;
+  /// Worker threads for the proposed-model batch (0 = one per core).
+  int num_threads = 0;
+  /// Short name recorded in the JSON report (e.g. "fig1_emr").
+  std::string bench_name;
+  /// When non-empty, write the JSON report here (e.g. "BENCH_fig1_emr.json").
+  std::string json_path;
 };
 
 /// Runs the sweep and prints one CSV row per budget:
 ///   budget, proposed@eps..., random_thresholds, random_orders,
 ///   greedy_benefit, seconds
+/// `seconds` is the solver time summed over the row's step sizes (measured
+/// inside the workers) plus the wall time of the row's baselines.
 inline util::Status RunFigureSweep(const core::GameInstance& instance,
                                    const FigureSweepOptions& options,
                                    std::ostream& out) {
   ASSIGN_OR_RETURN(core::CompiledGame game, core::Compile(instance));
 
+  // --- Proposed model: every (budget, eps) cell in one parallel batch ---
+  std::vector<solver::EngineRequest> requests;
+  requests.reserve(options.budgets.size() * options.step_sizes.size());
+  for (int budget : options.budgets) {
+    for (double eps : options.step_sizes) {
+      solver::EngineRequest request;
+      request.solver = "ishm-cggs";
+      request.instance = &instance;
+      request.budget = budget;
+      request.options.ishm.step_size = eps;
+      request.options.cggs.seed = options.seed;
+      requests.push_back(std::move(request));
+    }
+  }
+  solver::SolverEngine engine(options.num_threads);
+  const std::vector<util::StatusOr<solver::SolveResult>> proposed =
+      engine.SolveAll(requests);
+
   out << "budget";
   for (double eps : options.step_sizes) out << ",proposed_eps" << eps;
   out << ",random_thresholds,random_orders,greedy_benefit,seconds\n";
 
-  for (int budget : options.budgets) {
-    util::Timer timer;
+  util::JsonValue::Array json_rows;
+  for (size_t b = 0; b < options.budgets.size(); ++b) {
+    const int budget = options.budgets[b];
+    double solver_seconds = 0.0;
+    std::vector<double> losses;
+    std::vector<double> first_eps_thresholds;
+    util::JsonValue::Array json_proposed;
+    for (size_t e = 0; e < options.step_sizes.size(); ++e) {
+      const auto& cell = proposed[b * options.step_sizes.size() + e];
+      RETURN_IF_ERROR(cell.status());
+      losses.push_back(cell->objective);
+      solver_seconds += cell->stats.seconds;
+      if (first_eps_thresholds.empty()) {
+        first_eps_thresholds = cell->thresholds;
+      }
+      util::JsonValue::Object json_cell;
+      json_cell["eps"] = options.step_sizes[e];
+      json_cell["objective"] = cell->objective;
+      json_cell["seconds"] = cell->stats.seconds;
+      json_proposed.push_back(std::move(json_cell));
+    }
+
+    util::Timer baseline_timer;
     ASSIGN_OR_RETURN(core::DetectionModel detection,
                      core::DetectionModel::Create(instance, budget));
-
-    // --- Proposed model at each step size ------------------------------
-    std::vector<double> proposed;
-    std::vector<double> first_eps_thresholds;
-    for (double eps : options.step_sizes) {
-      core::IshmOptions ishm_options;
-      ishm_options.step_size = eps;
-      core::CggsOptions cggs_options;
-      cggs_options.seed = options.seed;
-      auto evaluator =
-          core::MakeCggsEvaluator(game, detection, cggs_options);
-      ASSIGN_OR_RETURN(core::IshmResult result,
-                       core::SolveIshm(instance, evaluator, ishm_options));
-      proposed.push_back(result.objective);
-      if (first_eps_thresholds.empty()) {
-        first_eps_thresholds = result.effective_thresholds;
-      }
-    }
 
     // --- Baseline: random thresholds (auditor still optimizes orders) ---
     double random_thresholds_loss = 0.0;
@@ -88,11 +124,39 @@ inline util::Status RunFigureSweep(const core::GameInstance& instance,
     ASSIGN_OR_RETURN(core::GreedyBenefitResult gb,
                      core::GreedyByBenefitBaseline(game, detection));
 
+    const double seconds = solver_seconds + baseline_timer.ElapsedSeconds();
     out << budget;
-    for (double loss : proposed) out << "," << loss;
+    for (double loss : losses) out << "," << loss;
     out << "," << random_thresholds_loss << "," << ro.auditor_loss << ","
-        << gb.auditor_loss << "," << timer.ElapsedSeconds() << "\n";
+        << gb.auditor_loss << "," << seconds << "\n";
     out.flush();
+
+    util::JsonValue::Object json_row;
+    json_row["budget"] = budget;
+    json_row["proposed"] = std::move(json_proposed);
+    json_row["random_thresholds"] = random_thresholds_loss;
+    json_row["random_orders"] = ro.auditor_loss;
+    json_row["greedy_benefit"] = gb.auditor_loss;
+    json_row["seconds"] = seconds;
+    json_rows.push_back(std::move(json_row));
+  }
+
+  if (!options.json_path.empty()) {
+    util::JsonValue::Object report;
+    report["bench"] = options.bench_name;
+    util::JsonValue::Array eps_array;
+    for (double eps : options.step_sizes) eps_array.push_back(eps);
+    report["step_sizes"] = std::move(eps_array);
+    report["random_orders"] = options.random_orders;
+    report["random_threshold_draws"] = options.random_threshold_draws;
+    report["seed"] = static_cast<double>(options.seed);
+    report["engine_threads"] = engine.num_threads();
+    report["rows"] = std::move(json_rows);
+    std::ofstream json_out(options.json_path);
+    if (!json_out) {
+      return util::InvalidArgumentError("cannot write " + options.json_path);
+    }
+    json_out << util::JsonValue(std::move(report)).Dump(2) << "\n";
   }
   return util::OkStatus();
 }

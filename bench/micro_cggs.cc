@@ -5,10 +5,9 @@
 
 #include <cmath>
 
-#include "core/cggs.h"
 #include "core/detection.h"
-#include "core/game_lp.h"
 #include "prob/count_distribution.h"
+#include "solver/registry.h"
 #include "util/random.h"
 
 namespace {
@@ -59,13 +58,15 @@ void BM_CggsByTypeCount(benchmark::State& state) {
   const auto compiled = core::Compile(instance);
   auto detection =
       core::DetectionModel::Create(instance, 2.0 * num_types);
-  const auto thresholds = MeanThresholds(instance);
+  auto cggs = solver::Create("cggs");
+  solver::SolveRequest request;
+  request.thresholds = MeanThresholds(instance);
   double objective = 0.0;
   int columns = 0;
   for (auto _ : state) {
-    auto result = core::SolveCggs(*compiled, *detection, thresholds);
+    auto result = (*cggs)->Solve(*compiled, *detection, request);
     objective = result->objective;
-    columns = static_cast<int>(result->columns.size());
+    columns = result->stats.columns_generated;
     benchmark::DoNotOptimize(result);
   }
   state.counters["objective"] = objective;
@@ -79,10 +80,12 @@ void BM_FullLpByTypeCount(benchmark::State& state) {
   const auto compiled = core::Compile(instance);
   auto detection =
       core::DetectionModel::Create(instance, 2.0 * num_types);
-  const auto thresholds = MeanThresholds(instance);
+  auto full = solver::Create("full-lp");
+  solver::SolveRequest request;
+  request.thresholds = MeanThresholds(instance);
   double objective = 0.0;
   for (auto _ : state) {
-    auto result = core::SolveFullGameLp(*compiled, *detection, thresholds);
+    auto result = (*full)->Solve(*compiled, *detection, request);
     objective = result->objective;
     benchmark::DoNotOptimize(result);
   }

@@ -4,11 +4,13 @@
 //
 // Columns: budget, optimal objective, optimal thresholds, support size,
 // effective pure strategies and the optimal mixed strategy.
+#include <cmath>
 #include <iostream>
 #include <string>
 
-#include "core/brute_force.h"
+#include "core/detection.h"
 #include "data/syn_a.h"
+#include "solver/registry.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -81,10 +83,27 @@ int Run(int argc, char** argv) {
           ? core::DetectionModel::Consumption::kReserved
           : core::DetectionModel::Consumption::kRealized;
 
+  auto brute = solver::Create("brute-force");
+  if (!brute.ok()) {
+    std::cerr << brute.status() << "\n";
+    return 1;
+  }
+  auto compiled = core::Compile(*instance);
+  if (!compiled.ok()) {
+    std::cerr << compiled.status() << "\n";
+    return 1;
+  }
   for (int budget : flags.GetIntList("budgets")) {
     util::Timer timer;
-    auto result =
-        core::SolveBruteForce(*instance, budget, {}, detection_options);
+    auto detection =
+        core::DetectionModel::Create(*instance, budget, detection_options);
+    if (!detection.ok()) {
+      std::cerr << detection.status() << "\n";
+      return 1;
+    }
+    solver::SolveRequest request;
+    request.instance = &*instance;
+    auto result = (*brute)->Solve(*compiled, *detection, request);
     if (!result.ok()) {
       std::cerr << "budget " << budget << ": " << result.status() << "\n";
       return 1;
@@ -95,13 +114,20 @@ int Run(int argc, char** argv) {
       for (int t : o) text += std::to_string(t + 1);  // paper is 1-based
       orderings += "[" + text + "]";
     }
+    std::vector<int> audits(static_cast<size_t>(instance->num_types()));
+    for (int t = 0; t < instance->num_types(); ++t) {
+      audits[static_cast<size_t>(t)] = static_cast<int>(
+          std::llround(result->thresholds[static_cast<size_t>(t)] /
+                       instance->audit_costs[static_cast<size_t>(t)]));
+    }
     std::cout << budget << "," << result->objective << ",\""
-              << util::FormatIntVector(result->thresholds) << "\","
+              << util::FormatIntVector(audits) << "\","
               << result->policy.orderings.size() << ",\"" << orderings
               << "\",\""
               << util::FormatDoubleVector(result->policy.probabilities)
-              << "\"," << result->vectors_evaluated << ","
-              << result->search_space << "," << timer.ElapsedSeconds() << "\n";
+              << "\"," << result->stats.vectors_evaluated << ","
+              << result->stats.search_space << "," << timer.ElapsedSeconds()
+              << "\n";
   }
   return 0;
 }

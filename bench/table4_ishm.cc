@@ -7,11 +7,10 @@
 #include <string>
 #include <vector>
 
-#include "core/brute_force.h"
 #include "core/detection.h"
 #include "core/game.h"
-#include "core/ishm.h"
 #include "data/syn_a.h"
+#include "solver/registry.h"
 #include "util/flags.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -57,10 +56,16 @@ int Run(int argc, char** argv) {
     }
     for (double eps : flags.GetDoubleList("eps")) {
       util::Timer timer;
-      core::IshmOptions options;
-      options.step_size = eps;
-      auto evaluator = core::MakeFullLpEvaluator(*compiled, *detection);
-      auto result = core::SolveIshm(*instance, evaluator, options);
+      solver::SolverOptions options;
+      options.ishm.step_size = eps;
+      auto ishm = solver::Create("ishm-full", options);
+      if (!ishm.ok()) {
+        std::cerr << ishm.status() << "\n";
+        return 1;
+      }
+      solver::SolveRequest request;
+      request.instance = &*instance;
+      auto result = (*ishm)->Solve(*compiled, *detection, request);
       if (!result.ok()) {
         std::cerr << "B=" << budget << " eps=" << eps << ": "
                   << result.status() << "\n";
@@ -69,7 +74,7 @@ int Run(int argc, char** argv) {
       std::vector<int> audits(static_cast<size_t>(instance->num_types()));
       for (int t = 0; t < instance->num_types(); ++t) {
         audits[static_cast<size_t>(t)] = static_cast<int>(
-            result->effective_thresholds[static_cast<size_t>(t)] /
+            result->thresholds[static_cast<size_t>(t)] /
             instance->audit_costs[static_cast<size_t>(t)]);
       }
       std::cout << budget << "," << eps << "," << result->objective << ",\""

@@ -1,15 +1,13 @@
 // Reproduces Table VII and the T / T' vectors of Section IV-C: the number
 // of threshold vectors ISHM checks per (budget, step size), the per-eps
 // average over budgets (T), and that average as a fraction of the
-// brute-force search space (T').
+// brute-force search space (T'). All (eps, budget) cells are independent
+// ishm-full solves, fanned through solver::SolverEngine in one batch.
 #include <iostream>
-#include <map>
 #include <vector>
 
-#include "core/brute_force.h"
-#include "core/detection.h"
-#include "core/ishm.h"
 #include "data/syn_a.h"
+#include "solver/engine.h"
 #include "util/flags.h"
 
 namespace {
@@ -21,6 +19,7 @@ int Run(int argc, char** argv) {
   flags.Define("budgets", "2,4,6,8,10,12,14,16,18,20", "audit budgets B");
   flags.Define("eps", "0.05,0.10,0.15,0.20,0.25,0.30,0.35,0.40,0.45,0.50",
                "ISHM step sizes");
+  flags.Define("threads", "0", "solver engine workers (0 = one per core)");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::cerr << status << "\n" << flags.HelpString(argv[0]);
@@ -36,11 +35,6 @@ int Run(int argc, char** argv) {
     std::cerr << instance.status() << "\n";
     return 1;
   }
-  auto compiled = core::Compile(*instance);
-  if (!compiled.ok()) {
-    std::cerr << compiled.status() << "\n";
-    return 1;
-  }
   const std::vector<int> budgets = flags.GetIntList("budgets");
   const std::vector<double> eps_list = flags.GetDoubleList("eps");
 
@@ -51,23 +45,30 @@ int Run(int argc, char** argv) {
                         instance->alert_distributions[t].max_value()) + 1;
   }
 
+  std::vector<solver::EngineRequest> requests;
+  for (double eps : eps_list) {
+    for (int budget : budgets) {
+      solver::EngineRequest request;
+      request.solver = "ishm-full";
+      request.instance = &*instance;
+      request.budget = budget;
+      request.options.ishm.step_size = eps;
+      requests.push_back(std::move(request));
+    }
+  }
+  solver::SolverEngine engine(flags.GetInt("threads"));
+  const auto cells = engine.SolveAll(requests);
+
   std::cout << "# Table VII: threshold vectors checked by ISHM\n";
   std::cout << "eps";
   for (int budget : budgets) std::cout << ",B" << budget;
   std::cout << ",T_mean,T_ratio\n";
+  size_t cell = 0;
   for (double eps : eps_list) {
     std::cout << eps;
     double total = 0.0;
-    for (int budget : budgets) {
-      auto detection = core::DetectionModel::Create(*instance, budget);
-      if (!detection.ok()) {
-        std::cerr << detection.status() << "\n";
-        return 1;
-      }
-      core::IshmOptions options;
-      options.step_size = eps;
-      auto result = core::SolveIshm(
-          *instance, core::MakeFullLpEvaluator(*compiled, *detection), options);
+    for (size_t b = 0; b < budgets.size(); ++b) {
+      const auto& result = cells[cell++];
       if (!result.ok()) {
         std::cerr << result.status() << "\n";
         return 1;

@@ -6,12 +6,12 @@
 // budget at which strategic applicants are fully deterred.
 #include <iomanip>
 #include <iostream>
+#include <vector>
 
 #include "core/baselines.h"
-#include "core/cggs.h"
 #include "core/detection.h"
-#include "core/ishm.h"
 #include "data/credit.h"
+#include "solver/engine.h"
 
 using namespace auditgame;  // NOLINT
 
@@ -35,19 +35,34 @@ int main() {
   std::cout << std::fixed << std::setprecision(2);
   std::cout << "budget | bank loss | greedy-baseline loss | thresholds "
                "(audits per type)\n";
+
+  // Each budget is an independent game-theoretic solve; fan the whole
+  // frontier across the cores in one SolverEngine batch.
+  std::vector<int> budgets;
+  for (int budget = 25; budget <= 250; budget += 25) budgets.push_back(budget);
+  std::vector<solver::EngineRequest> requests;
+  for (int budget : budgets) {
+    solver::EngineRequest request;
+    request.solver = "ishm-cggs";
+    request.instance = &*game;
+    request.budget = budget;
+    request.options.ishm.step_size = 0.2;
+    requests.push_back(std::move(request));
+  }
+  solver::SolverEngine engine;
+  const auto results = engine.SolveAll(requests);
+
   double deterrence_budget = -1;
-  for (int budget = 25; budget <= 250; budget += 25) {
+  for (size_t b = 0; b < budgets.size(); ++b) {
+    const int budget = budgets[b];
+    const auto& result = results[b];
+    if (!result.ok()) {
+      std::cerr << result.status() << "\n";
+      return 1;
+    }
     auto detection = core::DetectionModel::Create(*game, budget);
     if (!detection.ok()) {
       std::cerr << detection.status() << "\n";
-      return 1;
-    }
-    core::IshmOptions ishm_options;
-    ishm_options.step_size = 0.2;
-    auto result = core::SolveIshm(
-        *game, core::MakeCggsEvaluator(*compiled, *detection), ishm_options);
-    if (!result.ok()) {
-      std::cerr << result.status() << "\n";
       return 1;
     }
     auto greedy = core::GreedyByBenefitBaseline(*compiled, *detection);
@@ -61,7 +76,7 @@ int main() {
     for (int t = 0; t < game->num_types(); ++t) {
       if (t > 0) std::cout << ", ";
       std::cout << static_cast<int>(
-          result->effective_thresholds[static_cast<size_t>(t)]);
+          result->thresholds[static_cast<size_t>(t)]);
     }
     std::cout << "]\n";
     if (deterrence_budget < 0 && result->objective <= 1e-9) {

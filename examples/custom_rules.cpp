@@ -9,10 +9,9 @@
 #include "audit/event.h"
 #include "audit/log.h"
 #include "audit/rules.h"
-#include "core/cggs.h"
 #include "core/detection.h"
 #include "core/game.h"
-#include "core/ishm.h"
+#include "solver/registry.h"
 #include "util/random.h"
 
 using namespace auditgame;  // NOLINT
@@ -111,10 +110,16 @@ int main() {
     std::cerr << compiled.status() << " / " << detection.status() << "\n";
     return 1;
   }
-  core::IshmOptions options;
-  options.step_size = 0.1;
-  auto result = core::SolveIshm(
-      game, core::MakeCggsEvaluator(*compiled, *detection), options);
+  solver::SolverOptions solver_options;
+  solver_options.ishm.step_size = 0.1;
+  auto ishm = solver::Create("ishm-cggs", solver_options);
+  if (!ishm.ok()) {
+    std::cerr << ishm.status() << "\n";
+    return 1;
+  }
+  solver::SolveRequest request;
+  request.instance = &game;
+  auto result = (*ishm)->Solve(*compiled, *detection, request);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return 1;
@@ -126,7 +131,7 @@ int main() {
     std::cout << "  " << game.type_names[static_cast<size_t>(t)]
               << ": up to "
               << static_cast<int>(
-                     result->effective_thresholds[static_cast<size_t>(t)] /
+                     result->thresholds[static_cast<size_t>(t)] /
                      game.audit_costs[static_cast<size_t>(t)])
               << " audits/day\n";
   }

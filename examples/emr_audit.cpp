@@ -13,11 +13,10 @@
 #include <iostream>
 
 #include "audit/executor.h"
-#include "core/cggs.h"
 #include "core/detection.h"
-#include "core/ishm.h"
 #include "core/policy.h"
 #include "data/emr.h"
+#include "solver/registry.h"
 #include "util/random.h"
 
 using namespace auditgame;  // NOLINT
@@ -64,10 +63,16 @@ int main() {
     std::cerr << compiled.status() << " / " << detection.status() << "\n";
     return 1;
   }
-  core::IshmOptions ishm_options;
-  ishm_options.step_size = 0.2;
-  auto policy = core::SolveIshm(
-      *game, core::MakeCggsEvaluator(*compiled, *detection), ishm_options);
+  solver::SolverOptions solver_options;
+  solver_options.ishm.step_size = 0.2;
+  auto ishm = solver::Create("ishm-cggs", solver_options);
+  if (!ishm.ok()) {
+    std::cerr << ishm.status() << "\n";
+    return 1;
+  }
+  solver::SolveRequest request;
+  request.instance = &*game;
+  auto policy = (*ishm)->Solve(*compiled, *detection, request);
   if (!policy.ok()) {
     std::cerr << policy.status() << "\n";
     return 1;

@@ -6,12 +6,11 @@
 // per day. Which alerts should be checked first, and how many of each?
 #include <iostream>
 
-#include "core/cggs.h"
 #include "core/detection.h"
 #include "core/game.h"
-#include "core/ishm.h"
 #include "core/policy.h"
 #include "prob/count_distribution.h"
+#include "solver/registry.h"
 #include "util/string_util.h"
 
 using namespace auditgame;  // NOLINT
@@ -70,12 +69,20 @@ int main() {
     return 1;
   }
 
-  // ISHM searches the per-type budget thresholds; CGGS finds the optimal
-  // randomized ordering for each candidate threshold vector.
-  core::IshmOptions ishm_options;
-  ishm_options.step_size = 0.1;
-  auto result = core::SolveIshm(
-      game, core::MakeCggsEvaluator(*compiled, *detection), ishm_options);
+  // The "ishm-cggs" backend: ISHM searches the per-type budget thresholds,
+  // CGGS finds the optimal randomized ordering for each candidate vector.
+  // Swap the name for "brute-force" (exact, small games only) or
+  // "ishm-full" without touching the rest of this program.
+  solver::SolverOptions solver_options;
+  solver_options.ishm.step_size = 0.1;
+  auto ishm = solver::Create("ishm-cggs", solver_options);
+  if (!ishm.ok()) {
+    std::cerr << ishm.status() << "\n";
+    return 1;
+  }
+  solver::SolveRequest request;
+  request.instance = &game;
+  auto result = (*ishm)->Solve(*compiled, *detection, request);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return 1;
@@ -86,7 +93,7 @@ int main() {
   std::cout << "Per-type audit thresholds (budget units):\n";
   for (int t = 0; t < game.num_types(); ++t) {
     std::cout << "  " << game.type_names[static_cast<size_t>(t)] << ": "
-              << result->effective_thresholds[static_cast<size_t>(t)] << "\n";
+              << result->thresholds[static_cast<size_t>(t)] << "\n";
   }
   std::cout << "Randomized inspection order (draw one each day):\n";
   for (size_t o = 0; o < result->policy.orderings.size(); ++o) {

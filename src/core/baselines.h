@@ -33,7 +33,7 @@ util::StatusOr<RandomOrderResult> RandomOrderBaseline(
 /// integer vectors with b_t <= J_t and sum_t b_t C_t >= B; for each draw the
 /// auditor still optimizes the ordering mixture (via CGGS). Reports the
 /// loss averaged over draws (paper: 5000 draws; the benches default lower —
-/// see DESIGN.md).
+/// see docs/DESIGN.md "Dataset substitutions").
 struct RandomThresholdResult {
   double mean_auditor_loss = 0.0;
   double min_auditor_loss = 0.0;

@@ -15,7 +15,13 @@ util::StatusOr<BruteForceResult> SolveBruteForce(
   ASSIGN_OR_RETURN(CompiledGame game, Compile(instance));
   ASSIGN_OR_RETURN(DetectionModel detection,
                    DetectionModel::Create(instance, budget, detection_options));
+  return SolveBruteForce(instance, game, detection, options);
+}
 
+util::StatusOr<BruteForceResult> SolveBruteForce(
+    const GameInstance& instance, const CompiledGame& game,
+    DetectionModel& detection, const BruteForceOptions& options) {
+  const double budget = detection.budget();
   const int t_count = instance.num_types();
   std::vector<int> upper(t_count);
   for (int t = 0; t < t_count; ++t) {

@@ -39,6 +39,14 @@ util::StatusOr<BruteForceResult> SolveBruteForce(
     const BruteForceOptions& options = {},
     DetectionModel::Options detection_options = {});
 
+/// Overload reusing an already-compiled game and detection model (which
+/// carries the budget); `detection` must be bound to `instance` and its
+/// thresholds are overwritten. This is what the solver-registry adapter
+/// calls so a solve does not compile the game twice.
+util::StatusOr<BruteForceResult> SolveBruteForce(
+    const GameInstance& instance, const CompiledGame& game,
+    DetectionModel& detection, const BruteForceOptions& options = {});
+
 }  // namespace auditgame::core
 
 #endif  // AUDIT_GAME_CORE_BRUTE_FORCE_H_

@@ -28,7 +28,7 @@ namespace auditgame::core {
 ///
 /// A realization Z_t = 0 contributes detection probability 1 when at least
 /// one audit of type t is affordable (the attacker's alert would be the only
-/// element of the bin), else 0; see DESIGN.md.
+/// element of the bin), else 0; see docs/DESIGN.md "The Z_t = 0 convention".
 ///
 /// The incremental *prefix* API lets CGGS grow an ordering one type at a
 /// time in O(grid) per candidate instead of recomputing full orderings.
@@ -41,7 +41,7 @@ class DetectionModel {
   /// own alert in the bin (detection = n'_t / (Z_t + 1) with n'_t computed
   /// on the inflated bin), which is the exact probability under the
   /// uniformly-audited-bin semantics and reproduces Table III most closely
-  /// (see EXPERIMENTS.md calibration notes).
+  /// (see docs/DESIGN.md "Calibration notes").
   enum class Semantics {
     kExpectedRatio,
     kInclusiveAttack,
@@ -84,6 +84,7 @@ class DetectionModel {
   double budget() const { return budget_; }
   int num_types() const { return static_cast<int>(audit_costs_.size()); }
   Mode mode() const { return options_.mode; }
+  const Options& options() const { return options_; }
 
   /// Pal for every type under a complete ordering (a permutation of all
   /// types). Types absent from the ordering would never be audited; the

@@ -14,7 +14,7 @@ namespace auditgame::core {
 ///
 /// The adversary's expected utility under per-type audit probabilities
 /// Pal (Eq. 2 and 3 of the paper, with the penalty applied negatively; see
-/// DESIGN.md "Calibration notes"):
+/// docs/DESIGN.md "Calibration notes"):
 ///   Pat = sum_t type_probs[t] * Pal[t]
 ///   Ua  = -Pat * penalty + (1 - Pat) * benefit - attack_cost.
 struct VictimProfile {

@@ -13,7 +13,7 @@
 namespace auditgame::data {
 
 /// Synthetic stand-in for the paper's Rea B dataset (UCI Statlog German
-/// credit applications; unavailable offline — see DESIGN.md). Applicant
+/// credit applications; unavailable offline — see docs/DESIGN.md "Dataset substitutions"). Applicant
 /// attributes are drawn to approximate the Statlog marginals (e.g. ~39% of
 /// applicants have no checking account), and the five alert types of Table
 /// IX are assigned by the rule engine over (applicant, purpose) events. The

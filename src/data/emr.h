@@ -14,7 +14,7 @@
 namespace auditgame::data {
 
 /// Synthetic stand-in for the paper's Rea A dataset (VUMC EMR access logs,
-/// which are not publicly available — see DESIGN.md "substitutions").
+/// which are not publicly available — see docs/DESIGN.md "Dataset substitutions").
 ///
 /// We generate a hospital population (employees and patients with last
 /// names, departments, residential addresses and coordinates), classify

@@ -10,7 +10,7 @@ namespace auditgame::data {
 ///  * 4 alert types with Gaussian daily counts — means [6, 5, 4, 4],
 ///    stddevs [2, 1.6, 1.3, 1], truncated at the 99.5% coverage band
 ///    (supports [1,11], [1,9], [1,7], [1,7]);
-///  * 5 potential attackers (p_e = 1; see DESIGN.md on the "(pe = 12)" PDF
+///  * 5 potential attackers (p_e = 1; see docs/DESIGN.md on the "(pe = 12)" PDF
 ///    artifact) and 8 records; the deterministic access -> type matrix of
 ///    Table IIb ("-" entries are benign, providing a do-little option but
 ///    no true opt-out);
@@ -39,7 +39,7 @@ struct SynAOptions {
 };
 
 /// Variant exposing the calibration knobs above (used by the semantics
-/// ablation bench; see EXPERIMENTS.md).
+/// ablation bench; see docs/DESIGN.md "Calibration notes").
 util::StatusOr<core::GameInstance> MakeSynAVariant(const SynAOptions& options);
 
 }  // namespace auditgame::data

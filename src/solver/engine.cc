@@ -1,0 +1,95 @@
+#include "solver/engine.h"
+
+#include <exception>
+#include <map>
+#include <memory>
+#include <utility>
+
+#include "solver/registry.h"
+
+namespace auditgame::solver {
+namespace {
+
+// The per-request work once the compiled game is in hand.
+util::StatusOr<SolveResult> SolveCompiled(const EngineRequest& request,
+                                          const core::CompiledGame& game) {
+  ASSIGN_OR_RETURN(std::unique_ptr<Solver> solver,
+                   Create(request.solver, request.options));
+  ASSIGN_OR_RETURN(core::DetectionModel detection,
+                   core::DetectionModel::Create(*request.instance,
+                                                request.budget,
+                                                request.detection_options));
+  SolveRequest solve_request;
+  solve_request.instance = request.instance;
+  solve_request.thresholds = request.thresholds;
+  return solver->Solve(game, detection, solve_request);
+}
+
+}  // namespace
+
+util::StatusOr<SolveResult> SolverEngine::SolveOne(
+    const EngineRequest& request) {
+  if (request.instance == nullptr) {
+    return util::InvalidArgumentError("EngineRequest::instance is null");
+  }
+  ASSIGN_OR_RETURN(core::CompiledGame game, core::Compile(*request.instance));
+  return SolveCompiled(request, game);
+}
+
+std::vector<util::StatusOr<SolveResult>> SolverEngine::SolveAll(
+    const std::vector<EngineRequest>& requests) {
+  // Batches typically share one instance across many budgets/step sizes:
+  // compile each distinct instance once, up front. The map is read-only
+  // once the workers start, so they need no locking.
+  std::map<const core::GameInstance*, util::StatusOr<core::CompiledGame>>
+      compiled;
+  for (const EngineRequest& request : requests) {
+    if (request.instance != nullptr &&
+        compiled.find(request.instance) == compiled.end()) {
+      compiled.emplace(request.instance, core::Compile(*request.instance));
+    }
+  }
+
+  // Workers fill preassigned slots so the output order is the input order,
+  // independent of scheduling.
+  std::vector<std::unique_ptr<util::StatusOr<SolveResult>>> slots(
+      requests.size());
+  for (size_t i = 0; i < requests.size(); ++i) {
+    const EngineRequest& request = requests[i];
+    auto& slot = slots[i];
+    pool_.Schedule([&request, &slot, &compiled] {
+      // Library code is exception-free (Status-based), but a worker must
+      // never let anything escape onto the pool thread.
+      try {
+        if (request.instance == nullptr) {
+          slot = std::make_unique<util::StatusOr<SolveResult>>(
+              util::InvalidArgumentError("EngineRequest::instance is null"));
+          return;
+        }
+        const auto& game = compiled.at(request.instance);
+        slot = std::make_unique<util::StatusOr<SolveResult>>(
+            game.ok() ? SolveCompiled(request, *game)
+                      : util::StatusOr<SolveResult>(game.status()));
+      } catch (const std::exception& e) {
+        slot = std::make_unique<util::StatusOr<SolveResult>>(
+            util::InternalError(std::string("solver threw: ") + e.what()));
+      } catch (...) {
+        slot = std::make_unique<util::StatusOr<SolveResult>>(
+            util::InternalError("solver threw a non-exception"));
+      }
+    });
+  }
+  pool_.Wait();
+
+  std::vector<util::StatusOr<SolveResult>> results;
+  results.reserve(slots.size());
+  for (auto& slot : slots) {
+    results.push_back(slot == nullptr
+                          ? util::StatusOr<SolveResult>(
+                                util::InternalError("request never ran"))
+                          : std::move(*slot));
+  }
+  return results;
+}
+
+}  // namespace auditgame::solver

@@ -1,0 +1,96 @@
+#include "solver/registry.h"
+
+#include <map>
+#include <mutex>
+#include <utility>
+
+namespace auditgame::solver {
+
+namespace internal {
+// Defined in solvers.cc; registers the five built-in backends.
+void RegisterBuiltinSolvers();
+}  // namespace internal
+
+namespace {
+
+struct Registry {
+  std::mutex mutex;
+  std::map<std::string, SolverFactory> factories;
+};
+
+// Leaked singleton: safe to use from static initializers and worker threads.
+Registry& GetRegistry() {
+  static Registry* const kRegistry = [] {
+    auto* registry = new Registry();
+    return registry;
+  }();
+  return *kRegistry;
+}
+
+// The built-ins are installed on first use of the public API so that a
+// static-library link never dead-strips them.
+void EnsureBuiltins() {
+  static const bool kDone = [] {
+    internal::RegisterBuiltinSolvers();
+    return true;
+  }();
+  (void)kDone;
+}
+
+}  // namespace
+
+util::Status Register(const std::string& name, SolverFactory factory) {
+  if (name.empty()) {
+    return util::InvalidArgumentError("solver name must be non-empty");
+  }
+  if (factory == nullptr) {
+    return util::InvalidArgumentError("solver factory must be non-null");
+  }
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  const auto [it, inserted] =
+      registry.factories.emplace(name, std::move(factory));
+  (void)it;
+  if (!inserted) {
+    return util::FailedPreconditionError("solver already registered: " + name);
+  }
+  return util::OkStatus();
+}
+
+util::StatusOr<std::unique_ptr<Solver>> Create(const std::string& name,
+                                               const SolverOptions& options) {
+  EnsureBuiltins();
+  SolverFactory factory;
+  {
+    Registry& registry = GetRegistry();
+    std::lock_guard<std::mutex> lock(registry.mutex);
+    const auto it = registry.factories.find(name);
+    if (it == registry.factories.end()) {
+      std::string known;
+      for (const auto& [known_name, unused] : registry.factories) {
+        if (!known.empty()) known += ", ";
+        known += known_name;
+      }
+      return util::NotFoundError("unknown solver \"" + name +
+                                 "\" (registered: " + known + ")");
+    }
+    factory = it->second;
+  }
+  std::unique_ptr<Solver> created = factory(options);
+  if (created == nullptr) {
+    return util::InternalError("factory for \"" + name + "\" returned null");
+  }
+  return created;
+}
+
+std::vector<std::string> RegisteredNames() {
+  EnsureBuiltins();
+  Registry& registry = GetRegistry();
+  std::lock_guard<std::mutex> lock(registry.mutex);
+  std::vector<std::string> names;
+  names.reserve(registry.factories.size());
+  for (const auto& [name, unused] : registry.factories) names.push_back(name);
+  return names;
+}
+
+}  // namespace auditgame::solver

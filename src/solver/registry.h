@@ -1,0 +1,39 @@
+#ifndef AUDIT_GAME_SOLVER_REGISTRY_H_
+#define AUDIT_GAME_SOLVER_REGISTRY_H_
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "solver/solver.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::solver {
+
+/// Builds a solver configured with `options`.
+using SolverFactory =
+    std::function<std::unique_ptr<Solver>(const SolverOptions& options)>;
+
+/// Registers a factory under `name`. The five built-in backends
+/// (brute-force, full-lp, cggs, ishm-full, ishm-cggs) are pre-registered;
+/// downstream code may add its own. Re-registering an existing name is an
+/// error (kFailedPrecondition). Thread-safe.
+util::Status Register(const std::string& name, SolverFactory factory);
+
+/// Instantiates the backend registered under `name`. Unknown names return
+/// kNotFound with the list of registered names in the message. Thread-safe.
+util::StatusOr<std::unique_ptr<Solver>> Create(const std::string& name,
+                                               const SolverOptions& options);
+inline util::StatusOr<std::unique_ptr<Solver>> Create(
+    const std::string& name) {
+  return Create(name, SolverOptions());
+}
+
+/// All registered names, sorted. Thread-safe.
+std::vector<std::string> RegisteredNames();
+
+}  // namespace auditgame::solver
+
+#endif  // AUDIT_GAME_SOLVER_REGISTRY_H_

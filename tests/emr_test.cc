@@ -62,7 +62,7 @@ TEST(EmrRulesTest, PairwiseCombinations) {
   EXPECT_EQ(match->first, 5);
 
   // Last name + address, geographically apart (synthetic geocoding allows
-  // the same address id at different coordinates; see DESIGN.md).
+  // the same address id at different coordinates; see docs/DESIGN.md "Dataset substitutions").
   EmrPerson estranged{"p", "Smith", "", "A1", 2.9, 2.9};
   match = rules.Match(MakeEmrAccessEvent(employee, estranged));
   ASSERT_TRUE(match.has_value());

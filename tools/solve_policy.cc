@@ -6,15 +6,20 @@
 // JSON to stdout or a file.
 //
 //   solve_policy --game=game.json --budget=20 --eps=0.1 --out=policy.json
+//
+// The solver backend is picked by registry name (--solver=ishm-cggs,
+// ishm-full, cggs, full-lp, brute-force); fixed-threshold backends take the
+// vector via --thresholds=2,3,1.
 #include <fstream>
 #include <iostream>
 #include <sstream>
+#include <string>
 
-#include "core/cggs.h"
 #include "core/detection.h"
 #include "core/game_io.h"
-#include "core/ishm.h"
+#include "solver/registry.h"
 #include "util/flags.h"
+#include "util/string_util.h"
 
 namespace {
 
@@ -25,7 +30,13 @@ int Run(int argc, char** argv) {
   flags.Define("game", "", "path to the game instance JSON (required)");
   flags.Define("budget", "10", "audit budget B");
   flags.Define("eps", "0.1", "ISHM step size");
-  flags.Define("solver", "cggs", "LP evaluator: cggs | full");
+  flags.Define("solver", "ishm-cggs",
+               "solver backend: ishm-cggs | ishm-full | cggs | full-lp | "
+               "brute-force (legacy aliases: cggs -> ishm-cggs via --eps, "
+               "full -> ishm-full)");
+  flags.Define("thresholds", "",
+               "comma-separated thresholds b_t for the fixed-threshold "
+               "backends (cggs, full-lp)");
   flags.Define("out", "", "output path for the policy JSON (default stdout)");
   flags.Define("mc_samples", "0",
                "use Monte Carlo detection with this many samples (0 = exact)");
@@ -69,27 +80,57 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
-  core::ThresholdEvaluator evaluator;
-  if (flags.GetString("solver") == "full") {
-    evaluator = core::MakeFullLpEvaluator(*compiled, *detection);
-  } else if (flags.GetString("solver") == "cggs") {
-    evaluator = core::MakeCggsEvaluator(*compiled, *detection);
-  } else {
-    std::cerr << "unknown --solver: " << flags.GetString("solver") << "\n";
+  solver::SolveRequest request;
+  request.instance = &*game;
+  const std::string threshold_list = flags.GetString("thresholds");
+  if (!threshold_list.empty()) {
+    request.thresholds = flags.GetDoubleList("thresholds");
+  }
+
+  // Legacy aliases: --solver named the ISHM evaluator before the registry
+  // existed. Without --thresholds, "full"/"cggs" keep their old
+  // ISHM-wrapped meaning; with --thresholds they select the
+  // fixed-threshold backend the user is clearly asking for.
+  std::string solver_name = flags.GetString("solver");
+  if (solver_name == "full") {
+    solver_name = request.thresholds.empty() ? "ishm-full" : "full-lp";
+  } else if (solver_name == "cggs" && request.thresholds.empty()) {
+    std::cerr << "note: --solver=cggs without --thresholds runs ishm-cggs "
+                 "(the pre-registry meaning)\n";
+    solver_name = "ishm-cggs";
+  }
+
+  solver::SolverOptions solver_options;
+  solver_options.ishm.step_size = flags.GetDouble("eps");
+  auto backend = solver::Create(solver_name, solver_options);
+  if (!backend.ok()) {
+    std::cerr << backend.status() << "\n";
     return 1;
   }
-  core::IshmOptions ishm_options;
-  ishm_options.step_size = flags.GetDouble("eps");
-  auto result = core::SolveIshm(*game, evaluator, ishm_options);
+  auto result = (*backend)->Solve(*compiled, *detection, request);
   if (!result.ok()) {
     std::cerr << result.status() << "\n";
     return 1;
   }
 
-  std::cerr << "objective (expected auditor loss): " << result->objective
+  std::cerr << "solver: " << result->solver << "\n"
+            << "objective (expected auditor loss): " << result->objective
             << "\n"
-            << "threshold vectors explored: " << result->stats.evaluations
-            << " (" << result->stats.distinct_evaluations << " distinct)\n";
+            << "thresholds: "
+            << util::FormatDoubleVector(result->thresholds) << "\n";
+  if (result->solver == "brute-force") {
+    std::cerr << "threshold vectors evaluated: "
+              << result->stats.vectors_evaluated << " of "
+              << result->stats.search_space << "\n";
+  } else if (result->solver == "cggs") {
+    std::cerr << "master LPs solved: " << result->stats.lp_solves << ", "
+              << "columns generated: " << result->stats.columns_generated
+              << "\n";
+  } else if (result->stats.evaluations > 0) {
+    std::cerr << "threshold vectors explored: " << result->stats.evaluations
+              << " (" << result->stats.distinct_evaluations << " distinct)\n";
+  }
+  std::cerr << "solve time: " << result->stats.seconds << "s\n";
   const std::string policy_json = core::SerializePolicy(result->policy);
   if (flags.GetString("out").empty()) {
     std::cout << policy_json << "\n";
