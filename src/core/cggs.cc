@@ -28,6 +28,19 @@ double DualWeightedUtility(const CompiledGame& game,
   return total;
 }
 
+// True iff `ordering` is a permutation of {0 .. t_count-1}. Warm-start
+// orderings arrive from cached policies that may have been solved for a
+// different instance shape; anything else would corrupt the master LP.
+bool IsValidOrdering(const std::vector<int>& ordering, int t_count) {
+  if (static_cast<int>(ordering.size()) != t_count) return false;
+  std::vector<bool> seen(static_cast<size_t>(t_count), false);
+  for (int t : ordering) {
+    if (t < 0 || t >= t_count || seen[static_cast<size_t>(t)]) return false;
+    seen[static_cast<size_t>(t)] = true;
+  }
+  return true;
+}
+
 // Greedy pricing (Algorithm 1, lines 4-7): grow an ordering one type at a
 // time, always appending the type that minimizes the dual-weighted utility
 // of the partial ordering (un-placed types contribute Pal = 0).
@@ -73,9 +86,17 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
   RETURN_IF_ERROR(detection.SetThresholds(thresholds));
   util::Rng rng(options.seed);
 
-  // Q starts from the warm-start set, or the identity ordering.
-  std::vector<std::vector<int>> columns = options.initial_orderings;
-  std::set<std::vector<int>> column_set(columns.begin(), columns.end());
+  // Q starts from the warm-start set — deduplicated, and with orderings
+  // that are not permutations of this game's type set silently dropped
+  // (a cached seed may predate an instance reshape) — or the identity
+  // ordering when no valid seed remains.
+  std::vector<std::vector<int>> columns;
+  std::set<std::vector<int>> column_set;
+  for (const std::vector<int>& ordering : options.initial_orderings) {
+    if (!IsValidOrdering(ordering, game.num_types)) continue;
+    if (!column_set.insert(ordering).second) continue;
+    columns.push_back(ordering);
+  }
   if (columns.empty()) {
     std::vector<int> identity(game.num_types);
     std::iota(identity.begin(), identity.end(), 0);

@@ -182,6 +182,53 @@ util::StatusOr<GameInstance> ParseGame(const std::string& json_text) {
   return GameFromJson(json);
 }
 
+namespace {
+
+void AppendAdversaries(util::FingerprintBuilder& fp,
+                       const GameInstance& instance) {
+  fp.AppendI64(static_cast<int64_t>(instance.adversaries.size()));
+  for (const Adversary& adversary : instance.adversaries) {
+    fp.AppendDouble(adversary.attack_probability);
+    fp.AppendU64(adversary.can_opt_out ? 1 : 0);
+    fp.AppendI64(static_cast<int64_t>(adversary.victims.size()));
+    for (const VictimProfile& victim : adversary.victims) {
+      fp.AppendI64(static_cast<int64_t>(victim.type_probs.size()));
+      for (double p : victim.type_probs) fp.AppendDouble(p);
+      fp.AppendDouble(victim.benefit);
+      fp.AppendDouble(victim.penalty);
+      fp.AppendDouble(victim.attack_cost);
+    }
+  }
+}
+
+}  // namespace
+
+util::Fingerprint FingerprintGame(const GameInstance& instance) {
+  util::FingerprintBuilder fp;
+  fp.AppendI64(instance.num_types());
+  for (int t = 0; t < instance.num_types(); ++t) {
+    const auto st = static_cast<size_t>(t);
+    fp.AppendString(instance.type_names[st]);
+    fp.AppendDouble(instance.audit_costs[st]);
+    const prob::CountDistribution& dist = instance.alert_distributions[st];
+    fp.AppendI64(dist.min_value());
+    fp.AppendI64(dist.support_size());
+    for (int z = dist.min_value(); z <= dist.max_value(); ++z) {
+      fp.AppendDouble(dist.Pmf(z));
+    }
+  }
+  AppendAdversaries(fp, instance);
+  return fp.Build();
+}
+
+util::Fingerprint FingerprintGameStructure(const GameInstance& instance) {
+  util::FingerprintBuilder fp;
+  fp.AppendString("structure");  // never collides with FingerprintGame
+  fp.AppendI64(instance.num_types());
+  AppendAdversaries(fp, instance);
+  return fp.Build();
+}
+
 std::string SerializeGame(const GameInstance& instance, int indent) {
   return GameToJson(instance).Dump(indent);
 }

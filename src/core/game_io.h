@@ -5,6 +5,7 @@
 
 #include "core/game.h"
 #include "core/policy.h"
+#include "util/hash.h"
 #include "util/json.h"
 #include "util/status.h"
 #include "util/statusor.h"
@@ -34,6 +35,22 @@ util::StatusOr<GameInstance> GameFromJson(const util::JsonValue& json);
 /// Convenience round trips through text.
 util::StatusOr<GameInstance> ParseGame(const std::string& json_text);
 std::string SerializeGame(const GameInstance& instance, int indent = 2);
+
+/// Deterministic 128-bit content fingerprint of a game instance: two
+/// instances fingerprint equal iff their types, audit costs, alert-count
+/// distributions and adversaries are identical (field-for-field, exact
+/// double bits — the serving layer treats any distribution drift, however
+/// small, as a different instance). Stable across processes and platforms;
+/// the serving layer keys its policy cache on this (see
+/// service/policy_cache.h).
+util::Fingerprint FingerprintGame(const GameInstance& instance);
+
+/// Fingerprint of only the compile-relevant content: the type count and
+/// the adversaries (Compile() reads nothing else — CompiledGame carries no
+/// distribution, name or cost data). The engine keys its compiled-game
+/// cache on this, so a serving loop whose alert-count distributions drift
+/// every cycle still compiles the game exactly once.
+util::Fingerprint FingerprintGameStructure(const GameInstance& instance);
 
 /// Policy schema: { "budget", "thresholds": [...],
 ///                  "orderings": [[...]], "probabilities": [...] }.

@@ -39,7 +39,9 @@ std::vector<int64_t> CacheKey(const std::vector<double>& effective) {
 util::StatusOr<IshmResult> SolveIshm(const GameInstance& instance,
                                      const ThresholdEvaluator& evaluator,
                                      const IshmOptions& options) {
-  if (options.step_size <= 0.0 || options.step_size >= 1.0) {
+  // Negated comparison so NaN (which fails every ordering test, and would
+  // make the ratio loop empty and the sweep spin forever) is rejected too.
+  if (!(options.step_size > 0.0 && options.step_size < 1.0)) {
     return util::InvalidArgumentError("step_size must be in (0, 1)");
   }
   RETURN_IF_ERROR(instance.Validate());
@@ -67,19 +69,42 @@ util::StatusOr<IshmResult> SolveIshm(const GameInstance& instance,
     return eval;
   };
 
-  // Line 1: initialize with the full-coverage upper bounds.
+  // Line 1: initialize with the full-coverage upper bounds, or — warm
+  // start — with the caller-provided seed clamped into [0, upper bound].
   std::vector<double> thresholds(t_count);
   for (int t = 0; t < t_count; ++t) {
     thresholds[t] =
         instance.audit_costs[t] * instance.alert_distributions[t].max_value();
   }
+  const bool warm_started = !options.initial_thresholds.empty();
+  if (warm_started) {
+    if (static_cast<int>(options.initial_thresholds.size()) != t_count) {
+      return util::InvalidArgumentError(
+          "initial_thresholds must have one entry per type");
+    }
+    for (int t = 0; t < t_count; ++t) {
+      thresholds[t] = std::min(
+          thresholds[t], std::max(0.0, options.initial_thresholds[t]));
+    }
+  }
+  const int subset_cap =
+      options.max_subset_size > 0 ? std::min(options.max_subset_size, t_count)
+                                  : t_count;
 
   double best_objective = std::numeric_limits<double>::infinity();
   ThresholdEvaluation best_eval;
   bool have_best = false;
+  if (warm_started) {
+    // The seed is (near-)optimal already; evaluating it first means shrinks
+    // must strictly beat it, where a cold start accepts the best first-round
+    // shrink unconditionally.
+    ASSIGN_OR_RETURN(best_eval, evaluate(thresholds));
+    best_objective = best_eval.objective;
+    have_best = true;
+  }
 
   int lh = 1;
-  while (lh <= t_count) {
+  while (lh <= subset_cap) {
     const std::vector<std::vector<int>> combos =
         util::AllCombinations(t_count, lh);
     int progress = 0;

@@ -35,6 +35,18 @@ struct IshmOptions {
   /// Matches the integer thresholds reported in the paper's tables and
   /// makes the search landscape finite.
   bool floor_to_audit_cost = true;
+  /// Warm start: begin the shrink search at this raw threshold vector
+  /// instead of the paper's full-coverage upper bounds (entries are clamped
+  /// to [0, upper bound] and the vector is evaluated before any shrink, so
+  /// a shrink is accepted only if it strictly beats the seed). Empty = cold
+  /// start; otherwise must have one entry per type. Used by the serving
+  /// layer to re-solve after a small distribution drift, seeding from the
+  /// previously optimal thresholds (see docs/DESIGN.md "Serving layer").
+  std::vector<double> initial_thresholds;
+  /// Cap on the shrink-subset size lh (0 = no cap, the paper's |T|).
+  /// Warm-started re-solves set 1: starting near an optimum, single-type
+  /// local repair suffices and skips the exponential subset sweep.
+  int max_subset_size = 0;
 };
 
 /// Search-effort counters (Table VII reports `evaluations`).

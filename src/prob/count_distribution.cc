@@ -177,4 +177,29 @@ std::vector<int> SampleJoint(const std::vector<CountDistribution>& dists,
   return z;
 }
 
+util::StatusOr<CountDistribution> JitterPmf(const CountDistribution& dist,
+                                            double amplitude,
+                                            util::Rng& rng) {
+  if (amplitude < 0.0 || amplitude >= 1.0) {
+    return util::InvalidArgumentError("jitter amplitude must be in [0, 1)");
+  }
+  std::vector<double> pmf;
+  pmf.reserve(static_cast<size_t>(dist.support_size()));
+  for (int z = dist.min_value(); z <= dist.max_value(); ++z) {
+    pmf.push_back(dist.Pmf(z) * (1.0 + rng.Uniform(-amplitude, amplitude)));
+  }
+  return CountDistribution::FromPmf(dist.min_value(), std::move(pmf));
+}
+
+double TotalVariationDistance(const CountDistribution& p,
+                              const CountDistribution& q) {
+  const int lo = std::min(p.min_value(), q.min_value());
+  const int hi = std::max(p.max_value(), q.max_value());
+  double sum = 0.0;
+  for (int z = lo; z <= hi; ++z) {
+    sum += std::fabs(p.Pmf(z) - q.Pmf(z));
+  }
+  return 0.5 * sum;
+}
+
 }  // namespace auditgame::prob

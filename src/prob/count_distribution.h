@@ -89,6 +89,21 @@ class CountDistribution {
 std::vector<int> SampleJoint(const std::vector<CountDistribution>& dists,
                              util::Rng& rng);
 
+/// Total variation distance (1/2) * sum_z |P(z) - Q(z)| over the union of
+/// the supports, in [0, 1]. The serving layer's drift measure between the
+/// alert-count distributions a policy was solved under and the ones just
+/// ingested (see service/audit_service.h).
+double TotalVariationDistance(const CountDistribution& p,
+                              const CountDistribution& q);
+
+/// Multiplicative pmf jitter on the same support: p'(z) ∝ p(z)(1 + u_z),
+/// u_z ~ U(-amplitude, amplitude), renormalized. Small amplitudes yield
+/// small total-variation drift; used by the serving drivers
+/// (tools/audit_serve, bench/micro_cache) to synthesize drifting alert
+/// streams. Requires amplitude in [0, 1).
+util::StatusOr<CountDistribution> JitterPmf(const CountDistribution& dist,
+                                            double amplitude, util::Rng& rng);
+
 }  // namespace auditgame::prob
 
 #endif  // AUDIT_GAME_PROB_COUNT_DISTRIBUTION_H_

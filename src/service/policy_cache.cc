@@ -1,0 +1,98 @@
+#include "service/policy_cache.h"
+
+#include <utility>
+
+#include "core/game_io.h"
+
+namespace auditgame::service {
+
+util::Fingerprint FingerprintRequest(const solver::EngineRequest& request) {
+  util::FingerprintBuilder fp;
+  // Game content. A null instance is a (rejected) request in its own right;
+  // give it a distinct marker rather than crashing the fingerprinter.
+  if (request.instance == nullptr) {
+    fp.AppendString("null-instance");
+  } else {
+    const util::Fingerprint game = core::FingerprintGame(*request.instance);
+    fp.AppendU64(game.hi);
+    fp.AppendU64(game.lo);
+  }
+  fp.AppendDouble(request.budget);
+
+  const core::DetectionModel::Options& d = request.detection_options;
+  fp.AppendI64(static_cast<int64_t>(d.mode));
+  fp.AppendI64(static_cast<int64_t>(d.semantics));
+  fp.AppendI64(static_cast<int64_t>(d.consumption));
+  fp.AppendI64(d.mc_samples);
+  fp.AppendU64(d.seed);
+  fp.AppendDouble(d.budget_unit);
+
+  fp.AppendString(request.solver);
+  fp.AppendI64(static_cast<int64_t>(request.thresholds.size()));
+  for (double b : request.thresholds) fp.AppendDouble(b);
+
+  const auto append_doubles = [&fp](const std::vector<double>& values) {
+    fp.AppendI64(static_cast<int64_t>(values.size()));
+    for (double v : values) fp.AppendDouble(v);
+  };
+  const auto append_orderings =
+      [&fp](const std::vector<std::vector<int>>& orderings) {
+        fp.AppendI64(static_cast<int64_t>(orderings.size()));
+        for (const auto& ordering : orderings) {
+          fp.AppendI64(static_cast<int64_t>(ordering.size()));
+          for (int t : ordering) fp.AppendI64(t);
+        }
+      };
+
+  const solver::SolverOptions& o = request.options;
+  fp.AppendDouble(o.ishm.step_size);
+  fp.AppendU64(o.ishm.floor_to_audit_cost ? 1 : 0);
+  append_doubles(o.ishm.initial_thresholds);
+  fp.AppendI64(o.ishm.max_subset_size);
+  fp.AppendI64(o.cggs.max_columns);
+  fp.AppendDouble(o.cggs.reduced_cost_tolerance);
+  fp.AppendI64(o.cggs.random_probes);
+  fp.AppendU64(o.cggs.seed);
+  append_orderings(o.cggs.initial_orderings);
+  fp.AppendU64(o.brute_force.require_sum_at_least_budget ? 1 : 0);
+  append_doubles(request.warm_start.thresholds);
+  append_orderings(request.warm_start.orderings);
+  return fp.Build();
+}
+
+std::optional<solver::SolveResult> PolicyCache::Lookup(
+    const util::Fingerprint& key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (solver::SolveResult* cached = cache_.Lookup(key)) {
+    ++stats_.hits;
+    return *cached;
+  }
+  ++stats_.misses;
+  return std::nullopt;
+}
+
+void PolicyCache::Insert(const util::Fingerprint& key,
+                         solver::SolveResult result) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  cache_.Insert(key, std::move(result));
+  ++stats_.insertions;
+}
+
+PolicyCache::Stats PolicyCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats stats = stats_;
+  stats.evictions = cache_.evictions();
+  return stats;
+}
+
+size_t PolicyCache::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.size();
+}
+
+size_t PolicyCache::capacity() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return cache_.capacity();
+}
+
+}  // namespace auditgame::service

@@ -5,6 +5,7 @@
 #include <memory>
 #include <utility>
 
+#include "core/game_io.h"
 #include "solver/registry.h"
 
 namespace auditgame::solver {
@@ -22,6 +23,7 @@ util::StatusOr<SolveResult> SolveCompiled(const EngineRequest& request,
   SolveRequest solve_request;
   solve_request.instance = request.instance;
   solve_request.thresholds = request.thresholds;
+  solve_request.warm_start = request.warm_start;
   return solver->Solve(game, detection, solve_request);
 }
 
@@ -36,17 +38,56 @@ util::StatusOr<SolveResult> SolverEngine::SolveOne(
   return SolveCompiled(request, game);
 }
 
+SolverEngine::CompiledPtr SolverEngine::CompileCached(
+    const core::GameInstance& instance) {
+  // Invalid instances are never cached (and never hit): caching keys on
+  // the compile-relevant structure only, and validity also depends on the
+  // parts the key skips (distribution count, cost positivity).
+  if (util::Status valid = instance.Validate(); !valid.ok()) {
+    return std::make_shared<const util::StatusOr<core::CompiledGame>>(
+        std::move(valid));
+  }
+  // Fingerprinting is O(instance size) — negligible next to a solve — and
+  // makes the cache content-addressed: the same game behind two different
+  // pointers (or re-parsed next cycle) still compiles once. The structure
+  // fingerprint skips the alert-count distributions, which Compile() does
+  // not read, so a serving loop whose distributions drift every cycle
+  // still hits.
+  const util::Fingerprint key = core::FingerprintGameStructure(instance);
+  {
+    std::lock_guard<std::mutex> lock(cache_mutex_);
+    if (CompiledPtr* cached = compiled_cache_.Lookup(key)) {
+      ++cache_stats_.hits;
+      return *cached;
+    }
+  }
+  // Compile outside the lock; a rare duplicate compile of the same game by
+  // two concurrent SolveAll calls is cheaper than serializing all compiles.
+  auto compiled = std::make_shared<const util::StatusOr<core::CompiledGame>>(
+      core::Compile(instance));
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  ++cache_stats_.misses;
+  compiled_cache_.Insert(key, compiled);
+  return compiled;
+}
+
+SolverEngine::CompileCacheStats SolverEngine::compile_cache_stats() const {
+  std::lock_guard<std::mutex> lock(cache_mutex_);
+  return cache_stats_;
+}
+
 std::vector<util::StatusOr<SolveResult>> SolverEngine::SolveAll(
     const std::vector<EngineRequest>& requests) {
   // Batches typically share one instance across many budgets/step sizes:
-  // compile each distinct instance once, up front. The map is read-only
-  // once the workers start, so they need no locking.
-  std::map<const core::GameInstance*, util::StatusOr<core::CompiledGame>>
-      compiled;
+  // resolve each distinct instance against the persistent compile cache up
+  // front. The map is read-only once the workers start, so they need no
+  // locking, and the shared_ptrs keep entries alive even if another batch
+  // evicts them meanwhile.
+  std::map<const core::GameInstance*, CompiledPtr> compiled;
   for (const EngineRequest& request : requests) {
     if (request.instance != nullptr &&
         compiled.find(request.instance) == compiled.end()) {
-      compiled.emplace(request.instance, core::Compile(*request.instance));
+      compiled.emplace(request.instance, CompileCached(*request.instance));
     }
   }
 
@@ -66,7 +107,7 @@ std::vector<util::StatusOr<SolveResult>> SolverEngine::SolveAll(
               util::InvalidArgumentError("EngineRequest::instance is null"));
           return;
         }
-        const auto& game = compiled.at(request.instance);
+        const auto& game = *compiled.at(request.instance);
         slot = std::make_unique<util::StatusOr<SolveResult>>(
             game.ok() ? SolveCompiled(request, *game)
                       : util::StatusOr<SolveResult>(game.status()));

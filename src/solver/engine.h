@@ -1,12 +1,17 @@
 #ifndef AUDIT_GAME_SOLVER_ENGINE_H_
 #define AUDIT_GAME_SOLVER_ENGINE_H_
 
+#include <cstdint>
+#include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
 #include "core/detection.h"
 #include "core/game.h"
 #include "solver/solver.h"
+#include "util/hash.h"
+#include "util/lru_cache.h"
 #include "util/statusor.h"
 #include "util/thread_pool.h"
 
@@ -31,6 +36,9 @@ struct EngineRequest {
   std::vector<double> thresholds;
   /// Backend configuration (step size, CGGS seed, ...).
   SolverOptions options;
+  /// Optional search seed from a previous nearby solve (ISHM thresholds,
+  /// CGGS orderings); empty fields mean cold start.
+  WarmStart warm_start;
 };
 
 /// Fans a batch of independent solve requests across a util::ThreadPool.
@@ -39,10 +47,27 @@ struct EngineRequest {
 /// request order regardless of completion order, and each result is
 /// bit-for-bit identical to running the same request serially (per-request
 /// RNG state, no sharing).
+///
+/// Compilation is cached across the engine's lifetime, keyed by the game's
+/// structure fingerprint (type count + adversaries — the only content
+/// Compile() reads): a serving loop that re-solves the same game every
+/// cycle compiles it exactly once, even while its alert-count
+/// distributions drift, and many batches over one sweep instance share one
+/// compile. The cache is LRU-bounded and thread-safe (one mutex; workers
+/// only read shared_ptr snapshots taken before the batch is scheduled).
 class SolverEngine {
  public:
-  /// `num_threads` = 0 uses ThreadPool::DefaultThreadCount().
-  explicit SolverEngine(int num_threads = 0) : pool_(num_threads) {}
+  struct CompileCacheStats {
+    int64_t hits = 0;
+    int64_t misses = 0;
+  };
+
+  /// `num_threads` = 0 uses ThreadPool::DefaultThreadCount();
+  /// `compile_cache_capacity` bounds the number of distinct compiled games
+  /// kept across batches.
+  explicit SolverEngine(int num_threads = 0,
+                        size_t compile_cache_capacity = 64)
+      : pool_(num_threads), compiled_cache_(compile_cache_capacity) {}
 
   int num_threads() const { return pool_.num_threads(); }
 
@@ -52,11 +77,22 @@ class SolverEngine {
       const std::vector<EngineRequest>& requests);
 
   /// Runs a single request on the calling thread (the serial baseline the
-  /// engine's parallel results are compared against).
+  /// engine's parallel results are compared against). Does not touch the
+  /// compile cache.
   static util::StatusOr<SolveResult> SolveOne(const EngineRequest& request);
 
+  CompileCacheStats compile_cache_stats() const;
+
  private:
+  using CompiledPtr = std::shared_ptr<const util::StatusOr<core::CompiledGame>>;
+
+  /// Returns the compiled form of `instance`, compiling and caching on miss.
+  CompiledPtr CompileCached(const core::GameInstance& instance);
+
   util::ThreadPool pool_;
+  mutable std::mutex cache_mutex_;
+  util::LruCache<util::Fingerprint, CompiledPtr> compiled_cache_;
+  CompileCacheStats cache_stats_;
 };
 
 }  // namespace auditgame::solver

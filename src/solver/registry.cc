@@ -39,7 +39,9 @@ void EnsureBuiltins() {
 
 }  // namespace
 
-util::Status Register(const std::string& name, SolverFactory factory) {
+namespace internal {
+
+util::Status RegisterFactory(const std::string& name, SolverFactory factory) {
   if (name.empty()) {
     return util::InvalidArgumentError("solver name must be non-empty");
   }
@@ -55,6 +57,16 @@ util::Status Register(const std::string& name, SolverFactory factory) {
     return util::FailedPreconditionError("solver already registered: " + name);
   }
   return util::OkStatus();
+}
+
+}  // namespace internal
+
+util::Status Register(const std::string& name, SolverFactory factory) {
+  // Install the built-ins first, so a downstream Register() that runs
+  // before the first Create() cannot silently claim — and later shadow —
+  // a built-in name.
+  EnsureBuiltins();
+  return internal::RegisterFactory(name, std::move(factory));
 }
 
 util::StatusOr<std::unique_ptr<Solver>> Create(const std::string& name,

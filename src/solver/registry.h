@@ -34,6 +34,13 @@ inline util::StatusOr<std::unique_ptr<Solver>> Create(
 /// All registered names, sorted. Thread-safe.
 std::vector<std::string> RegisteredNames();
 
+namespace internal {
+/// Registration path used by the built-in adapters while they are being
+/// installed (the public Register() first installs the built-ins, which
+/// must not re-enter that installation). Downstream code uses Register().
+util::Status RegisterFactory(const std::string& name, SolverFactory factory);
+}  // namespace internal
+
 }  // namespace auditgame::solver
 
 #endif  // AUDIT_GAME_SOLVER_REGISTRY_H_

@@ -43,6 +43,20 @@ struct SolverOptions {
   core::BruteForceOptions brute_force;
 };
 
+/// Search seeds carried over from a previously solved, nearby request —
+/// e.g. the same game one audit cycle ago, before a small alert-count
+/// drift. Backends use the parts they understand and ignore the rest;
+/// empty fields mean cold start. Seeding never changes what a backend
+/// searches for, only where it starts, so a warm solve is a valid solve
+/// of the *current* request (see docs/DESIGN.md "Serving layer").
+struct WarmStart {
+  /// ISHM backends: raw threshold vector to start the shrink search at.
+  std::vector<double> thresholds;
+  /// CGGS-based backends: orderings seeding the column pool (typically the
+  /// support of the previous policy). Invalid orderings are dropped.
+  std::vector<std::vector<int>> orderings;
+};
+
 /// Per-call inputs. The budget and the detection configuration live in the
 /// DetectionModel passed to Solve().
 struct SolveRequest {
@@ -53,6 +67,8 @@ struct SolveRequest {
   /// Required by fixed-threshold backends (full-lp, cggs): the threshold
   /// vector b to evaluate.
   std::vector<double> thresholds;
+  /// Optional warm start for the heuristic backends.
+  WarmStart warm_start;
 };
 
 /// Search-effort counters, unified across backends. Fields irrelevant to a

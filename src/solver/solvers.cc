@@ -104,9 +104,13 @@ class CggsSolver : public Solver {
                                     const SolveRequest& request) override {
     RETURN_IF_ERROR(RequireThresholds(game, request, Name()));
     util::Timer timer;
+    core::CggsOptions options = options_;
+    options.initial_orderings.insert(options.initial_orderings.end(),
+                                     request.warm_start.orderings.begin(),
+                                     request.warm_start.orderings.end());
     ASSIGN_OR_RETURN(
         core::CggsResult cggs,
-        core::SolveCggs(game, detection, request.thresholds, options_));
+        core::SolveCggs(game, detection, request.thresholds, options));
     SolveResult result;
     result.solver = Name();
     result.objective = cggs.objective;
@@ -140,15 +144,23 @@ class IshmSolver : public Solver {
                                     const SolveRequest& request) override {
     RETURN_IF_ERROR(RequireInstance(request, Name()));
     util::Timer timer;
+    SolverOptions options = options_;
+    if (!request.warm_start.thresholds.empty()) {
+      options.ishm.initial_thresholds = request.warm_start.thresholds;
+    }
+    options.cggs.initial_orderings.insert(
+        options.cggs.initial_orderings.end(),
+        request.warm_start.orderings.begin(),
+        request.warm_start.orderings.end());
     // A fresh evaluator per call keeps the CGGS warm-start pool scoped to
     // this solve: repeated Solve() calls are independent and deterministic.
     const core::ThresholdEvaluator evaluator =
         evaluator_ == Evaluator::kFullLp
             ? core::MakeFullLpEvaluator(game, detection)
-            : core::MakeCggsEvaluator(game, detection, options_.cggs);
+            : core::MakeCggsEvaluator(game, detection, options.cggs);
     ASSIGN_OR_RETURN(
         core::IshmResult ishm,
-        core::SolveIshm(*request.instance, evaluator, options_.ishm));
+        core::SolveIshm(*request.instance, evaluator, options.ishm));
     SolveResult result;
     result.solver = Name();
     result.objective = ishm.objective;
@@ -171,19 +183,19 @@ class IshmSolver : public Solver {
 namespace internal {
 
 void RegisterBuiltinSolvers() {
-  (void)Register("brute-force", [](const SolverOptions& options) {
+  (void)internal::RegisterFactory("brute-force", [](const SolverOptions& options) {
     return std::make_unique<BruteForceSolver>(options);
   });
-  (void)Register("full-lp", [](const SolverOptions& options) {
+  (void)internal::RegisterFactory("full-lp", [](const SolverOptions& options) {
     return std::make_unique<FullLpSolver>(options);
   });
-  (void)Register("cggs", [](const SolverOptions& options) {
+  (void)internal::RegisterFactory("cggs", [](const SolverOptions& options) {
     return std::make_unique<CggsSolver>(options);
   });
-  (void)Register("ishm-full", [](const SolverOptions& options) {
+  (void)internal::RegisterFactory("ishm-full", [](const SolverOptions& options) {
     return std::make_unique<IshmSolver>(options, IshmSolver::Evaluator::kFullLp);
   });
-  (void)Register("ishm-cggs", [](const SolverOptions& options) {
+  (void)internal::RegisterFactory("ishm-cggs", [](const SolverOptions& options) {
     return std::make_unique<IshmSolver>(options, IshmSolver::Evaluator::kCggs);
   });
 }

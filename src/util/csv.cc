@@ -1,6 +1,7 @@
 #include "util/csv.h"
 
 #include <cstdio>
+#include <cstdlib>
 
 namespace auditgame::util {
 
@@ -26,12 +27,19 @@ std::string CsvWriter::Escape(const std::string& field) {
 }
 
 std::string CsvWriter::FormatDouble(double value) {
+  // Shortest representation that parses back to exactly `value`: try 15
+  // significant digits (enough for most values), widening to 17 (always
+  // sufficient for IEEE binary64) only when the round trip fails. Keeps
+  // "0.4517" printing as "0.4517" while guaranteeing exact round trips.
   char buf[64];
-  std::snprintf(buf, sizeof(buf), "%.10g", value);
+  for (int precision = 15; precision <= 17; ++precision) {
+    std::snprintf(buf, sizeof(buf), "%.*g", precision, value);
+    if (std::strtod(buf, nullptr) == value) break;
+  }
   return buf;
 }
 
-std::vector<std::string> SplitCsvLine(const std::string& line) {
+util::StatusOr<std::vector<std::string>> SplitCsvLine(const std::string& line) {
   std::vector<std::string> fields;
   std::string current;
   bool in_quotes = false;
@@ -56,6 +64,10 @@ std::vector<std::string> SplitCsvLine(const std::string& line) {
     } else if (c != '\r') {
       current += c;
     }
+  }
+  if (in_quotes) {
+    return InvalidArgumentError(
+        "unterminated quoted field at end of CSV line: " + line);
   }
   fields.push_back(std::move(current));
   return fields;

@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/statusor.h"
 
 namespace auditgame::util {
 
@@ -27,8 +28,9 @@ class CsvWriter {
   /// Escapes a single field per RFC 4180.
   static std::string Escape(const std::string& field);
 
-  /// Formats a double compactly (up to 10 significant digits, trailing
-  /// zeros trimmed).
+  /// Formats a double with the fewest significant digits (15-17) that
+  /// still parse back to the identical value, so written benchmark rows
+  /// and policies round-trip exactly.
   static std::string FormatDouble(double value);
 
  private:
@@ -36,8 +38,10 @@ class CsvWriter {
 };
 
 /// Splits one CSV line into fields (handles RFC 4180 quoting; does not
-/// handle embedded newlines). Used by tests and example data loaders.
-std::vector<std::string> SplitCsvLine(const std::string& line);
+/// handle embedded newlines). A quoted field left open at the end of the
+/// line is an InvalidArgument error, not a silently truncated field. Used
+/// by tests and example data loaders.
+util::StatusOr<std::vector<std::string>> SplitCsvLine(const std::string& line);
 
 }  // namespace auditgame::util
 

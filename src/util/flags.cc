@@ -1,10 +1,26 @@
 #include "util/flags.h"
 
+#include <cctype>
+#include <cerrno>
+#include <cmath>
 #include <cstdlib>
+#include <iostream>
+#include <limits>
 #include <sstream>
 
 namespace auditgame::util {
 namespace {
+
+// Reports a malformed flag value and terminates: flag accessors are called
+// from CLI entry points where silently substituting a default (the old
+// strtol-with-null-endptr behavior) corrupts whole sweeps.
+[[noreturn]] void DieBadFlagValue(const std::string& name,
+                                  const std::string& token,
+                                  const Status& status) {
+  std::cerr << "invalid value for --" << name << ": " << status.message()
+            << " (got \"" << token << "\")\n";
+  std::exit(2);
+}
 
 std::vector<std::string> SplitComma(const std::string& s) {
   std::vector<std::string> parts;
@@ -22,6 +38,50 @@ std::vector<std::string> SplitComma(const std::string& s) {
 }
 
 }  // namespace
+
+StatusOr<int> ParseFullInt(const std::string& token) {
+  if (token.empty()) return InvalidArgumentError("empty integer token");
+  // strtol skips leading whitespace; a flag token must not have any.
+  if (std::isspace(static_cast<unsigned char>(token.front()))) {
+    return InvalidArgumentError("not an integer");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const long value = std::strtol(token.c_str(), &end, 10);
+  if (end != token.c_str() + token.size()) {
+    return InvalidArgumentError("not an integer");
+  }
+  if (errno == ERANGE || value < std::numeric_limits<int>::min() ||
+      value > std::numeric_limits<int>::max()) {
+    return OutOfRangeError("integer out of range");
+  }
+  return static_cast<int>(value);
+}
+
+StatusOr<double> ParseFullDouble(const std::string& token) {
+  if (token.empty()) return InvalidArgumentError("empty number token");
+  // strtod skips leading whitespace; a flag token must not have any.
+  if (std::isspace(static_cast<unsigned char>(token.front()))) {
+    return InvalidArgumentError("not a number");
+  }
+  errno = 0;
+  char* end = nullptr;
+  const double value = std::strtod(token.c_str(), &end);
+  if (end != token.c_str() + token.size()) {
+    return InvalidArgumentError("not a number");
+  }
+  // ERANGE covers both overflow and underflow; underflow still returns the
+  // correct (sub)normal value, so only overflow is an error.
+  if (errno == ERANGE && (value == HUGE_VAL || value == -HUGE_VAL)) {
+    return OutOfRangeError("number out of range");
+  }
+  // strtod accepts "nan"/"inf"; no flag in this project means either, and
+  // letting them through turns range guards like (0, 1) into no-ops.
+  if (!std::isfinite(value)) {
+    return InvalidArgumentError("not a finite number");
+  }
+  return value;
+}
 
 FlagParser& FlagParser::Define(const std::string& name,
                                const std::string& default_value,
@@ -80,11 +140,17 @@ std::string FlagParser::GetString(const std::string& name) const {
 }
 
 int FlagParser::GetInt(const std::string& name) const {
-  return static_cast<int>(std::strtol(GetString(name).c_str(), nullptr, 10));
+  const std::string token = GetString(name);
+  auto value = ParseFullInt(token);
+  if (!value.ok()) DieBadFlagValue(name, token, value.status());
+  return *value;
 }
 
 double FlagParser::GetDouble(const std::string& name) const {
-  return std::strtod(GetString(name).c_str(), nullptr);
+  const std::string token = GetString(name);
+  auto value = ParseFullDouble(token);
+  if (!value.ok()) DieBadFlagValue(name, token, value.status());
+  return *value;
 }
 
 bool FlagParser::GetBool(const std::string& name) const {
@@ -95,7 +161,9 @@ bool FlagParser::GetBool(const std::string& name) const {
 std::vector<double> FlagParser::GetDoubleList(const std::string& name) const {
   std::vector<double> result;
   for (const std::string& part : SplitComma(GetString(name))) {
-    result.push_back(std::strtod(part.c_str(), nullptr));
+    auto value = ParseFullDouble(part);
+    if (!value.ok()) DieBadFlagValue(name, part, value.status());
+    result.push_back(*value);
   }
   return result;
 }
@@ -103,7 +171,9 @@ std::vector<double> FlagParser::GetDoubleList(const std::string& name) const {
 std::vector<int> FlagParser::GetIntList(const std::string& name) const {
   std::vector<int> result;
   for (const std::string& part : SplitComma(GetString(name))) {
-    result.push_back(static_cast<int>(std::strtol(part.c_str(), nullptr, 10)));
+    auto value = ParseFullInt(part);
+    if (!value.ok()) DieBadFlagValue(name, part, value.status());
+    result.push_back(*value);
   }
   return result;
 }

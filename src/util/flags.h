@@ -6,8 +6,16 @@
 #include <vector>
 
 #include "util/status.h"
+#include "util/statusor.h"
 
 namespace auditgame::util {
+
+/// Strict numeric token parsing: the whole token must be a valid number
+/// (no trailing garbage — "12abc" is an error, not 12 — and no empty or
+/// whitespace-padded tokens). Used by FlagParser's typed accessors and
+/// available to any other input path that needs the same discipline.
+StatusOr<int> ParseFullInt(const std::string& token);
+StatusOr<double> ParseFullDouble(const std::string& token);
 
 /// Tiny command-line flag parser for the benchmark harnesses and examples.
 /// Supports `--name=value`, `--name value` and boolean `--name` forms.
@@ -29,13 +37,17 @@ class FlagParser {
   /// Renders the help text for all defined flags.
   std::string HelpString(const std::string& program) const;
 
-  /// Typed accessors; the flag must have been defined.
+  /// Typed accessors; the flag must have been defined. The numeric
+  /// accessors validate the full token and exit(2) with a message naming
+  /// the flag on a malformed value — a CLI tool must never run a sweep
+  /// with "--budget=12abc" silently read as 12.
   std::string GetString(const std::string& name) const;
   int GetInt(const std::string& name) const;
   double GetDouble(const std::string& name) const;
   bool GetBool(const std::string& name) const;
 
   /// Parses a comma-separated list of doubles (e.g. "--eps=0.1,0.2,0.3").
+  /// An empty value yields an empty list; malformed elements exit(2).
   std::vector<double> GetDoubleList(const std::string& name) const;
 
   /// Parses a comma-separated list of ints.

@@ -1,0 +1,47 @@
+#include "util/hash.h"
+
+#include <cstdio>
+#include <cstring>
+
+namespace auditgame::util {
+
+void Fnv1a::Append(const void* data, size_t size) {
+  const auto* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = state_;
+  for (size_t i = 0; i < size; ++i) {
+    h ^= bytes[i];
+    h *= kPrime;
+  }
+  state_ = h;
+}
+
+void Fnv1a::AppendString(std::string_view s) {
+  AppendU64(s.size());
+  Append(s.data(), s.size());
+}
+
+void Fnv1a::AppendU64(uint64_t v) {
+  // Fixed little-endian byte order so fingerprints are portable.
+  unsigned char bytes[8];
+  for (int i = 0; i < 8; ++i) {
+    bytes[i] = static_cast<unsigned char>(v >> (8 * i));
+  }
+  Append(bytes, sizeof(bytes));
+}
+
+void Fnv1a::AppendDouble(double v) {
+  uint64_t bits = 0;
+  static_assert(sizeof(bits) == sizeof(v), "double must be 64-bit");
+  std::memcpy(&bits, &v, sizeof(bits));
+  AppendU64(bits);
+}
+
+std::string Fingerprint::ToHex() const {
+  char buf[33];
+  std::snprintf(buf, sizeof(buf), "%016llx%016llx",
+                static_cast<unsigned long long>(hi),
+                static_cast<unsigned long long>(lo));
+  return buf;
+}
+
+}  // namespace auditgame::util

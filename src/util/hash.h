@@ -1,0 +1,98 @@
+#ifndef AUDIT_GAME_UTIL_HASH_H_
+#define AUDIT_GAME_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+namespace auditgame::util {
+
+/// Incremental FNV-1a (64-bit) hasher. Deterministic across platforms and
+/// runs, which is what the policy cache needs: fingerprints computed today
+/// must match fingerprints computed by another worker or a later cycle.
+/// Not cryptographic — keys are trusted solver configurations, not
+/// adversarial input.
+class Fnv1a {
+ public:
+  static constexpr uint64_t kOffsetBasis = 14695981039346656037ULL;
+  static constexpr uint64_t kPrime = 1099511628211ULL;
+
+  explicit Fnv1a(uint64_t seed = kOffsetBasis) : state_(seed) {}
+
+  void Append(const void* data, size_t size);
+  void Append(std::string_view s) { Append(s.data(), s.size()); }
+  /// Length-prefixed, so ("ab","c") and ("a","bc") hash differently.
+  void AppendString(std::string_view s);
+  void AppendU64(uint64_t v);
+  void AppendI64(int64_t v) { AppendU64(static_cast<uint64_t>(v)); }
+  /// Hashes the bit pattern (0.0 and -0.0 differ; NaNs by payload).
+  void AppendDouble(double v);
+
+  uint64_t value() const { return state_; }
+
+ private:
+  uint64_t state_;
+};
+
+/// A 128-bit content fingerprint: two independent 64-bit FNV-1a streams
+/// over the same bytes, wide enough that accidental collisions between
+/// distinct solver configurations are not a practical concern.
+struct Fingerprint {
+  uint64_t hi = 0;
+  uint64_t lo = 0;
+
+  friend bool operator==(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi == b.hi && a.lo == b.lo;
+  }
+  friend bool operator!=(const Fingerprint& a, const Fingerprint& b) {
+    return !(a == b);
+  }
+  friend bool operator<(const Fingerprint& a, const Fingerprint& b) {
+    return a.hi != b.hi ? a.hi < b.hi : a.lo < b.lo;
+  }
+
+  /// 32 lowercase hex characters, for logs and reports.
+  std::string ToHex() const;
+};
+
+/// Builds a Fingerprint from two hasher streams (seeded differently by the
+/// caller; see FingerprintBuilder for the standard pairing).
+class FingerprintBuilder {
+ public:
+  FingerprintBuilder()
+      : hi_(Fnv1a::kOffsetBasis),
+        // Second stream: distinct seed so the two words are independent.
+        lo_(0x9e3779b97f4a7c15ULL) {}
+
+  void Append(std::string_view s) {
+    hi_.Append(s);
+    lo_.Append(s);
+  }
+  void AppendString(std::string_view s) {
+    hi_.AppendString(s);
+    lo_.AppendString(s);
+  }
+  void AppendU64(uint64_t v) {
+    hi_.AppendU64(v);
+    lo_.AppendU64(v);
+  }
+  void AppendI64(int64_t v) {
+    hi_.AppendI64(v);
+    lo_.AppendI64(v);
+  }
+  void AppendDouble(double v) {
+    hi_.AppendDouble(v);
+    lo_.AppendDouble(v);
+  }
+
+  Fingerprint Build() const { return Fingerprint{hi_.value(), lo_.value()}; }
+
+ private:
+  Fnv1a hi_;
+  Fnv1a lo_;
+};
+
+}  // namespace auditgame::util
+
+#endif  // AUDIT_GAME_UTIL_HASH_H_

@@ -99,6 +99,29 @@ class Parser {
     return JsonValue(value);
   }
 
+  // Reads exactly four hex digits (strtol would tolerate signs and
+  // whitespace, so the digits are checked explicitly).
+  StatusOr<long> ParseHex4() {
+    if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
+    long code = 0;
+    for (int i = 0; i < 4; ++i) {
+      const char h = text_[pos_ + static_cast<size_t>(i)];
+      int digit;
+      if (h >= '0' && h <= '9') {
+        digit = h - '0';
+      } else if (h >= 'a' && h <= 'f') {
+        digit = h - 'a' + 10;
+      } else if (h >= 'A' && h <= 'F') {
+        digit = h - 'A' + 10;
+      } else {
+        return Error("bad \\u escape");
+      }
+      code = (code << 4) | digit;
+    }
+    pos_ += 4;
+    return code;
+  }
+
   StatusOr<std::string> ParseString() {
     if (!Consume('"')) return Error("expected '\"'");
     std::string result;
@@ -134,20 +157,39 @@ class Parser {
             result += '\t';
             break;
           case 'u': {
-            // Basic \uXXXX support: decode to UTF-8 (no surrogate pairs).
-            if (pos_ + 4 > text_.size()) return Error("truncated \\u escape");
-            const std::string hex = text_.substr(pos_, 4);
-            pos_ += 4;
-            char* end = nullptr;
-            const long code = std::strtol(hex.c_str(), &end, 16);
-            if (end != hex.c_str() + 4) return Error("bad \\u escape");
+            // \uXXXX escapes, decoded to UTF-8. A high surrogate must be
+            // followed by "\uXXXX" with a low surrogate (together encoding
+            // one supplementary-plane code point); lone surrogates are
+            // rejected — they are not valid scalar values and would emit
+            // ill-formed UTF-8 (CESU-8).
+            ASSIGN_OR_RETURN(long code, ParseHex4());
+            if (code >= 0xDC00 && code <= 0xDFFF) {
+              return Error("lone low surrogate in \\u escape");
+            }
+            if (code >= 0xD800 && code <= 0xDBFF) {
+              if (pos_ + 2 > text_.size() || text_[pos_] != '\\' ||
+                  text_[pos_ + 1] != 'u') {
+                return Error("high surrogate not followed by \\u escape");
+              }
+              pos_ += 2;
+              ASSIGN_OR_RETURN(long low, ParseHex4());
+              if (low < 0xDC00 || low > 0xDFFF) {
+                return Error("high surrogate not followed by low surrogate");
+              }
+              code = 0x10000 + ((code - 0xD800) << 10) + (low - 0xDC00);
+            }
             if (code < 0x80) {
               result += static_cast<char>(code);
             } else if (code < 0x800) {
               result += static_cast<char>(0xC0 | (code >> 6));
               result += static_cast<char>(0x80 | (code & 0x3F));
-            } else {
+            } else if (code < 0x10000) {
               result += static_cast<char>(0xE0 | (code >> 12));
+              result += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
+              result += static_cast<char>(0x80 | (code & 0x3F));
+            } else {
+              result += static_cast<char>(0xF0 | (code >> 18));
+              result += static_cast<char>(0x80 | ((code >> 12) & 0x3F));
               result += static_cast<char>(0x80 | ((code >> 6) & 0x3F));
               result += static_cast<char>(0x80 | (code & 0x3F));
             }

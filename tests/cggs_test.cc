@@ -26,6 +26,40 @@ TEST(CggsTest, FindsTheMixOnTinyGame) {
   EXPECT_GE(result->columns_generated, 1);
 }
 
+TEST(CggsTest, InvalidWarmStartOrderingsAreDroppedNotSolved) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  CggsOptions options;
+  // A stale cached policy: wrong length, out-of-range type, a duplicate
+  // type, plus one valid seed and its duplicate.
+  options.initial_orderings = {{0}, {0, 5}, {1, 1}, {1, 0}, {1, 0}};
+  const auto result = SolveCggs(*compiled, *detection, {2.0, 2.0}, options);
+  ASSERT_TRUE(result.ok());
+  EXPECT_NEAR(result->objective, 0.0, 1e-9);
+  for (const auto& column : result->columns) {
+    ASSERT_EQ(column.size(), 2u);
+    EXPECT_NE(column[0], column[1]);
+  }
+}
+
+TEST(CggsTest, AllInvalidWarmStartsFallBackToIdentity) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  CggsOptions options;
+  options.initial_orderings = {{7, 8}, {0}};
+  const auto result = SolveCggs(*compiled, *detection, {2.0, 2.0}, options);
+  ASSERT_TRUE(result.ok());
+  const auto cold = SolveCggs(*compiled, *detection, {2.0, 2.0});
+  ASSERT_TRUE(cold.ok());
+  EXPECT_EQ(result->objective, cold->objective);
+}
+
 TEST(CggsTest, NeverWorseThanInitialColumn) {
   const GameInstance instance = MakeMediumGame();
   const auto compiled = Compile(instance);

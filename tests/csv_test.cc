@@ -1,5 +1,6 @@
 #include "util/csv.h"
 
+#include <cstdlib>
 #include <sstream>
 
 #include <gtest/gtest.h>
@@ -29,37 +30,63 @@ TEST(CsvWriterTest, QuotesNewlines) {
   EXPECT_EQ(CsvWriter::Escape("a\nb"), "\"a\nb\"");
 }
 
-TEST(CsvWriterTest, FormatDoubleRoundTrips) {
+TEST(CsvWriterTest, FormatDoubleStaysCompact) {
   EXPECT_EQ(CsvWriter::FormatDouble(1.5), "1.5");
   EXPECT_EQ(CsvWriter::FormatDouble(-0.4517), "-0.4517");
   EXPECT_EQ(CsvWriter::FormatDouble(0), "0");
 }
 
+TEST(CsvWriterTest, FormatDoubleRoundTripsExactly) {
+  // Values whose shortest decimal form needs 16-17 significant digits; the
+  // old fixed %.10g lost them.
+  for (double value : {0.1 + 0.2, 1.0 / 3.0, 2.0 / 7.0, 1e-17 + 1e-34,
+                       123456789.123456789, -0.35659123456789012}) {
+    const std::string text = CsvWriter::FormatDouble(value);
+    EXPECT_EQ(std::strtod(text.c_str(), nullptr), value) << text;
+  }
+}
+
 TEST(SplitCsvLineTest, PlainFields) {
   const auto fields = SplitCsvLine("a,b,c");
-  ASSERT_EQ(fields.size(), 3u);
-  EXPECT_EQ(fields[0], "a");
-  EXPECT_EQ(fields[2], "c");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 3u);
+  EXPECT_EQ((*fields)[0], "a");
+  EXPECT_EQ((*fields)[2], "c");
 }
 
 TEST(SplitCsvLineTest, QuotedFieldWithComma) {
   const auto fields = SplitCsvLine("\"x,y\",z");
-  ASSERT_EQ(fields.size(), 2u);
-  EXPECT_EQ(fields[0], "x,y");
-  EXPECT_EQ(fields[1], "z");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 2u);
+  EXPECT_EQ((*fields)[0], "x,y");
+  EXPECT_EQ((*fields)[1], "z");
 }
 
 TEST(SplitCsvLineTest, EscapedQuote) {
   const auto fields = SplitCsvLine("\"say \"\"hi\"\"\"");
-  ASSERT_EQ(fields.size(), 1u);
-  EXPECT_EQ(fields[0], "say \"hi\"");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 1u);
+  EXPECT_EQ((*fields)[0], "say \"hi\"");
 }
 
 TEST(SplitCsvLineTest, EmptyFields) {
   const auto fields = SplitCsvLine("a,,b,");
-  ASSERT_EQ(fields.size(), 4u);
-  EXPECT_EQ(fields[1], "");
-  EXPECT_EQ(fields[3], "");
+  ASSERT_TRUE(fields.ok());
+  ASSERT_EQ(fields->size(), 4u);
+  EXPECT_EQ((*fields)[1], "");
+  EXPECT_EQ((*fields)[3], "");
+}
+
+TEST(SplitCsvLineTest, UnterminatedQuoteIsAnError) {
+  // A quote left open at end of line used to yield a silently truncated
+  // field; it must surface as InvalidArgument.
+  const auto fields = SplitCsvLine("\"unterminated");
+  ASSERT_FALSE(fields.ok());
+  EXPECT_EQ(fields.status().code(), StatusCode::kInvalidArgument);
+  EXPECT_FALSE(SplitCsvLine("a,\"x,y").ok());
+  EXPECT_FALSE(SplitCsvLine("a,\"he said \"\"hi").ok());
+  // A quote closed right at the end of the line is fine.
+  EXPECT_TRUE(SplitCsvLine("a,\"x,y\"").ok());
 }
 
 TEST(CsvRoundTripTest, WriteThenSplit) {
@@ -69,7 +96,9 @@ TEST(CsvRoundTripTest, WriteThenSplit) {
   writer.WriteRow(row);
   std::string line = out.str();
   line.pop_back();  // strip newline
-  EXPECT_EQ(SplitCsvLine(line), row);
+  const auto fields = SplitCsvLine(line);
+  ASSERT_TRUE(fields.ok());
+  EXPECT_EQ(*fields, row);
 }
 
 }  // namespace

@@ -25,6 +25,10 @@ TEST(IshmTest, RejectsBadStepSize) {
   EXPECT_FALSE(SolveIshm(instance, evaluator, options).ok());
   options.step_size = 1.0;
   EXPECT_FALSE(SolveIshm(instance, evaluator, options).ok());
+  // NaN slips through naive range comparisons and would spin the sweep
+  // forever.
+  options.step_size = std::nan("");
+  EXPECT_FALSE(SolveIshm(instance, evaluator, options).ok());
 }
 
 TEST(IshmTest, FindsOptimumOnTinyGame) {
@@ -126,6 +130,84 @@ TEST(IshmTest, CachedEvaluationsAreNotRecomputed) {
   ASSERT_TRUE(result.ok());
   EXPECT_EQ(calls, result->stats.distinct_evaluations);
   EXPECT_LT(result->stats.distinct_evaluations, result->stats.evaluations);
+}
+
+TEST(IshmTest, WarmStartRejectsWrongSizeSeed) {
+  const GameInstance instance = MakeTinyGame();
+  auto evaluator = [](const std::vector<double>&)
+      -> util::StatusOr<ThresholdEvaluation> {
+    return ThresholdEvaluation{};
+  };
+  IshmOptions options;
+  options.initial_thresholds = {1.0};  // instance has 2 types
+  EXPECT_FALSE(SolveIshm(instance, evaluator, options).ok());
+}
+
+TEST(IshmTest, WarmStartFromOptimumMatchesColdResult) {
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 10.0);
+  ASSERT_TRUE(detection.ok());
+  IshmOptions options;
+  options.step_size = 0.2;
+  const auto cold = SolveIshm(
+      *instance, MakeFullLpEvaluator(*compiled, *detection), options);
+  ASSERT_TRUE(cold.ok());
+
+  // Re-solving the same instance seeded at the cold optimum with local
+  // (single-type) repair must find nothing better, return the same
+  // objective, and do far less work.
+  IshmOptions warm_options = options;
+  warm_options.initial_thresholds = cold->effective_thresholds;
+  warm_options.max_subset_size = 1;
+  const auto warm = SolveIshm(
+      *instance, MakeFullLpEvaluator(*compiled, *detection), warm_options);
+  ASSERT_TRUE(warm.ok());
+  EXPECT_NEAR(warm->objective, cold->objective, 1e-9);
+  EXPECT_LT(warm->stats.evaluations, cold->stats.evaluations);
+}
+
+TEST(IshmTest, WarmSeedIsEvaluatedBeforeAnyShrink) {
+  const GameInstance instance = MakeTinyGame();
+  std::vector<std::vector<double>> probes;
+  auto recording_evaluator =
+      [&probes](const std::vector<double>& thresholds)
+      -> util::StatusOr<ThresholdEvaluation> {
+    probes.push_back(thresholds);
+    ThresholdEvaluation eval;
+    eval.objective = 1.0;  // flat landscape: nothing ever improves
+    return eval;
+  };
+  IshmOptions options;
+  options.step_size = 0.5;
+  options.initial_thresholds = {1.0, 2.0};
+  const auto result = SolveIshm(instance, recording_evaluator, options);
+  ASSERT_TRUE(result.ok());
+  ASSERT_FALSE(probes.empty());
+  EXPECT_EQ(probes.front(), (std::vector<double>{1.0, 2.0}));
+  // On a flat landscape the seed itself must be the reported optimum.
+  EXPECT_EQ(result->objective, 1.0);
+  EXPECT_EQ(result->effective_thresholds, (std::vector<double>{1.0, 2.0}));
+}
+
+TEST(IshmTest, WarmSeedIsClampedToUpperBounds) {
+  const GameInstance instance = MakeTinyGame();  // upper bounds C_t * 2 = 2
+  std::vector<double> first_probe;
+  auto recording_evaluator =
+      [&first_probe](const std::vector<double>& thresholds)
+      -> util::StatusOr<ThresholdEvaluation> {
+    if (first_probe.empty()) first_probe = thresholds;
+    ThresholdEvaluation eval;
+    eval.objective = 1.0;
+    return eval;
+  };
+  IshmOptions options;
+  options.step_size = 0.5;
+  options.initial_thresholds = {100.0, -3.0};
+  ASSERT_TRUE(SolveIshm(instance, recording_evaluator, options).ok());
+  EXPECT_EQ(first_probe, (std::vector<double>{2.0, 0.0}));
 }
 
 TEST(IshmTest, PolicyMatchesReportedObjective) {

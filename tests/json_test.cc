@@ -22,6 +22,49 @@ TEST(JsonParseTest, Escapes) {
   EXPECT_EQ(JsonValue::Parse(R"("é")")->as_string(), "\xC3\xA9");
 }
 
+TEST(JsonParseTest, UnicodeEscapes) {
+  EXPECT_EQ(JsonValue::Parse("\"\\u0041\"")->as_string(), "A");
+  EXPECT_EQ(JsonValue::Parse("\"\\u00e9\"")->as_string(), "\xC3\xA9");
+  EXPECT_EQ(JsonValue::Parse("\"\\u20ac\"")->as_string(), "\xE2\x82\xAC");
+}
+
+TEST(JsonParseTest, SurrogatePairsDecodeToUtf8) {
+  // U+1F600 (emoji) as the pair \ud83d\ude00 = F0 9F 98 80 in UTF-8.
+  EXPECT_EQ(JsonValue::Parse("\"\\ud83d\\ude00\"")->as_string(),
+            "\xF0\x9F\x98\x80");
+  // U+10437 as \uD801\uDC37 = F0 90 90 B7 (case-insensitive hex).
+  EXPECT_EQ(JsonValue::Parse("\"\\uD801\\uDC37\"")->as_string(),
+            "\xF0\x90\x90\xB7");
+  EXPECT_EQ(JsonValue::Parse("\"x\\ud83d\\ude00y\"")->as_string(),
+            "x\xF0\x9F\x98\x80y");
+}
+
+TEST(JsonParseTest, LoneSurrogatesAreRejected) {
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud83d")").ok());    // high, end of string
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud83dxy")").ok());  // high, no \u after
+  // High surrogate followed by a \u escape that is not a low surrogate.
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud83d\u0041")").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"("\ude00")").ok());        // lone low
+  EXPECT_FALSE(JsonValue::Parse(R"("\ud83d\ud83d")").ok());  // high + high
+}
+
+TEST(JsonParseTest, MalformedUnicodeEscapesAreRejected) {
+  EXPECT_FALSE(JsonValue::Parse(R"("\u12")").ok());    // truncated
+  EXPECT_FALSE(JsonValue::Parse(R"("\u12g4")").ok());  // non-hex digit
+  // strtol used to tolerate these; the explicit digit check must not.
+  EXPECT_FALSE(JsonValue::Parse(R"("\u+123")").ok());
+  EXPECT_FALSE(JsonValue::Parse(R"("\u 123")").ok());
+}
+
+TEST(JsonDumpTest, SurrogatePairRoundTrip) {
+  const auto parsed = JsonValue::Parse("\"pre \\ud83d\\ude00 post\"");
+  ASSERT_TRUE(parsed.ok());
+  const auto reparsed = JsonValue::Parse(parsed->Dump());
+  ASSERT_TRUE(reparsed.ok());
+  EXPECT_EQ(reparsed->as_string(), parsed->as_string());
+  EXPECT_EQ(reparsed->as_string(), "pre \xF0\x9F\x98\x80 post");
+}
+
 TEST(JsonParseTest, NestedStructures) {
   const auto value =
       JsonValue::Parse(R"({"a": [1, 2, {"b": true}], "c": null})");

@@ -1,0 +1,193 @@
+// audit_serve: end-to-end replay of a multi-cycle alert stream through the
+// serving layer (service::AuditService + PolicyCache).
+//
+// Each cycle the tool refits the per-type alert-count distributions — a
+// bounded random jitter of the baseline pmfs, standing in for the daily
+// refit a deployment would run on its logs — ingests them into the
+// service, and requests the optimal policies for every configured budget.
+// Every `--revisit`-th cycle replays the baseline distributions exactly,
+// exercising the fingerprint cache-hit path; all other cycles drift and
+// exercise the warm-started (small drift) or cold (large drift) re-solve
+// paths. One CSV row per (cycle, budget) goes to stdout; a summary with
+// cache statistics goes to stderr.
+//
+//   audit_serve --cycles=20 --budgets=6,10 --drift=0.05
+//   audit_serve --game=game.json --cycles=50 --budgets=8
+#include <fstream>
+#include <iostream>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "core/game_io.h"
+#include "data/syn_a.h"
+#include "prob/count_distribution.h"
+#include "service/audit_service.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/random.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+const char* SourceName(service::AuditService::Source source) {
+  switch (source) {
+    case service::AuditService::Source::kCache:
+      return "cache";
+    case service::AuditService::Source::kWarmSolve:
+      return "warm";
+    case service::AuditService::Source::kColdSolve:
+      return "cold";
+  }
+  return "?";
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("game", "", "game instance JSON (default: built-in Syn A)");
+  flags.Define("cycles", "20", "number of audit cycles to replay");
+  flags.Define("budgets", "6,10", "budgets served each cycle");
+  flags.Define("eps", "0.1", "ISHM step size");
+  flags.Define("drift", "0.05",
+               "pmf jitter amplitude applied to the baseline each cycle");
+  flags.Define("revisit", "5",
+               "every k-th cycle replays the baseline distributions exactly "
+               "(0 = never)");
+  flags.Define("warm_max_drift", "0.25",
+               "drift threshold above which re-solves are cold");
+  flags.Define("threads", "0", "engine workers (0 = one per core)");
+  flags.Define("seed", "1", "stream RNG seed");
+  flags.Define("json", "", "machine-readable summary path (empty = none)");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status << "\n" << flags.HelpString(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpString(argv[0]);
+    return 0;
+  }
+
+  util::StatusOr<core::GameInstance> instance = [&flags] {
+    const std::string path = flags.GetString("game");
+    if (path.empty()) return data::MakeSynA();
+    std::ifstream in(path);
+    if (!in) {
+      return util::StatusOr<core::GameInstance>(
+          util::NotFoundError("cannot open " + path));
+    }
+    std::stringstream buffer;
+    buffer << in.rdbuf();
+    return core::ParseGame(buffer.str());
+  }();
+  if (!instance.ok()) {
+    std::cerr << instance.status() << "\n";
+    return 1;
+  }
+
+  service::AuditServiceOptions options;
+  options.budgets = flags.GetDoubleList("budgets");
+  options.solver_options.ishm.step_size = flags.GetDouble("eps");
+  options.warm_start_max_drift = flags.GetDouble("warm_max_drift");
+  options.num_threads = flags.GetInt("threads");
+  if (options.budgets.empty()) {
+    std::cerr << "--budgets must name at least one budget\n";
+    return 1;
+  }
+  const std::vector<prob::CountDistribution> baseline =
+      instance->alert_distributions;
+  service::AuditService service(std::move(*instance), options);
+
+  const int cycles = flags.GetInt("cycles");
+  const int revisit = flags.GetInt("revisit");
+  const double drift_amplitude = flags.GetDouble("drift");
+  util::Rng rng(static_cast<uint64_t>(flags.GetInt("seed")));
+
+  util::CsvWriter csv(std::cout);
+  csv.WriteRow({"cycle", "budget", "source", "drift", "objective",
+                "cycle_seconds"});
+  int served_from_cache = 0, warm_solves = 0, cold_solves = 0;
+  double total_seconds = 0.0;
+  for (int cycle = 1; cycle <= cycles; ++cycle) {
+    std::vector<prob::CountDistribution> dists;
+    if (revisit > 0 && cycle % revisit == 0) {
+      dists = baseline;  // replay: an already-fingerprinted configuration
+    } else {
+      for (const prob::CountDistribution& d : baseline) {
+        auto jittered = prob::JitterPmf(d, drift_amplitude, rng);
+        if (!jittered.ok()) {
+          std::cerr << "cycle " << cycle << ": " << jittered.status() << "\n";
+          return 1;
+        }
+        dists.push_back(std::move(*jittered));
+      }
+    }
+    if (util::Status update = service.UpdateAlertDistributions(std::move(dists));
+        !update.ok()) {
+      std::cerr << "cycle " << cycle << ": " << update << "\n";
+      return 1;
+    }
+    auto report = service.RunCycle();
+    if (!report.ok()) {
+      std::cerr << "cycle " << cycle << ": " << report.status() << "\n";
+      return 1;
+    }
+    total_seconds += report->seconds;
+    for (const auto& policy : report->policies) {
+      switch (policy.source) {
+        case service::AuditService::Source::kCache:
+          ++served_from_cache;
+          break;
+        case service::AuditService::Source::kWarmSolve:
+          ++warm_solves;
+          break;
+        case service::AuditService::Source::kColdSolve:
+          ++cold_solves;
+          break;
+      }
+      csv.WriteRow({std::to_string(cycle),
+                    util::CsvWriter::FormatDouble(policy.budget),
+                    SourceName(policy.source),
+                    util::CsvWriter::FormatDouble(policy.drift),
+                    util::CsvWriter::FormatDouble(policy.result.objective),
+                    util::CsvWriter::FormatDouble(report->seconds)});
+    }
+  }
+
+  const auto cache_stats = service.cache_stats();
+  const auto compile_stats = service.compile_cache_stats();
+  std::cerr << "replayed " << cycles << " cycles x "
+            << options.budgets.size() << " budgets in " << total_seconds
+            << "s: " << served_from_cache << " cache hits, " << warm_solves
+            << " warm solves, " << cold_solves << " cold solves\n"
+            << "policy cache: " << cache_stats.hits << " hits / "
+            << cache_stats.misses << " misses, " << cache_stats.insertions
+            << " insertions, " << cache_stats.evictions << " evictions\n"
+            << "compile cache: " << compile_stats.hits << " hits / "
+            << compile_stats.misses << " misses\n";
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    util::JsonValue::Object summary;
+    summary["tool"] = "audit_serve";
+    summary["cycles"] = cycles;
+    summary["budgets"] = static_cast<int>(options.budgets.size());
+    summary["cache_hits"] = served_from_cache;
+    summary["warm_solves"] = warm_solves;
+    summary["cold_solves"] = cold_solves;
+    summary["total_seconds"] = total_seconds;
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << util::JsonValue(std::move(summary)).Dump(2) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
