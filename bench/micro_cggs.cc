@@ -1,14 +1,32 @@
 // Microbenchmark: CGGS (column generation) versus the full LP over all
 // |T|! orderings as the number of alert types grows — the scaling argument
-// that motivates column generation in the paper (Section III-A).
+// that motivates column generation in the paper (Section III-A) — and the
+// incremental revised-simplex master against the cold dense-tableau
+// reference path.
+//
+// Two entry points:
+//  * Google Benchmark (default): timing curves per master mode.
+//  * --smoke_json=PATH: a quick cold-vs-incremental comparison that writes
+//    a BENCH_*.json report (total solve-time ratio, master iteration
+//    counts, warm-start coverage, and Syn A objective agreement) — the
+//    form CI runs and archives per PR.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
 
+#include "bench/smoke_common.h"
+#include "core/cggs.h"
 #include "core/detection.h"
+#include "data/syn_a.h"
 #include "prob/count_distribution.h"
 #include "solver/registry.h"
+#include "util/json.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -52,27 +70,38 @@ std::vector<double> MeanThresholds(const core::GameInstance& instance) {
   return thresholds;
 }
 
-void BM_CggsByTypeCount(benchmark::State& state) {
+void BM_CggsByTypeCount(benchmark::State& state,
+                        core::CggsOptions::MasterMode master_mode) {
   const int num_types = static_cast<int>(state.range(0));
   const core::GameInstance instance = MakeScalableGame(num_types, 7);
   const auto compiled = core::Compile(instance);
   auto detection =
       core::DetectionModel::Create(instance, 2.0 * num_types);
-  auto cggs = solver::Create("cggs");
+  solver::SolverOptions options;
+  options.cggs.master_mode = master_mode;
+  auto cggs = solver::Create("cggs", options);
   solver::SolveRequest request;
   request.thresholds = MeanThresholds(instance);
   double objective = 0.0;
   int columns = 0;
+  int warm = 0;
   for (auto _ : state) {
     auto result = (*cggs)->Solve(*compiled, *detection, request);
     objective = result->objective;
     columns = result->stats.columns_generated;
+    warm = result->stats.warm_lp_solves;
     benchmark::DoNotOptimize(result);
   }
   state.counters["objective"] = objective;
   state.counters["columns"] = columns;
+  state.counters["warm_lp_solves"] = warm;
 }
-BENCHMARK(BM_CggsByTypeCount)->DenseRange(3, 8);
+BENCHMARK_CAPTURE(BM_CggsByTypeCount, incremental_revised,
+                  core::CggsOptions::MasterMode::kIncrementalRevised)
+    ->DenseRange(3, 8);
+BENCHMARK_CAPTURE(BM_CggsByTypeCount, cold_dense,
+                  core::CggsOptions::MasterMode::kColdDense)
+    ->DenseRange(3, 8);
 
 void BM_FullLpByTypeCount(benchmark::State& state) {
   const int num_types = static_cast<int>(state.range(0));
@@ -96,6 +125,132 @@ void BM_FullLpByTypeCount(benchmark::State& state) {
 // 8! = 40320 orderings is already minutes of work; stop at 7.
 BENCHMARK(BM_FullLpByTypeCount)->DenseRange(3, 6);
 
+// ---- Smoke mode ----------------------------------------------------------
+
+struct ModeRun {
+  double seconds = 0.0;
+  double objective = 0.0;
+  int lp_solves = 0;
+  int warm_lp_solves = 0;
+  long master_iterations = 0;
+};
+
+ModeRun TimeMode(const core::GameInstance& instance,
+                 const core::CompiledGame& compiled,
+                 core::CggsOptions::MasterMode master_mode, double budget,
+                 const std::vector<double>& thresholds, int reps) {
+  ModeRun run;
+  auto detection = core::DetectionModel::Create(instance, budget);
+  if (!detection.ok()) {
+    std::fprintf(stderr, "DetectionModel::Create failed: %s\n",
+                 detection.status().ToString().c_str());
+    std::exit(1);
+  }
+  core::CggsOptions options;
+  options.master_mode = master_mode;
+  util::Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    auto result = core::SolveCggs(compiled, *detection, thresholds, options);
+    if (!result.ok()) {
+      std::fprintf(stderr, "SolveCggs (mode %d) failed: %s\n",
+                   static_cast<int>(master_mode),
+                   result.status().ToString().c_str());
+      std::exit(1);
+    }
+    run.objective = result->objective;
+    run.lp_solves = result->lp_solves;
+    run.warm_lp_solves = result->warm_lp_solves;
+    run.master_iterations = result->master_lp_iterations;
+  }
+  run.seconds = timer.ElapsedSeconds() / reps;
+  return run;
+}
+
+int RunSmoke(const std::string& json_path) {
+  util::JsonValue::Array cases;
+
+  // Scaling cases: synthetic games of growing type count.
+  for (const int types : {5, 6, 7}) {
+    const core::GameInstance instance = MakeScalableGame(types, 7);
+    const auto compiled = core::Compile(instance);
+    const std::vector<double> thresholds = MeanThresholds(instance);
+    const double budget = 2.0 * types;
+    const int reps = types <= 6 ? 10 : 5;
+    const ModeRun cold =
+        TimeMode(instance, *compiled, core::CggsOptions::MasterMode::kColdDense,
+                 budget, thresholds, reps);
+    const ModeRun incremental = TimeMode(
+        instance, *compiled,
+        core::CggsOptions::MasterMode::kIncrementalRevised, budget,
+        thresholds, reps);
+    util::JsonValue::Object json_case;
+    json_case["game"] = "scalable";
+    json_case["types"] = types;
+    json_case["cold_dense_seconds"] = cold.seconds;
+    json_case["incremental_seconds"] = incremental.seconds;
+    json_case["speedup_incremental_over_cold"] =
+        cold.seconds / incremental.seconds;
+    json_case["cold_master_iterations"] =
+        static_cast<double>(cold.master_iterations);
+    json_case["incremental_master_iterations"] =
+        static_cast<double>(incremental.master_iterations);
+    json_case["iteration_ratio"] =
+        static_cast<double>(cold.master_iterations) /
+        static_cast<double>(std::max(1L, incremental.master_iterations));
+    json_case["incremental_warm_lp_solves"] = incremental.warm_lp_solves;
+    json_case["incremental_lp_solves"] = incremental.lp_solves;
+    std::printf("types=%d cold %.4fs incremental %.4fs speedup %.2fx "
+                "(iterations %ld vs %ld, warm %d/%d)\n",
+                types, cold.seconds, incremental.seconds,
+                cold.seconds / incremental.seconds, cold.master_iterations,
+                incremental.master_iterations, incremental.warm_lp_solves,
+                incremental.lp_solves);
+    cases.push_back(std::move(json_case));
+  }
+
+  // Agreement cases: both master modes must land on the same Syn A
+  // objectives (the controlled instance has a well-separated optimum).
+  bool syn_a_agree = true;
+  const auto syn_a = data::MakeSynA();
+  const auto syn_a_compiled = core::Compile(*syn_a);
+  for (const double budget : {4.0, 10.0}) {
+    const std::vector<double> thresholds = {3.0, 3.0, 2.0, 2.0};
+    const ModeRun cold = TimeMode(*syn_a, *syn_a_compiled,
+                                  core::CggsOptions::MasterMode::kColdDense,
+                                  budget, thresholds, 3);
+    const ModeRun incremental =
+        TimeMode(*syn_a, *syn_a_compiled,
+                 core::CggsOptions::MasterMode::kIncrementalRevised, budget,
+                 thresholds, 3);
+    const double gap = std::fabs(cold.objective - incremental.objective);
+    syn_a_agree = syn_a_agree && gap <= 1e-6;
+    util::JsonValue::Object json_case;
+    json_case["game"] = "syn_a";
+    json_case["budget"] = budget;
+    json_case["cold_dense_objective"] = cold.objective;
+    json_case["incremental_objective"] = incremental.objective;
+    json_case["objective_gap"] = gap;
+    json_case["speedup_incremental_over_cold"] =
+        cold.seconds / incremental.seconds;
+    std::printf("syn_a budget=%.0f cold obj %.9f incremental obj %.9f "
+                "gap %.2e speedup %.2fx\n",
+                budget, cold.objective, incremental.objective, gap,
+                cold.seconds / incremental.seconds);
+    cases.push_back(std::move(json_case));
+  }
+
+  util::JsonValue::Object report;
+  report["bench"] = "micro_cggs";
+  report["mode"] = "smoke";
+  report["syn_a_objectives_agree_1e6"] = syn_a_agree;
+  report["cases"] = std::move(cases);
+  const int write_status =
+      bench::WriteSmokeReport(json_path, std::move(report));
+  return syn_a_agree ? write_status : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return auditgame::bench::SmokeOrBenchmarkMain(argc, argv, RunSmoke);
+}

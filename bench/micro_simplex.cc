@@ -1,21 +1,40 @@
-// Microbenchmarks for the LP substrate: dense two-phase simplex on random
-// feasible LPs of increasing size, and on the structured game LP.
+// Microbenchmarks for the LP substrate: the dense full-tableau two-phase
+// simplex against the bounded-variable revised simplex, on random feasible
+// LPs of increasing size and on the structured game LP.
+//
+// Two entry points:
+//  * Google Benchmark (default): per-backend timing curves.
+//  * --smoke_json=PATH: a quick self-contained dense-vs-revised comparison
+//    that writes a BENCH_*.json report (iteration and wall-time ratios plus
+//    objective agreement) — the form CI runs and archives per PR.
 #include <benchmark/benchmark.h>
 
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "bench/smoke_common.h"
 #include "core/detection.h"
 #include "core/game_lp.h"
 #include "data/syn_a.h"
 #include "lp/model.h"
+#include "lp/revised_simplex.h"
 #include "lp/simplex.h"
 #include "util/combinatorics.h"
+#include "util/json.h"
 #include "util/random.h"
+#include "util/timer.h"
 
 namespace {
 
 using namespace auditgame;  // NOLINT
 
 // Random LP with rows constructed around a known feasible point, so every
-// instance is feasible and bounded.
+// instance is feasible and bounded. Variables are doubly bounded, which
+// costs the dense backend one extra row each and the revised backend
+// nothing.
 lp::LpModel RandomFeasibleLp(int n, int m, uint64_t seed) {
   util::Rng rng(seed);
   lp::LpModel model;
@@ -40,15 +59,26 @@ lp::LpModel RandomFeasibleLp(int n, int m, uint64_t seed) {
   return model;
 }
 
-void BM_SimplexRandomLp(benchmark::State& state) {
+lp::SimplexSolver::Options BackendOptions(lp::SimplexBackend backend) {
+  lp::SimplexSolver::Options options;
+  options.backend = backend;
+  return options;
+}
+
+void BM_SimplexRandomLp(benchmark::State& state, lp::SimplexBackend backend) {
   const int n = static_cast<int>(state.range(0));
   const lp::LpModel model = RandomFeasibleLp(n, n, 1234);
+  const lp::SimplexSolver::Options options = BackendOptions(backend);
   for (auto _ : state) {
-    auto solution = lp::SimplexSolver::Solve(model);
+    auto solution = lp::SimplexSolver::Solve(model, options);
     benchmark::DoNotOptimize(solution);
   }
 }
-BENCHMARK(BM_SimplexRandomLp)->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+BENCHMARK_CAPTURE(BM_SimplexRandomLp, dense,
+                  lp::SimplexBackend::kDenseTableau)
+    ->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
+BENCHMARK_CAPTURE(BM_SimplexRandomLp, revised, lp::SimplexBackend::kRevised)
+    ->Arg(10)->Arg(25)->Arg(50)->Arg(100)->Arg(200);
 
 // The structured restricted game LP on Syn A with all 24 orderings.
 void BM_GameLpSynA(benchmark::State& state) {
@@ -65,6 +95,81 @@ void BM_GameLpSynA(benchmark::State& state) {
 }
 BENCHMARK(BM_GameLpSynA);
 
+// ---- Smoke mode ----------------------------------------------------------
+
+struct BackendRun {
+  double seconds = 0.0;
+  long iterations = 0;
+  double objective = 0.0;
+};
+
+BackendRun TimeBackend(const lp::LpModel& model, lp::SimplexBackend backend,
+                       int reps) {
+  const lp::SimplexSolver::Options options = BackendOptions(backend);
+  BackendRun run;
+  util::Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    const auto solution = lp::SimplexSolver::Solve(model, options);
+    if (!solution.ok() ||
+        solution->status != lp::SolveStatus::kOptimal) {
+      std::fprintf(stderr, "%s backend failed: %s\n",
+                   lp::SimplexBackendToString(backend),
+                   solution.ok()
+                       ? lp::SolveStatusToString(solution->status)
+                       : solution.status().ToString().c_str());
+      std::exit(1);
+    }
+    run.objective = solution->objective;
+    run.iterations =
+        solution->phase1_iterations + solution->phase2_iterations;
+  }
+  run.seconds = timer.ElapsedSeconds() / reps;
+  return run;
+}
+
+int RunSmoke(const std::string& json_path) {
+  util::JsonValue::Array cases;
+  bool all_agree = true;
+  for (const int n : {20, 50, 100}) {
+    const lp::LpModel model = RandomFeasibleLp(n, n, 1234);
+    const int reps = n <= 50 ? 20 : 5;
+    const BackendRun dense =
+        TimeBackend(model, lp::SimplexBackend::kDenseTableau, reps);
+    const BackendRun revised =
+        TimeBackend(model, lp::SimplexBackend::kRevised, reps);
+    const double gap = std::fabs(dense.objective - revised.objective);
+    all_agree = all_agree && gap <= 1e-6 * (1.0 + std::fabs(dense.objective));
+    util::JsonValue::Object json_case;
+    json_case["n"] = n;
+    json_case["m"] = n;
+    json_case["dense_seconds"] = dense.seconds;
+    json_case["revised_seconds"] = revised.seconds;
+    json_case["speedup_revised_over_dense"] = dense.seconds / revised.seconds;
+    json_case["dense_iterations"] = static_cast<double>(dense.iterations);
+    json_case["revised_iterations"] = static_cast<double>(revised.iterations);
+    json_case["iteration_ratio"] =
+        static_cast<double>(dense.iterations) /
+        static_cast<double>(std::max(1L, revised.iterations));
+    json_case["objective_gap"] = gap;
+    std::printf("n=%d dense %.6fs (%ld it) revised %.6fs (%ld it) "
+                "speedup %.2fx gap %.2e\n",
+                n, dense.seconds, dense.iterations, revised.seconds,
+                revised.iterations, dense.seconds / revised.seconds, gap);
+    cases.push_back(std::move(json_case));
+  }
+
+  util::JsonValue::Object report;
+  report["bench"] = "micro_simplex";
+  report["mode"] = "smoke";
+  report["backends_agree_1e6"] = all_agree;
+  report["cases"] = std::move(cases);
+  const int write_status =
+      bench::WriteSmokeReport(json_path, std::move(report));
+  return all_agree ? write_status : 1;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return auditgame::bench::SmokeOrBenchmarkMain(argc, argv, RunSmoke);
+}

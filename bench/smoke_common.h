@@ -1,0 +1,55 @@
+#ifndef AUDIT_GAME_BENCH_SMOKE_COMMON_H_
+#define AUDIT_GAME_BENCH_SMOKE_COMMON_H_
+
+// Shared scaffolding for the Google-Benchmark micro benches that also
+// expose a --smoke_json=PATH mode: a quick self-contained comparison run
+// that writes a BENCH_*.json report (the form CI runs and archives per
+// PR). Keeping the dispatch and the report writer here means the smoke
+// contract evolves in one place.
+
+#include <benchmark/benchmark.h>
+
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <utility>
+
+#include "util/json.h"
+
+namespace auditgame::bench {
+
+/// Writes `report` (pretty-printed) to `path`. Returns 0 on success, 1 on
+/// an unwritable path — the smoke exit-code convention.
+inline int WriteSmokeReport(const std::string& path,
+                            util::JsonValue::Object report) {
+  std::ofstream out(path);
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    return 1;
+  }
+  out << util::JsonValue(std::move(report)).Dump(2) << "\n";
+  std::printf("wrote %s\n", path.c_str());
+  return 0;
+}
+
+/// main() body for a smoke-capable bench: dispatches --smoke_json=PATH to
+/// `run_smoke(PATH)` and everything else to Google Benchmark.
+template <typename RunSmoke>
+int SmokeOrBenchmarkMain(int argc, char** argv, RunSmoke run_smoke) {
+  const std::string smoke_prefix = "--smoke_json=";
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind(smoke_prefix, 0) == 0) {
+      return run_smoke(arg.substr(smoke_prefix.size()));
+    }
+  }
+  benchmark::Initialize(&argc, argv);
+  if (benchmark::ReportUnrecognizedArguments(argc, argv)) return 1;
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}
+
+}  // namespace auditgame::bench
+
+#endif  // AUDIT_GAME_BENCH_SMOKE_COMMON_H_

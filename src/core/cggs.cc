@@ -6,6 +6,7 @@
 #include <set>
 
 #include "core/game_lp.h"
+#include "core/master_lp.h"
 #include "util/random.h"
 
 namespace auditgame::core {
@@ -104,11 +105,24 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
     column_set.insert(identity);
   }
 
+  // The restricted master lives across all pricing iterations: every new
+  // column is appended to it, and (in the default incremental mode) each
+  // re-solve resumes from the previous optimal basis instead of paying a
+  // cold two-phase solve per round.
+  RestrictedMasterLp::Options master_options;
+  if (options.master_mode == CggsOptions::MasterMode::kColdDense) {
+    master_options.backend = lp::SimplexBackend::kDenseTableau;
+    master_options.incremental = false;
+  }
+  RestrictedMasterLp master_lp(game, detection, master_options);
+  for (const auto& column : columns) {
+    RETURN_IF_ERROR(master_lp.AddOrdering(column));
+  }
+
   CggsResult result;
   RestrictedLpSolution master;
   for (;;) {
-    ASSIGN_OR_RETURN(master,
-                     SolveRestrictedGameLp(game, detection, columns));
+    ASSIGN_OR_RETURN(master, master_lp.Solve());
     ++result.lp_solves;
     if (static_cast<int>(columns.size()) >= options.max_columns) break;
 
@@ -137,12 +151,15 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
       }
     }
     if (best_candidate.empty()) break;  // no improving column
+    RETURN_IF_ERROR(master_lp.AddOrdering(best_candidate));
     column_set.insert(best_candidate);
     columns.push_back(std::move(best_candidate));
     ++result.columns_generated;
   }
 
   result.objective = master.objective;
+  result.warm_lp_solves = master_lp.stats().warm_solves;
+  result.master_lp_iterations = master_lp.stats().iterations;
   result.columns = columns;
   result.policy.budget = detection.budget();
   result.policy.thresholds = thresholds;

@@ -14,6 +14,20 @@ namespace auditgame::core {
 
 /// Options for Column Generation Greedy Search (Algorithm 1).
 struct CggsOptions {
+  /// How the restricted master LP is solved across pricing iterations.
+  ///  * kIncrementalRevised — one RestrictedMasterLp (core/master_lp.h) is
+  ///    kept alive for the whole loop; each round appends the priced
+  ///    ordering as a column and the revised simplex re-solves from the
+  ///    previous optimal basis, skipping phase 1. Default.
+  ///  * kColdDense — every round re-solves the master from scratch with
+  ///    the dense-tableau backend: the pre-incremental reference path,
+  ///    kept for A/B benchmarking (bench/micro_cggs) and debugging.
+  /// Given the same column pool the two modes solve identical LPs and
+  /// agree to solver tolerance; over a whole run the dual-driven greedy
+  /// pricing can branch at degenerate master optima, so final objectives
+  /// can differ by the usual heuristic gap (they agree to 1e-6 on Syn A).
+  enum class MasterMode { kIncrementalRevised, kColdDense };
+  MasterMode master_mode = MasterMode::kIncrementalRevised;
   /// Cap on generated columns (orderings) — safety net; the search normally
   /// terminates when no column with negative reduced cost is found.
   int max_columns = 200;
@@ -37,6 +51,11 @@ struct CggsResult {
   std::vector<std::vector<int>> columns;
   int lp_solves = 0;
   int columns_generated = 0;
+  /// Master LP solves that resumed from the previous basis (always 0 in
+  /// kColdDense mode; lp_solves - 1 in a healthy incremental run).
+  int warm_lp_solves = 0;
+  /// Simplex iterations summed over all master solves.
+  long master_lp_iterations = 0;
 };
 
 /// Solves the fixed-threshold game LP by column generation (Algorithm 1 of

@@ -1,105 +1,31 @@
 #include "core/game_lp.h"
 
-#include <string>
-
-#include "lp/model.h"
-#include "lp/simplex.h"
+#include "core/master_lp.h"
 #include "util/combinatorics.h"
 
 namespace auditgame::core {
 
+// One-shot convenience wrapper: build a RestrictedMasterLp over the full
+// candidate set and solve once. Column-generation callers (CGGS) keep the
+// master alive across pricing iterations instead — see core/master_lp.h.
 util::StatusOr<RestrictedLpSolution> SolveRestrictedGameLp(
     const CompiledGame& game, const DetectionModel& detection,
     const std::vector<std::vector<int>>& orderings) {
   if (orderings.empty()) {
     return util::InvalidArgumentError("no candidate orderings");
   }
-
-  RestrictedLpSolution result;
-  result.pal_per_ordering.reserve(orderings.size());
-  for (const auto& o : orderings) {
-    ASSIGN_OR_RETURN(std::vector<double> pal,
-                     detection.DetectionProbabilities(o));
-    result.pal_per_ordering.push_back(std::move(pal));
+  // One-shot callers (brute force sweeps, the full-LP ground truth) solve
+  // thousands of small cold LPs where the dense tableau's low per-solve
+  // overhead wins; the revised backend earns its keep on warm re-solves,
+  // which only the long-lived master performs.
+  RestrictedMasterLp::Options options;
+  options.backend = lp::SimplexBackend::kDenseTableau;
+  options.incremental = false;
+  RestrictedMasterLp master(game, detection, options);
+  for (const auto& ordering : orderings) {
+    RETURN_IF_ERROR(master.AddOrdering(ordering));
   }
-
-  // Utility of every (ordering, group, victim) triple.
-  const size_t num_groups = game.groups.size();
-  // utilities[o][g][v]
-  std::vector<std::vector<std::vector<double>>> utilities(orderings.size());
-  for (size_t o = 0; o < orderings.size(); ++o) {
-    utilities[o].resize(num_groups);
-    for (size_t g = 0; g < num_groups; ++g) {
-      const auto& victims = game.groups[g].victims;
-      utilities[o][g].resize(victims.size());
-      for (size_t v = 0; v < victims.size(); ++v) {
-        utilities[o][g][v] =
-            AdversaryUtility(victims[v], result.pal_per_ordering[o]);
-      }
-    }
-  }
-
-  // Build the LP.
-  lp::LpModel model;
-  std::vector<int> po_vars;
-  po_vars.reserve(orderings.size());
-  for (size_t o = 0; o < orderings.size(); ++o) {
-    po_vars.push_back(
-        model.AddVariable(0.0, 0.0, lp::kInfinity, "p" + std::to_string(o)));
-  }
-  std::vector<int> u_vars;
-  u_vars.reserve(num_groups);
-  for (size_t g = 0; g < num_groups; ++g) {
-    const double lb =
-        game.groups[g].can_opt_out ? 0.0 : -lp::kInfinity;
-    u_vars.push_back(model.AddVariable(game.groups[g].weight, lb,
-                                       lp::kInfinity,
-                                       "u" + std::to_string(g)));
-  }
-  // Victim rows: u_g - sum_o p_o Ua >= 0.
-  std::vector<std::vector<int>> victim_rows(num_groups);
-  for (size_t g = 0; g < num_groups; ++g) {
-    const auto& victims = game.groups[g].victims;
-    victim_rows[g].resize(victims.size());
-    for (size_t v = 0; v < victims.size(); ++v) {
-      const int row = model.AddConstraint(
-          lp::Sense::kGreaterEqual, 0.0,
-          "g" + std::to_string(g) + "v" + std::to_string(v));
-      victim_rows[g][v] = row;
-      model.AddCoefficient(row, u_vars[g], 1.0);
-      for (size_t o = 0; o < orderings.size(); ++o) {
-        model.AddCoefficient(row, po_vars[o], -utilities[o][g][v]);
-      }
-    }
-  }
-  // Convexity row.
-  const int convexity_row = model.AddConstraint(lp::Sense::kEqual, 1.0, "conv");
-  for (int var : po_vars) model.AddCoefficient(convexity_row, var, 1.0);
-
-  ASSIGN_OR_RETURN(lp::LpSolution lp_solution,
-                   lp::SimplexSolver::Solve(model));
-  if (lp_solution.status != lp::SolveStatus::kOptimal) {
-    return util::InternalError(
-        std::string("game LP not optimal: ") +
-        lp::SolveStatusToString(lp_solution.status));
-  }
-
-  result.objective = lp_solution.objective;
-  result.ordering_probs.resize(orderings.size());
-  for (size_t o = 0; o < orderings.size(); ++o) {
-    result.ordering_probs[o] = std::max(0.0, lp_solution.primal[po_vars[o]]);
-  }
-  result.group_utilities.resize(num_groups);
-  result.victim_duals.resize(num_groups);
-  for (size_t g = 0; g < num_groups; ++g) {
-    result.group_utilities[g] = lp_solution.primal[u_vars[g]];
-    result.victim_duals[g].resize(victim_rows[g].size());
-    for (size_t v = 0; v < victim_rows[g].size(); ++v) {
-      result.victim_duals[g][v] = lp_solution.dual[victim_rows[g][v]];
-    }
-  }
-  result.convexity_dual = lp_solution.dual[convexity_row];
-  return result;
+  return master.Solve();
 }
 
 util::StatusOr<FullLpResult> SolveFullGameLp(

@@ -1,0 +1,110 @@
+#include "core/master_lp.h"
+
+#include <algorithm>
+#include <string>
+#include <utility>
+
+namespace auditgame::core {
+
+RestrictedMasterLp::RestrictedMasterLp(const CompiledGame& game,
+                                       const DetectionModel& detection,
+                                       Options options)
+    : game_(game), detection_(detection), options_(options) {
+  const size_t num_groups = game_.groups.size();
+  u_vars_.reserve(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    const double lb = game_.groups[g].can_opt_out ? 0.0 : -lp::kInfinity;
+    u_vars_.push_back(model_.AddVariable(game_.groups[g].weight, lb,
+                                         lp::kInfinity,
+                                         "u" + std::to_string(g)));
+  }
+  victim_rows_.resize(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    const auto& victims = game_.groups[g].victims;
+    victim_rows_[g].resize(victims.size());
+    for (size_t v = 0; v < victims.size(); ++v) {
+      const int row = model_.AddConstraint(
+          lp::Sense::kGreaterEqual, 0.0,
+          "g" + std::to_string(g) + "v" + std::to_string(v));
+      victim_rows_[g][v] = row;
+      model_.AddCoefficient(row, u_vars_[g], 1.0);
+    }
+  }
+  convexity_row_ = model_.AddConstraint(lp::Sense::kEqual, 1.0, "conv");
+}
+
+util::Status RestrictedMasterLp::AddOrdering(
+    const std::vector<int>& ordering) {
+  ASSIGN_OR_RETURN(std::vector<double> pal,
+                   detection_.DetectionProbabilities(ordering));
+  const int var = model_.AddVariable(
+      0.0, 0.0, lp::kInfinity, "p" + std::to_string(po_vars_.size()));
+  for (size_t g = 0; g < game_.groups.size(); ++g) {
+    const auto& victims = game_.groups[g].victims;
+    for (size_t v = 0; v < victims.size(); ++v) {
+      model_.AddCoefficient(victim_rows_[g][v], var,
+                            -AdversaryUtility(victims[v], pal));
+    }
+  }
+  model_.AddCoefficient(convexity_row_, var, 1.0);
+  po_vars_.push_back(var);
+  pal_per_ordering_.push_back(std::move(pal));
+  return util::OkStatus();
+}
+
+util::StatusOr<RestrictedLpSolution> RestrictedMasterLp::Solve() {
+  if (po_vars_.empty()) {
+    return util::InvalidArgumentError("no candidate orderings");
+  }
+
+  lp::LpSolution lp_solution;
+  if (options_.backend == lp::SimplexBackend::kRevised) {
+    lp::SimplexSolver::Options lp_options = options_.lp;
+    lp_options.backend = lp::SimplexBackend::kRevised;
+    const lp::Basis* warm =
+        options_.incremental && has_basis_ ? &basis_ : nullptr;
+    ASSIGN_OR_RETURN(lp::RevisedSolution revised,
+                     lp::RevisedSimplex::Solve(model_, lp_options, warm));
+    if (revised.solution.status == lp::SolveStatus::kOptimal) {
+      basis_ = std::move(revised.basis);
+      has_basis_ = true;
+      if (revised.warm_started) ++stats_.warm_solves;
+    }
+    lp_solution = std::move(revised.solution);
+  } else {
+    lp::SimplexSolver::Options lp_options = options_.lp;
+    lp_options.backend = lp::SimplexBackend::kDenseTableau;
+    ASSIGN_OR_RETURN(lp_solution,
+                     lp::SimplexSolver::Solve(model_, lp_options));
+  }
+  ++stats_.solves;
+  stats_.iterations +=
+      lp_solution.phase1_iterations + lp_solution.phase2_iterations;
+  if (lp_solution.status != lp::SolveStatus::kOptimal) {
+    return util::InternalError(
+        std::string("game LP not optimal: ") +
+        lp::SolveStatusToString(lp_solution.status));
+  }
+
+  RestrictedLpSolution result;
+  result.objective = lp_solution.objective;
+  result.pal_per_ordering = pal_per_ordering_;
+  result.ordering_probs.resize(po_vars_.size());
+  for (size_t o = 0; o < po_vars_.size(); ++o) {
+    result.ordering_probs[o] = std::max(0.0, lp_solution.primal[po_vars_[o]]);
+  }
+  const size_t num_groups = game_.groups.size();
+  result.group_utilities.resize(num_groups);
+  result.victim_duals.resize(num_groups);
+  for (size_t g = 0; g < num_groups; ++g) {
+    result.group_utilities[g] = lp_solution.primal[u_vars_[g]];
+    result.victim_duals[g].resize(victim_rows_[g].size());
+    for (size_t v = 0; v < victim_rows_[g].size(); ++v) {
+      result.victim_duals[g][v] = lp_solution.dual[victim_rows_[g][v]];
+    }
+  }
+  result.convexity_dual = lp_solution.dual[convexity_row_];
+  return result;
+}
+
+}  // namespace auditgame::core

@@ -1,0 +1,657 @@
+#include "lp/revised_simplex.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <utility>
+
+#include "util/logging.h"
+
+namespace auditgame::lp {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// The solver works on the model columns directly plus one logical (slack)
+// column per row, turning every row into an equality:
+//
+//   a_i'x + s_i = b_i,   s_i in [0, inf)   for <= rows
+//                        s_i in (-inf, 0]  for >= rows
+//                        s_i = 0           for  = rows
+//
+// so a basis is any nonsingular m-subset of the n_structural + m columns
+// and every nonbasic column rests at a bound (or at zero when free).
+class Engine {
+ public:
+  Engine(const LpModel& model, const SimplexSolver::Options& options)
+      : model_(model),
+        options_(options),
+        ns_(model.num_variables()),
+        m_(model.num_constraints()),
+        n_(ns_ + m_) {
+    cols_.resize(ns_);
+    for (int i = 0; i < m_; ++i) {
+      const auto& vars = model.row_vars(i);
+      const auto& coeffs = model.row_coeffs(i);
+      for (size_t k = 0; k < vars.size(); ++k) {
+        cols_[vars[k]].emplace_back(i, coeffs[k]);
+      }
+    }
+    lower_.resize(n_);
+    upper_.resize(n_);
+    cost_.assign(n_, 0.0);
+    for (int j = 0; j < ns_; ++j) {
+      lower_[j] = model.lower_bound(j);
+      upper_[j] = model.upper_bound(j);
+      cost_[j] = model.cost(j);
+    }
+    b_.resize(m_);
+    for (int i = 0; i < m_; ++i) {
+      b_[i] = model.rhs(i);
+      const int col = ns_ + i;
+      switch (model.sense(i)) {
+        case Sense::kLessEqual:
+          lower_[col] = 0.0;
+          upper_[col] = kInf;
+          break;
+        case Sense::kGreaterEqual:
+          lower_[col] = -kInf;
+          upper_[col] = 0.0;
+          break;
+        case Sense::kEqual:
+          lower_[col] = 0.0;
+          upper_[col] = 0.0;
+          break;
+      }
+    }
+  }
+
+  util::StatusOr<RevisedSolution> Run(const Basis* warm_start) {
+    RevisedSolution result;
+    bool installed = InstallBasis(warm_start);
+    if (!installed) InstallColdBasis();
+    if (installed && !Factorize()) {
+      // A recorded basic set can be singular after the model changed under
+      // it; the cold all-logical basis is the identity and never is.
+      InstallColdBasis();
+      installed = false;
+    }
+    if (!installed) CHECK(Factorize());
+    ComputeBasicValues();
+
+    LpSolution& solution = result.solution;
+    int used = 0;
+
+    const PhaseOutcome phase1 = RunPhase(/*phase1=*/true,
+                                         options_.max_iterations, &used);
+    solution.phase1_iterations = used;
+    // "Warm started" is a statement about work actually saved: the
+    // snapshot was accepted *and* was still primal-feasible, so phase 1
+    // performed no pivots.
+    result.warm_started = installed && used == 0;
+    switch (phase1) {
+      case PhaseOutcome::kDone:
+        break;
+      case PhaseOutcome::kInfeasible:
+        solution.status = SolveStatus::kInfeasible;
+        return result;
+      case PhaseOutcome::kIterationLimit:
+        solution.status = SolveStatus::kIterationLimit;
+        return result;
+      case PhaseOutcome::kUnbounded:
+        return util::InternalError(
+            "revised simplex: phase 1 reported an unbounded direction");
+      case PhaseOutcome::kNumericalFailure:
+        return util::InternalError(
+            "revised simplex: singular basis during phase 1");
+    }
+    ComputeBasicValues();
+
+    int used2 = 0;
+    const PhaseOutcome phase2 =
+        RunPhase(/*phase1=*/false, options_.max_iterations - used, &used2);
+    solution.phase2_iterations = used2;
+    switch (phase2) {
+      case PhaseOutcome::kDone:
+        break;
+      case PhaseOutcome::kUnbounded:
+        solution.status = SolveStatus::kUnbounded;
+        return result;
+      case PhaseOutcome::kIterationLimit:
+        solution.status = SolveStatus::kIterationLimit;
+        return result;
+      case PhaseOutcome::kInfeasible:
+        solution.status = SolveStatus::kInfeasible;
+        return result;
+      case PhaseOutcome::kNumericalFailure:
+        return util::InternalError(
+            "revised simplex: singular basis during phase 2");
+    }
+    ComputeBasicValues();
+    ExtractSolution(result);
+    return result;
+  }
+
+ private:
+  enum class PhaseOutcome {
+    kDone,            // phase 1: feasible; phase 2: optimal
+    kInfeasible,      // phase 1 only
+    kUnbounded,
+    kIterationLimit,
+    kNumericalFailure,
+  };
+
+  struct Eta {
+    int r;                  // basis position replaced
+    std::vector<double> d;  // B_old^{-1} a_entering (position-indexed)
+  };
+
+  double FeasTol(double bound) const {
+    return options_.tolerance * (1.0 + std::fabs(bound));
+  }
+
+  // ---- Basis installation ----------------------------------------------
+
+  void InstallColdBasis() {
+    status_.assign(n_, VarStatus::kAtLower);
+    for (int j = 0; j < ns_; ++j) status_[j] = DefaultNonbasicStatus(j);
+    basic_.resize(m_);
+    for (int i = 0; i < m_; ++i) {
+      basic_[i] = ns_ + i;
+      status_[ns_ + i] = VarStatus::kBasic;
+    }
+  }
+
+  VarStatus DefaultNonbasicStatus(int col) const {
+    if (lower_[col] != -kInf) return VarStatus::kAtLower;
+    if (upper_[col] != kInf) return VarStatus::kAtUpper;
+    return VarStatus::kNonbasicFree;
+  }
+
+  // Validates and installs a warm-start basis; returns false (leaving the
+  // engine for a cold start) when the snapshot does not fit the model.
+  bool InstallBasis(const Basis* warm) {
+    if (warm == nullptr || warm->empty()) return false;
+    if (static_cast<int>(warm->logical.size()) != m_ ||
+        static_cast<int>(warm->structural.size()) > ns_) {
+      return false;
+    }
+    status_.assign(n_, VarStatus::kAtLower);
+    std::vector<int> basics;
+    for (int j = 0; j < n_; ++j) {
+      VarStatus s;
+      if (j < ns_) {
+        s = static_cast<size_t>(j) < warm->structural.size()
+                ? warm->structural[j]
+                : DefaultNonbasicStatus(j);
+      } else {
+        s = warm->logical[j - ns_];
+      }
+      if (s == VarStatus::kBasic) {
+        basics.push_back(j);
+      } else {
+        // Repair statuses pointing at bounds the column does not have.
+        if (s == VarStatus::kAtLower && lower_[j] == -kInf) {
+          s = DefaultNonbasicStatus(j);
+        } else if (s == VarStatus::kAtUpper && upper_[j] == kInf) {
+          s = DefaultNonbasicStatus(j);
+        } else if (s == VarStatus::kNonbasicFree &&
+                   (lower_[j] != -kInf || upper_[j] != kInf)) {
+          s = DefaultNonbasicStatus(j);
+        }
+      }
+      status_[j] = s;
+    }
+    if (static_cast<int>(basics.size()) != m_) return false;
+    basic_ = std::move(basics);
+    return true;
+  }
+
+  // ---- Factorization: dense LU with partial pivoting + eta file --------
+
+  double& Lu(int i, int j) { return lu_[static_cast<size_t>(i) * m_ + j]; }
+  double Lu(int i, int j) const {
+    return lu_[static_cast<size_t>(i) * m_ + j];
+  }
+
+  bool Factorize() {
+    etas_.clear();
+    lu_.assign(static_cast<size_t>(m_) * m_, 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const int col = basic_[k];
+      if (col < ns_) {
+        for (const auto& [row, value] : cols_[col]) Lu(row, k) += value;
+      } else {
+        Lu(col - ns_, k) += 1.0;
+      }
+    }
+    perm_.resize(m_);
+    for (int i = 0; i < m_; ++i) perm_[i] = i;
+    for (int k = 0; k < m_; ++k) {
+      int p = k;
+      double best = std::fabs(Lu(k, k));
+      for (int i = k + 1; i < m_; ++i) {
+        const double a = std::fabs(Lu(i, k));
+        if (a > best) {
+          best = a;
+          p = i;
+        }
+      }
+      if (best < options_.pivot_tolerance) return false;  // singular
+      if (p != k) {
+        for (int j = 0; j < m_; ++j) std::swap(Lu(k, j), Lu(p, j));
+        std::swap(perm_[k], perm_[p]);
+      }
+      const double inv = 1.0 / Lu(k, k);
+      for (int i = k + 1; i < m_; ++i) {
+        const double factor = Lu(i, k) * inv;
+        if (factor == 0.0) continue;
+        Lu(i, k) = factor;
+        for (int j = k + 1; j < m_; ++j) Lu(i, j) -= factor * Lu(k, j);
+      }
+    }
+    return true;
+  }
+
+  // Solves B w = v. Input indexed by row, output by basis position.
+  std::vector<double> Ftran(const std::vector<double>& v) const {
+    std::vector<double> w(m_);
+    for (int k = 0; k < m_; ++k) w[k] = v[perm_[k]];
+    for (int k = 1; k < m_; ++k) {
+      double sum = w[k];
+      for (int j = 0; j < k; ++j) sum -= Lu(k, j) * w[j];
+      w[k] = sum;
+    }
+    for (int k = m_ - 1; k >= 0; --k) {
+      double sum = w[k];
+      for (int j = k + 1; j < m_; ++j) sum -= Lu(k, j) * w[j];
+      w[k] = sum / Lu(k, k);
+    }
+    for (const Eta& eta : etas_) {
+      const double t = w[eta.r] / eta.d[eta.r];
+      for (int i = 0; i < m_; ++i) w[i] -= eta.d[i] * t;
+      w[eta.r] = t;
+    }
+    return w;
+  }
+
+  // Solves B'y = c. Input indexed by basis position, output by row.
+  std::vector<double> Btran(std::vector<double> c) const {
+    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
+      const Eta& eta = *it;
+      double dot = 0.0;
+      for (int i = 0; i < m_; ++i) dot += c[i] * eta.d[i];
+      c[eta.r] = (c[eta.r] - (dot - c[eta.r] * eta.d[eta.r])) / eta.d[eta.r];
+    }
+    std::vector<double> a(m_);
+    for (int k = 0; k < m_; ++k) {
+      double sum = c[k];
+      for (int j = 0; j < k; ++j) sum -= Lu(j, k) * a[j];
+      a[k] = sum / Lu(k, k);
+    }
+    for (int k = m_ - 1; k >= 0; --k) {
+      double sum = a[k];
+      for (int j = k + 1; j < m_; ++j) sum -= Lu(j, k) * a[j];
+      a[k] = sum;
+    }
+    std::vector<double> y(m_);
+    for (int k = 0; k < m_; ++k) y[perm_[k]] = a[k];
+    return y;
+  }
+
+  // Column `col` of the constraint matrix, densified by row.
+  std::vector<double> DenseColumn(int col) const {
+    std::vector<double> a(m_, 0.0);
+    if (col < ns_) {
+      for (const auto& [row, value] : cols_[col]) a[row] += value;
+    } else {
+      a[col - ns_] = 1.0;
+    }
+    return a;
+  }
+
+  double DotColumn(const std::vector<double>& y, int col) const {
+    if (col >= ns_) return y[col - ns_];
+    double dot = 0.0;
+    for (const auto& [row, value] : cols_[col]) dot += y[row] * value;
+    return dot;
+  }
+
+  double NonbasicValue(int col) const {
+    switch (status_[col]) {
+      case VarStatus::kAtLower:
+        return lower_[col];
+      case VarStatus::kAtUpper:
+        return upper_[col];
+      default:
+        return 0.0;
+    }
+  }
+
+  // Recomputes x_B = B^{-1}(b - N x_N) from the factorization, clearing
+  // the drift of the incremental updates.
+  void ComputeBasicValues() {
+    x_.assign(n_, 0.0);
+    std::vector<double> v = b_;
+    for (int j = 0; j < n_; ++j) {
+      if (status_[j] == VarStatus::kBasic) continue;
+      const double xj = NonbasicValue(j);
+      x_[j] = xj;
+      if (xj == 0.0) continue;
+      if (j < ns_) {
+        for (const auto& [row, value] : cols_[j]) v[row] -= value * xj;
+      } else {
+        v[j - ns_] -= xj;
+      }
+    }
+    const std::vector<double> xb = Ftran(v);
+    for (int k = 0; k < m_; ++k) x_[basic_[k]] = xb[k];
+  }
+
+  // Sum of bound violations over the basic variables (the phase-1
+  // objective) and, via `cb`, its gradient on the basis.
+  double Infeasibility(std::vector<double>* cb) const {
+    double total = 0.0;
+    if (cb != nullptr) cb->assign(m_, 0.0);
+    for (int k = 0; k < m_; ++k) {
+      const int col = basic_[k];
+      const double x = x_[col];
+      if (x < lower_[col] - FeasTol(lower_[col])) {
+        total += lower_[col] - x;
+        if (cb != nullptr) (*cb)[k] = -1.0;
+      } else if (x > upper_[col] + FeasTol(upper_[col])) {
+        total += x - upper_[col];
+        if (cb != nullptr) (*cb)[k] = 1.0;
+      }
+    }
+    return total;
+  }
+
+  // ---- The simplex loop -------------------------------------------------
+
+  PhaseOutcome RunPhase(bool phase1, int iteration_budget, int* used) {
+    *used = 0;
+    int stall = 0;
+    bool bland = false;
+    double last_objective = kInf;
+    std::vector<double> cb(m_);
+    for (;;) {
+      double objective;
+      if (phase1) {
+        objective = Infeasibility(&cb);
+        if (objective <= options_.tolerance * 10) return PhaseOutcome::kDone;
+      } else {
+        for (int k = 0; k < m_; ++k) cb[k] = cost_[basic_[k]];
+        objective = 0.0;
+        for (int j = 0; j < n_; ++j) objective += cost_[j] * x_[j];
+      }
+      if (objective < last_objective - 1e-12) {
+        last_objective = objective;
+        stall = 0;
+        bland = false;
+      } else if (!bland && ++stall > 2 * (m_ + 50)) {
+        bland = true;  // Bland's rule escapes degenerate cycling
+      }
+
+      const std::vector<double> y = Btran(cb);
+      int entering = -1;
+      double entering_dir = 0.0;
+      double best_violation = options_.tolerance;
+      for (int j = 0; j < n_; ++j) {
+        if (status_[j] == VarStatus::kBasic) continue;
+        if (upper_[j] - lower_[j] <= 0.0) continue;  // fixed, cannot move
+        const double phase_cost = phase1 ? 0.0 : cost_[j];
+        const double d = phase_cost - DotColumn(y, j);
+        double violation = 0.0;
+        double dir = 0.0;
+        if (status_[j] == VarStatus::kAtLower && d < -options_.tolerance) {
+          violation = -d;
+          dir = 1.0;
+        } else if (status_[j] == VarStatus::kAtUpper &&
+                   d > options_.tolerance) {
+          violation = d;
+          dir = -1.0;
+        } else if (status_[j] == VarStatus::kNonbasicFree &&
+                   std::fabs(d) > options_.tolerance) {
+          violation = std::fabs(d);
+          dir = d < 0 ? 1.0 : -1.0;
+        } else {
+          continue;
+        }
+        if (bland) {
+          entering = j;
+          entering_dir = dir;
+          break;
+        }
+        if (violation > best_violation) {
+          best_violation = violation;
+          entering = j;
+          entering_dir = dir;
+        }
+      }
+      if (entering < 0) {
+        // No improving column: this basis is as good as it gets for the
+        // phase. For phase 1 that means infeasible iff violations remain.
+        if (phase1 && Infeasibility(nullptr) > options_.tolerance * 10) {
+          return PhaseOutcome::kInfeasible;
+        }
+        return PhaseOutcome::kDone;
+      }
+      // The already-optimal case is handled above, so hitting the budget
+      // here means real work remains (see the dense RunPhase for the same
+      // contract).
+      if (*used >= iteration_budget) return PhaseOutcome::kIterationLimit;
+
+      const std::vector<double> w = Ftran(DenseColumn(entering));
+      const PhaseOutcome step =
+          Step(phase1, entering, entering_dir, w, bland);
+      if (step != PhaseOutcome::kDone) return step;
+      ++*used;
+    }
+  }
+
+  // One ratio test + update (bound flip or basis change). Returns kDone on
+  // a completed step, or a terminal outcome.
+  PhaseOutcome Step(bool phase1, int entering, double dir,
+                    const std::vector<double>& w, bool bland) {
+    constexpr double kTieTol = 1e-9;
+    const double flip_t = upper_[entering] - lower_[entering];  // inf ok
+
+    // Pass 1: the tightest blocking ratio.
+    double best_t = kInf;
+    for (int k = 0; k < m_; ++k) {
+      const double t = BlockingRatio(phase1, k, -dir * w[k], nullptr);
+      if (t < best_t) best_t = t;
+    }
+
+    if (flip_t <= best_t) {
+      if (flip_t == kInf) return PhaseOutcome::kUnbounded;
+      // Bound flip: the entering variable traverses to its opposite bound
+      // without any basis change.
+      for (int k = 0; k < m_; ++k) x_[basic_[k]] += -dir * w[k] * flip_t;
+      status_[entering] = status_[entering] == VarStatus::kAtLower
+                              ? VarStatus::kAtUpper
+                              : VarStatus::kAtLower;
+      x_[entering] = NonbasicValue(entering);
+      return PhaseOutcome::kDone;
+    }
+
+    // Pass 2: deterministic leaving choice among near-ties — the largest
+    // pivot magnitude for stability, then the smallest basic column index;
+    // under Bland's rule, the smallest index alone.
+    int leaving = -1;
+    bool to_upper = false;
+    double best_pivot = -1.0;
+    for (int k = 0; k < m_; ++k) {
+      bool hits_upper = false;
+      const double t = BlockingRatio(phase1, k, -dir * w[k], &hits_upper);
+      if (t > best_t + kTieTol) continue;
+      const double pivot = std::fabs(w[k]);
+      const bool better =
+          leaving < 0 ||
+          (bland ? basic_[k] < basic_[leaving]
+                 : (pivot > best_pivot + kTieTol ||
+                    (pivot > best_pivot - kTieTol &&
+                     basic_[k] < basic_[leaving])));
+      if (better) {
+        leaving = k;
+        to_upper = hits_upper;
+        best_pivot = pivot;
+      }
+    }
+    CHECK(leaving >= 0);
+
+    // Update primal values along the direction, then swap the basis.
+    const double t = std::max(0.0, best_t);
+    for (int k = 0; k < m_; ++k) x_[basic_[k]] += -dir * w[k] * t;
+    x_[entering] = NonbasicValue(entering) + dir * t;
+    const int leaving_col = basic_[leaving];
+    status_[leaving_col] = to_upper ? VarStatus::kAtUpper : VarStatus::kAtLower;
+    x_[leaving_col] = NonbasicValue(leaving_col);
+    status_[entering] = VarStatus::kBasic;
+    basic_[leaving] = entering;
+    etas_.push_back(Eta{leaving, w});
+    if (static_cast<int>(etas_.size()) >=
+        std::max(1, options_.refactor_interval)) {
+      if (!Factorize()) return PhaseOutcome::kNumericalFailure;
+      ComputeBasicValues();
+    }
+    return PhaseOutcome::kDone;
+  }
+
+  // Ratio at which basis position k blocks a move with per-unit step
+  // `delta`, or +inf. In phase 1 a basic variable outside its bounds
+  // blocks only at the bound it violates (reaching it restores
+  // feasibility); moving it further out never blocks — the composite
+  // objective accounts for the growing violation.
+  double BlockingRatio(bool phase1, int k, double delta,
+                       bool* hits_upper) const {
+    if (std::fabs(delta) <= options_.pivot_tolerance) return kInf;
+    const int col = basic_[k];
+    const double x = x_[col];
+    const double l = lower_[col];
+    const double u = upper_[col];
+    double bound;
+    bool upper;
+    if (phase1 && x < l - FeasTol(l)) {
+      if (delta <= 0) return kInf;
+      bound = l;
+      upper = false;
+    } else if (phase1 && x > u + FeasTol(u)) {
+      if (delta >= 0) return kInf;
+      bound = u;
+      upper = true;
+    } else if (delta > 0) {
+      if (u == kInf) return kInf;
+      bound = u;
+      upper = true;
+    } else {
+      if (l == -kInf) return kInf;
+      bound = l;
+      upper = false;
+    }
+    if (hits_upper != nullptr) *hits_upper = upper;
+    return std::max(0.0, (bound - x) / delta);
+  }
+
+  // ---- Solution extraction ---------------------------------------------
+
+  void ExtractSolution(RevisedSolution& result) const {
+    LpSolution& solution = result.solution;
+    solution.status = SolveStatus::kOptimal;
+    solution.primal.assign(ns_, 0.0);
+    double objective = model_.objective_constant();
+    for (int j = 0; j < ns_; ++j) {
+      solution.primal[j] = x_[j];
+      objective += cost_[j] * x_[j];
+    }
+    solution.objective = objective;
+
+    std::vector<double> cb(m_);
+    for (int k = 0; k < m_; ++k) cb[k] = cost_[basic_[k]];
+    const std::vector<double> y = Btran(std::move(cb));
+    solution.dual = y;
+    solution.reduced_cost.assign(ns_, 0.0);
+    for (int j = 0; j < ns_; ++j) {
+      solution.reduced_cost[j] = cost_[j] - DotColumn(y, j);
+    }
+
+    result.basis.structural.assign(status_.begin(), status_.begin() + ns_);
+    result.basis.logical.assign(status_.begin() + ns_, status_.end());
+  }
+
+  const LpModel& model_;
+  const SimplexSolver::Options& options_;
+  const int ns_;  // structural columns
+  const int m_;   // rows
+  const int n_;   // structural + logical columns
+
+  std::vector<std::vector<std::pair<int, double>>> cols_;
+  std::vector<double> lower_, upper_, cost_, b_;
+
+  std::vector<VarStatus> status_;  // per column
+  std::vector<int> basic_;         // basis position -> column
+  std::vector<double> x_;          // per column
+
+  std::vector<double> lu_;  // packed L (unit lower) / U factors of B
+  std::vector<int> perm_;   // row permutation of the factorization
+  std::vector<Eta> etas_;
+};
+
+// No constraints: every variable sits at its cost-minimizing bound. Kept in
+// sync with the dense backend's m == 0 path, including the convention that
+// a variable resting at a bound keeps its cost as its reduced cost.
+util::StatusOr<RevisedSolution> SolveUnconstrained(const LpModel& model) {
+  RevisedSolution result;
+  LpSolution& solution = result.solution;
+  solution.primal.assign(model.num_variables(), 0.0);
+  solution.reduced_cost.assign(model.num_variables(), 0.0);
+  result.basis.structural.assign(model.num_variables(), VarStatus::kAtLower);
+  double objective = model.objective_constant();
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double c = model.cost(j);
+    double x;
+    VarStatus status = VarStatus::kAtLower;
+    if (c > 0) {
+      x = model.lower_bound(j);
+    } else if (c < 0) {
+      x = model.upper_bound(j);
+      status = VarStatus::kAtUpper;
+    } else {
+      // Zero cost: the feasible value nearest zero, always finite (max
+      // with a -inf lower bound yields 0, min with a +inf upper keeps it).
+      x = std::min(std::max(0.0, model.lower_bound(j)),
+                   model.upper_bound(j));
+      if (x == model.upper_bound(j)) {
+        status = VarStatus::kAtUpper;
+      } else if (x != model.lower_bound(j)) {
+        status = VarStatus::kNonbasicFree;
+      }
+    }
+    if (!std::isfinite(x)) {
+      solution.status = SolveStatus::kUnbounded;
+      result.basis = Basis();
+      return result;
+    }
+    solution.primal[j] = x;
+    solution.reduced_cost[j] = c;
+    result.basis.structural[j] = status;
+    objective += c * x;
+  }
+  solution.status = SolveStatus::kOptimal;
+  solution.objective = objective;
+  return result;
+}
+
+}  // namespace
+
+util::StatusOr<RevisedSolution> RevisedSimplex::Solve(
+    const LpModel& model, const SimplexSolver::Options& options,
+    const Basis* warm_start) {
+  RETURN_IF_ERROR(model.Validate());
+  if (model.num_constraints() == 0) return SolveUnconstrained(model);
+  Engine engine(model, options);
+  return engine.Run(warm_start);
+}
+
+}  // namespace auditgame::lp

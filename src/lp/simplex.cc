@@ -4,6 +4,7 @@
 #include <cmath>
 #include <limits>
 
+#include "lp/revised_simplex.h"
 #include "util/logging.h"
 
 namespace auditgame::lp {
@@ -57,9 +58,12 @@ class Tableau {
     int stall = 0;
     bool bland = false;
     double last_objective = CurrentObjective(cost);
-    while (iterations < iteration_budget) {
+    for (;;) {
       const int entering = ChooseEntering(allow_enter, bland);
       if (entering < 0) return iterations;  // optimal for this phase
+      // Only a basis that still has work to do can run out of budget; an
+      // already-optimal basis with a zero remaining budget is optimal.
+      if (iterations >= iteration_budget) return -2;
       const int leaving_row = ChooseLeavingRow(entering, bland);
       if (leaving_row < 0) return -1;  // unbounded direction
       Pivot(leaving_row, entering);
@@ -73,7 +77,6 @@ class Tableau {
         bland = true;  // switch to Bland's rule to escape cycling
       }
     }
-    return -2;
   }
 
   double CurrentObjective(const std::vector<double>& cost) const {
@@ -146,22 +149,39 @@ class Tableau {
     return best;
   }
 
+  // Minimum-ratio test. The previous tie-break picked the largest pivot
+  // using float equality within 1e-12, so mathematically equal but
+  // bitwise-different tableaus could leave through different rows across
+  // platforms, breaking bit-for-bit policy-cache identity. The rule here is
+  // deterministic and index-based: among near-tie ratios, keep the rows
+  // whose pivot is within a coarse relative factor of the largest (numeric
+  // stability without hair-trigger comparisons), then take the smallest
+  // basic variable index. Under Bland's rule the pivot screen is dropped —
+  // the anti-cycling theorem needs the smallest index among *all* min-ratio
+  // rows, on the leaving side as well as the entering side.
   int ChooseLeavingRow(int entering, bool bland) const {
     const double tol = options_.pivot_tolerance;
-    int best_row = -1;
     double best_ratio = std::numeric_limits<double>::infinity();
     for (int i = 0; i < sf_.m; ++i) {
       const double a = At(i, entering);
       if (a <= tol) continue;
       const double ratio = Rhs(i) / a;
-      if (ratio < best_ratio - 1e-12 ||
-          (ratio < best_ratio + 1e-12 &&
-           (best_row < 0 ||
-            (bland ? sf_.basis[i] < sf_.basis[best_row]
-                   : At(i, entering) > At(best_row, entering))))) {
-        best_ratio = ratio;
-        best_row = i;
-      }
+      if (ratio < best_ratio) best_ratio = ratio;
+    }
+    if (best_ratio == std::numeric_limits<double>::infinity()) return -1;
+    const double cutoff = best_ratio + 1e-9 * (1.0 + best_ratio);
+    double max_pivot = 0.0;
+    for (int i = 0; i < sf_.m; ++i) {
+      const double a = At(i, entering);
+      if (a <= tol || Rhs(i) / a > cutoff) continue;
+      max_pivot = std::max(max_pivot, a);
+    }
+    int best_row = -1;
+    for (int i = 0; i < sf_.m; ++i) {
+      const double a = At(i, entering);
+      if (a <= tol || Rhs(i) / a > cutoff) continue;
+      if (!bland && a < 0.1 * max_pivot) continue;
+      if (best_row < 0 || sf_.basis[i] < sf_.basis[best_row]) best_row = i;
     }
     return best_row;
   }
@@ -364,6 +384,16 @@ StandardForm BuildStandardForm(const LpModel& model) {
 
 }  // namespace
 
+const char* SimplexBackendToString(SimplexBackend backend) {
+  switch (backend) {
+    case SimplexBackend::kDenseTableau:
+      return "dense-tableau";
+    case SimplexBackend::kRevised:
+      return "revised";
+  }
+  return "UNKNOWN";
+}
+
 const char* SolveStatusToString(SolveStatus status) {
   switch (status) {
     case SolveStatus::kOptimal:
@@ -380,6 +410,11 @@ const char* SolveStatusToString(SolveStatus status) {
 
 util::StatusOr<LpSolution> SimplexSolver::Solve(const LpModel& model,
                                                 const Options& options) {
+  if (options.backend == SimplexBackend::kRevised) {
+    ASSIGN_OR_RETURN(RevisedSolution revised,
+                     RevisedSimplex::Solve(model, options));
+    return std::move(revised.solution);
+  }
   RETURN_IF_ERROR(model.Validate());
 
   LpSolution solution;
@@ -398,8 +433,11 @@ util::StatusOr<LpSolution> SimplexSolver::Solve(const LpModel& model,
       } else if (c < 0) {
         x = model.upper_bound(j);
       } else {
-        x = std::max(0.0, model.lower_bound(j));
-        if (!std::isfinite(x)) x = std::min(0.0, model.upper_bound(j));
+        // Zero cost: any feasible value works; take the one nearest zero
+        // (max with a -inf lower bound yields 0, min with a +inf upper
+        // keeps it, so the result is always finite).
+        x = std::min(std::max(0.0, model.lower_bound(j)),
+                     model.upper_bound(j));
       }
       if (!std::isfinite(x) && c != 0) {
         solution.status = SolveStatus::kUnbounded;
@@ -411,7 +449,13 @@ util::StatusOr<LpSolution> SimplexSolver::Solve(const LpModel& model,
     }
     solution.status = SolveStatus::kOptimal;
     solution.objective = obj;
+    // With no constraints there are no duals, so a variable resting at a
+    // bound keeps its full cost as its reduced cost — the same bounded-
+    // variable convention the constrained path produces.
     solution.reduced_cost.assign(model.num_variables(), 0.0);
+    for (int j = 0; j < model.num_variables(); ++j) {
+      solution.reduced_cost[j] = model.cost(j);
+    }
     return solution;
   }
 

@@ -19,6 +19,17 @@ enum class SolveStatus {
 
 const char* SolveStatusToString(SolveStatus status);
 
+/// Which simplex implementation solves the model.
+///  * kDenseTableau — the full-tableau two-phase solver below. The
+///    reference backend: simple, exhaustively validated, O(m*n) per pivot.
+///  * kRevised — the bounded-variable revised simplex in
+///    lp/revised_simplex.h: no upper-bound rows, no free-variable
+///    splitting, LU-factorized basis with eta updates, and warm-startable
+///    from a Basis snapshot. Same LpSolution contract.
+enum class SimplexBackend { kDenseTableau, kRevised };
+
+const char* SimplexBackendToString(SimplexBackend backend);
+
 /// Result of solving an LpModel.
 struct LpSolution {
   SolveStatus status = SolveStatus::kIterationLimit;
@@ -69,6 +80,13 @@ class SimplexSolver {
     double pivot_tolerance = 1e-9;
     /// Feasibility / optimality tolerance on reduced costs and residuals.
     double tolerance = 1e-8;
+    /// Backend dispatched by Solve(). The dense tableau remains the
+    /// reference implementation; kRevised is the bounded-variable revised
+    /// simplex (lp/revised_simplex.h), which additionally supports basis
+    /// warm starts through its own entry point.
+    SimplexBackend backend = SimplexBackend::kDenseTableau;
+    /// kRevised only: basis pivots between LU refactorizations.
+    int refactor_interval = 64;
   };
 
   /// Solves `model`. Returns an error status only for malformed models;

@@ -83,6 +83,9 @@ struct SolveStats {
   int improvements = 0;
   /// CGGS: restricted master LPs solved.
   int lp_solves = 0;
+  /// CGGS: master solves warm-started from the previous basis (the
+  /// incremental master; see core/master_lp.h).
+  int warm_lp_solves = 0;
   /// CGGS: columns generated beyond the initial set.
   int columns_generated = 0;
   /// Brute force: threshold vectors whose LP was solved.

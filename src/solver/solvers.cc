@@ -117,6 +117,7 @@ class CggsSolver : public Solver {
     result.policy = std::move(cggs.policy);
     result.thresholds = result.policy.thresholds;
     result.stats.lp_solves = cggs.lp_solves;
+    result.stats.warm_lp_solves = cggs.warm_lp_solves;
     result.stats.columns_generated = cggs.columns_generated;
     result.stats.seconds = timer.ElapsedSeconds();
     return result;

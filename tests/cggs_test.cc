@@ -112,6 +112,33 @@ TEST(CggsTest, WarmStartColumnsAreUsed) {
   EXPECT_EQ(result->lp_solves, 1);
 }
 
+TEST(CggsTest, IncrementalAndColdDenseMastersAgreeOnSynA) {
+  // The incremental revised-simplex master (default) against the cold
+  // dense-tableau reference path: on the controlled instance both must
+  // land on the same objective, and the incremental run must have warm-
+  // started every re-solve after the first.
+  const auto instance = data::MakeSynA();
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  for (double budget : {4.0, 10.0}) {
+    auto detection = DetectionModel::Create(*instance, budget);
+    ASSERT_TRUE(detection.ok());
+    const std::vector<double> thresholds = {3.0, 3.0, 2.0, 2.0};
+    CggsOptions cold_options;
+    cold_options.master_mode = CggsOptions::MasterMode::kColdDense;
+    const auto cold = SolveCggs(*compiled, *detection, thresholds, cold_options);
+    const auto incremental = SolveCggs(*compiled, *detection, thresholds);
+    ASSERT_TRUE(cold.ok());
+    ASSERT_TRUE(incremental.ok());
+    EXPECT_NEAR(incremental->objective, cold->objective, 1e-6)
+        << "budget " << budget;
+    EXPECT_EQ(cold->warm_lp_solves, 0);
+    EXPECT_EQ(incremental->warm_lp_solves, incremental->lp_solves - 1);
+    EXPECT_TRUE(incremental->policy.Validate(4).ok());
+  }
+}
+
 TEST(CggsTest, PolicyIsValidDistribution) {
   const GameInstance instance = MakeMediumGame();
   const auto compiled = Compile(instance);

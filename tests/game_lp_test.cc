@@ -2,6 +2,7 @@
 
 #include <gtest/gtest.h>
 
+#include "core/master_lp.h"
 #include "tests/test_util.h"
 
 namespace auditgame::core {
@@ -97,6 +98,53 @@ TEST(FullLpTest, MatchesManualMixOnTinyGame) {
   ASSERT_TRUE(full.ok());
   EXPECT_NEAR(full->objective, 0.0, 1e-9);
   EXPECT_TRUE(full->policy.Validate(2).ok());
+}
+
+// The incremental master, growing one column per Solve(), must track the
+// one-shot wrapper exactly: same objectives, same duals, and warm-started
+// re-solves that skip phase 1 after the first.
+TEST(RestrictedMasterLpTest, IncrementalMatchesOneShotAtEveryPrefix) {
+  const GameInstance instance = MakeMediumGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 5.0);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_TRUE(detection->SetThresholds({3.0, 3.0, 3.0}).ok());
+
+  const std::vector<std::vector<int>> orderings = {
+      {0, 1, 2}, {2, 1, 0}, {1, 0, 2}, {0, 2, 1}, {2, 0, 1}, {1, 2, 0}};
+  RestrictedMasterLp master(*compiled, *detection);
+  std::vector<std::vector<int>> prefix;
+  for (const auto& ordering : orderings) {
+    ASSERT_TRUE(master.AddOrdering(ordering).ok());
+    prefix.push_back(ordering);
+    const auto incremental = master.Solve();
+    const auto one_shot = SolveRestrictedGameLp(*compiled, *detection, prefix);
+    ASSERT_TRUE(incremental.ok());
+    ASSERT_TRUE(one_shot.ok());
+    EXPECT_NEAR(incremental->objective, one_shot->objective, 1e-8)
+        << "after " << prefix.size() << " columns";
+    EXPECT_NEAR(incremental->convexity_dual, one_shot->convexity_dual, 1e-6)
+        << "after " << prefix.size() << " columns";
+    double total = 0.0;
+    for (double p : incremental->ordering_probs) total += p;
+    EXPECT_NEAR(total, 1.0, 1e-8);
+  }
+  EXPECT_EQ(master.stats().solves, static_cast<int>(orderings.size()));
+  // Every re-solve after the first resumed from the previous basis.
+  EXPECT_EQ(master.stats().warm_solves,
+            static_cast<int>(orderings.size()) - 1);
+}
+
+TEST(RestrictedMasterLpTest, SolveWithoutColumnsIsRejected) {
+  const GameInstance instance = MakeTinyGame();
+  const auto compiled = Compile(instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(instance, 3.0);
+  ASSERT_TRUE(detection.ok());
+  ASSERT_TRUE(detection->SetThresholds({2.0, 2.0}).ok());
+  RestrictedMasterLp master(*compiled, *detection);
+  EXPECT_FALSE(master.Solve().ok());
 }
 
 TEST(FullLpTest, PolicyEvaluationAgreesWithLpObjective) {

@@ -130,6 +130,10 @@ TEST(FingerprintTest, SearchConfigurationChangesTheKey) {
   EXPECT_NE(key, FingerprintRequest(other));
 
   other = cold;
+  other.options.cggs.master_mode = core::CggsOptions::MasterMode::kColdDense;
+  EXPECT_NE(key, FingerprintRequest(other));
+
+  other = cold;
   other.warm_start.thresholds = {2.0, 1.0};
   EXPECT_NE(key, FingerprintRequest(other));
 

@@ -1,0 +1,323 @@
+#include "lp/revised_simplex.h"
+
+#include <cmath>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "lp/model.h"
+#include "lp/simplex.h"
+#include "lp/validate.h"
+#include "util/random.h"
+
+namespace auditgame::lp {
+namespace {
+
+RevisedSolution SolveRevisedOrDie(const LpModel& model,
+                                  const Basis* warm = nullptr) {
+  auto solution = RevisedSimplex::Solve(model, SimplexSolver::Options(), warm);
+  EXPECT_TRUE(solution.ok()) << solution.status();
+  return *solution;
+}
+
+LpSolution SolveDenseOrDie(const LpModel& model) {
+  auto solution = SimplexSolver::Solve(model);
+  EXPECT_TRUE(solution.ok()) << solution.status();
+  return *solution;
+}
+
+// Complementary slackness in the original model space: every constraint
+// with a nonzero dual is tight, and every basic-looking variable (strictly
+// between its bounds) has zero reduced cost.
+void CheckComplementarySlackness(const LpModel& model,
+                                 const LpSolution& solution) {
+  for (int i = 0; i < model.num_constraints(); ++i) {
+    const double slack = model.RowActivity(i, solution.primal) - model.rhs(i);
+    EXPECT_NEAR(solution.dual[i] * slack, 0.0, 1e-5)
+        << "row " << i << " dual " << solution.dual[i] << " slack " << slack;
+  }
+  for (int j = 0; j < model.num_variables(); ++j) {
+    const double x = solution.primal[j];
+    const double lb = model.lower_bound(j);
+    const double ub = model.upper_bound(j);
+    if (x > lb + 1e-6 && x < ub - 1e-6) {
+      EXPECT_NEAR(solution.reduced_cost[j], 0.0, 1e-5) << "variable " << j;
+    }
+  }
+}
+
+TEST(RevisedSimplexTest, SimpleTwoVariableMin) {
+  // min -x - 2y s.t. x + y <= 4, x in [0,3], y in [0,2]: the doubly
+  // bounded variables cost the revised solver no extra rows.
+  LpModel model;
+  const int x = model.AddVariable(-1.0, 0.0, 3.0);
+  const int y = model.AddVariable(-2.0, 0.0, 2.0);
+  const int row = model.AddConstraint(Sense::kLessEqual, 4.0);
+  model.AddCoefficient(row, x, 1.0);
+  model.AddCoefficient(row, y, 1.0);
+
+  const RevisedSolution result = SolveRevisedOrDie(model);
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.objective, -6.0, 1e-9);
+  EXPECT_NEAR(result.solution.primal[x], 2.0, 1e-9);
+  EXPECT_NEAR(result.solution.primal[y], 2.0, 1e-9);
+  EXPECT_TRUE(CheckOptimality(model, result.solution).ok());
+}
+
+TEST(RevisedSimplexTest, EqualityAndFreeVariable) {
+  // min u s.t. u >= 3 - x, u >= x - 1, 0 <= x <= 10, u free.
+  LpModel model;
+  const int u = model.AddFreeVariable(1.0);
+  const int x = model.AddVariable(0.0, 0.0, 10.0);
+  const int r1 = model.AddConstraint(Sense::kGreaterEqual, 3.0);
+  model.AddCoefficient(r1, u, 1.0);
+  model.AddCoefficient(r1, x, 1.0);
+  const int r2 = model.AddConstraint(Sense::kGreaterEqual, -1.0);
+  model.AddCoefficient(r2, u, 1.0);
+  model.AddCoefficient(r2, x, -1.0);
+
+  const RevisedSolution result = SolveRevisedOrDie(model);
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.objective, 1.0, 1e-8);
+  EXPECT_NEAR(result.solution.primal[u], 1.0, 1e-8);
+  EXPECT_NEAR(result.solution.primal[x], 2.0, 1e-8);
+  EXPECT_TRUE(CheckOptimality(model, result.solution).ok());
+}
+
+TEST(RevisedSimplexTest, DetectsInfeasible) {
+  LpModel model;
+  const int x = model.AddNonNegativeVariable(1.0);
+  const int r1 = model.AddConstraint(Sense::kGreaterEqual, 2.0);
+  model.AddCoefficient(r1, x, 1.0);
+  const int r2 = model.AddConstraint(Sense::kLessEqual, 1.0);
+  model.AddCoefficient(r2, x, 1.0);
+
+  const RevisedSolution result = SolveRevisedOrDie(model);
+  EXPECT_EQ(result.solution.status, SolveStatus::kInfeasible);
+}
+
+TEST(RevisedSimplexTest, DetectsUnbounded) {
+  LpModel model;
+  const int x = model.AddNonNegativeVariable(-1.0);
+  const int row = model.AddConstraint(Sense::kGreaterEqual, 1.0);
+  model.AddCoefficient(row, x, 1.0);
+
+  const RevisedSolution result = SolveRevisedOrDie(model);
+  EXPECT_EQ(result.solution.status, SolveStatus::kUnbounded);
+}
+
+TEST(RevisedSimplexTest, NoConstraintsUsesBoundsAndKeepsCosts) {
+  LpModel model;
+  const int x = model.AddVariable(1.0, -2.0, 5.0);
+  const int y = model.AddVariable(-1.0, 0.0, 3.0);
+  const RevisedSolution result = SolveRevisedOrDie(model);
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.primal[x], -2.0, 1e-12);
+  EXPECT_NEAR(result.solution.primal[y], 3.0, 1e-12);
+  EXPECT_NEAR(result.solution.objective, -5.0, 1e-12);
+  EXPECT_EQ(result.solution.reduced_cost[x], 1.0);
+  EXPECT_EQ(result.solution.reduced_cost[y], -1.0);
+}
+
+TEST(RevisedSimplexTest, NoConstraintsZeroCostRespectsNegativeBounds) {
+  LpModel model;
+  const int x = model.AddVariable(0.0, -kInfinity, -5.0);
+  const int y = model.AddVariable(0.0, -3.0, -1.0);
+  const RevisedSolution result = SolveRevisedOrDie(model);
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_EQ(result.solution.primal[x], -5.0);
+  EXPECT_EQ(result.solution.primal[y], -1.0);
+  EXPECT_EQ(result.basis.structural[x], VarStatus::kAtUpper);
+  EXPECT_EQ(result.basis.structural[y], VarStatus::kAtUpper);
+}
+
+TEST(RevisedSimplexTest, DegenerateProblemTerminates) {
+  LpModel model;
+  const int x = model.AddNonNegativeVariable(-0.75);
+  const int y = model.AddNonNegativeVariable(150.0);
+  const int z = model.AddNonNegativeVariable(-0.02);
+  const int w = model.AddNonNegativeVariable(6.0);
+  const int r1 = model.AddConstraint(Sense::kLessEqual, 0.0);
+  model.AddCoefficient(r1, x, 0.25);
+  model.AddCoefficient(r1, y, -60.0);
+  model.AddCoefficient(r1, z, -0.04);
+  model.AddCoefficient(r1, w, 9.0);
+  const int r2 = model.AddConstraint(Sense::kLessEqual, 0.0);
+  model.AddCoefficient(r2, x, 0.5);
+  model.AddCoefficient(r2, y, -90.0);
+  model.AddCoefficient(r2, z, -0.02);
+  model.AddCoefficient(r2, w, 3.0);
+  const int r3 = model.AddConstraint(Sense::kLessEqual, 1.0);
+  model.AddCoefficient(r3, z, 1.0);
+
+  const RevisedSolution result = SolveRevisedOrDie(model);
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(result.solution.objective, -0.05, 1e-8);
+  EXPECT_TRUE(CheckOptimality(model, result.solution).ok());
+}
+
+TEST(RevisedSimplexTest, BackendDispatchThroughSimplexSolverOptions) {
+  LpModel model;
+  const int x = model.AddVariable(-1.0, 0.0, 3.0);
+  const int row = model.AddConstraint(Sense::kLessEqual, 2.0);
+  model.AddCoefficient(row, x, 1.0);
+  SimplexSolver::Options options;
+  options.backend = SimplexBackend::kRevised;
+  const auto solution = SimplexSolver::Solve(model, options);
+  ASSERT_TRUE(solution.ok());
+  ASSERT_EQ(solution->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution->objective, -2.0, 1e-9);
+}
+
+// ---- Warm start ----------------------------------------------------------
+
+TEST(RevisedSimplexTest, WarmStartAfterAppendingColumnSkipsPhase1) {
+  // A convexity-constrained LP in the column-generation shape.
+  LpModel model;
+  const int p0 = model.AddNonNegativeVariable(2.0);
+  const int p1 = model.AddNonNegativeVariable(1.0);
+  const int conv = model.AddConstraint(Sense::kEqual, 1.0);
+  model.AddCoefficient(conv, p0, 1.0);
+  model.AddCoefficient(conv, p1, 1.0);
+
+  const RevisedSolution first = SolveRevisedOrDie(model);
+  ASSERT_EQ(first.solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(first.solution.objective, 1.0, 1e-9);
+
+  // Append a cheaper column and re-solve from the previous basis: the old
+  // basis stays primal-feasible, so phase 1 does no work.
+  const int p2 = model.AddNonNegativeVariable(0.5);
+  model.AddCoefficient(conv, p2, 1.0);
+  const RevisedSolution warm = SolveRevisedOrDie(model, &first.basis);
+  ASSERT_EQ(warm.solution.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  EXPECT_EQ(warm.solution.phase1_iterations, 0);
+  EXPECT_NEAR(warm.solution.objective, 0.5, 1e-9);
+  EXPECT_NEAR(warm.solution.primal[p2], 1.0, 1e-9);
+  EXPECT_NEAR(warm.solution.primal[p0] + warm.solution.primal[p1], 0.0, 1e-9);
+}
+
+TEST(RevisedSimplexTest, IncompatibleWarmStartFallsBackToCold) {
+  LpModel model;
+  const int x = model.AddVariable(-1.0, 0.0, 3.0);
+  const int row = model.AddConstraint(Sense::kLessEqual, 2.0);
+  model.AddCoefficient(row, x, 1.0);
+
+  Basis stale;
+  stale.structural = {VarStatus::kBasic, VarStatus::kBasic};  // too many
+  stale.logical = {VarStatus::kBasic, VarStatus::kBasic};     // wrong m
+  const RevisedSolution result = SolveRevisedOrDie(model, &stale);
+  ASSERT_EQ(result.solution.status, SolveStatus::kOptimal);
+  EXPECT_FALSE(result.warm_started);
+  EXPECT_NEAR(result.solution.objective, -2.0, 1e-9);
+}
+
+TEST(RevisedSimplexTest, WarmStartMatchesColdOnRepeatedSolve) {
+  util::Rng rng(99);
+  LpModel model;
+  const int n = 6;
+  for (int j = 0; j < n; ++j) model.AddVariable(rng.Uniform(-2.0, 2.0), 0.0, 4.0);
+  for (int i = 0; i < 4; ++i) {
+    const int row = model.AddConstraint(Sense::kLessEqual, 6.0);
+    for (int j = 0; j < n; ++j) {
+      model.AddCoefficient(row, j, rng.Uniform(0.0, 2.0));
+    }
+  }
+  const RevisedSolution cold = SolveRevisedOrDie(model);
+  ASSERT_EQ(cold.solution.status, SolveStatus::kOptimal);
+  const RevisedSolution warm = SolveRevisedOrDie(model, &cold.basis);
+  ASSERT_EQ(warm.solution.status, SolveStatus::kOptimal);
+  EXPECT_TRUE(warm.warm_started);
+  // Re-solving from the optimal basis is pure verification: zero pivots.
+  EXPECT_EQ(warm.solution.phase1_iterations, 0);
+  EXPECT_EQ(warm.solution.phase2_iterations, 0);
+  EXPECT_NEAR(warm.solution.objective, cold.solution.objective, 1e-9);
+}
+
+// ---- Randomized dense-vs-revised agreement -------------------------------
+
+// Random bounded LP mixing doubly-bounded, one-sided, and free variables
+// and all three row senses, built around a known interior point so most
+// instances are feasible (and both solvers must agree when they are not).
+LpModel RandomBoundedLp(uint64_t seed, int n, int m) {
+  util::Rng rng(seed);
+  LpModel model;
+  std::vector<double> x0(static_cast<size_t>(n));
+  for (int j = 0; j < n; ++j) {
+    const double c = rng.Uniform(-2.0, 2.0);
+    const int kind = static_cast<int>(rng.UniformInt(4));
+    if (kind == 0) {
+      model.AddVariable(c, 0.0, rng.Uniform(1.0, 8.0));  // doubly bounded
+    } else if (kind == 1) {
+      model.AddVariable(c, rng.Uniform(-4.0, 0.0), kInfinity);
+    } else if (kind == 2) {
+      model.AddVariable(c, -2.0, 6.0);
+    } else {
+      model.AddFreeVariable(c);
+    }
+    const double lb = model.lower_bound(j);
+    const double ub = model.upper_bound(j);
+    const double low = lb == -kInfinity ? -2.0 : lb;
+    const double high = ub == kInfinity ? low + 4.0 : ub;
+    x0[static_cast<size_t>(j)] = rng.Uniform(low, high);
+  }
+  for (int i = 0; i < m; ++i) {
+    double activity = 0.0;
+    std::vector<double> coeffs(static_cast<size_t>(n));
+    for (int j = 0; j < n; ++j) {
+      coeffs[static_cast<size_t>(j)] = rng.Uniform(-3.0, 3.0);
+      activity += coeffs[static_cast<size_t>(j)] * x0[static_cast<size_t>(j)];
+    }
+    const int kind = static_cast<int>(rng.UniformInt(3));
+    int row;
+    if (kind == 0) {
+      row = model.AddConstraint(Sense::kLessEqual,
+                                activity + rng.Uniform(0.0, 2.0));
+    } else if (kind == 1) {
+      row = model.AddConstraint(Sense::kGreaterEqual,
+                                activity - rng.Uniform(0.0, 2.0));
+    } else {
+      row = model.AddConstraint(Sense::kEqual, activity);
+    }
+    for (int j = 0; j < n; ++j) {
+      model.AddCoefficient(row, j, coeffs[static_cast<size_t>(j)]);
+    }
+  }
+  return model;
+}
+
+class BackendAgreementTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(BackendAgreementTest, DenseAndRevisedAgreeOnRandomBoundedLps) {
+  util::Rng rng(static_cast<uint64_t>(GetParam()) * 6121 + 5);
+  const int n = 2 + static_cast<int>(rng.UniformInt(8));
+  const int m = 1 + static_cast<int>(rng.UniformInt(8));
+  const LpModel model = RandomBoundedLp(rng(), n, m);
+
+  const LpSolution dense = SolveDenseOrDie(model);
+  const RevisedSolution revised = SolveRevisedOrDie(model);
+  ASSERT_EQ(revised.solution.status, dense.status)
+      << "dense=" << SolveStatusToString(dense.status)
+      << " revised=" << SolveStatusToString(revised.solution.status);
+  if (dense.status != SolveStatus::kOptimal) return;
+
+  EXPECT_NEAR(revised.solution.objective, dense.objective,
+              1e-6 * (1.0 + std::fabs(dense.objective)));
+  // Primal points may differ at degenerate optima, but both must be
+  // feasible, optimal, and complementary.
+  for (const LpSolution* solution : {&dense, &revised.solution}) {
+    const auto check = CheckOptimality(model, *solution);
+    EXPECT_TRUE(check.ok()) << check.ToString();
+    CheckComplementarySlackness(model, *solution);
+  }
+  // Objective of the revised primal point under the model must equal the
+  // reported objective (guards against basis/value drift).
+  EXPECT_NEAR(model.Objective(revised.solution.primal),
+              revised.solution.objective, 1e-6);
+}
+
+INSTANTIATE_TEST_SUITE_P(RandomLps, BackendAgreementTest,
+                         ::testing::Range(0, 100));
+
+}  // namespace
+}  // namespace auditgame::lp

@@ -188,6 +188,88 @@ TEST(SimplexTest, NoConstraintsUsesBounds) {
   EXPECT_NEAR(solution.objective, -5.0, 1e-12);
 }
 
+TEST(SimplexTest, NoConstraintsKeepsCostsAsReducedCosts) {
+  // Without constraints there are no duals: a variable resting at a bound
+  // keeps its full cost as its reduced cost, exactly as in the constrained
+  // bounded-variable convention (regression: this used to report zeros).
+  LpModel model;
+  const int x = model.AddVariable(1.0, -2.0, 5.0);
+  const int y = model.AddVariable(-1.0, 0.0, 3.0);
+  const int z = model.AddFreeVariable(0.0);
+  const LpSolution solution = SolveOrDie(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_EQ(solution.reduced_cost[x], 1.0);
+  EXPECT_EQ(solution.reduced_cost[y], -1.0);
+  EXPECT_EQ(solution.reduced_cost[z], 0.0);
+}
+
+TEST(SimplexTest, NoConstraintsZeroCostRespectsNegativeBounds) {
+  // A zero-cost variable whose whole feasible range is below zero must be
+  // clamped into it (regression: max(0, lb) ignored the upper bound and
+  // reported the infeasible point 0 as optimal). One-sided bounds only:
+  // a doubly-bounded variable would add an upper-bound row and leave the
+  // no-constraint path under test.
+  LpModel model;
+  const int x = model.AddVariable(0.0, -kInfinity, -5.0);
+  const int y = model.AddVariable(0.0, 2.0, kInfinity);
+  const int z = model.AddVariable(0.0, -kInfinity, 3.0);
+  const LpSolution solution = SolveOrDie(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_EQ(solution.primal[x], -5.0);
+  EXPECT_EQ(solution.primal[y], 2.0);
+  EXPECT_EQ(solution.primal[z], 0.0);
+  EXPECT_TRUE(CheckPrimalFeasibility(model, solution).ok());
+}
+
+TEST(SimplexTest, ExactIterationBudgetStillReportsOptimal) {
+  // min x s.t. x = 3, 0 <= x <= 10: phase 1 needs exactly one pivot (the
+  // artificial leaves for x) and the resulting basis is already phase-2
+  // optimal. With max_iterations equal to the phase-1 iteration count the
+  // solver must report the optimum, not kIterationLimit (regression: the
+  // budget used to be enforced before checking for an entering column).
+  LpModel model;
+  const int x = model.AddVariable(1.0, 0.0, 10.0);
+  const int row = model.AddConstraint(Sense::kEqual, 3.0);
+  model.AddCoefficient(row, x, 1.0);
+
+  const LpSolution reference = SolveOrDie(model);
+  ASSERT_EQ(reference.status, SolveStatus::kOptimal);
+  ASSERT_GE(reference.phase1_iterations, 1);
+  ASSERT_EQ(reference.phase2_iterations, 0);
+
+  SimplexSolver::Options options;
+  options.max_iterations = reference.phase1_iterations;
+  const auto capped = SimplexSolver::Solve(model, options);
+  ASSERT_TRUE(capped.ok());
+  ASSERT_EQ(capped->status, SolveStatus::kOptimal);
+  EXPECT_NEAR(capped->objective, 3.0, 1e-9);
+
+  // One iteration short must still hit the limit.
+  options.max_iterations = reference.phase1_iterations - 1;
+  const auto starved = SimplexSolver::Solve(model, options);
+  ASSERT_TRUE(starved.ok());
+  EXPECT_EQ(starved->status, SolveStatus::kIterationLimit);
+}
+
+TEST(SimplexTest, LeavingRowTiesBreakByLowestBasisIndex) {
+  // Two identical rows give an exact ratio tie; the deterministic rule
+  // must pivot out the slack with the smallest column index (the first
+  // row), leaving the binding dual on row 1 and zero on row 2.
+  LpModel model;
+  const int x = model.AddNonNegativeVariable(-1.0);
+  const int r1 = model.AddConstraint(Sense::kLessEqual, 2.0);
+  model.AddCoefficient(r1, x, 1.0);
+  const int r2 = model.AddConstraint(Sense::kLessEqual, 2.0);
+  model.AddCoefficient(r2, x, 1.0);
+
+  const LpSolution solution = SolveOrDie(model);
+  ASSERT_EQ(solution.status, SolveStatus::kOptimal);
+  EXPECT_NEAR(solution.objective, -2.0, 1e-9);
+  EXPECT_NEAR(solution.dual[r1], -1.0, 1e-9);
+  EXPECT_NEAR(solution.dual[r2], 0.0, 1e-9);
+  EXPECT_TRUE(CheckOptimality(model, solution).ok());
+}
+
 // Property test: random feasible LPs — solver output must pass independent
 // feasibility + strong-duality validation.
 class RandomLpTest : public ::testing::TestWithParam<int> {};
