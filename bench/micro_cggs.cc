@@ -16,6 +16,7 @@
 #include <cmath>
 #include <cstdio>
 #include <cstdlib>
+#include <memory>
 #include <string>
 
 #include "bench/smoke_common.h"
@@ -26,6 +27,7 @@
 #include "solver/registry.h"
 #include "util/json.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace {
@@ -71,7 +73,8 @@ std::vector<double> MeanThresholds(const core::GameInstance& instance) {
 }
 
 void BM_CggsByTypeCount(benchmark::State& state,
-                        core::CggsOptions::MasterMode master_mode) {
+                        core::CggsOptions::MasterMode master_mode,
+                        int pricing_threads = 1) {
   const int num_types = static_cast<int>(state.range(0));
   const core::GameInstance instance = MakeScalableGame(num_types, 7);
   const auto compiled = core::Compile(instance);
@@ -79,6 +82,14 @@ void BM_CggsByTypeCount(benchmark::State& state,
       core::DetectionModel::Create(instance, 2.0 * num_types);
   solver::SolverOptions options;
   options.cggs.master_mode = master_mode;
+  options.cggs.pricing_threads = pricing_threads;
+  // Pool spawn/join stays outside the timed region so the parallel
+  // variant measures pricing, not thread startup.
+  std::unique_ptr<util::ThreadPool> pricing_pool;
+  if (pricing_threads > 1) {
+    pricing_pool = std::make_unique<util::ThreadPool>(pricing_threads);
+    options.cggs.pricing_pool = pricing_pool.get();
+  }
   auto cggs = solver::Create("cggs", options);
   solver::SolveRequest request;
   request.thresholds = MeanThresholds(instance);
@@ -101,6 +112,12 @@ BENCHMARK_CAPTURE(BM_CggsByTypeCount, incremental_revised,
     ->DenseRange(3, 8);
 BENCHMARK_CAPTURE(BM_CggsByTypeCount, cold_dense,
                   core::CggsOptions::MasterMode::kColdDense)
+    ->DenseRange(3, 8);
+// Parallel pricing (bit-for-bit identical results; see
+// CggsOptions::pricing_threads): the timing delta against
+// incremental_revised is pure pricing-phase speedup.
+BENCHMARK_CAPTURE(BM_CggsByTypeCount, incremental_revised_pricing4,
+                  core::CggsOptions::MasterMode::kIncrementalRevised, 4)
     ->DenseRange(3, 8);
 
 void BM_FullLpByTypeCount(benchmark::State& state) {
@@ -246,7 +263,9 @@ int RunSmoke(const std::string& json_path) {
   report["cases"] = std::move(cases);
   const int write_status =
       bench::WriteSmokeReport(json_path, std::move(report));
-  return syn_a_agree ? write_status : 1;
+  // Disagreement outranks a report-write failure: it is the signal CI must
+  // not mistake for an infrastructure problem.
+  return syn_a_agree ? write_status : bench::kSmokeExitDisagreement;
 }
 
 }  // namespace

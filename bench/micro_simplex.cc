@@ -165,7 +165,9 @@ int RunSmoke(const std::string& json_path) {
   report["cases"] = std::move(cases);
   const int write_status =
       bench::WriteSmokeReport(json_path, std::move(report));
-  return all_agree ? write_status : 1;
+  // Disagreement outranks a report-write failure: it is the signal CI must
+  // not mistake for an infrastructure problem.
+  return all_agree ? write_status : bench::kSmokeExitDisagreement;
 }
 
 }  // namespace

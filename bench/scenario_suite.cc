@@ -1,0 +1,232 @@
+// scenario_suite: the generated-workload perf gate. For each scenario
+// family (bench-scale variants of the src/scenario catalog) it solves the
+// fixed-threshold game with CGGS twice — serial pricing and 4-thread
+// parallel pricing — verifies the two runs are bit-for-bit identical (the
+// CggsOptions::pricing_threads determinism contract), and writes
+// BENCH_scenario.json with the pricing-phase and total-solve timings and
+// the parallel speedup. CI runs it in the bench smoke step and archives
+// the report; a disagreement exits with the dedicated smoke code.
+//
+//   scenario_suite --json=BENCH_scenario.json --reps=3 --threads=4
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+#include <limits>
+#include <memory>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "bench/exit_codes.h"
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/game.h"
+#include "scenario/generator.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/statusor.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+// Bench-scale variants of the catalog families: enough types and utility
+// rows that a pricing round has real work to fan out (the catalog presets
+// are sized for tests and replay, not for timing).
+std::vector<scenario::NamedScenario> SuiteScenarios() {
+  std::vector<scenario::NamedScenario> suite;
+  for (const scenario::NamedScenario& preset : scenario::Catalog()) {
+    if (preset.name == "zipf-deep") continue;  // shape duplicate of zipf
+    // Sized so one greedy step (T candidates x rows x T flops, ~0.5M) is
+    // far above the pool's per-chunk handoff cost — otherwise a 4-thread
+    // run measures scheduling, not pricing.
+    scenario::NamedScenario scaled = preset;
+    scaled.spec.num_types = std::max(preset.spec.num_types, 18);
+    scaled.spec.num_adversaries = 12;
+    scaled.spec.victims_per_adversary = 30;
+    suite.push_back(std::move(scaled));
+  }
+  return suite;
+}
+
+std::vector<double> FlooredMeanThresholds(const core::GameInstance& instance) {
+  std::vector<double> thresholds;
+  for (int t = 0; t < instance.num_types(); ++t) {
+    thresholds.push_back(std::floor(instance.alert_distributions[t].Mean()));
+  }
+  return thresholds;
+}
+
+bool BitIdentical(const core::CggsResult& a, const core::CggsResult& b) {
+  return a.objective == b.objective && a.columns == b.columns &&
+         a.lp_solves == b.lp_solves &&
+         a.columns_generated == b.columns_generated &&
+         a.policy.orderings == b.policy.orderings &&
+         a.policy.probabilities == b.policy.probabilities;
+}
+
+struct PricingRun {
+  core::CggsResult result;
+  /// Min over reps — the stable estimate for short runs.
+  double pricing_seconds = 0.0;
+  double total_seconds = 0.0;
+};
+
+util::StatusOr<PricingRun> TimePricing(const core::CompiledGame& compiled,
+                                       core::DetectionModel& detection,
+                                       const std::vector<double>& thresholds,
+                                       int pricing_threads, int reps) {
+  core::CggsOptions options;
+  options.pricing_threads = pricing_threads;
+  // One pool across the reps: total_seconds should not bill a thread
+  // spawn per solve (pricing_seconds never does — the pool is built
+  // outside the timed pricing rounds either way).
+  std::unique_ptr<util::ThreadPool> pricing_pool;
+  if (pricing_threads > 1) {
+    pricing_pool = std::make_unique<util::ThreadPool>(pricing_threads);
+    options.pricing_pool = pricing_pool.get();
+  }
+  PricingRun run;
+  run.pricing_seconds = std::numeric_limits<double>::infinity();
+  run.total_seconds = std::numeric_limits<double>::infinity();
+  for (int r = 0; r < reps; ++r) {
+    util::Timer timer;
+    ASSIGN_OR_RETURN(core::CggsResult result,
+                     core::SolveCggs(compiled, detection, thresholds, options));
+    run.total_seconds = std::min(run.total_seconds, timer.ElapsedSeconds());
+    run.pricing_seconds = std::min(run.pricing_seconds, result.pricing_seconds);
+    run.result = std::move(result);
+  }
+  return run;
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("json", "BENCH_scenario.json", "report path");
+  flags.Define("reps", "3", "solves per configuration (min time is kept)");
+  flags.Define("threads", "4", "pricing threads for the parallel run");
+  flags.Define("mc_samples", "30000",
+               "Monte-Carlo detection samples for the heavy-pricing cases");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
+                 flags.HelpString(argv[0]).c_str());
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::printf("%s", flags.HelpString(argv[0]).c_str());
+    return 0;
+  }
+  const int reps = std::max(1, flags.GetInt("reps"));
+  const int threads = std::max(2, flags.GetInt("threads"));
+  const int mc_samples = std::max(1000, flags.GetInt("mc_samples"));
+
+  util::JsonValue::Array cases;
+  bool all_identical = true;
+  for (const scenario::NamedScenario& entry : SuiteScenarios()) {
+    auto instance = scenario::Generate(entry.spec);
+    if (!instance.ok()) {
+      std::fprintf(stderr, "generate %s: %s\n", entry.name.c_str(),
+                   instance.status().ToString().c_str());
+      return 1;
+    }
+    const auto compiled = core::Compile(*instance);
+    if (!compiled.ok()) {
+      std::fprintf(stderr, "compile %s: %s\n", entry.name.c_str(),
+                   compiled.status().ToString().c_str());
+      return 1;
+    }
+    const double budget = 1.5 * entry.spec.num_types;
+    const std::vector<double> thresholds = FlooredMeanThresholds(*instance);
+
+    // Two detection regimes per family. kExact prices a candidate in
+    // O(grid) — pricing is light and the parallel run mostly measures
+    // scheduling. kMonteCarlo (the paper's estimator) prices in
+    // O(mc_samples) per candidate — the regime pricing_threads exists for.
+    for (const bool monte_carlo : {false, true}) {
+      core::DetectionModel::Options detection_options;
+      if (monte_carlo) {
+        detection_options.mode = core::DetectionModel::Mode::kMonteCarlo;
+        detection_options.mc_samples = mc_samples;
+      }
+      auto detection =
+          core::DetectionModel::Create(*instance, budget, detection_options);
+      if (!detection.ok()) {
+        std::fprintf(stderr, "detection %s: %s\n", entry.name.c_str(),
+                     detection.status().ToString().c_str());
+        return 1;
+      }
+
+      auto serial = TimePricing(*compiled, *detection, thresholds, 1, reps);
+      auto parallel =
+          TimePricing(*compiled, *detection, thresholds, threads, reps);
+      if (!serial.ok() || !parallel.ok()) {
+        std::fprintf(stderr, "solve %s: %s\n", entry.name.c_str(),
+                     (serial.ok() ? parallel.status() : serial.status())
+                         .ToString()
+                         .c_str());
+        return 1;
+      }
+      const bool identical = BitIdentical(serial->result, parallel->result);
+      all_identical = all_identical && identical;
+      const double speedup =
+          serial->pricing_seconds / std::max(1e-12, parallel->pricing_seconds);
+
+      util::JsonValue::Object json_case;
+      json_case["scenario"] = entry.name;
+      json_case["detection"] = monte_carlo ? "mc" : "exact";
+      json_case["types"] = entry.spec.num_types;
+      json_case["utility_rows"] = compiled->num_rows();
+      json_case["budget"] = budget;
+      json_case["columns_generated"] = serial->result.columns_generated;
+      json_case["objective"] = serial->result.objective;
+      json_case["serial_pricing_seconds"] = serial->pricing_seconds;
+      json_case["parallel_pricing_seconds"] = parallel->pricing_seconds;
+      json_case["pricing_speedup_parallel_over_serial"] = speedup;
+      json_case["serial_total_seconds"] = serial->total_seconds;
+      json_case["parallel_total_seconds"] = parallel->total_seconds;
+      json_case["serial_parallel_identical"] = identical;
+      std::printf(
+          "%-10s (%5s) types=%d rows=%d cols=%d pricing %.4fs -> %.4fs at "
+          "%d threads (%.2fx) identical=%s\n",
+          entry.name.c_str(), monte_carlo ? "mc" : "exact",
+          entry.spec.num_types, compiled->num_rows(),
+          serial->result.columns_generated, serial->pricing_seconds,
+          parallel->pricing_seconds, threads, speedup,
+          identical ? "yes" : "NO");
+      cases.push_back(std::move(json_case));
+    }
+  }
+
+  util::JsonValue::Object report;
+  report["bench"] = "scenario_suite";
+  report["mode"] = "smoke";
+  report["pricing_threads"] = threads;
+  report["hardware_threads"] =
+      static_cast<int>(std::thread::hardware_concurrency());
+  report["serial_parallel_identical"] = all_identical;
+  report["cases"] = std::move(cases);
+
+  const std::string json_path = flags.GetString("json");
+  std::ofstream out(json_path);
+  int write_status = bench::kSmokeExitOk;
+  if (!out) {
+    std::fprintf(stderr, "cannot write %s\n", json_path.c_str());
+    write_status = bench::kSmokeExitIoError;
+  } else {
+    out << util::JsonValue(std::move(report)).Dump(2) << "\n";
+    std::printf("wrote %s\n", json_path.c_str());
+  }
+  // Disagreement outranks a report-write failure: it is the signal CI must
+  // not mistake for an infrastructure problem.
+  return all_identical ? write_status : bench::kSmokeExitDisagreement;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -14,22 +14,23 @@
 #include <string>
 #include <utility>
 
+#include "bench/exit_codes.h"
 #include "util/json.h"
 
 namespace auditgame::bench {
 
-/// Writes `report` (pretty-printed) to `path`. Returns 0 on success, 1 on
-/// an unwritable path — the smoke exit-code convention.
+/// Writes `report` (pretty-printed) to `path`. Returns kSmokeExitOk on
+/// success, kSmokeExitIoError on an unwritable path.
 inline int WriteSmokeReport(const std::string& path,
                             util::JsonValue::Object report) {
   std::ofstream out(path);
   if (!out) {
     std::fprintf(stderr, "cannot write %s\n", path.c_str());
-    return 1;
+    return kSmokeExitIoError;
   }
   out << util::JsonValue(std::move(report)).Dump(2) << "\n";
   std::printf("wrote %s\n", path.c_str());
-  return 0;
+  return kSmokeExitOk;
 }
 
 /// main() body for a smoke-capable bench: dispatches --smoke_json=PATH to

@@ -1,13 +1,19 @@
 #include "core/cggs.h"
 
 #include <algorithm>
+#include <future>
 #include <limits>
+#include <memory>
 #include <numeric>
 #include <set>
+#include <utility>
 
 #include "core/game_lp.h"
 #include "core/master_lp.h"
+#include "util/hash.h"
 #include "util/random.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
 
 namespace auditgame::core {
 namespace {
@@ -42,36 +48,93 @@ bool IsValidOrdering(const std::vector<int>& ordering, int t_count) {
   return true;
 }
 
+// Seed of the Rng that shuffles probe candidate `probe` of pricing round
+// `round`: a pure function of the solve seed and the candidate's position,
+// so the probe set is identical no matter which thread generates it (and
+// identical between the serial and parallel paths).
+uint64_t ProbeSeed(uint64_t seed, int round, int probe) {
+  util::Fnv1a hash(seed);
+  hash.AppendU64(static_cast<uint64_t>(round));
+  hash.AppendU64(static_cast<uint64_t>(probe));
+  return hash.value();
+}
+
+// Runs fn(chunk) for chunk in [0, num_chunks) — inline when `pool` is null
+// or there is only one chunk, fanned across the pool otherwise. Callers
+// write results into slots preassigned by chunk, so the outcome does not
+// depend on scheduling; Wait-for-all happens via the futures.
+template <typename Fn>
+void RunChunks(util::ThreadPool* pool, int num_chunks, const Fn& fn) {
+  if (pool == nullptr || num_chunks <= 1) {
+    for (int chunk = 0; chunk < num_chunks; ++chunk) fn(chunk);
+    return;
+  }
+  std::vector<std::future<void>> futures;
+  futures.reserve(static_cast<size_t>(num_chunks));
+  for (int chunk = 0; chunk < num_chunks; ++chunk) {
+    futures.push_back(pool->Submit([&fn, chunk] { fn(chunk); }));
+  }
+  // Drain every chunk before propagating a failure: rethrowing from the
+  // first get() would unwind the caller's slots while later chunks still
+  // reference them.
+  std::exception_ptr first_error;
+  for (std::future<void>& future : futures) {
+    try {
+      future.get();
+    } catch (...) {
+      if (!first_error) first_error = std::current_exception();
+    }
+  }
+  if (first_error) std::rethrow_exception(first_error);
+}
+
 // Greedy pricing (Algorithm 1, lines 4-7): grow an ordering one type at a
 // time, always appending the type that minimizes the dual-weighted utility
-// of the partial ordering (un-placed types contribute Pal = 0).
+// of the partial ordering (un-placed types contribute Pal = 0). Each step's
+// per-type candidate scores are independent; with a pool they are computed
+// in contiguous chunks into per-type slots (each chunk scoring against its
+// own copy of the placed-prefix Pal vector, so the arithmetic per candidate
+// is exactly the serial path's), then reduced to the minimum score with
+// ties broken by the smallest type index.
 std::vector<int> GreedyOrdering(const CompiledGame& game,
                                 const DetectionModel& detection,
-                                const std::vector<std::vector<double>>& duals) {
+                                const std::vector<std::vector<double>>& duals,
+                                util::ThreadPool* pool, int max_chunks) {
   const int t_count = game.num_types;
   std::vector<int> ordering;
   ordering.reserve(t_count);
   std::vector<bool> placed(t_count, false);
   std::vector<double> pal(t_count, 0.0);
+  std::vector<double> scores(t_count, 0.0);
+  std::vector<double> candidate_pals(t_count, 0.0);
+  const int num_chunks =
+      pool == nullptr ? 1 : std::min(max_chunks, t_count);
   DetectionModel::Prefix prefix = detection.EmptyPrefix();
   for (int step = 0; step < t_count; ++step) {
+    RunChunks(pool, num_chunks, [&](int chunk) {
+      const int begin = chunk * t_count / num_chunks;
+      const int end = (chunk + 1) * t_count / num_chunks;
+      std::vector<double> local_pal = pal;
+      for (int t = begin; t < end; ++t) {
+        if (placed[t]) continue;
+        const double candidate_pal = detection.PalGivenPrefix(prefix, t);
+        candidate_pals[t] = candidate_pal;
+        local_pal[t] = candidate_pal;
+        scores[t] = DualWeightedUtility(game, duals, local_pal);
+        local_pal[t] = 0.0;
+      }
+    });
     int best_type = -1;
     double best_score = std::numeric_limits<double>::infinity();
-    double best_pal = 0.0;
     for (int t = 0; t < t_count; ++t) {
       if (placed[t]) continue;
-      const double candidate_pal = detection.PalGivenPrefix(prefix, t);
-      pal[t] = candidate_pal;
-      const double score = DualWeightedUtility(game, duals, pal);
-      pal[t] = 0.0;
-      if (score < best_score) {
-        best_score = score;
+      if (scores[t] < best_score) {
+        best_score = scores[t];
         best_type = t;
-        best_pal = candidate_pal;
       }
     }
     placed[best_type] = true;
-    pal[best_type] = best_pal;
+    pal[best_type] = candidate_pals[best_type];
     ordering.push_back(best_type);
     if (step + 1 < t_count) detection.ExtendPrefix(prefix, best_type);
   }
@@ -85,7 +148,22 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
                                      const std::vector<double>& thresholds,
                                      const CggsOptions& options) {
   RETURN_IF_ERROR(detection.SetThresholds(thresholds));
-  util::Rng rng(options.seed);
+
+  // One pool for the whole solve — the caller's shared pool when provided,
+  // a locally owned one otherwise; null selects the inline serial path.
+  // Work is chunked by pricing_threads (never by pool size), and every
+  // pricing round runs the same per-candidate arithmetic and the same
+  // deterministic reductions, so the result is bit-for-bit independent of
+  // pricing_threads and of which pool runs it (see CggsOptions).
+  util::ThreadPool* pool = nullptr;
+  std::unique_ptr<util::ThreadPool> owned_pool;
+  if (options.pricing_threads > 1) {
+    pool = options.pricing_pool;
+    if (pool == nullptr) {
+      owned_pool = std::make_unique<util::ThreadPool>(options.pricing_threads);
+      pool = owned_pool.get();
+    }
+  }
 
   // Q starts from the warm-start set — deduplicated, and with orderings
   // that are not permutations of this game's type set silently dropped
@@ -121,36 +199,65 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
 
   CggsResult result;
   RestrictedLpSolution master;
-  for (;;) {
+  for (int round = 0;; ++round) {
     ASSIGN_OR_RETURN(master, master_lp.Solve());
     ++result.lp_solves;
     if (static_cast<int>(columns.size()) >= options.max_columns) break;
 
-    // Price candidates: the greedy ordering plus a few random probes.
+    // Price candidates: the greedy ordering plus a few random probes, each
+    // probe shuffled by its own pre-seeded Rng.
+    util::Timer pricing_timer;
     std::vector<std::vector<int>> candidates;
-    candidates.push_back(GreedyOrdering(game, detection, master.victim_duals));
+    candidates.push_back(GreedyOrdering(game, detection, master.victim_duals,
+                                        pool, options.pricing_threads));
     for (int r = 0; r < options.random_probes; ++r) {
       std::vector<int> random_ordering(game.num_types);
       std::iota(random_ordering.begin(), random_ordering.end(), 0);
-      rng.Shuffle(random_ordering);
+      util::Rng probe_rng(ProbeSeed(options.seed, round, r));
+      probe_rng.Shuffle(random_ordering);
       candidates.push_back(std::move(random_ordering));
     }
 
-    std::vector<int> best_candidate;
-    double best_rc = -options.reduced_cost_tolerance;
-    for (auto& candidate : candidates) {
-      if (column_set.count(candidate)) continue;  // already in Q
-      ASSIGN_OR_RETURN(std::vector<double> pal,
-                       detection.DetectionProbabilities(candidate));
-      const double rc =
-          DualWeightedUtility(game, master.victim_duals, pal) -
+    // Reduced costs of the novel candidates, one preassigned slot each.
+    const int num_candidates = static_cast<int>(candidates.size());
+    std::vector<bool> skip(candidates.size(), false);
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      skip[i] = column_set.count(candidates[i]) > 0;  // already in Q
+    }
+    std::vector<double> reduced_costs(candidates.size(), 0.0);
+    std::vector<util::Status> statuses(candidates.size(), util::OkStatus());
+    RunChunks(pool, num_candidates, [&](int i) {
+      if (skip[static_cast<size_t>(i)]) return;
+      auto pal = detection.DetectionProbabilities(
+          candidates[static_cast<size_t>(i)]);
+      if (!pal.ok()) {
+        statuses[static_cast<size_t>(i)] = pal.status();
+        return;
+      }
+      reduced_costs[static_cast<size_t>(i)] =
+          DualWeightedUtility(game, master.victim_duals, *pal) -
           master.convexity_dual;
-      if (rc < best_rc) {
+    });
+    for (const util::Status& status : statuses) RETURN_IF_ERROR(status);
+
+    // Deterministic reduction: strictly below the tolerance wins; exact
+    // reduced-cost ties go to the lexicographically smallest ordering.
+    int best_index = -1;
+    double best_rc = -options.reduced_cost_tolerance;
+    for (size_t i = 0; i < candidates.size(); ++i) {
+      if (skip[i]) continue;
+      const double rc = reduced_costs[i];
+      if (rc < best_rc || (best_index >= 0 && rc == best_rc &&
+                           candidates[i] < candidates[static_cast<size_t>(
+                                               best_index)])) {
         best_rc = rc;
-        best_candidate = std::move(candidate);
+        best_index = static_cast<int>(i);
       }
     }
-    if (best_candidate.empty()) break;  // no improving column
+    result.pricing_seconds += pricing_timer.ElapsedSeconds();
+    if (best_index < 0) break;  // no improving column
+    std::vector<int> best_candidate =
+        std::move(candidates[static_cast<size_t>(best_index)]);
     RETURN_IF_ERROR(master_lp.AddOrdering(best_candidate));
     column_set.insert(best_candidate);
     columns.push_back(std::move(best_candidate));

@@ -9,6 +9,7 @@
 
 #include "core/game_lp.h"
 #include "util/combinatorics.h"
+#include "util/thread_pool.h"
 
 namespace auditgame::core {
 namespace {
@@ -181,10 +182,18 @@ ThresholdEvaluator MakeCggsEvaluator(const CompiledGame& game,
   // Shared warm-start pool across evaluations: the support of every solved
   // LP is fed back as initial columns of the next solve.
   auto pool = std::make_shared<std::set<std::vector<int>>>();
-  return [&game, &detection, options, pool](
+  // One pricing thread pool for the evaluator's lifetime — ISHM submits
+  // hundreds of evaluations per policy, far too many to pay a thread
+  // spawn+join each (result-neutral either way; see CggsOptions).
+  std::shared_ptr<util::ThreadPool> pricing_pool;
+  if (options.pricing_threads > 1 && options.pricing_pool == nullptr) {
+    pricing_pool = std::make_shared<util::ThreadPool>(options.pricing_threads);
+  }
+  return [&game, &detection, options, pool, pricing_pool](
              const std::vector<double>& thresholds)
              -> util::StatusOr<ThresholdEvaluation> {
     CggsOptions local = options;
+    if (pricing_pool != nullptr) local.pricing_pool = pricing_pool.get();
     local.initial_orderings.insert(local.initial_orderings.end(),
                                    pool->begin(), pool->end());
     ASSIGN_OR_RETURN(CggsResult cggs,

@@ -1,0 +1,211 @@
+#include "scenario/generator.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "prob/count_distribution.h"
+#include "util/random.h"
+
+namespace auditgame::scenario {
+namespace {
+
+util::Status ValidateSpec(const ScenarioSpec& spec) {
+  if (spec.num_types < 1) {
+    return util::InvalidArgumentError("num_types must be >= 1");
+  }
+  if (spec.num_adversaries < 1) {
+    return util::InvalidArgumentError("num_adversaries must be >= 1");
+  }
+  if (spec.zipf_exponent < 0) {
+    return util::InvalidArgumentError("zipf_exponent must be >= 0");
+  }
+  if (spec.base_alert_mean <= 0 || spec.uniform_alert_mean <= 0) {
+    return util::InvalidArgumentError("alert means must be positive");
+  }
+  if (spec.group_size < 1) {
+    return util::InvalidArgumentError("group_size must be >= 1");
+  }
+  if (spec.primary_type_prob <= 0 || spec.primary_type_prob > 1) {
+    return util::InvalidArgumentError("primary_type_prob must be in (0, 1]");
+  }
+  if (spec.correlation_spill < 0 || spec.correlation_spill > 1) {
+    return util::InvalidArgumentError("correlation_spill must be in [0, 1]");
+  }
+  if (spec.benefit_lo > spec.benefit_hi) {
+    return util::InvalidArgumentError("benefit_lo must be <= benefit_hi");
+  }
+  if (spec.penalty < 0 || spec.attack_cost < 0) {
+    return util::InvalidArgumentError("penalty and attack_cost must be >= 0");
+  }
+  return util::OkStatus();
+}
+
+// Per-type mean alert counts — the part that distinguishes the families'
+// alert streams.
+std::vector<double> AlertMeans(const ScenarioSpec& spec, util::Rng& rng) {
+  std::vector<double> means(static_cast<size_t>(spec.num_types));
+  switch (spec.family) {
+    case Family::kZipfAlerts:
+      for (int t = 0; t < spec.num_types; ++t) {
+        means[static_cast<size_t>(t)] =
+            spec.base_alert_mean *
+            std::pow(static_cast<double>(t + 1), -spec.zipf_exponent);
+      }
+      break;
+    case Family::kCorrelatedGroups:
+      for (double& mean : means) mean = rng.Uniform(4.0, 10.0);
+      break;
+    case Family::kUniformBaseline:
+      for (double& mean : means) mean = spec.uniform_alert_mean;
+      break;
+  }
+  return means;
+}
+
+// The alert mix one attack produces: full mass on the primary type, except
+// in the correlated family where the rest of the primary's group shares
+// the spill-over mass.
+std::vector<double> VictimTypeProbs(const ScenarioSpec& spec, int primary) {
+  std::vector<double> probs(static_cast<size_t>(spec.num_types), 0.0);
+  if (spec.family != Family::kCorrelatedGroups) {
+    probs[static_cast<size_t>(primary)] = 1.0;
+    return probs;
+  }
+  const int group = primary / spec.group_size;
+  const int group_begin = group * spec.group_size;
+  const int group_end =
+      std::min(spec.num_types, group_begin + spec.group_size);
+  const int spill_targets = group_end - group_begin - 1;
+  probs[static_cast<size_t>(primary)] = spec.primary_type_prob;
+  if (spill_targets > 0) {
+    const double spill = (1.0 - spec.primary_type_prob) *
+                         spec.correlation_spill / spill_targets;
+    for (int t = group_begin; t < group_end; ++t) {
+      if (t != primary) probs[static_cast<size_t>(t)] = spill;
+    }
+  }
+  return probs;
+}
+
+}  // namespace
+
+util::StatusOr<core::GameInstance> Generate(const ScenarioSpec& spec) {
+  RETURN_IF_ERROR(ValidateSpec(spec));
+  util::Rng rng(spec.seed);
+  core::GameInstance instance;
+
+  const std::vector<double> means = AlertMeans(spec, rng);
+  for (int t = 0; t < spec.num_types; ++t) {
+    instance.type_names.push_back("t" + std::to_string(t));
+    // Per-type triage cost, drawn i.i.d. from {1.0, 1.5} so orderings have
+    // to weigh heterogeneous costs (independent of the type's alert mean).
+    instance.audit_costs.push_back(1.0 +
+                                   0.5 * static_cast<double>(rng.UniformInt(2)));
+    const double mean = means[static_cast<size_t>(t)];
+    const double stddev = std::max(0.8, std::sqrt(mean));
+    ASSIGN_OR_RETURN(
+        prob::CountDistribution dist,
+        prob::CountDistribution::DiscretizedGaussianWithCoverage(mean, stddev));
+    instance.alert_distributions.push_back(std::move(dist));
+  }
+
+  const int victims = std::max(1, spec.victims_per_adversary);
+  for (int e = 0; e < spec.num_adversaries; ++e) {
+    core::Adversary adversary;
+    adversary.attack_probability = 1.0;
+    adversary.can_opt_out = true;
+    for (int v = 0; v < victims; ++v) {
+      const int primary =
+          static_cast<int>(rng.UniformInt(static_cast<uint64_t>(spec.num_types)));
+      core::VictimProfile victim;
+      victim.type_probs = VictimTypeProbs(spec, primary);
+      victim.benefit = rng.Uniform(spec.benefit_lo, spec.benefit_hi);
+      victim.penalty = spec.penalty;
+      victim.attack_cost = spec.attack_cost;
+      adversary.victims.push_back(std::move(victim));
+    }
+    instance.adversaries.push_back(std::move(adversary));
+  }
+
+  RETURN_IF_ERROR(instance.Validate());
+  return instance;
+}
+
+std::vector<double> BudgetSweep(double lo, double hi, int steps) {
+  std::vector<double> budgets;
+  if (steps <= 0) return budgets;
+  if (steps == 1) {
+    budgets.push_back(lo);
+    return budgets;
+  }
+  for (int i = 0; i < steps; ++i) {
+    budgets.push_back(lo + (hi - lo) * static_cast<double>(i) /
+                               static_cast<double>(steps - 1));
+  }
+  return budgets;
+}
+
+const std::vector<NamedScenario>& Catalog() {
+  static const std::vector<NamedScenario>* catalog = [] {
+    auto* entries = new std::vector<NamedScenario>;
+    {
+      NamedScenario s;
+      s.name = "zipf";
+      s.description = "heavy-tailed Zipf alert volumes, 10 types";
+      s.spec.family = Family::kZipfAlerts;
+      s.spec.num_types = 10;
+      s.spec.num_adversaries = 8;
+      s.spec.seed = 11;
+      entries->push_back(std::move(s));
+    }
+    {
+      NamedScenario s;
+      s.name = "zipf-deep";
+      s.description = "steeper Zipf tail (s=1.5), 12 types";
+      s.spec.family = Family::kZipfAlerts;
+      s.spec.num_types = 12;
+      s.spec.num_adversaries = 10;
+      s.spec.zipf_exponent = 1.5;
+      s.spec.base_alert_mean = 32.0;
+      s.spec.seed = 12;
+      entries->push_back(std::move(s));
+    }
+    {
+      NamedScenario s;
+      s.name = "correlated";
+      s.description = "correlated detector groups of 3, 9 types";
+      s.spec.family = Family::kCorrelatedGroups;
+      s.spec.num_types = 9;
+      s.spec.num_adversaries = 8;
+      s.spec.group_size = 3;
+      s.spec.seed = 13;
+      entries->push_back(std::move(s));
+    }
+    {
+      NamedScenario s;
+      s.name = "uniform";
+      s.description = "independent homogeneous types (control), 8 types";
+      s.spec.family = Family::kUniformBaseline;
+      s.spec.num_types = 8;
+      s.spec.num_adversaries = 6;
+      s.spec.seed = 14;
+      entries->push_back(std::move(s));
+    }
+    return entries;
+  }();
+  return *catalog;
+}
+
+util::StatusOr<ScenarioSpec> SpecByName(const std::string& name) {
+  std::string known;
+  for (const NamedScenario& scenario : Catalog()) {
+    if (scenario.name == name) return scenario.spec;
+    if (!known.empty()) known += ", ";
+    known += scenario.name;
+  }
+  return util::NotFoundError("unknown scenario '" + name + "' (have: " +
+                             known + ")");
+}
+
+}  // namespace auditgame::scenario

@@ -1,0 +1,98 @@
+#ifndef AUDIT_GAME_SCENARIO_GENERATOR_H_
+#define AUDIT_GAME_SCENARIO_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/game.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::scenario {
+
+/// Deterministic, seed-parameterized generators for diverse audit-game
+/// families, so the solvers and the serving layer can be exercised far
+/// beyond the paper's three instances (Syn A / EMR / credit). Every
+/// generator draws exclusively from one util::Rng seeded by
+/// ScenarioSpec::seed: the same spec always produces the same
+/// GameInstance, byte for byte (core::FingerprintGame equality —
+/// scenario_test enforces this), so generated games are valid policy-cache
+/// keys and regression anchors.
+enum class Family {
+  /// Heavy-tailed alert volumes: type of rank r has mean alert count
+  /// base_alert_mean * r^(-zipf_exponent) — a few noisy types dominate the
+  /// stream while a long tail of rare types carries most of the attack
+  /// surface, the shape real SIEM alert taxonomies have.
+  kZipfAlerts,
+  /// Types partitioned into correlated groups: an attack raises the
+  /// primary type's alert with high probability and the other types of
+  /// its group with the remainder, modeling families of detectors that
+  /// fire together on one behavior.
+  kCorrelatedGroups,
+  /// Independent, homogeneous types — the control family.
+  kUniformBaseline,
+};
+
+/// Full parameterization of one generated game. Fields irrelevant to the
+/// selected family are ignored (but still hashed by the game fingerprint
+/// only through the content they produce).
+struct ScenarioSpec {
+  Family family = Family::kUniformBaseline;
+  int num_types = 8;
+  int num_adversaries = 6;
+  /// Victims offered to each adversary (clamped to >= 1).
+  int victims_per_adversary = 4;
+  uint64_t seed = 1;
+
+  // --- kZipfAlerts ---
+  /// Exponent s of the Zipf mean profile; larger = heavier head.
+  double zipf_exponent = 1.1;
+  /// Mean alert count of the rank-1 (noisiest) type.
+  double base_alert_mean = 24.0;
+
+  // --- kCorrelatedGroups ---
+  /// Types per correlated group (last group may be smaller).
+  int group_size = 3;
+  /// Probability mass on the victim's primary type; the rest of the
+  /// group shares (1 - primary_type_prob) * correlation_spill.
+  double primary_type_prob = 0.6;
+  double correlation_spill = 0.8;
+
+  // --- kUniformBaseline ---
+  double uniform_alert_mean = 6.0;
+
+  // --- shared adversary economics (jittered per victim) ---
+  double benefit_lo = 2.5;
+  double benefit_hi = 6.5;
+  double penalty = 5.0;
+  double attack_cost = 0.5;
+};
+
+/// Generates the family's instance; Validate() is guaranteed to pass on
+/// anything returned. Fails on nonsensical specs (num_types < 1,
+/// zipf_exponent < 0, probabilities outside [0, 1], ...).
+util::StatusOr<core::GameInstance> Generate(const ScenarioSpec& spec);
+
+/// Evenly spaced audit-budget sweep [lo, hi] with `steps` points
+/// (steps >= 2 gets both endpoints; steps == 1 gets lo). The standard way
+/// workloads vary budget, mirroring the paper's budget sweeps.
+std::vector<double> BudgetSweep(double lo, double hi, int steps);
+
+/// A named preset: the catalog the bench suite and workload_replay share,
+/// so "zipf" means the same game everywhere.
+struct NamedScenario {
+  std::string name;
+  std::string description;
+  ScenarioSpec spec;
+};
+
+/// The built-in presets ("zipf", "correlated", "uniform", ...).
+const std::vector<NamedScenario>& Catalog();
+
+/// Looks up a catalog preset by name; NotFoundError lists the valid names.
+util::StatusOr<ScenarioSpec> SpecByName(const std::string& name);
+
+}  // namespace auditgame::scenario
+
+#endif  // AUDIT_GAME_SCENARIO_GENERATOR_H_

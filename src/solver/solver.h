@@ -88,6 +88,9 @@ struct SolveStats {
   int warm_lp_solves = 0;
   /// CGGS: columns generated beyond the initial set.
   int columns_generated = 0;
+  /// CGGS: wall-clock spent in the pricing rounds (the part
+  /// CggsOptions::pricing_threads parallelizes).
+  double pricing_seconds = 0.0;
   /// Brute force: threshold vectors whose LP was solved.
   uint64_t vectors_evaluated = 0;
   /// Brute force: size of the full search space prod_t (J_t + 1).

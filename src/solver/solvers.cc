@@ -119,6 +119,7 @@ class CggsSolver : public Solver {
     result.stats.lp_solves = cggs.lp_solves;
     result.stats.warm_lp_solves = cggs.warm_lp_solves;
     result.stats.columns_generated = cggs.columns_generated;
+    result.stats.pricing_seconds = cggs.pricing_seconds;
     result.stats.seconds = timer.ElapsedSeconds();
     return result;
   }

@@ -1,0 +1,170 @@
+// The CggsOptions::pricing_threads determinism contract: for any thread
+// count the solve is bit-for-bit identical to the serial path — same
+// objective bits, same column pool, same policy support and probabilities.
+// Exercised over 50 generated scenario games spanning all three families,
+// both detection modes, and several thread counts.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "core/cggs.h"
+#include "core/detection.h"
+#include "core/game.h"
+#include "scenario/generator.h"
+#include "util/thread_pool.h"
+
+namespace auditgame::core {
+namespace {
+
+void ExpectBitIdentical(const CggsResult& serial, const CggsResult& parallel,
+                        const std::string& label) {
+  // Exact double equality everywhere: the contract is bit-for-bit, not
+  // tolerance agreement.
+  EXPECT_EQ(serial.objective, parallel.objective) << label;
+  EXPECT_EQ(serial.columns, parallel.columns) << label;
+  EXPECT_EQ(serial.lp_solves, parallel.lp_solves) << label;
+  EXPECT_EQ(serial.columns_generated, parallel.columns_generated) << label;
+  EXPECT_EQ(serial.warm_lp_solves, parallel.warm_lp_solves) << label;
+  EXPECT_EQ(serial.policy.orderings, parallel.policy.orderings) << label;
+  EXPECT_EQ(serial.policy.probabilities, parallel.policy.probabilities)
+      << label;
+  EXPECT_EQ(serial.policy.thresholds, parallel.policy.thresholds) << label;
+}
+
+scenario::ScenarioSpec SpecForGame(int index) {
+  scenario::ScenarioSpec spec;
+  switch (index % 3) {
+    case 0:
+      spec.family = scenario::Family::kZipfAlerts;
+      spec.base_alert_mean = 10.0;
+      break;
+    case 1:
+      spec.family = scenario::Family::kCorrelatedGroups;
+      spec.group_size = 2;
+      break;
+    default:
+      spec.family = scenario::Family::kUniformBaseline;
+      break;
+  }
+  spec.num_types = 4 + index % 2;
+  spec.num_adversaries = 3;
+  spec.victims_per_adversary = 3;
+  spec.seed = static_cast<uint64_t>(100 + index);
+  return spec;
+}
+
+std::vector<double> FlooredMeanThresholds(const GameInstance& instance) {
+  std::vector<double> thresholds;
+  for (const auto& dist : instance.alert_distributions) {
+    thresholds.push_back(std::floor(dist.Mean()));
+  }
+  return thresholds;
+}
+
+TEST(CggsParallelPricingTest, SerialAndParallelAgreeOn50GeneratedGames) {
+  for (int game_index = 0; game_index < 50; ++game_index) {
+    const auto instance = scenario::Generate(SpecForGame(game_index));
+    ASSERT_TRUE(instance.ok()) << game_index;
+    const auto compiled = Compile(*instance);
+    ASSERT_TRUE(compiled.ok()) << game_index;
+    const double budget = 1.5 * instance->num_types();
+    const std::vector<double> thresholds = FlooredMeanThresholds(*instance);
+
+    DetectionModel::Options detection_options;
+    if (game_index % 10 == 9) {
+      // Every tenth game prices through the Monte-Carlo estimator, the
+      // mode whose per-candidate cost the parallel path exists for.
+      detection_options.mode = DetectionModel::Mode::kMonteCarlo;
+      detection_options.mc_samples = 400;
+    }
+    auto detection =
+        DetectionModel::Create(*instance, budget, detection_options);
+    ASSERT_TRUE(detection.ok()) << game_index;
+
+    CggsOptions options;
+    options.pricing_threads = 1;
+    const auto serial = SolveCggs(*compiled, *detection, thresholds, options);
+    ASSERT_TRUE(serial.ok()) << game_index;
+
+    const int threads = 2 + game_index % 3;  // 2, 3, 4
+    options.pricing_threads = threads;
+    const auto parallel =
+        SolveCggs(*compiled, *detection, thresholds, options);
+    ASSERT_TRUE(parallel.ok()) << game_index;
+
+    ExpectBitIdentical(*serial, *parallel,
+                       "game " + std::to_string(game_index) + " threads " +
+                           std::to_string(threads));
+  }
+}
+
+TEST(CggsParallelPricingTest, ZeroAndOneThreadsAreTheSerialPath) {
+  const auto instance = scenario::Generate(SpecForGame(1));
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 6.0);
+  ASSERT_TRUE(detection.ok());
+  const std::vector<double> thresholds = FlooredMeanThresholds(*instance);
+  CggsOptions options;
+  options.pricing_threads = 0;
+  const auto zero = SolveCggs(*compiled, *detection, thresholds, options);
+  options.pricing_threads = 1;
+  const auto one = SolveCggs(*compiled, *detection, thresholds, options);
+  ASSERT_TRUE(zero.ok());
+  ASSERT_TRUE(one.ok());
+  ExpectBitIdentical(*zero, *one, "0 vs 1 threads");
+}
+
+TEST(CggsParallelPricingTest, SharedPoolMatchesOwnedPool) {
+  // A caller-provided pool (even one sized differently from
+  // pricing_threads) must not change anything: chunking follows
+  // pricing_threads, not pool size.
+  const auto instance = scenario::Generate(SpecForGame(3));
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 6.0);
+  ASSERT_TRUE(detection.ok());
+  const std::vector<double> thresholds = FlooredMeanThresholds(*instance);
+  CggsOptions options;
+  options.pricing_threads = 3;
+  const auto owned = SolveCggs(*compiled, *detection, thresholds, options);
+  ASSERT_TRUE(owned.ok());
+  util::ThreadPool shared(2);
+  options.pricing_pool = &shared;
+  const auto external = SolveCggs(*compiled, *detection, thresholds, options);
+  ASSERT_TRUE(external.ok());
+  ExpectBitIdentical(*owned, *external, "owned vs shared pool");
+}
+
+TEST(CggsParallelPricingTest, WarmStartsStayIdenticalUnderParallelPricing) {
+  // The serving layer's warm path seeds initial_orderings; the parallel
+  // reduction must not disturb it.
+  const auto instance = scenario::Generate(SpecForGame(2));
+  ASSERT_TRUE(instance.ok());
+  const auto compiled = Compile(*instance);
+  ASSERT_TRUE(compiled.ok());
+  auto detection = DetectionModel::Create(*instance, 6.0);
+  ASSERT_TRUE(detection.ok());
+  const std::vector<double> thresholds = FlooredMeanThresholds(*instance);
+
+  CggsOptions options;
+  const auto cold = SolveCggs(*compiled, *detection, thresholds, options);
+  ASSERT_TRUE(cold.ok());
+  options.initial_orderings = cold->policy.orderings;
+  options.pricing_threads = 1;
+  const auto warm_serial =
+      SolveCggs(*compiled, *detection, thresholds, options);
+  options.pricing_threads = 4;
+  const auto warm_parallel =
+      SolveCggs(*compiled, *detection, thresholds, options);
+  ASSERT_TRUE(warm_serial.ok());
+  ASSERT_TRUE(warm_parallel.ok());
+  ExpectBitIdentical(*warm_serial, *warm_parallel, "warm-started");
+}
+
+}  // namespace
+}  // namespace auditgame::core

@@ -133,6 +133,12 @@ TEST(FingerprintTest, SearchConfigurationChangesTheKey) {
   other.options.cggs.master_mode = core::CggsOptions::MasterMode::kColdDense;
   EXPECT_NE(key, FingerprintRequest(other));
 
+  // pricing_threads is result-neutral by contract, but it is still part of
+  // the configuration image the key must cover.
+  other = cold;
+  other.options.cggs.pricing_threads = 4;
+  EXPECT_NE(key, FingerprintRequest(other));
+
   other = cold;
   other.warm_start.thresholds = {2.0, 1.0};
   EXPECT_NE(key, FingerprintRequest(other));

@@ -1,0 +1,237 @@
+// workload_replay: streams generated scenario workloads through the
+// serving layer end to end. Picks a game family from the scenario catalog
+// (or a custom spec via flags), builds a drifting multi-cycle alert stream
+// (jitter / random-walk / seasonal), replays it through
+// service::AuditService across a budget sweep, and reports the
+// cache-hit / warm-solve / cold-solve split plus per-cycle latency
+// percentiles — the serving-side view of what a scenario costs.
+//
+//   workload_replay --scenario=zipf --stream=walk --cycles=40 --drift=0.08
+//   workload_replay --scenario=correlated --budget_lo=6 --budget_hi=18 \
+//       --budget_steps=4 --pricing_threads=4 --json=replay.json
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "prob/count_distribution.h"
+#include "scenario/generator.h"
+#include "scenario/stream.h"
+#include "service/audit_service.h"
+#include "util/csv.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+const char* SourceName(service::AuditService::Source source) {
+  switch (source) {
+    case service::AuditService::Source::kCache:
+      return "cache";
+    case service::AuditService::Source::kWarmSolve:
+      return "warm";
+    case service::AuditService::Source::kColdSolve:
+      return "cold";
+  }
+  return "?";
+}
+
+// Nearest-rank percentile of an unsorted latency sample (q in [0, 1]).
+double Percentile(std::vector<double> values, double q) {
+  if (values.empty()) return 0.0;
+  std::sort(values.begin(), values.end());
+  const double rank = q * static_cast<double>(values.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  index = std::min(index, values.size() - 1);
+  return values[index];
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("scenario", "zipf",
+               "catalog scenario (zipf, zipf-deep, correlated, uniform)");
+  flags.Define("types", "0", "override the scenario's type count (0 = keep)");
+  flags.Define("adversaries", "0",
+               "override the scenario's adversary count (0 = keep)");
+  flags.Define("game_seed", "0", "override the scenario's seed (0 = keep)");
+  flags.Define("stream", "jitter",
+               "alert-stream evolution: jitter, walk, seasonal");
+  flags.Define("cycles", "30", "audit cycles to replay");
+  flags.Define("drift", "0.05", "per-cycle drift amplitude");
+  flags.Define("revisit", "5",
+               "every k-th cycle replays the baseline exactly (0 = never)");
+  flags.Define("season", "7", "cycles per seasonal oscillation");
+  flags.Define("stream_seed", "1", "stream RNG seed");
+  flags.Define("budget_lo", "8", "budget sweep start");
+  flags.Define("budget_hi", "16", "budget sweep end");
+  flags.Define("budget_steps", "2", "budgets served per cycle");
+  flags.Define("eps", "0.25", "ISHM step size");
+  flags.Define("warm_max_drift", "0.25",
+               "drift threshold above which re-solves are cold");
+  flags.Define("threads", "0", "engine workers (0 = one per core)");
+  flags.Define("pricing_threads", "1",
+               "CGGS pricing threads per solve (results are bit-for-bit "
+               "identical for any value)");
+  flags.Define("json", "", "machine-readable summary path (empty = none)");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status << "\n" << flags.HelpString(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpString(argv[0]);
+    return 0;
+  }
+
+  auto spec = scenario::SpecByName(flags.GetString("scenario"));
+  if (!spec.ok()) {
+    std::cerr << spec.status() << "\n";
+    return 1;
+  }
+  if (const int types = flags.GetInt("types"); types > 0) {
+    spec->num_types = types;
+  }
+  if (const int adversaries = flags.GetInt("adversaries"); adversaries > 0) {
+    spec->num_adversaries = adversaries;
+  }
+  if (const int seed = flags.GetInt("game_seed"); seed > 0) {
+    spec->seed = static_cast<uint64_t>(seed);
+  }
+  auto instance = scenario::Generate(*spec);
+  if (!instance.ok()) {
+    std::cerr << instance.status() << "\n";
+    return 1;
+  }
+
+  auto stream_kind = scenario::StreamKindFromName(flags.GetString("stream"));
+  if (!stream_kind.ok()) {
+    std::cerr << stream_kind.status() << "\n";
+    return 1;
+  }
+  scenario::StreamSpec stream_spec;
+  stream_spec.kind = *stream_kind;
+  stream_spec.drift_amplitude = flags.GetDouble("drift");
+  stream_spec.revisit_period = flags.GetInt("revisit");
+  stream_spec.season_period = flags.GetInt("season");
+  stream_spec.seed = static_cast<uint64_t>(flags.GetInt("stream_seed"));
+  scenario::ScenarioStream stream(instance->alert_distributions, stream_spec);
+
+  service::AuditServiceOptions options;
+  options.budgets =
+      scenario::BudgetSweep(flags.GetDouble("budget_lo"),
+                            flags.GetDouble("budget_hi"),
+                            flags.GetInt("budget_steps"));
+  if (options.budgets.empty()) {
+    std::cerr << "--budget_steps must be >= 1\n";
+    return 1;
+  }
+  options.solver_options.ishm.step_size = flags.GetDouble("eps");
+  options.solver_options.cggs.pricing_threads = flags.GetInt("pricing_threads");
+  options.warm_start_max_drift = flags.GetDouble("warm_max_drift");
+  options.num_threads = flags.GetInt("threads");
+  service::AuditService service(std::move(*instance), options);
+
+  const int cycles = flags.GetInt("cycles");
+  util::CsvWriter csv(std::cout);
+  csv.WriteRow({"cycle", "budget", "source", "drift", "objective",
+                "cycle_seconds"});
+  int served_from_cache = 0, warm_solves = 0, cold_solves = 0;
+  std::vector<double> cycle_seconds;
+  for (int cycle = 1; cycle <= cycles; ++cycle) {
+    auto dists = stream.Next();
+    if (!dists.ok()) {
+      std::cerr << "cycle " << cycle << ": " << dists.status() << "\n";
+      return 1;
+    }
+    if (util::Status update =
+            service.UpdateAlertDistributions(std::move(*dists));
+        !update.ok()) {
+      std::cerr << "cycle " << cycle << ": " << update << "\n";
+      return 1;
+    }
+    auto report = service.RunCycle();
+    if (!report.ok()) {
+      std::cerr << "cycle " << cycle << ": " << report.status() << "\n";
+      return 1;
+    }
+    cycle_seconds.push_back(report->seconds);
+    for (const auto& policy : report->policies) {
+      switch (policy.source) {
+        case service::AuditService::Source::kCache:
+          ++served_from_cache;
+          break;
+        case service::AuditService::Source::kWarmSolve:
+          ++warm_solves;
+          break;
+        case service::AuditService::Source::kColdSolve:
+          ++cold_solves;
+          break;
+      }
+      csv.WriteRow({std::to_string(cycle),
+                    util::CsvWriter::FormatDouble(policy.budget),
+                    SourceName(policy.source),
+                    util::CsvWriter::FormatDouble(policy.drift),
+                    util::CsvWriter::FormatDouble(policy.result.objective),
+                    util::CsvWriter::FormatDouble(report->seconds)});
+    }
+  }
+
+  const double p50 = Percentile(cycle_seconds, 0.50);
+  const double p90 = Percentile(cycle_seconds, 0.90);
+  const double p99 = Percentile(cycle_seconds, 0.99);
+  const double worst =
+      cycle_seconds.empty()
+          ? 0.0
+          : *std::max_element(cycle_seconds.begin(), cycle_seconds.end());
+  double total_seconds = 0.0;
+  for (double s : cycle_seconds) total_seconds += s;
+  const auto cache_stats = service.cache_stats();
+  const auto compile_stats = service.compile_cache_stats();
+  std::cerr << "scenario " << flags.GetString("scenario") << ": " << cycles
+            << " cycles x " << options.budgets.size() << " budgets in "
+            << total_seconds << "s — " << served_from_cache
+            << " cache hits, " << warm_solves << " warm, " << cold_solves
+            << " cold\n"
+            << "cycle latency: p50 " << p50 << "s p90 " << p90 << "s p99 "
+            << p99 << "s max " << worst << "s\n"
+            << "policy cache: " << cache_stats.hits << " hits / "
+            << cache_stats.misses << " misses, " << cache_stats.insertions
+            << " insertions, " << cache_stats.evictions << " evictions; "
+            << "compile cache: " << compile_stats.hits << " hits / "
+            << compile_stats.misses << " misses\n";
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    util::JsonValue::Object summary;
+    summary["tool"] = "workload_replay";
+    summary["scenario"] = flags.GetString("scenario");
+    summary["stream"] = flags.GetString("stream");
+    summary["cycles"] = cycles;
+    summary["budgets"] = static_cast<int>(options.budgets.size());
+    summary["cache_hits"] = served_from_cache;
+    summary["warm_solves"] = warm_solves;
+    summary["cold_solves"] = cold_solves;
+    summary["total_seconds"] = total_seconds;
+    summary["cycle_seconds_p50"] = p50;
+    summary["cycle_seconds_p90"] = p90;
+    summary["cycle_seconds_p99"] = p99;
+    summary["cycle_seconds_max"] = worst;
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << util::JsonValue(std::move(summary)).Dump(2) << "\n";
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }
