@@ -1,0 +1,97 @@
+#include "net/client.h"
+
+#include <errno.h>
+#include <string.h>
+#include <sys/socket.h>
+#include <sys/time.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <thread>
+
+namespace auditgame::net {
+
+util::StatusOr<FrameClient> FrameClient::Connect(const std::string& host,
+                                                 uint16_t port,
+                                                 int connect_wait_ms,
+                                                 size_t max_frame_payload) {
+  const auto deadline = std::chrono::steady_clock::now() +
+                        std::chrono::milliseconds(connect_wait_ms);
+  for (;;) {
+    auto sock = ConnectTcp(host, port);
+    if (sock.ok()) {
+      return FrameClient(std::move(sock).value(), max_frame_payload);
+    }
+    // Only transient refusals (listener not up yet) are worth retrying; a
+    // malformed address can never start succeeding.
+    if (sock.status().code() == util::StatusCode::kInvalidArgument) {
+      return sock.status();
+    }
+    if (std::chrono::steady_clock::now() >= deadline) return sock.status();
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+}
+
+util::Status FrameClient::SetReceiveTimeout(int timeout_ms) {
+  timeval tv;
+  tv.tv_sec = timeout_ms / 1000;
+  tv.tv_usec = (timeout_ms % 1000) * 1000;
+  if (setsockopt(socket_.fd(), SOL_SOCKET, SO_RCVTIMEO, &tv, sizeof(tv)) < 0) {
+    return util::InternalError("setsockopt(SO_RCVTIMEO): " +
+                               std::string(strerror(errno)));
+  }
+  return util::OkStatus();
+}
+
+util::Status FrameClient::Send(std::string_view payload) {
+  if (!broken_.ok()) return broken_;
+  const std::string frame = EncodeFrame(payload);
+  size_t sent = 0;
+  while (sent < frame.size()) {
+    const ssize_t n = ::send(socket_.fd(), frame.data() + sent,
+                             frame.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      return util::InternalError("send: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  return util::OkStatus();
+}
+
+util::StatusOr<std::string> FrameClient::Receive() {
+  if (!broken_.ok()) return broken_;
+  const auto fail = [this](std::string message) {
+    // Sticky: after a timeout the response may still arrive later, and
+    // returning it for the *next* request would silently desynchronize
+    // the request/response pairing. The connection is done.
+    broken_ = util::InternalError(std::move(message));
+    return broken_;
+  };
+  for (;;) {
+    std::string payload;
+    auto next = decoder_.Next(&payload);
+    if (!next.ok()) return fail(next.status().message());
+    if (*next) return payload;
+
+    char chunk[16 * 1024];
+    const ssize_t n = ::recv(socket_.fd(), chunk, sizeof(chunk), 0);
+    if (n > 0) {
+      decoder_.Append(chunk, static_cast<size_t>(n));
+      continue;
+    }
+    if (n == 0) return fail("connection closed mid-response");
+    if (errno == EINTR) continue;
+    if (errno == EAGAIN || errno == EWOULDBLOCK) {
+      return fail("receive timed out");
+    }
+    return fail("recv: " + std::string(strerror(errno)));
+  }
+}
+
+util::StatusOr<std::string> FrameClient::Call(std::string_view payload) {
+  RETURN_IF_ERROR(Send(payload));
+  return Receive();
+}
+
+}  // namespace auditgame::net

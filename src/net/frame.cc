@@ -1,0 +1,57 @@
+#include "net/frame.h"
+
+#include <cstdlib>
+
+namespace auditgame::net {
+
+std::string EncodeFrame(std::string_view payload) {
+  // A payload that does not fit the 4-byte length word cannot be framed;
+  // truncating the length silently would desynchronize the stream, so an
+  // impossible size is a programming error (every real payload is bounded
+  // far lower by the decoder's cap).
+  if (payload.size() > 0xffffffffu) std::abort();
+  const uint32_t n = static_cast<uint32_t>(payload.size());
+  std::string frame;
+  frame.reserve(kFrameHeaderBytes + payload.size());
+  frame.push_back(static_cast<char>((n >> 24) & 0xff));
+  frame.push_back(static_cast<char>((n >> 16) & 0xff));
+  frame.push_back(static_cast<char>((n >> 8) & 0xff));
+  frame.push_back(static_cast<char>(n & 0xff));
+  frame.append(payload.data(), payload.size());
+  return frame;
+}
+
+void FrameDecoder::Append(const char* data, size_t size) {
+  buffer_.append(data, size);
+}
+
+util::StatusOr<bool> FrameDecoder::Next(std::string* payload) {
+  if (!poisoned_.ok()) return poisoned_;
+  if (buffered() < kFrameHeaderBytes) return false;
+
+  const unsigned char* h =
+      reinterpret_cast<const unsigned char*>(buffer_.data() + consumed_);
+  const uint32_t n = (static_cast<uint32_t>(h[0]) << 24) |
+                     (static_cast<uint32_t>(h[1]) << 16) |
+                     (static_cast<uint32_t>(h[2]) << 8) |
+                     static_cast<uint32_t>(h[3]);
+  if (n > max_payload_) {
+    poisoned_ = util::ResourceExhaustedError(
+        "frame payload of " + std::to_string(n) + " bytes exceeds the " +
+        std::to_string(max_payload_) + "-byte cap");
+    return poisoned_;
+  }
+  if (buffered() < kFrameHeaderBytes + n) return false;
+
+  payload->assign(buffer_, consumed_ + kFrameHeaderBytes, n);
+  consumed_ += kFrameHeaderBytes + n;
+  // Compact once the dead prefix dominates, so a long-lived connection's
+  // buffer stays proportional to its unconsumed bytes.
+  if (consumed_ > 4096 && consumed_ * 2 >= buffer_.size()) {
+    buffer_.erase(0, consumed_);
+    consumed_ = 0;
+  }
+  return true;
+}
+
+}  // namespace auditgame::net

@@ -1,0 +1,67 @@
+#ifndef AUDIT_GAME_NET_FRAME_H_
+#define AUDIT_GAME_NET_FRAME_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <string_view>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::net {
+
+/// Wire format of the audit-server protocol: each message is one frame —
+/// a 4-byte big-endian payload length followed by that many bytes of UTF-8
+/// JSON. Length-prefixing (rather than newline-delimiting) keeps the codec
+/// independent of the payload's content, so pretty-printed JSON, embedded
+/// newlines and binary-ish escapes all pass through unchanged.
+///
+/// The decoder enforces a hard payload cap: a peer announcing a frame
+/// larger than the cap is a protocol violation (or an attack), and since
+/// the stream cannot be resynchronized past an untrusted length word, the
+/// error is sticky and the caller must drop the connection. Malformed
+/// *JSON* inside a well-framed payload is NOT the codec's concern — the
+/// server answers it with an error frame and keeps the connection (see
+/// server/protocol.h).
+constexpr size_t kFrameHeaderBytes = 4;
+constexpr size_t kDefaultMaxFramePayload = 1 << 20;  // 1 MiB
+
+/// Frames `payload` (header + bytes), ready to write to a socket.
+std::string EncodeFrame(std::string_view payload);
+
+/// Incremental decoder with partial-read handling: feed whatever the
+/// socket produced with Append(), then drain complete frames with Next().
+/// Bytes split anywhere — mid-header, mid-payload, several frames per
+/// chunk — reassemble identically (frame_codec_test feeds one byte at a
+/// time).
+class FrameDecoder {
+ public:
+  explicit FrameDecoder(size_t max_payload = kDefaultMaxFramePayload)
+      : max_payload_(max_payload) {}
+
+  /// Buffers `size` bytes of raw stream data.
+  void Append(const char* data, size_t size);
+  void Append(std::string_view data) { Append(data.data(), data.size()); }
+
+  /// On success: true and *payload filled if a complete frame was
+  /// buffered, false if more bytes are needed. On a protocol violation
+  /// (announced payload exceeds the cap) returns an error status; the
+  /// decoder is then poisoned and every later call fails the same way.
+  util::StatusOr<bool> Next(std::string* payload);
+
+  /// Bytes buffered but not yet consumed by Next().
+  size_t buffered() const { return buffer_.size() - consumed_; }
+
+  size_t max_payload() const { return max_payload_; }
+
+ private:
+  size_t max_payload_;
+  std::string buffer_;
+  size_t consumed_ = 0;
+  util::Status poisoned_ = util::OkStatus();
+};
+
+}  // namespace auditgame::net
+
+#endif  // AUDIT_GAME_NET_FRAME_H_

@@ -1,0 +1,55 @@
+#include "net/poller.h"
+
+#include <errno.h>
+#include <poll.h>
+#include <string.h>
+
+namespace auditgame::net {
+
+void Poller::Watch(int fd, bool read, bool write) {
+  interest_[fd] = Interest{read, write};
+}
+
+void Poller::Forget(int fd) { interest_.erase(fd); }
+
+util::StatusOr<std::vector<PollEvent>> Poller::Wait(int timeout_ms) {
+  std::vector<pollfd> fds;
+  fds.reserve(interest_.size());
+  for (const auto& [fd, interest] : interest_) {
+    pollfd p;
+    p.fd = fd;
+    p.events = 0;
+    if (interest.read) p.events |= POLLIN;
+    if (interest.write) p.events |= POLLOUT;
+    p.revents = 0;
+    fds.push_back(p);
+  }
+
+  int ready;
+  do {
+    ready = ::poll(fds.data(), fds.size(), timeout_ms);
+    // Retry on EINTR rather than reporting an empty set: callers treat an
+    // empty result as "nothing is pending" (the audit server's drain uses
+    // it as the exit proof), which a signal interruption is not. Wakeups
+    // that must interrupt the wait go through a watched pipe instead.
+  } while (ready < 0 && errno == EINTR);
+  if (ready < 0) {
+    return util::InternalError("poll: " + std::string(strerror(errno)));
+  }
+
+  std::vector<PollEvent> events;
+  if (ready == 0) return events;
+  events.reserve(static_cast<size_t>(ready));
+  for (const pollfd& p : fds) {
+    if (p.revents == 0) continue;
+    PollEvent event;
+    event.fd = p.fd;
+    event.readable = (p.revents & POLLIN) != 0;
+    event.writable = (p.revents & POLLOUT) != 0;
+    event.hangup = (p.revents & (POLLHUP | POLLERR | POLLNVAL)) != 0;
+    events.push_back(event);
+  }
+  return events;
+}
+
+}  // namespace auditgame::net

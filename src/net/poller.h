@@ -1,0 +1,58 @@
+#ifndef AUDIT_GAME_NET_POLLER_H_
+#define AUDIT_GAME_NET_POLLER_H_
+
+#include <cstddef>
+#include <map>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::net {
+
+/// One descriptor's readiness after a Wait().
+struct PollEvent {
+  int fd = -1;
+  bool readable = false;
+  bool writable = false;
+  /// Peer hangup or socket error: the connection is dead regardless of any
+  /// data still buffered (a final read drains what the kernel has).
+  bool hangup = false;
+};
+
+/// Readiness notifier over poll(2). poll — not epoll — keeps the code
+/// portable across every POSIX the toolchain targets, and the server's fd
+/// counts (hundreds of connections, one listener, one wake pipe) are far
+/// below where epoll's O(1) dispatch starts to matter; the interface is
+/// level-triggered so a switch to epoll(LT) later is a drop-in.
+///
+/// Not thread-safe: one Poller belongs to one event-loop thread.
+class Poller {
+ public:
+  /// Registers `fd` or updates its interest set. `read`/`write` select the
+  /// events to wake on (hangup/error always wake).
+  void Watch(int fd, bool read, bool write);
+
+  /// Stops watching `fd` (no-op if unknown).
+  void Forget(int fd);
+
+  size_t watched() const { return interest_.size(); }
+
+  /// Blocks until at least one watched descriptor is ready or `timeout_ms`
+  /// elapses (-1 = forever). Returns the ready set; an empty result means
+  /// the timeout genuinely expired with nothing pending (EINTR is retried
+  /// internally — anything that must interrupt the wait writes to a
+  /// watched pipe, as the audit server's wake pipe does).
+  util::StatusOr<std::vector<PollEvent>> Wait(int timeout_ms);
+
+ private:
+  struct Interest {
+    bool read = false;
+    bool write = false;
+  };
+  std::map<int, Interest> interest_;
+};
+
+}  // namespace auditgame::net
+
+#endif  // AUDIT_GAME_NET_POLLER_H_

@@ -1,0 +1,87 @@
+#ifndef AUDIT_GAME_NET_SOCKET_H_
+#define AUDIT_GAME_NET_SOCKET_H_
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::net {
+
+/// RAII owner of a file descriptor (socket or pipe end). Move-only; the
+/// descriptor is closed on destruction. All networking in this project goes
+/// through plain POSIX descriptors — no external dependencies — so the
+/// serving stack builds anywhere the toolchain does.
+class Socket {
+ public:
+  Socket() = default;
+  explicit Socket(int fd) : fd_(fd) {}
+  ~Socket() { Close(); }
+
+  Socket(const Socket&) = delete;
+  Socket& operator=(const Socket&) = delete;
+  Socket(Socket&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  Socket& operator=(Socket&& other) noexcept {
+    if (this != &other) {
+      Close();
+      fd_ = other.fd_;
+      other.fd_ = -1;
+    }
+    return *this;
+  }
+
+  int fd() const { return fd_; }
+  bool valid() const { return fd_ >= 0; }
+
+  /// Releases ownership without closing.
+  int Release() {
+    int fd = fd_;
+    fd_ = -1;
+    return fd;
+  }
+
+  void Close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Puts `fd` into non-blocking mode.
+util::Status SetNonBlocking(int fd);
+
+/// Disables Nagle's algorithm (the frames here are small request/response
+/// pairs, so coalescing only adds latency). Failure is ignored by callers
+/// that pass non-TCP descriptors.
+util::Status SetNoDelay(int fd);
+
+/// Creates a non-blocking TCP listener bound to `host:port` with
+/// SO_REUSEADDR. `port` 0 binds an ephemeral port — read it back with
+/// LocalPort(). `host` must be a numeric IPv4 address ("127.0.0.1",
+/// "0.0.0.0"); name resolution is deliberately out of scope.
+util::StatusOr<Socket> ListenTcp(const std::string& host, uint16_t port,
+                                 int backlog = 128);
+
+/// Blocking TCP connect to a numeric IPv4 `host:port` (the client side:
+/// loadgen, tests). The returned socket stays blocking.
+util::StatusOr<Socket> ConnectTcp(const std::string& host, uint16_t port);
+
+/// Accepts every connection currently pending on the non-blocking
+/// `listener`; returns an empty vector when none are pending. Accepted
+/// sockets come back non-blocking with TCP_NODELAY set.
+util::StatusOr<std::vector<Socket>> AcceptAll(const Socket& listener);
+
+/// The locally bound port of a socket (after an ephemeral bind).
+util::StatusOr<uint16_t> LocalPort(const Socket& socket);
+
+/// A non-blocking pipe: {read end, write end}. The server's cross-thread
+/// wakeup channel — shard threads write a byte, the poll loop wakes. The
+/// write end is safe to use from a signal handler (write(2) is
+/// async-signal-safe).
+util::StatusOr<std::pair<Socket, Socket>> MakeWakePipe();
+
+}  // namespace auditgame::net
+
+#endif  // AUDIT_GAME_NET_SOCKET_H_

@@ -208,4 +208,31 @@ util::StatusOr<ScenarioSpec> SpecByName(const std::string& name) {
                              known + ")");
 }
 
+void DefineScenarioFlags(util::FlagParser& flags,
+                         const std::string& default_scenario,
+                         const std::string& default_types) {
+  flags.Define("scenario", default_scenario,
+               "catalog scenario (zipf, zipf-deep, correlated, uniform)");
+  flags.Define("types", default_types,
+               "override the scenario's type count (0 = keep)");
+  flags.Define("adversaries", "0",
+               "override the scenario's adversary count (0 = keep)");
+  flags.Define("game_seed", "0", "override the scenario's seed (0 = keep)");
+}
+
+util::StatusOr<ScenarioSpec> SpecFromFlags(const util::FlagParser& flags) {
+  ASSIGN_OR_RETURN(ScenarioSpec spec,
+                   SpecByName(flags.GetString("scenario")));
+  if (const int types = flags.GetInt("types"); types > 0) {
+    spec.num_types = types;
+  }
+  if (const int adversaries = flags.GetInt("adversaries"); adversaries > 0) {
+    spec.num_adversaries = adversaries;
+  }
+  if (const int seed = flags.GetInt("game_seed"); seed > 0) {
+    spec.seed = static_cast<uint64_t>(seed);
+  }
+  return spec;
+}
+
 }  // namespace auditgame::scenario

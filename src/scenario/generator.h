@@ -6,6 +6,7 @@
 #include <vector>
 
 #include "core/game.h"
+#include "util/flags.h"
 #include "util/status.h"
 #include "util/statusor.h"
 
@@ -92,6 +93,18 @@ const std::vector<NamedScenario>& Catalog();
 
 /// Looks up a catalog preset by name; NotFoundError lists the valid names.
 util::StatusOr<ScenarioSpec> SpecByName(const std::string& name);
+
+/// The standard scenario flag set every scenario-driven tool shares
+/// (workload_replay, audit_server, loadgen): --scenario plus the
+/// --types / --adversaries / --game_seed overrides. Defaults vary per
+/// tool; 0 means "keep the preset's value".
+void DefineScenarioFlags(util::FlagParser& flags,
+                         const std::string& default_scenario,
+                         const std::string& default_types);
+
+/// Resolves the flags defined by DefineScenarioFlags into a spec: catalog
+/// lookup plus the nonzero overrides.
+util::StatusOr<ScenarioSpec> SpecFromFlags(const util::FlagParser& flags);
 
 }  // namespace auditgame::scenario
 

@@ -1,0 +1,393 @@
+#include "server/audit_server.h"
+
+#include <errno.h>
+#include <unistd.h>
+
+#include <chrono>
+#include <utility>
+
+#include "util/hash.h"
+
+namespace auditgame::server {
+
+namespace {
+/// Poll granularity: fast enough that a drain or stop request is noticed
+/// promptly even if the wake byte is lost, cheap enough to idle on.
+constexpr int kIdlePollMs = 500;
+constexpr int kDrainPollMs = 50;
+}  // namespace
+
+AuditServer::AuditServer(core::GameInstance base_instance,
+                         AuditServerOptions options)
+    : options_(std::move(options)), base_instance_(std::move(base_instance)) {
+  if (options_.num_shards < 1) options_.num_shards = 1;
+  if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+}
+
+AuditServer::~AuditServer() {
+  // Join the shard workers before any other member dies: their responder
+  // lambdas touch response_mutex_/responses_, which are declared after
+  // shards_ and would otherwise be destroyed first on paths where Run()
+  // never joined (Start() without Run(), or Run() failing early). Nothing
+  // can be delivered anymore, so the backlog is discarded, not drained.
+  for (auto& shard : shards_) shard->DiscardPending();
+  for (auto& shard : shards_) shard->Join();
+}
+
+size_t AuditServer::ShardForTenant(const std::string& tenant,
+                                   size_t num_shards) {
+  util::Fnv1a hasher;
+  hasher.AppendString(tenant);
+  return static_cast<size_t>(hasher.value() % num_shards);
+}
+
+util::Status AuditServer::Start() {
+  if (started_) return util::FailedPreconditionError("already started");
+  ASSIGN_OR_RETURN(listener_,
+                   net::ListenTcp(options_.host, options_.port));
+  ASSIGN_OR_RETURN(port_, net::LocalPort(listener_));
+  auto pipe = net::MakeWakePipe();
+  RETURN_IF_ERROR(pipe.status());
+  wake_rx_ = std::move(pipe->first);
+  wake_tx_ = std::move(pipe->second);
+  poller_.Watch(listener_.fd(), /*read=*/true, /*write=*/false);
+  poller_.Watch(wake_rx_.fd(), /*read=*/true, /*write=*/false);
+
+  shards_.reserve(static_cast<size_t>(options_.num_shards));
+  for (int i = 0; i < options_.num_shards; ++i) {
+    shards_.push_back(std::make_unique<Shard>(
+        i, base_instance_, options_.service, options_.queue_capacity,
+        options_.max_batch,
+        [this](std::vector<Shard::Response> batch) {
+          {
+            std::lock_guard<std::mutex> lock(response_mutex_);
+            for (Shard::Response& response : batch) {
+              responses_.push_back(PendingResponse{
+                  response.conn_id, std::move(response.payload)});
+            }
+          }
+          WakeLoop();
+        },
+        [this] { WakeLoop(); }));
+  }
+  for (auto& shard : shards_) shard->Start();
+  started_ = true;
+  return util::OkStatus();
+}
+
+void AuditServer::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  // write(2) is async-signal-safe; a full pipe already guarantees a wakeup.
+  if (wake_tx_.valid()) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_tx_.fd(), &byte, 1);
+  }
+}
+
+void AuditServer::WakeLoop() {
+  if (wake_tx_.valid()) {
+    const char byte = 1;
+    [[maybe_unused]] ssize_t n = ::write(wake_tx_.fd(), &byte, 1);
+  }
+}
+
+void AuditServer::BeginDrain() {
+  draining_ = true;
+  if (listener_.valid()) {
+    // Closing a listening socket resets every handshake-complete
+    // connection still waiting in its accept queue — and those peers may
+    // already have written requests. Accept them first so the drain can
+    // answer them (with `overloaded`) instead of RST-ing them away.
+    if (auto accepted = net::AcceptAll(listener_); accepted.ok()) {
+      RegisterConnections(std::move(*accepted));
+    }
+    poller_.Forget(listener_.fd());
+    listener_.Close();
+  }
+  for (auto& shard : shards_) shard->BeginDrain();
+}
+
+void AuditServer::RegisterConnections(std::vector<net::Socket> sockets) {
+  for (net::Socket& socket : sockets) {
+    const uint64_t conn_id = next_conn_id_++;
+    const int fd = socket.fd();
+    connections_.emplace(
+        conn_id,
+        ConnState(net::Connection(std::move(socket),
+                                  options_.max_frame_payload,
+                                  options_.max_write_buffer)));
+    fd_to_conn_[fd] = conn_id;
+    poller_.Watch(fd, /*read=*/true, /*write=*/false);
+    ++accepted_connections_;
+  }
+}
+
+bool AuditServer::DrainComplete() {
+  for (const auto& shard : shards_) {
+    if (!shard->finished()) return false;
+  }
+  {
+    std::lock_guard<std::mutex> lock(response_mutex_);
+    if (!responses_.empty()) return false;
+  }
+  for (const auto& [conn_id, state] : connections_) {
+    if (state.conn.wants_write()) return false;
+  }
+  return true;
+}
+
+util::Status AuditServer::Run() {
+  if (!started_) return util::FailedPreconditionError("Start() first");
+  std::chrono::steady_clock::time_point drain_deadline;
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
+      BeginDrain();
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.drain_timeout_ms);
+    }
+    if (draining_ &&
+        std::chrono::steady_clock::now() >= drain_deadline) {
+      break;
+    }
+
+    auto events = poller_.Wait(draining_ ? kDrainPollMs : kIdlePollMs);
+    RETURN_IF_ERROR(events.status());
+    const bool idle_poll = events->empty();
+
+    for (const net::PollEvent& event : *events) {
+      if (event.fd == wake_rx_.fd()) {
+        char buf[256];
+        while (::read(wake_rx_.fd(), buf, sizeof(buf)) > 0) {
+        }
+        continue;
+      }
+      if (listener_.valid() && event.fd == listener_.fd()) {
+        auto accepted = net::AcceptAll(listener_);
+        if (!accepted.ok()) continue;  // transient; the listener stays up
+        RegisterConnections(std::move(*accepted));
+        continue;
+      }
+
+      const auto fd_it = fd_to_conn_.find(event.fd);
+      if (fd_it == fd_to_conn_.end()) continue;
+      const uint64_t conn_id = fd_it->second;
+
+      if (event.readable || event.hangup) {
+        auto conn_it = connections_.find(conn_id);
+        if (conn_it == connections_.end()) continue;
+        std::vector<std::string> frames;
+        auto open = conn_it->second.conn.ReadFrames(&frames);
+        frames_in_ += static_cast<int64_t>(frames.size());
+        for (const std::string& frame : frames) HandleFrame(conn_id, frame);
+        // Re-find: handling a frame can close the connection (slow
+        // consumer) and invalidate the iterator.
+        conn_it = connections_.find(conn_id);
+        if (conn_it == connections_.end()) continue;
+        if (!open.ok() || !*open) {
+          // Peer closed its write side (or broke framing): stop reading,
+          // but keep the connection until buffered output and in-flight
+          // shard responses are settled — pipelined requests before a
+          // half-close still deserve answers.
+          conn_it->second.read_closed = true;
+          UpdateInterest(conn_id);
+          MaybeFinishConnection(conn_id);
+          continue;
+        }
+      }
+      if (event.writable) {
+        auto conn_it = connections_.find(conn_id);
+        if (conn_it == connections_.end()) continue;
+        if (!conn_it->second.conn.Flush()) {
+          CloseConnection(conn_id);
+          continue;
+        }
+        UpdateInterest(conn_id);
+        MaybeFinishConnection(conn_id);
+      }
+    }
+
+    DeliverResponses();
+
+    // Exit only off an *empty* poll: anything the kernel still buffered on
+    // a connection has then been read and answered (requests arriving
+    // after the stop get `overloaded` from the closed queues), so nothing
+    // is dropped in silence.
+    if (draining_ && idle_poll && DrainComplete()) break;
+  }
+
+  // Reclaim the shard threads, then drop any connections still open. On a
+  // clean drain the queues are already empty and DiscardPending is a
+  // no-op; on the deadline path it abandons the backlog so Join() returns
+  // after at most one in-flight solve — the deadline genuinely bounds
+  // shutdown, since those answers could no longer be delivered anyway.
+  for (auto& shard : shards_) shard->DiscardPending();
+  for (auto& shard : shards_) shard->Join();
+  DeliverResponses();  // last-gasp flush of responses that raced the exit
+  connections_.clear();
+  fd_to_conn_.clear();
+  return util::OkStatus();
+}
+
+void AuditServer::DeliverResponses() {
+  std::vector<PendingResponse> batch;
+  {
+    std::lock_guard<std::mutex> lock(response_mutex_);
+    batch.swap(responses_);
+  }
+  for (PendingResponse& response : batch) {
+    Reply(response.conn_id, response.payload, /*from_shard=*/true);
+  }
+}
+
+void AuditServer::HandleFrame(uint64_t conn_id, const std::string& payload) {
+  auto doc = util::JsonValue::Parse(payload);
+  if (!doc.ok()) {
+    // Malformed JSON in a well-formed frame: answer with an error frame and
+    // keep the connection — the stream itself is still in sync.
+    ++protocol_errors_;
+    Reply(conn_id, MakeErrorResponse(-1, doc.status().ToString()));
+    return;
+  }
+  auto request = ParseRequest(*doc);
+  if (!request.ok()) {
+    ++protocol_errors_;
+    Reply(conn_id,
+          MakeErrorResponse(RequestIdOf(*doc), request.status().ToString()));
+    return;
+  }
+
+  if (request->verb == Verb::kStats) {
+    Reply(conn_id, MakeStatsResponse(request->id, StatsBody()));
+    return;
+  }
+
+  const size_t shard = ShardForTenant(request->tenant, shards_.size());
+  const int64_t id = request->id;
+  const std::string tenant = request->tenant;
+  // During a drain the queues are closed, so TrySubmit fails and the
+  // client gets the same retryable `overloaded` a full queue produces.
+  if (!shards_[shard]->TrySubmit(ShardTask{conn_id, *std::move(request)})) {
+    ++overloaded_;
+    Reply(conn_id,
+          MakeOverloadedResponse(id, tenant, static_cast<int>(shard)));
+    return;
+  }
+  if (auto it = connections_.find(conn_id); it != connections_.end()) {
+    ++it->second.in_flight;  // settled by the shard's response
+  }
+}
+
+void AuditServer::Reply(uint64_t conn_id, const std::string& payload,
+                        bool from_shard) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) {
+    // The client disconnected before its response was ready; it cannot be
+    // answered, only counted.
+    ++orphaned_responses_;
+    return;
+  }
+  if (from_shard) --it->second.in_flight;
+  if (!it->second.conn.QueueFrame(payload)) {
+    ++slow_consumer_closes_;
+    CloseConnection(conn_id);
+    return;
+  }
+  ++frames_out_;
+  if (!it->second.conn.Flush()) {
+    CloseConnection(conn_id);
+    return;
+  }
+  UpdateInterest(conn_id);
+  MaybeFinishConnection(conn_id);
+}
+
+void AuditServer::UpdateInterest(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  const ConnState& state = it->second;
+  if (state.read_closed && !state.conn.wants_write()) {
+    // Nothing to poll for — and poll(2) reports POLLHUP/POLLERR even for
+    // an empty interest set, so leaving a dead-but-pending connection
+    // (in-flight shard responses) registered would busy-spin the loop.
+    // Response delivery re-registers write interest when it queues data.
+    poller_.Forget(state.conn.fd());
+    return;
+  }
+  poller_.Watch(state.conn.fd(), /*read=*/!state.read_closed,
+                /*write=*/state.conn.wants_write());
+}
+
+void AuditServer::MaybeFinishConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  const ConnState& state = it->second;
+  if (state.read_closed && state.in_flight == 0 &&
+      !state.conn.wants_write()) {
+    CloseConnection(conn_id);
+  }
+}
+
+void AuditServer::CloseConnection(uint64_t conn_id) {
+  auto it = connections_.find(conn_id);
+  if (it == connections_.end()) return;
+  poller_.Forget(it->second.conn.fd());
+  fd_to_conn_.erase(it->second.conn.fd());
+  connections_.erase(it);
+}
+
+util::JsonValue::Object AuditServer::StatsBody() {
+  util::JsonValue::Object body;
+  util::JsonValue::Object server;
+  server["active_connections"] = static_cast<int>(connections_.size());
+  server["accepted_connections"] = static_cast<double>(accepted_connections_);
+  server["frames_in"] = static_cast<double>(frames_in_);
+  server["frames_out"] = static_cast<double>(frames_out_);
+  server["protocol_errors"] = static_cast<double>(protocol_errors_);
+  server["overloaded"] = static_cast<double>(overloaded_);
+  server["slow_consumer_closes"] =
+      static_cast<double>(slow_consumer_closes_);
+  server["orphaned_responses"] = static_cast<double>(orphaned_responses_);
+  server["shards"] = static_cast<int>(shards_.size());
+  server["draining"] = draining_;
+  body["server"] = std::move(server);
+
+  util::JsonValue::Array shards;
+  shards.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    const ShardStatsSnapshot s = shard->Snapshot();
+    util::JsonValue::Object obj;
+    obj["shard"] = s.shard;
+    obj["queue_depth"] = static_cast<double>(s.queue_depth);
+    obj["queue_capacity"] = static_cast<double>(s.queue_capacity);
+    obj["tenants"] = static_cast<double>(s.tenants);
+    obj["processed"] = static_cast<double>(s.processed);
+    obj["batches"] = static_cast<double>(s.batches);
+    obj["ingests"] = static_cast<double>(s.ingests);
+    obj["solves"] = static_cast<double>(s.solves);
+    obj["request_errors"] = static_cast<double>(s.request_errors);
+    obj["policies_from_cache"] = static_cast<double>(s.policies_from_cache);
+    obj["warm_solves"] = static_cast<double>(s.warm_solves);
+    obj["cold_solves"] = static_cast<double>(s.cold_solves);
+    util::JsonValue::Object cache;
+    cache["hits"] = static_cast<double>(s.cache.hits);
+    cache["misses"] = static_cast<double>(s.cache.misses);
+    cache["insertions"] = static_cast<double>(s.cache.insertions);
+    cache["evictions"] = static_cast<double>(s.cache.evictions);
+    obj["policy_cache"] = std::move(cache);
+    util::JsonValue::Object compile;
+    compile["hits"] = static_cast<double>(s.compile.hits);
+    compile["misses"] = static_cast<double>(s.compile.misses);
+    obj["compile_cache"] = std::move(compile);
+    obj["solve_seconds_p50"] = s.solve_seconds_p50;
+    obj["solve_seconds_p90"] = s.solve_seconds_p90;
+    obj["solve_seconds_p99"] = s.solve_seconds_p99;
+    obj["solve_seconds_max"] = s.solve_seconds_max;
+    obj["solve_samples"] = static_cast<double>(s.solve_samples);
+    shards.push_back(std::move(obj));
+  }
+  body["shards"] = std::move(shards);
+  return body;
+}
+
+}  // namespace auditgame::server

@@ -1,0 +1,159 @@
+#ifndef AUDIT_GAME_SERVER_AUDIT_SERVER_H_
+#define AUDIT_GAME_SERVER_AUDIT_SERVER_H_
+
+#include <atomic>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+#include "core/game.h"
+#include "net/connection.h"
+#include "net/frame.h"
+#include "net/poller.h"
+#include "net/socket.h"
+#include "server/shard.h"
+#include "service/audit_service.h"
+#include "util/json.h"
+#include "util/status.h"
+
+namespace auditgame::server {
+
+struct AuditServerOptions {
+  /// Numeric IPv4 bind address.
+  std::string host = "127.0.0.1";
+  /// 0 binds an ephemeral port; read it back with port() after Start().
+  uint16_t port = 0;
+  int num_shards = 4;
+  /// Per-shard request-queue bound — the backpressure knob. A full queue
+  /// answers `overloaded` immediately instead of buffering.
+  size_t queue_capacity = 128;
+  /// Max requests one shard wakeup drains (the micro-batch size).
+  size_t max_batch = 16;
+  size_t max_frame_payload = net::kDefaultMaxFramePayload;
+  /// Per-connection write-buffer bound; a peer further behind than this is
+  /// disconnected (slow-consumer close) rather than buffered forever.
+  size_t max_write_buffer = 4u << 20;
+  /// How long a graceful stop waits for shards to drain and responses to
+  /// flush before giving up.
+  int drain_timeout_ms = 10000;
+  /// Per-tenant serving configuration. Set service.num_threads = 1 for
+  /// servers with many tenants (tools/audit_server does): every tenant
+  /// owns an engine thread pool, and server concurrency should come from
+  /// shards, not from per-tenant pools.
+  service::AuditServiceOptions service;
+};
+
+/// The wire-serving layer over the paper's audit loop: N shards, each a
+/// single-writer AuditService host on its own thread, fronted by one
+/// poll-based IO thread speaking the length-prefixed JSON protocol of
+/// server/protocol.h. Tenants are routed by FNV-1a hash of their id, so
+/// one tenant's cycles stay ordered (same shard, FIFO queue) while tenants
+/// on different shards solve concurrently. See docs/DESIGN.md "Network
+/// serving".
+///
+/// Lifecycle: Start() binds and spawns the shard threads; Run() owns the
+/// calling thread until RequestStop() (async-signal-safe, callable from a
+/// SIGINT handler) — it then stops accepting, lets every shard drain its
+/// accepted queue, flushes the resulting responses, and returns. Every
+/// accepted request is answered with a policy, `overloaded`, or an error
+/// frame — nothing is dropped in silence.
+class AuditServer {
+ public:
+  /// Every tenant's game starts as a copy of `base_instance` and diverges
+  /// through `ingest`.
+  AuditServer(core::GameInstance base_instance, AuditServerOptions options);
+  ~AuditServer();
+
+  AuditServer(const AuditServer&) = delete;
+  AuditServer& operator=(const AuditServer&) = delete;
+
+  util::Status Start();
+  util::Status Run();
+
+  /// Signals Run() to begin the graceful drain. Async-signal-safe: one
+  /// atomic store plus a write(2) to the wake pipe.
+  void RequestStop();
+
+  /// The bound port (valid after Start()).
+  uint16_t port() const { return port_; }
+
+  /// Deterministic tenant routing: FNV-1a(tenant) mod num_shards. Exposed
+  /// for the routing tests and capacity planning.
+  static size_t ShardForTenant(const std::string& tenant, size_t num_shards);
+
+  /// The `stats` verb's body (server counters + per-shard snapshots).
+  /// Call only from the thread that runs Run() — or after Run() returned,
+  /// for a final drain summary.
+  util::JsonValue::Object StatsBody();
+
+ private:
+  struct PendingResponse {
+    uint64_t conn_id = 0;
+    std::string payload;
+  };
+
+  /// A connection plus the server-side state the contract needs: how many
+  /// shard-queued requests still owe it a response, and whether its read
+  /// side closed. A half-closed peer with responses in flight stays open
+  /// until every answer is flushed — pipelined requests before a
+  /// half-close still deserve answers.
+  struct ConnState {
+    explicit ConnState(net::Connection connection)
+        : conn(std::move(connection)) {}
+    net::Connection conn;
+    int64_t in_flight = 0;
+    bool read_closed = false;
+  };
+
+  void WakeLoop();
+  void RegisterConnections(std::vector<net::Socket> sockets);
+  void DeliverResponses();
+  void HandleFrame(uint64_t conn_id, const std::string& payload);
+  /// `from_shard` marks responses that settle an in-flight shard task.
+  void Reply(uint64_t conn_id, const std::string& payload,
+             bool from_shard = false);
+  void CloseConnection(uint64_t conn_id);
+  /// Closes a read-closed connection once nothing is owed to it.
+  void MaybeFinishConnection(uint64_t conn_id);
+  void UpdateInterest(uint64_t conn_id);
+  void BeginDrain();
+  bool DrainComplete();
+
+  AuditServerOptions options_;
+  core::GameInstance base_instance_;
+
+  net::Socket listener_;
+  net::Socket wake_rx_, wake_tx_;
+  net::Poller poller_;
+  uint16_t port_ = 0;
+  bool started_ = false;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+
+  uint64_t next_conn_id_ = 1;
+  std::map<uint64_t, ConnState> connections_;
+  std::map<int, uint64_t> fd_to_conn_;
+
+  std::mutex response_mutex_;
+  std::vector<PendingResponse> responses_;
+
+  std::atomic<bool> stop_requested_{false};
+  bool draining_ = false;
+
+  // IO-thread-only counters, reported by the stats verb.
+  int64_t accepted_connections_ = 0;
+  int64_t frames_in_ = 0;
+  int64_t frames_out_ = 0;
+  int64_t protocol_errors_ = 0;
+  int64_t overloaded_ = 0;
+  int64_t slow_consumer_closes_ = 0;
+  int64_t orphaned_responses_ = 0;
+};
+
+}  // namespace auditgame::server
+
+#endif  // AUDIT_GAME_SERVER_AUDIT_SERVER_H_

@@ -1,0 +1,101 @@
+#ifndef AUDIT_GAME_SERVER_BOUNDED_QUEUE_H_
+#define AUDIT_GAME_SERVER_BOUNDED_QUEUE_H_
+
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <utility>
+#include <vector>
+
+namespace auditgame::server {
+
+/// Bounded multi-producer queue with batched consumption — the backpressure
+/// primitive between the server's IO thread and each shard worker. The
+/// bound is the whole point: when a shard falls behind, TryPush() fails
+/// immediately and the IO thread answers `overloaded` instead of buffering
+/// requests without limit (see docs/DESIGN.md "Network serving").
+///
+/// PopBatch() hands the consumer up to `max` queued items in one wakeup —
+/// the shard's micro-batch: one lock cycle and one response flush per batch
+/// rather than per request.
+template <typename T>
+class BoundedQueue {
+ public:
+  explicit BoundedQueue(size_t capacity) : capacity_(capacity) {}
+
+  BoundedQueue(const BoundedQueue&) = delete;
+  BoundedQueue& operator=(const BoundedQueue&) = delete;
+
+  /// Enqueues unless the queue is full or closed; never blocks.
+  bool TryPush(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (closed_ || items_.size() >= capacity_) return false;
+      items_.push_back(std::move(item));
+    }
+    ready_.notify_one();
+    return true;
+  }
+
+  /// Blocks until items are available or the queue is closed. Moves up to
+  /// `max` items into *out (cleared first) in FIFO order. Returns false
+  /// only when the queue is closed AND fully drained — the consumer's exit
+  /// signal; a closed queue with leftovers still hands them out, so
+  /// graceful shutdown never drops accepted work.
+  bool PopBatch(size_t max, std::vector<T>* out) {
+    out->clear();
+    std::unique_lock<std::mutex> lock(mutex_);
+    ready_.wait(lock, [this] { return closed_ || !items_.empty(); });
+    if (items_.empty()) return false;
+    const size_t take = items_.size() < max ? items_.size() : max;
+    for (size_t i = 0; i < take; ++i) {
+      out->push_back(std::move(items_.front()));
+      items_.pop_front();
+    }
+    return true;
+  }
+
+  /// Rejects all future pushes and wakes blocked consumers to drain.
+  void Close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    ready_.notify_all();
+  }
+
+  /// Closes AND drops every queued-but-unstarted item, returning how many
+  /// were discarded. The drain-deadline path: answers for this work could
+  /// no longer be delivered anyway, so abandoning it lets the consumer
+  /// exit after at most its in-flight item instead of the whole backlog.
+  size_t DiscardPending() {
+    size_t dropped;
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      dropped = items_.size();
+      items_.clear();
+      closed_ = true;
+    }
+    ready_.notify_all();
+    return dropped;
+  }
+
+  size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+
+  size_t capacity() const { return capacity_; }
+
+ private:
+  const size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable ready_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace auditgame::server
+
+#endif  // AUDIT_GAME_SERVER_BOUNDED_QUEUE_H_

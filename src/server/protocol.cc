@@ -1,0 +1,232 @@
+#include "server/protocol.h"
+
+#include <utility>
+
+namespace auditgame::server {
+
+namespace {
+
+util::JsonValue::Object Envelope(int64_t id, const char* status) {
+  util::JsonValue::Object obj;
+  obj["id"] = static_cast<double>(id);
+  obj["status"] = status;
+  return obj;
+}
+
+}  // namespace
+
+const char* VerbName(Verb verb) {
+  switch (verb) {
+    case Verb::kIngest:
+      return "ingest";
+    case Verb::kSolveCycle:
+      return "solve_cycle";
+    case Verb::kStats:
+      return "stats";
+  }
+  return "?";
+}
+
+const char* SourceName(service::AuditService::Source source) {
+  switch (source) {
+    case service::AuditService::Source::kCache:
+      return "cache";
+    case service::AuditService::Source::kWarmSolve:
+      return "warm";
+    case service::AuditService::Source::kColdSolve:
+      return "cold";
+  }
+  return "?";
+}
+
+int64_t RequestIdOf(const util::JsonValue& doc) {
+  if (!doc.is_object()) return -1;
+  const util::JsonValue* id = doc.Find("id");
+  if (id == nullptr || !id->is_number()) return -1;
+  const double value = id->as_number();
+  // Range-check before casting: static_cast of an out-of-range double is
+  // UB, and the id comes from an untrusted peer. 2^53 is the exact-integer
+  // range of a JSON number anyway.
+  if (!(value >= -9007199254740992.0 && value <= 9007199254740992.0)) {
+    return -1;
+  }
+  return static_cast<int64_t>(value);
+}
+
+util::StatusOr<Request> ParseRequest(const util::JsonValue& doc) {
+  if (!doc.is_object()) {
+    return util::InvalidArgumentError("request must be a JSON object");
+  }
+  Request request;
+  request.id = RequestIdOf(doc);
+
+  ASSIGN_OR_RETURN(const std::string verb, doc.GetString("verb"));
+  if (verb == "ingest") {
+    request.verb = Verb::kIngest;
+  } else if (verb == "solve_cycle") {
+    request.verb = Verb::kSolveCycle;
+  } else if (verb == "stats") {
+    request.verb = Verb::kStats;
+  } else {
+    return util::InvalidArgumentError("unknown verb: " + verb);
+  }
+
+  if (request.verb != Verb::kStats) {
+    ASSIGN_OR_RETURN(request.tenant, doc.GetString("tenant"));
+    if (request.tenant.empty()) {
+      return util::InvalidArgumentError("tenant must be non-empty");
+    }
+  }
+
+  if (request.verb == Verb::kIngest) {
+    const util::JsonValue* dists = doc.Find("distributions");
+    if (dists == nullptr) {
+      return util::InvalidArgumentError("ingest requires distributions");
+    }
+    ASSIGN_OR_RETURN(request.distributions, ParseDistributions(*dists));
+  }
+  return request;
+}
+
+util::JsonValue EncodeDistributions(
+    const std::vector<prob::CountDistribution>& distributions) {
+  util::JsonValue::Array out;
+  out.reserve(distributions.size());
+  for (const prob::CountDistribution& dist : distributions) {
+    util::JsonValue::Object entry;
+    entry["min"] = dist.min_value();
+    util::JsonValue::Array pmf;
+    pmf.reserve(static_cast<size_t>(dist.support_size()));
+    for (int z = dist.min_value(); z <= dist.max_value(); ++z) {
+      pmf.push_back(dist.Pmf(z));
+    }
+    entry["pmf"] = std::move(pmf);
+    out.push_back(std::move(entry));
+  }
+  return util::JsonValue(std::move(out));
+}
+
+util::StatusOr<std::vector<prob::CountDistribution>> ParseDistributions(
+    const util::JsonValue& doc) {
+  if (!doc.is_array()) {
+    return util::InvalidArgumentError("distributions must be an array");
+  }
+  std::vector<prob::CountDistribution> out;
+  out.reserve(doc.as_array().size());
+  for (const util::JsonValue& entry : doc.as_array()) {
+    if (!entry.is_object()) {
+      return util::InvalidArgumentError("distribution must be an object");
+    }
+    ASSIGN_OR_RETURN(const double min, entry.GetNumber("min"));
+    // Untrusted input: casting an out-of-range double to int is UB, and
+    // negative alert counts are meaningless.
+    if (!(min >= 0.0 && min <= 1e9) ||
+        min != static_cast<double>(static_cast<int>(min))) {
+      return util::InvalidArgumentError(
+          "distribution min must be an integer in [0, 1e9]");
+    }
+    const util::JsonValue* pmf_doc = entry.Find("pmf");
+    if (pmf_doc == nullptr || !pmf_doc->is_array()) {
+      return util::InvalidArgumentError("distribution needs a pmf array");
+    }
+    std::vector<double> pmf;
+    pmf.reserve(pmf_doc->as_array().size());
+    for (const util::JsonValue& p : pmf_doc->as_array()) {
+      if (!p.is_number()) {
+        return util::InvalidArgumentError("pmf entries must be numbers");
+      }
+      pmf.push_back(p.as_number());
+    }
+    ASSIGN_OR_RETURN(
+        prob::CountDistribution dist,
+        prob::CountDistribution::FromPmf(static_cast<int>(min),
+                                         std::move(pmf)));
+    out.push_back(std::move(dist));
+  }
+  return out;
+}
+
+std::string MakeIngestRequest(
+    int64_t id, const std::string& tenant,
+    const std::vector<prob::CountDistribution>& distributions) {
+  util::JsonValue::Object obj;
+  obj["verb"] = "ingest";
+  obj["tenant"] = tenant;
+  obj["id"] = static_cast<double>(id);
+  obj["distributions"] = EncodeDistributions(distributions);
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
+std::string MakeSolveCycleRequest(int64_t id, const std::string& tenant) {
+  util::JsonValue::Object obj;
+  obj["verb"] = "solve_cycle";
+  obj["tenant"] = tenant;
+  obj["id"] = static_cast<double>(id);
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
+std::string MakeStatsRequest(int64_t id) {
+  util::JsonValue::Object obj;
+  obj["verb"] = "stats";
+  obj["id"] = static_cast<double>(id);
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
+std::string MakeIngestOkResponse(int64_t id, const std::string& tenant,
+                                 int shard) {
+  util::JsonValue::Object obj = Envelope(id, "ok");
+  obj["verb"] = "ingest";
+  obj["tenant"] = tenant;
+  obj["shard"] = shard;
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
+std::string MakeSolveCycleResponse(
+    int64_t id, const std::string& tenant, int shard,
+    const service::AuditService::CycleReport& report) {
+  util::JsonValue::Object obj = Envelope(id, "ok");
+  obj["verb"] = "solve_cycle";
+  obj["tenant"] = tenant;
+  obj["shard"] = shard;
+  obj["cycle"] = static_cast<double>(report.cycle);
+  obj["seconds"] = report.seconds;
+  util::JsonValue::Array policies;
+  policies.reserve(report.policies.size());
+  for (const service::AuditService::CyclePolicy& policy : report.policies) {
+    util::JsonValue::Object p;
+    p["budget"] = policy.budget;
+    p["source"] = SourceName(policy.source);
+    p["drift"] = policy.drift;
+    p["objective"] = policy.result.objective;
+    util::JsonValue::Array thresholds;
+    thresholds.reserve(policy.result.thresholds.size());
+    for (double b : policy.result.thresholds) thresholds.push_back(b);
+    p["thresholds"] = std::move(thresholds);
+    policies.push_back(std::move(p));
+  }
+  obj["policies"] = std::move(policies);
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
+std::string MakeOverloadedResponse(int64_t id, const std::string& tenant,
+                                   int shard) {
+  util::JsonValue::Object obj = Envelope(id, "overloaded");
+  obj["tenant"] = tenant;
+  obj["shard"] = shard;
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
+std::string MakeErrorResponse(int64_t id, const std::string& message) {
+  util::JsonValue::Object obj = Envelope(id, "error");
+  obj["message"] = message;
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
+std::string MakeStatsResponse(int64_t id, util::JsonValue::Object body) {
+  util::JsonValue::Object obj = Envelope(id, "ok");
+  obj["verb"] = "stats";
+  for (auto& [key, value] : body) obj[key] = std::move(value);
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
+}  // namespace auditgame::server

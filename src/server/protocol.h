@@ -1,0 +1,88 @@
+#ifndef AUDIT_GAME_SERVER_PROTOCOL_H_
+#define AUDIT_GAME_SERVER_PROTOCOL_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prob/count_distribution.h"
+#include "service/audit_service.h"
+#include "util/json.h"
+#include "util/status.h"
+#include "util/statusor.h"
+
+namespace auditgame::server {
+
+/// The audit-server wire protocol: one JSON object per frame (see
+/// net/frame.h for the framing). Requests carry a verb, a tenant id and a
+/// client-chosen request id that every response echoes, so clients may
+/// pipeline. Schema (docs/DESIGN.md "Network serving" is the reference):
+///
+///   {"verb":"ingest","tenant":"acme","id":7,
+///    "distributions":[{"min":0,"pmf":[0.5,0.3,0.2]}, ...]}
+///   {"verb":"solve_cycle","tenant":"acme","id":8}
+///   {"verb":"stats","id":9}
+///
+/// Responses always carry `id` and `status` ("ok" | "overloaded" |
+/// "error"). `overloaded` is the backpressure contract: the shard's
+/// bounded queue was full, nothing was applied, and the client may retry.
+/// `error` carries a `message`; malformed JSON gets an error response with
+/// id -1 on the same connection — only framing violations cost the
+/// connection itself.
+enum class Verb { kIngest, kSolveCycle, kStats };
+
+const char* VerbName(Verb verb);
+
+/// A parsed, validated request.
+struct Request {
+  Verb verb = Verb::kStats;
+  std::string tenant;
+  int64_t id = -1;
+  /// kIngest only: the cycle's refreshed per-type distributions.
+  std::vector<prob::CountDistribution> distributions;
+};
+
+/// Parses and validates one request document. `stats` needs no tenant;
+/// `ingest`/`solve_cycle` require a non-empty one.
+util::StatusOr<Request> ParseRequest(const util::JsonValue& doc);
+
+/// Best-effort `id` of a request document whose full parse failed (-1 when
+/// absent or not a number) — so even rejected requests echo an id.
+int64_t RequestIdOf(const util::JsonValue& doc);
+
+/// --- client-side builders (loadgen, tests) ---
+
+std::string MakeIngestRequest(
+    int64_t id, const std::string& tenant,
+    const std::vector<prob::CountDistribution>& distributions);
+std::string MakeSolveCycleRequest(int64_t id, const std::string& tenant);
+std::string MakeStatsRequest(int64_t id);
+
+/// --- server-side builders ---
+
+std::string MakeIngestOkResponse(int64_t id, const std::string& tenant,
+                                 int shard);
+std::string MakeSolveCycleResponse(
+    int64_t id, const std::string& tenant, int shard,
+    const service::AuditService::CycleReport& report);
+std::string MakeOverloadedResponse(int64_t id, const std::string& tenant,
+                                   int shard);
+std::string MakeErrorResponse(int64_t id, const std::string& message);
+
+/// Wraps a prebuilt stats body into the response envelope.
+std::string MakeStatsResponse(int64_t id, util::JsonValue::Object body);
+
+/// "cache" / "warm" / "cold" — the wire names of a policy's source, shared
+/// by the serving tools' CSV output.
+const char* SourceName(service::AuditService::Source source);
+
+/// JSON (de)serialization of alert-count distributions, the `ingest`
+/// payload: [{"min":int,"pmf":[...]}, ...].
+util::JsonValue EncodeDistributions(
+    const std::vector<prob::CountDistribution>& distributions);
+util::StatusOr<std::vector<prob::CountDistribution>> ParseDistributions(
+    const util::JsonValue& doc);
+
+}  // namespace auditgame::server
+
+#endif  // AUDIT_GAME_SERVER_PROTOCOL_H_

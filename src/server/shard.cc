@@ -1,0 +1,185 @@
+#include "server/shard.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "util/percentile.h"
+
+namespace auditgame::server {
+
+namespace {
+constexpr size_t kSolveSecondsWindow = 4096;
+}  // namespace
+
+Shard::Shard(int index, core::GameInstance base_instance,
+             service::AuditServiceOptions service_options,
+             size_t queue_capacity, size_t max_batch, Responder responder,
+             std::function<void()> on_finished)
+    : index_(index),
+      base_instance_(std::move(base_instance)),
+      service_options_(std::move(service_options)),
+      max_batch_(max_batch == 0 ? 1 : max_batch),
+      queue_(queue_capacity),
+      responder_(std::move(responder)),
+      on_finished_(std::move(on_finished)) {}
+
+Shard::~Shard() {
+  queue_.Close();
+  if (thread_.joinable()) thread_.join();
+}
+
+void Shard::Start() {
+  thread_ = std::thread([this] { Run(); });
+}
+
+bool Shard::TrySubmit(ShardTask task) { return queue_.TryPush(std::move(task)); }
+
+void Shard::Join() {
+  if (thread_.joinable()) thread_.join();
+}
+
+void Shard::Run() {
+  std::vector<ShardTask> batch;
+  std::vector<Response> responses;
+  while (queue_.PopBatch(max_batch_, &batch)) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++batches_;
+    }
+    responses.clear();
+    responses.reserve(batch.size());
+    for (const ShardTask& task : batch) Process(task, &responses);
+    responder_(std::move(responses));
+    responses = std::vector<Response>();
+  }
+  finished_.store(true, std::memory_order_release);
+  if (on_finished_) on_finished_();
+}
+
+service::AuditService* Shard::TenantService(const std::string& tenant) {
+  auto it = tenants_.find(tenant);
+  if (it != tenants_.end()) return it->second.get();
+  auto service = std::make_unique<service::AuditService>(base_instance_,
+                                                         service_options_);
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  it = tenants_.emplace(tenant, std::move(service)).first;
+  return it->second.get();
+}
+
+void Shard::Process(const ShardTask& task, std::vector<Response>* responses) {
+  const Request& request = task.request;
+  std::string response;
+  switch (request.verb) {
+    case Verb::kIngest: {
+      service::AuditService* service = TenantService(request.tenant);
+      // ParseRequest validated shape; the service validates semantics
+      // (type count, pmf validity against the game).
+      util::Status status =
+          service->UpdateAlertDistributions(request.distributions);
+      if (status.ok()) {
+        response = MakeIngestOkResponse(request.id, request.tenant, index_);
+      } else {
+        response = MakeErrorResponse(request.id, status.ToString());
+      }
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++processed_;
+      ++ingests_;
+      if (!status.ok()) ++request_errors_;
+      break;
+    }
+    case Verb::kSolveCycle: {
+      service::AuditService* service = TenantService(request.tenant);
+      auto report = service->RunCycle();
+      if (report.ok()) {
+        response = MakeSolveCycleResponse(request.id, request.tenant, index_,
+                                          *report);
+      } else {
+        response = MakeErrorResponse(request.id, report.status().ToString());
+      }
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++processed_;
+      ++solves_;
+      if (report.ok()) {
+        for (const service::AuditService::CyclePolicy& policy :
+             report->policies) {
+          switch (policy.source) {
+            case service::AuditService::Source::kCache:
+              ++policies_from_cache_;
+              break;
+            case service::AuditService::Source::kWarmSolve:
+              ++warm_solves_;
+              break;
+            case service::AuditService::Source::kColdSolve:
+              ++cold_solves_;
+              break;
+          }
+        }
+        ++solve_samples_;
+        if (solve_seconds_window_.size() < kSolveSecondsWindow) {
+          solve_seconds_window_.push_back(report->seconds);
+        } else {
+          solve_seconds_window_[solve_seconds_next_] = report->seconds;
+          solve_seconds_next_ =
+              (solve_seconds_next_ + 1) % kSolveSecondsWindow;
+        }
+      } else {
+        ++request_errors_;
+      }
+      break;
+    }
+    case Verb::kStats: {
+      // The IO thread answers stats inline; one reaching a shard is a bug.
+      response = MakeErrorResponse(request.id, "stats is not a shard verb");
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++processed_;
+      ++request_errors_;
+      break;
+    }
+  }
+  responses->push_back(Response{task.conn_id, std::move(response)});
+}
+
+ShardStatsSnapshot Shard::Snapshot() const {
+  ShardStatsSnapshot snapshot;
+  snapshot.shard = index_;
+  snapshot.queue_depth = queue_.size();
+  snapshot.queue_capacity = queue_.capacity();
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    snapshot.tenants = static_cast<int64_t>(tenants_.size());
+    snapshot.processed = processed_;
+    snapshot.batches = batches_;
+    snapshot.ingests = ingests_;
+    snapshot.solves = solves_;
+    snapshot.request_errors = request_errors_;
+    snapshot.policies_from_cache = policies_from_cache_;
+    snapshot.warm_solves = warm_solves_;
+    snapshot.cold_solves = cold_solves_;
+    snapshot.solve_samples = solve_samples_;
+    window = solve_seconds_window_;
+    // PolicyCache / compile-cache stats are internally synchronized; the
+    // map iteration is what stats_mutex_ protects here.
+    for (const auto& [tenant, service] : tenants_) {
+      const service::PolicyCache::Stats cache = service->cache_stats();
+      snapshot.cache.hits += cache.hits;
+      snapshot.cache.misses += cache.misses;
+      snapshot.cache.insertions += cache.insertions;
+      snapshot.cache.evictions += cache.evictions;
+      const solver::SolverEngine::CompileCacheStats compile =
+          service->compile_cache_stats();
+      snapshot.compile.hits += compile.hits;
+      snapshot.compile.misses += compile.misses;
+    }
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    snapshot.solve_seconds_p50 = util::NearestRankPercentileSorted(window, 0.50);
+    snapshot.solve_seconds_p90 = util::NearestRankPercentileSorted(window, 0.90);
+    snapshot.solve_seconds_p99 = util::NearestRankPercentileSorted(window, 0.99);
+    snapshot.solve_seconds_max = window.back();
+  }
+  return snapshot;
+}
+
+}  // namespace auditgame::server

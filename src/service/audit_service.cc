@@ -84,6 +84,7 @@ util::StatusOr<AuditService::CycleReport> AuditService::RunCycle() {
     const util::Fingerprint key = FingerprintRequest(request);
     if (std::optional<solver::SolveResult> cached = cache_.Lookup(key)) {
       policy.source = Source::kCache;
+      ++served_from_cache_;
       policy.result = *std::move(cached);
       // The served policy becomes the drift baseline and warm seed for the
       // next cycle, exactly as if it had been re-solved.
@@ -116,6 +117,13 @@ util::StatusOr<AuditService::CycleReport> AuditService::RunCycle() {
   for (size_t j = 0; j < pending.size(); ++j) {
     if (!solved[j].ok()) return solved[j].status();
     CyclePolicy& policy = report.policies[pending[j].slot];
+    // Counted here, not at queue time, so stats() only reflects solves
+    // that actually completed (a failed batch aborts the cycle above).
+    if (policy.source == Source::kWarmSolve) {
+      ++warm_solves_;
+    } else {
+      ++cold_solves_;
+    }
     policy.result = *solved[j];
     cache_.Insert(pending[j].key, policy.result);
     last_solves_[policy.budget] =
@@ -123,7 +131,22 @@ util::StatusOr<AuditService::CycleReport> AuditService::RunCycle() {
   }
 
   report.seconds = timer.ElapsedSeconds();
+  last_cycle_seconds_ = report.seconds;
+  total_cycle_seconds_ += report.seconds;
   return report;
+}
+
+AuditService::Stats AuditService::stats() const {
+  Stats stats;
+  stats.cycles = cycles_run_;
+  stats.served_from_cache = served_from_cache_;
+  stats.warm_solves = warm_solves_;
+  stats.cold_solves = cold_solves_;
+  stats.total_cycle_seconds = total_cycle_seconds_;
+  stats.last_cycle_seconds = last_cycle_seconds_;
+  stats.cache = cache_.stats();
+  stats.compile = engine_.compile_cache_stats();
+  return stats;
 }
 
 }  // namespace auditgame::service

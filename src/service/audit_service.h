@@ -85,6 +85,25 @@ class AuditService {
     double seconds = 0.0;
   };
 
+  /// Lifetime counters of the serving loop, for operational reporting (the
+  /// audit server's `stats` verb, the replay tools' summaries) — callers
+  /// read real served/warm/cold splits here instead of recomputing them
+  /// from per-cycle reports. Single-writer like the service itself: read
+  /// from the thread that runs the cycles (the embedded cache/compile
+  /// stats are additionally safe to read from anywhere, see PolicyCache).
+  struct Stats {
+    int64_t cycles = 0;
+    /// Policies by source, summed over all cycles and budgets.
+    int64_t served_from_cache = 0;
+    int64_t warm_solves = 0;
+    int64_t cold_solves = 0;
+    /// Per-cycle wall time: total across all cycles, and the most recent.
+    double total_cycle_seconds = 0.0;
+    double last_cycle_seconds = 0.0;
+    PolicyCache::Stats cache;
+    solver::SolverEngine::CompileCacheStats compile;
+  };
+
   /// Takes the initial game instance (validated on first use) and the
   /// serving configuration.
   AuditService(core::GameInstance instance, AuditServiceOptions options = {});
@@ -103,6 +122,7 @@ class AuditService {
 
   const core::GameInstance& instance() const { return instance_; }
   const AuditServiceOptions& options() const { return options_; }
+  Stats stats() const;
   PolicyCache::Stats cache_stats() const { return cache_.stats(); }
   solver::SolverEngine::CompileCacheStats compile_cache_stats() const {
     return engine_.compile_cache_stats();
@@ -129,6 +149,13 @@ class AuditService {
   /// Previous solved state per budget: warm-start seed + drift baseline.
   std::map<double, LastSolve> last_solves_;
   int64_t cycles_run_ = 0;
+  /// Lifetime counters behind stats() (cache/compile stats live in their
+  /// owners).
+  int64_t served_from_cache_ = 0;
+  int64_t warm_solves_ = 0;
+  int64_t cold_solves_ = 0;
+  double total_cycle_seconds_ = 0.0;
+  double last_cycle_seconds_ = 0.0;
 };
 
 }  // namespace auditgame::service

@@ -1,0 +1,18 @@
+#include "util/percentile.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace auditgame::util {
+
+double NearestRankPercentileSorted(const std::vector<double>& sorted,
+                                   double q) {
+  if (sorted.empty()) return 0.0;
+  const double rank = q * static_cast<double>(sorted.size());
+  size_t index = static_cast<size_t>(std::ceil(rank));
+  if (index > 0) --index;
+  index = std::min(index, sorted.size() - 1);
+  return sorted[index];
+}
+
+}  // namespace auditgame::util

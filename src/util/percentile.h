@@ -1,0 +1,17 @@
+#ifndef AUDIT_GAME_UTIL_PERCENTILE_H_
+#define AUDIT_GAME_UTIL_PERCENTILE_H_
+
+#include <vector>
+
+namespace auditgame::util {
+
+/// Nearest-rank percentile of an ascending-sorted sample (q in [0, 1];
+/// 0 on an empty sample). Callers sort once and index several quantiles —
+/// the latency reporting in the server's stats verb, tools/loadgen and
+/// tools/workload_replay all read p50/p90/p99 from one sorted sample.
+double NearestRankPercentileSorted(const std::vector<double>& sorted,
+                                   double q);
+
+}  // namespace auditgame::util
+
+#endif  // AUDIT_GAME_UTIL_PERCENTILE_H_

@@ -1,0 +1,135 @@
+// Tests for the length-prefixed frame codec (net/frame.h): arbitrary
+// fragmentation must reassemble byte-identically, and the payload cap must
+// reject oversized frames with a sticky error (the connection-fatal case).
+#include "net/frame.h"
+
+#include <string>
+#include <vector>
+
+#include "gtest/gtest.h"
+
+namespace auditgame::net {
+namespace {
+
+TEST(FrameCodecTest, EncodeWritesBigEndianHeader) {
+  const std::string frame = EncodeFrame("abc");
+  ASSERT_EQ(frame.size(), kFrameHeaderBytes + 3);
+  EXPECT_EQ(static_cast<unsigned char>(frame[0]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(frame[1]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(frame[2]), 0);
+  EXPECT_EQ(static_cast<unsigned char>(frame[3]), 3);
+  EXPECT_EQ(frame.substr(4), "abc");
+}
+
+TEST(FrameCodecTest, RoundTripSingleFrame) {
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame(R"({"verb":"stats","id":1})"));
+  std::string payload;
+  auto next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(*next);
+  EXPECT_EQ(payload, R"({"verb":"stats","id":1})");
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+  EXPECT_EQ(decoder.buffered(), 0u);
+}
+
+TEST(FrameCodecTest, MultipleFramesInOneChunk) {
+  FrameDecoder decoder;
+  decoder.Append(EncodeFrame("one") + EncodeFrame("") + EncodeFrame("three"));
+  std::string payload;
+  auto next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next);
+  EXPECT_EQ(payload, "one");
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next);
+  EXPECT_EQ(payload, "");  // zero-length payloads are legal frames
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next);
+  EXPECT_EQ(payload, "three");
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+}
+
+TEST(FrameCodecTest, ByteAtATimeReassembles) {
+  const std::vector<std::string> payloads = {"a", "", "hello world",
+                                             std::string(1000, 'x')};
+  std::string wire;
+  for (const std::string& p : payloads) wire += EncodeFrame(p);
+
+  FrameDecoder decoder;
+  std::vector<std::string> decoded;
+  for (char byte : wire) {
+    decoder.Append(&byte, 1);
+    for (;;) {
+      std::string payload;
+      auto next = decoder.Next(&payload);
+      ASSERT_TRUE(next.ok());
+      if (!*next) break;
+      decoded.push_back(std::move(payload));
+    }
+  }
+  EXPECT_EQ(decoded, payloads);
+}
+
+TEST(FrameCodecTest, PartialHeaderIsNotAFrame) {
+  FrameDecoder decoder;
+  const std::string frame = EncodeFrame("payload");
+  decoder.Append(frame.substr(0, 2));  // half the header
+  std::string payload;
+  auto next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  EXPECT_FALSE(*next);
+  decoder.Append(frame.substr(2));
+  next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok());
+  ASSERT_TRUE(*next);
+  EXPECT_EQ(payload, "payload");
+}
+
+TEST(FrameCodecTest, OversizedFrameIsStickyError) {
+  FrameDecoder decoder(/*max_payload=*/8);
+  decoder.Append(EncodeFrame("exactly8"));  // at the cap: fine
+  std::string payload;
+  auto next = decoder.Next(&payload);
+  ASSERT_TRUE(next.ok() && *next);
+  EXPECT_EQ(payload, "exactly8");
+
+  decoder.Append(EncodeFrame("ninebytes"));  // over the cap
+  next = decoder.Next(&payload);
+  ASSERT_FALSE(next.ok());
+  EXPECT_EQ(next.status().code(), util::StatusCode::kResourceExhausted);
+  // Poisoned: the stream cannot be resynchronized past a bad length word.
+  next = decoder.Next(&payload);
+  ASSERT_FALSE(next.ok());
+}
+
+TEST(FrameCodecTest, OversizedHeaderAloneTrips) {
+  // The cap must trip on the announced length, before any payload bytes
+  // arrive — a 4-byte header claiming 1 GiB must not reserve memory.
+  FrameDecoder decoder(/*max_payload=*/1024);
+  const char header[4] = {0x40, 0x00, 0x00, 0x00};  // 1 GiB
+  decoder.Append(header, sizeof(header));
+  std::string payload;
+  auto next = decoder.Next(&payload);
+  ASSERT_FALSE(next.ok());
+}
+
+TEST(FrameCodecTest, LongStreamCompactsBuffer) {
+  // Many frames through one decoder: buffered() returns to zero between
+  // frames, so the internal buffer cannot grow with stream length.
+  FrameDecoder decoder;
+  for (int i = 0; i < 10000; ++i) {
+    decoder.Append(EncodeFrame("frame-" + std::to_string(i)));
+    std::string payload;
+    auto next = decoder.Next(&payload);
+    ASSERT_TRUE(next.ok() && *next);
+    ASSERT_EQ(payload, "frame-" + std::to_string(i));
+    ASSERT_EQ(decoder.buffered(), 0u);
+  }
+}
+
+}  // namespace
+}  // namespace auditgame::net

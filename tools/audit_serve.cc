@@ -22,6 +22,7 @@
 #include "core/game_io.h"
 #include "data/syn_a.h"
 #include "prob/count_distribution.h"
+#include "server/protocol.h"
 #include "service/audit_service.h"
 #include "util/csv.h"
 #include "util/flags.h"
@@ -31,18 +32,7 @@
 namespace {
 
 using namespace auditgame;  // NOLINT
-
-const char* SourceName(service::AuditService::Source source) {
-  switch (source) {
-    case service::AuditService::Source::kCache:
-      return "cache";
-    case service::AuditService::Source::kWarmSolve:
-      return "warm";
-    case service::AuditService::Source::kColdSolve:
-      return "cold";
-  }
-  return "?";
-}
+using server::SourceName;
 
 int Run(int argc, char** argv) {
   util::FlagParser flags;
@@ -108,8 +98,6 @@ int Run(int argc, char** argv) {
   util::CsvWriter csv(std::cout);
   csv.WriteRow({"cycle", "budget", "source", "drift", "objective",
                 "cycle_seconds"});
-  int served_from_cache = 0, warm_solves = 0, cold_solves = 0;
-  double total_seconds = 0.0;
   for (int cycle = 1; cycle <= cycles; ++cycle) {
     std::vector<prob::CountDistribution> dists;
     if (revisit > 0 && cycle % revisit == 0) {
@@ -134,19 +122,7 @@ int Run(int argc, char** argv) {
       std::cerr << "cycle " << cycle << ": " << report.status() << "\n";
       return 1;
     }
-    total_seconds += report->seconds;
     for (const auto& policy : report->policies) {
-      switch (policy.source) {
-        case service::AuditService::Source::kCache:
-          ++served_from_cache;
-          break;
-        case service::AuditService::Source::kWarmSolve:
-          ++warm_solves;
-          break;
-        case service::AuditService::Source::kColdSolve:
-          ++cold_solves;
-          break;
-      }
       csv.WriteRow({std::to_string(cycle),
                     util::CsvWriter::FormatDouble(policy.budget),
                     SourceName(policy.source),
@@ -156,17 +132,19 @@ int Run(int argc, char** argv) {
     }
   }
 
-  const auto cache_stats = service.cache_stats();
-  const auto compile_stats = service.compile_cache_stats();
-  std::cerr << "replayed " << cycles << " cycles x "
-            << options.budgets.size() << " budgets in " << total_seconds
-            << "s: " << served_from_cache << " cache hits, " << warm_solves
-            << " warm solves, " << cold_solves << " cold solves\n"
-            << "policy cache: " << cache_stats.hits << " hits / "
-            << cache_stats.misses << " misses, " << cache_stats.insertions
-            << " insertions, " << cache_stats.evictions << " evictions\n"
-            << "compile cache: " << compile_stats.hits << " hits / "
-            << compile_stats.misses << " misses\n";
+  // The split comes from the service's own lifetime counters (the same
+  // numbers the audit server's `stats` verb serves).
+  const service::AuditService::Stats stats = service.stats();
+  std::cerr << "replayed " << stats.cycles << " cycles x "
+            << options.budgets.size() << " budgets in "
+            << stats.total_cycle_seconds << "s: " << stats.served_from_cache
+            << " cache hits, " << stats.warm_solves << " warm solves, "
+            << stats.cold_solves << " cold solves\n"
+            << "policy cache: " << stats.cache.hits << " hits / "
+            << stats.cache.misses << " misses, " << stats.cache.insertions
+            << " insertions, " << stats.cache.evictions << " evictions\n"
+            << "compile cache: " << stats.compile.hits << " hits / "
+            << stats.compile.misses << " misses\n";
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
@@ -174,10 +152,10 @@ int Run(int argc, char** argv) {
     summary["tool"] = "audit_serve";
     summary["cycles"] = cycles;
     summary["budgets"] = static_cast<int>(options.budgets.size());
-    summary["cache_hits"] = served_from_cache;
-    summary["warm_solves"] = warm_solves;
-    summary["cold_solves"] = cold_solves;
-    summary["total_seconds"] = total_seconds;
+    summary["cache_hits"] = static_cast<double>(stats.served_from_cache);
+    summary["warm_solves"] = static_cast<double>(stats.warm_solves);
+    summary["cold_solves"] = static_cast<double>(stats.cold_solves);
+    summary["total_seconds"] = stats.total_cycle_seconds;
     std::ofstream out(json_path);
     if (!out) {
       std::cerr << "cannot write " << json_path << "\n";

@@ -1,0 +1,137 @@
+// audit_server: the sharded multi-tenant audit server as a standalone
+// process. Serves the wire protocol of server/protocol.h (length-prefixed
+// JSON frames: `ingest` / `solve_cycle` / `stats`) over TCP, with one
+// single-writer AuditService per tenant routed by tenant-id hash to one of
+// --shards worker threads. Backpressure is explicit: when a shard's
+// bounded queue is full the request is answered `overloaded`, never
+// buffered without limit.
+//
+// Every tenant's game starts as a copy of the configured scenario instance
+// and diverges through `ingest`. SIGINT/SIGTERM trigger a graceful drain:
+// accepted requests finish, their responses flush, then the process exits
+// 0 and prints a final per-shard summary to stderr.
+//
+//   audit_server --port=7353 --shards=4 --scenario=uniform --types=5
+//   audit_server --port=0    # ephemeral; the bound port is printed
+#include <signal.h>
+
+#include <iostream>
+#include <string>
+#include <utility>
+
+#include "scenario/generator.h"
+#include "server/audit_server.h"
+#include "util/flags.h"
+#include "util/json.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+server::AuditServer* g_server = nullptr;
+
+void HandleStopSignal(int /*signum*/) {
+  if (g_server != nullptr) g_server->RequestStop();
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("host", "127.0.0.1", "numeric IPv4 bind address");
+  flags.Define("port", "7353", "TCP port (0 = ephemeral, printed on start)");
+  flags.Define("shards", "4", "shard worker threads");
+  flags.Define("queue_capacity", "128",
+               "per-shard request-queue bound (full queue => overloaded)");
+  flags.Define("batch", "16", "max requests drained per shard wakeup");
+  flags.Define("max_frame_kb", "1024", "frame payload cap in KiB");
+  flags.Define("drain_timeout_ms", "10000",
+               "graceful-stop budget for draining shards and flushing");
+  scenario::DefineScenarioFlags(flags, /*default_scenario=*/"uniform",
+                                /*default_types=*/"5");
+  flags.Define("budgets", "6,10", "budgets served per solve_cycle");
+  flags.Define("eps", "0.25", "ISHM step size");
+  flags.Define("warm_max_drift", "0.25",
+               "drift threshold above which re-solves are cold");
+  flags.Define("threads", "1",
+               "engine workers per tenant service (keep small: shards are "
+               "the server's concurrency)");
+  flags.Define("pricing_threads", "1", "CGGS pricing threads per solve");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status << "\n" << flags.HelpString(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpString(argv[0]);
+    return 0;
+  }
+
+  auto spec = scenario::SpecFromFlags(flags);
+  if (!spec.ok()) {
+    std::cerr << spec.status() << "\n";
+    return 1;
+  }
+  auto instance = scenario::Generate(*spec);
+  if (!instance.ok()) {
+    std::cerr << instance.status() << "\n";
+    return 1;
+  }
+
+  server::AuditServerOptions options;
+  options.host = flags.GetString("host");
+  options.port = static_cast<uint16_t>(flags.GetInt("port"));
+  options.num_shards = flags.GetInt("shards");
+  options.queue_capacity = static_cast<size_t>(flags.GetInt("queue_capacity"));
+  options.max_batch = static_cast<size_t>(flags.GetInt("batch"));
+  options.max_frame_payload =
+      static_cast<size_t>(flags.GetInt("max_frame_kb")) * 1024;
+  options.drain_timeout_ms = flags.GetInt("drain_timeout_ms");
+  options.service.budgets = flags.GetDoubleList("budgets");
+  options.service.solver_options.ishm.step_size = flags.GetDouble("eps");
+  options.service.solver_options.cggs.pricing_threads =
+      flags.GetInt("pricing_threads");
+  options.service.warm_start_max_drift = flags.GetDouble("warm_max_drift");
+  options.service.num_threads = flags.GetInt("threads");
+  if (options.service.budgets.empty()) {
+    std::cerr << "--budgets must name at least one budget\n";
+    return 1;
+  }
+
+  server::AuditServer server(std::move(*instance), options);
+  if (util::Status started = server.Start(); !started.ok()) {
+    std::cerr << started << "\n";
+    return 1;
+  }
+
+  // Graceful drain on SIGINT/SIGTERM; SIGPIPE is handled per-send
+  // (MSG_NOSIGNAL) but ignored globally as a belt-and-braces.
+  g_server = &server;
+  struct sigaction action;
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: the handler's wake-pipe write is what interrupts the
+  // event loop; no blocking call needs to fail with EINTR for it.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+  signal(SIGPIPE, SIG_IGN);
+
+  std::cerr << "audit_server: listening on " << options.host << ":"
+            << server.port() << " with " << options.num_shards
+            << " shards (queue capacity "
+            << static_cast<int>(options.queue_capacity) << ", batch "
+            << static_cast<int>(options.max_batch) << ")\n";
+
+  util::Status run = server.Run();
+  g_server = nullptr;
+  if (!run.ok()) {
+    std::cerr << run << "\n";
+    return 1;
+  }
+  std::cerr << "audit_server: drained; final stats:\n"
+            << util::JsonValue(server.StatsBody()).Dump(2) << "\n";
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

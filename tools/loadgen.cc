@@ -1,0 +1,461 @@
+// loadgen: socket-level load generator for the audit server. Spawns one
+// connection per tenant, replays a scenario alert stream (src/scenario/)
+// as interleaved `ingest` + `solve_cycle` requests, retries `overloaded`
+// backpressure responses with a small backoff, and reports throughput and
+// request-latency percentiles. Verifies the serving contract as it goes:
+// every request must be answered (policy, `overloaded`, or an error
+// frame), and each tenant's solve responses must carry strictly
+// increasing cycle numbers (the per-tenant ordering the shard routing
+// guarantees). Exits non-zero when either check fails.
+//
+// With --connect it drives an external audit_server (the CI smoke job's
+// two-process mode); without it, it starts an in-process server on an
+// ephemeral port — the self-contained mode ctest runs — and shuts it down
+// gracefully at the end.
+//
+//   loadgen --tenants=4 --cycles=25 --shards=4 --json=BENCH_server.json
+//   loadgen --connect=127.0.0.1:7353 --tenants=8 --cycles=50
+#include <signal.h>
+
+#include <algorithm>
+#include <atomic>
+#include <chrono>
+#include <cstdint>
+#include <fstream>
+#include <iostream>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <utility>
+#include <vector>
+
+#include "net/client.h"
+#include "scenario/generator.h"
+#include "scenario/stream.h"
+#include "server/audit_server.h"
+#include "server/protocol.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/percentile.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+struct WorkerConfig {
+  std::string host;
+  uint16_t port = 0;
+  int cycles = 0;
+  int retries = 0;
+  int retry_backoff_ms = 0;
+  int timeout_ms = 0;
+  scenario::StreamSpec stream_spec;
+};
+
+struct WorkerResult {
+  int64_t requests = 0;
+  int64_t ok = 0;
+  int64_t request_errors = 0;
+  /// Requests that never got a response frame (timeout, dropped
+  /// connection) — the "dropped in silence" class that must stay zero.
+  int64_t transport_failures = 0;
+  int64_t overloaded_retries = 0;
+  /// Requests still `overloaded` after every retry (answered, but the
+  /// cycle was abandoned).
+  int64_t gave_up_overloaded = 0;
+  int64_t order_violations = 0;
+  std::vector<double> latency_seconds;
+  std::vector<std::string> error_samples;
+};
+
+/// One request to a terminal response: retries `overloaded` with backoff,
+/// records the user-perceived latency (including retries). Returns the
+/// terminal response document, or an error status on a transport failure.
+util::StatusOr<util::JsonValue> RunOp(net::FrameClient& client,
+                                      const std::string& payload,
+                                      const WorkerConfig& config,
+                                      WorkerResult& result) {
+  util::Timer timer;
+  for (int attempt = 0; attempt <= config.retries; ++attempt) {
+    ++result.requests;
+    auto response = client.Call(payload);
+    if (!response.ok()) {
+      ++result.transport_failures;
+      return response.status();
+    }
+    auto doc = util::JsonValue::Parse(*response);
+    if (!doc.ok()) {
+      ++result.request_errors;
+      return doc.status();
+    }
+    auto status = doc->GetString("status");
+    if (!status.ok()) {
+      ++result.request_errors;
+      return status.status();
+    }
+    if (*status == "overloaded" && attempt < config.retries) {
+      ++result.overloaded_retries;
+      std::this_thread::sleep_for(
+          std::chrono::milliseconds(config.retry_backoff_ms));
+      continue;
+    }
+    result.latency_seconds.push_back(timer.ElapsedSeconds());
+    if (*status == "overloaded") ++result.gave_up_overloaded;
+    return *std::move(doc);
+  }
+  return util::InternalError("unreachable retry loop exit");
+}
+
+void RunTenant(int tenant_index,
+               const std::vector<prob::CountDistribution>& baseline,
+               const WorkerConfig& config, WorkerResult& result) {
+  const std::string tenant = "tenant-" + std::to_string(tenant_index);
+  auto client = net::FrameClient::Connect(config.host, config.port,
+                                          /*connect_wait_ms=*/10000);
+  if (!client.ok()) {
+    // The whole replay is unanswered: count every request it would have
+    // sent as a transport failure rather than silently shrinking the run.
+    result.requests = result.transport_failures =
+        static_cast<int64_t>(config.cycles) * 2;
+    result.error_samples.push_back(client.status().ToString());
+    return;
+  }
+  if (config.timeout_ms > 0) {
+    (void)client->SetReceiveTimeout(config.timeout_ms);
+  }
+
+  scenario::StreamSpec spec = config.stream_spec;
+  spec.seed += static_cast<uint64_t>(tenant_index);  // per-tenant stream
+  scenario::ScenarioStream stream(baseline, spec);
+
+  // When a transport failure aborts the tenant mid-replay, the requests
+  // it would still have sent are counted as unanswered (mirroring the
+  // connect-failure path above) so the report never shrinks the run.
+  const int64_t planned = static_cast<int64_t>(config.cycles) * 2;
+  int64_t ops_done = 0;
+  int64_t ops_skipped = 0;  // solves not sent after a rejected ingest
+  const auto abort_tenant = [&] {
+    // -1: the op that just failed was already counted by RunOp.
+    const int64_t remaining = planned - ops_done - ops_skipped - 1;
+    if (remaining > 0) {
+      result.requests += remaining;
+      result.transport_failures += remaining;
+    }
+  };
+
+  int64_t next_id = static_cast<int64_t>(tenant_index) * 1000000;
+  int64_t last_cycle = 0;
+  for (int cycle = 1; cycle <= config.cycles; ++cycle) {
+    auto dists = stream.Next();
+    if (!dists.ok()) {
+      result.error_samples.push_back(dists.status().ToString());
+      ++result.request_errors;
+      return;
+    }
+
+    auto ingest = RunOp(
+        *client, server::MakeIngestRequest(++next_id, tenant, *dists),
+        config, result);
+    if (!ingest.ok()) {
+      result.error_samples.push_back(ingest.status().ToString());
+      abort_tenant();  // transport failure: stop this tenant
+      return;
+    }
+    ++ops_done;
+    if (auto status = ingest->GetString("status");
+        !status.ok() || *status != "ok") {
+      if (!status.ok() || *status == "error") {
+        ++result.request_errors;
+        if (const util::JsonValue* m = ingest->Find("message");
+            m != nullptr && m->is_string()) {
+          result.error_samples.push_back(m->as_string());
+        }
+      }
+      // Rejected or gave-up-overloaded ingest: solving now would run the
+      // cycle on stale distributions — skip it and keep the pairing
+      // honest.
+      ++ops_skipped;
+      continue;
+    }
+
+    auto solve = RunOp(
+        *client, server::MakeSolveCycleRequest(++next_id, tenant), config,
+        result);
+    if (!solve.ok()) {
+      result.error_samples.push_back(solve.status().ToString());
+      abort_tenant();
+      return;
+    }
+    ++ops_done;
+    auto status = solve->GetString("status");
+    if (!status.ok() || *status == "error") {
+      ++result.request_errors;
+      if (const util::JsonValue* m = solve->Find("message");
+          m != nullptr && m->is_string()) {
+        result.error_samples.push_back(m->as_string());
+      }
+      continue;
+    }
+    if (*status != "ok") continue;  // gave up overloaded: no cycle ran
+    ++result.ok;
+    auto cycle_number = solve->GetNumber("cycle");
+    if (!cycle_number.ok() || *cycle_number <= static_cast<double>(last_cycle)) {
+      ++result.order_violations;
+    } else {
+      last_cycle = static_cast<int64_t>(*cycle_number);
+    }
+  }
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("connect", "",
+               "host:port of a running audit_server (empty = start one "
+               "in-process on an ephemeral port)");
+  flags.Define("tenants", "4", "concurrent tenants (one connection each)");
+  flags.Define("cycles", "25", "audit cycles per tenant (2 requests each)");
+  flags.Define("retries", "50", "max retries per overloaded response");
+  flags.Define("retry_backoff_ms", "5", "sleep between overloaded retries");
+  flags.Define("timeout_ms", "30000", "per-response receive timeout");
+  // Scenario flags must match the server's so ingest type counts line up.
+  scenario::DefineScenarioFlags(flags, /*default_scenario=*/"uniform",
+                                /*default_types=*/"5");
+  flags.Define("stream", "jitter",
+               "alert-stream evolution: jitter, walk, seasonal");
+  flags.Define("drift", "0.05", "per-cycle drift amplitude");
+  flags.Define("revisit", "5",
+               "every k-th cycle replays the baseline exactly (0 = never)");
+  flags.Define("season", "7", "cycles per seasonal oscillation");
+  flags.Define("stream_seed", "1",
+               "stream RNG seed (tenant i uses stream_seed + i)");
+  flags.Define("json", "", "BENCH_server.json output path (empty = none)");
+  // In-process-server configuration (with --connect only the reported
+  // `shards` label is taken from here — pass the external server's real
+  // value so the BENCH report describes the right topology).
+  flags.Define("shards", "4",
+               "in-process server: shard worker threads (with --connect: "
+               "label-only, set to the server's value)");
+  flags.Define("queue_capacity", "128",
+               "in-process server: per-shard queue bound");
+  flags.Define("batch", "16", "in-process server: max batch per wakeup");
+  flags.Define("budgets", "6,10", "in-process server: budgets per cycle");
+  flags.Define("eps", "0.25", "in-process server: ISHM step size");
+  flags.Define("warm_max_drift", "0.25",
+               "in-process server: warm-start drift threshold");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status << "\n" << flags.HelpString(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpString(argv[0]);
+    return 0;
+  }
+  signal(SIGPIPE, SIG_IGN);
+
+  auto spec = scenario::SpecFromFlags(flags);
+  if (!spec.ok()) {
+    std::cerr << spec.status() << "\n";
+    return 1;
+  }
+  auto instance = scenario::Generate(*spec);
+  if (!instance.ok()) {
+    std::cerr << instance.status() << "\n";
+    return 1;
+  }
+  const std::vector<prob::CountDistribution> baseline =
+      instance->alert_distributions;
+
+  auto stream_kind = scenario::StreamKindFromName(flags.GetString("stream"));
+  if (!stream_kind.ok()) {
+    std::cerr << stream_kind.status() << "\n";
+    return 1;
+  }
+
+  WorkerConfig config;
+  config.cycles = flags.GetInt("cycles");
+  config.retries = flags.GetInt("retries");
+  config.retry_backoff_ms = flags.GetInt("retry_backoff_ms");
+  config.timeout_ms = flags.GetInt("timeout_ms");
+  config.stream_spec.kind = *stream_kind;
+  config.stream_spec.drift_amplitude = flags.GetDouble("drift");
+  config.stream_spec.revisit_period = flags.GetInt("revisit");
+  config.stream_spec.season_period = flags.GetInt("season");
+  config.stream_spec.seed = static_cast<uint64_t>(flags.GetInt("stream_seed"));
+
+  // Target: external server, or an in-process one on an ephemeral port.
+  std::unique_ptr<server::AuditServer> local_server;
+  std::thread server_thread;
+  const std::string connect = flags.GetString("connect");
+  if (connect.empty()) {
+    server::AuditServerOptions options;
+    options.port = 0;
+    options.num_shards = flags.GetInt("shards");
+    options.queue_capacity =
+        static_cast<size_t>(flags.GetInt("queue_capacity"));
+    options.max_batch = static_cast<size_t>(flags.GetInt("batch"));
+    options.service.budgets = flags.GetDoubleList("budgets");
+    options.service.solver_options.ishm.step_size = flags.GetDouble("eps");
+    options.service.warm_start_max_drift = flags.GetDouble("warm_max_drift");
+    options.service.num_threads = 1;
+    local_server = std::make_unique<server::AuditServer>(
+        core::GameInstance(*instance), options);
+    if (util::Status started = local_server->Start(); !started.ok()) {
+      std::cerr << started << "\n";
+      return 1;
+    }
+    config.host = "127.0.0.1";
+    config.port = local_server->port();
+    server_thread = std::thread([&local_server] {
+      if (util::Status run = local_server->Run(); !run.ok()) {
+        std::cerr << "in-process server: " << run << "\n";
+      }
+    });
+  } else {
+    const size_t colon = connect.rfind(':');
+    if (colon == std::string::npos) {
+      std::cerr << "--connect must be host:port\n";
+      return 1;
+    }
+    config.host = connect.substr(0, colon);
+    auto port = util::ParseFullInt(connect.substr(colon + 1));
+    if (!port.ok() || *port < 1 || *port > 65535) {
+      std::cerr << "--connect has an invalid port\n";
+      return 1;
+    }
+    config.port = static_cast<uint16_t>(*port);
+  }
+
+  const int tenants = flags.GetInt("tenants");
+  std::vector<WorkerResult> results(static_cast<size_t>(tenants));
+  std::vector<std::thread> workers;
+  workers.reserve(static_cast<size_t>(tenants));
+  util::Timer wall;
+  for (int i = 0; i < tenants; ++i) {
+    workers.emplace_back(RunTenant, i, std::cref(baseline),
+                         std::cref(config), std::ref(results[i]));
+  }
+  for (std::thread& worker : workers) worker.join();
+  const double wall_seconds = wall.ElapsedSeconds();
+
+  // One stats round trip for the server-side view (queue depths, batches,
+  // per-shard tenancy) before tearing anything down.
+  std::string server_stats;
+  if (auto client =
+          net::FrameClient::Connect(config.host, config.port, 2000);
+      client.ok()) {
+    (void)client->SetReceiveTimeout(5000);
+    if (auto reply = client->Call(server::MakeStatsRequest(0)); reply.ok()) {
+      if (auto doc = util::JsonValue::Parse(*reply); doc.ok()) {
+        server_stats = doc->Dump(2);
+      }
+    }
+  }
+
+  if (local_server != nullptr) {
+    local_server->RequestStop();
+    server_thread.join();
+  }
+
+  WorkerResult total;
+  std::vector<double> latencies;
+  for (const WorkerResult& r : results) {
+    total.requests += r.requests;
+    total.ok += r.ok;
+    total.request_errors += r.request_errors;
+    total.transport_failures += r.transport_failures;
+    total.overloaded_retries += r.overloaded_retries;
+    total.gave_up_overloaded += r.gave_up_overloaded;
+    total.order_violations += r.order_violations;
+    latencies.insert(latencies.end(), r.latency_seconds.begin(),
+                     r.latency_seconds.end());
+    for (const std::string& sample : r.error_samples) {
+      if (total.error_samples.size() < 5) {
+        total.error_samples.push_back(sample);
+      }
+    }
+  }
+  const int64_t answered = total.requests - total.transport_failures;
+  const double answered_ratio =
+      total.requests == 0
+          ? 0.0
+          : static_cast<double>(answered) / static_cast<double>(total.requests);
+  std::sort(latencies.begin(), latencies.end());
+  const double p50 = util::NearestRankPercentileSorted(latencies, 0.50);
+  const double p90 = util::NearestRankPercentileSorted(latencies, 0.90);
+  const double p99 = util::NearestRankPercentileSorted(latencies, 0.99);
+  const double worst = latencies.empty() ? 0.0 : latencies.back();
+  const double throughput =
+      wall_seconds > 0.0
+          ? static_cast<double>(total.requests) / wall_seconds
+          : 0.0;
+
+  std::cerr << "loadgen: " << tenants << " tenants x " << config.cycles
+            << " cycles -> " << total.requests << " requests in "
+            << wall_seconds << "s (" << throughput << " req/s)\n"
+            << "  ok " << total.ok << ", errors " << total.request_errors
+            << ", unanswered " << total.transport_failures
+            << ", overloaded retries " << total.overloaded_retries
+            << " (gave up " << total.gave_up_overloaded << ")"
+            << ", order violations " << total.order_violations << "\n"
+            << "  latency: p50 " << p50 << "s p90 " << p90 << "s p99 " << p99
+            << "s max " << worst << "s\n";
+  for (const std::string& sample : total.error_samples) {
+    std::cerr << "  error: " << sample << "\n";
+  }
+  if (!server_stats.empty()) {
+    std::cerr << "server stats:\n" << server_stats << "\n";
+  }
+
+  const std::string json_path = flags.GetString("json");
+  if (!json_path.empty()) {
+    util::JsonValue::Object summary;
+    summary["bench"] = "server_loadgen";
+    summary["tenants"] = tenants;
+    summary["cycles"] = config.cycles;
+    summary["shards"] = flags.GetInt("shards");
+    summary["scenario"] = flags.GetString("scenario");
+    summary["stream"] = flags.GetString("stream");
+    summary["requests_total"] = static_cast<double>(total.requests);
+    summary["responses_ok"] = static_cast<double>(total.ok);
+    summary["request_errors"] = static_cast<double>(total.request_errors);
+    summary["unanswered_requests"] =
+        static_cast<double>(total.transport_failures);
+    summary["overloaded_retries"] =
+        static_cast<double>(total.overloaded_retries);
+    summary["gave_up_overloaded"] =
+        static_cast<double>(total.gave_up_overloaded);
+    summary["order_violations"] =
+        static_cast<double>(total.order_violations);
+    // The gated contract: booleans must stay true, the ratio must not
+    // fall (tools/bench_compare.py's classification).
+    summary["zero_protocol_errors"] = total.request_errors == 0;
+    summary["order_preserved"] = total.order_violations == 0;
+    summary["all_requests_answered"] = total.transport_failures == 0;
+    summary["answered_ratio"] = answered_ratio;
+    // Timing fields ride along ungated (machine-dependent).
+    summary["wall_seconds"] = wall_seconds;
+    summary["throughput_rps"] = throughput;
+    summary["latency_seconds_p50"] = p50;
+    summary["latency_seconds_p90"] = p90;
+    summary["latency_seconds_p99"] = p99;
+    summary["latency_seconds_max"] = worst;
+    std::ofstream out(json_path);
+    if (!out) {
+      std::cerr << "cannot write " << json_path << "\n";
+      return 1;
+    }
+    out << util::JsonValue(std::move(summary)).Dump(2) << "\n";
+  }
+
+  const bool clean = total.request_errors == 0 &&
+                     total.transport_failures == 0 &&
+                     total.order_violations == 0;
+  return clean ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

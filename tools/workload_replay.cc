@@ -6,11 +6,16 @@
 // cache-hit / warm-solve / cold-solve split plus per-cycle latency
 // percentiles — the serving-side view of what a scenario costs.
 //
+// SIGINT/SIGTERM interrupt the replay gracefully: the current cycle
+// finishes, the summary and (if requested) the JSON report are still
+// written with `interrupted: true` and the cycles actually completed.
+//
 //   workload_replay --scenario=zipf --stream=walk --cycles=40 --drift=0.08
 //   workload_replay --scenario=correlated --budget_lo=6 --budget_hi=18 \
 //       --budget_steps=4 --pricing_threads=4 --json=replay.json
+#include <signal.h>
+
 #include <algorithm>
-#include <cmath>
 #include <fstream>
 #include <iostream>
 #include <string>
@@ -20,46 +25,26 @@
 #include "prob/count_distribution.h"
 #include "scenario/generator.h"
 #include "scenario/stream.h"
+#include "server/protocol.h"
 #include "service/audit_service.h"
 #include "util/csv.h"
 #include "util/flags.h"
 #include "util/json.h"
+#include "util/percentile.h"
 
 namespace {
 
 using namespace auditgame;  // NOLINT
+using server::SourceName;
 
-const char* SourceName(service::AuditService::Source source) {
-  switch (source) {
-    case service::AuditService::Source::kCache:
-      return "cache";
-    case service::AuditService::Source::kWarmSolve:
-      return "warm";
-    case service::AuditService::Source::kColdSolve:
-      return "cold";
-  }
-  return "?";
-}
+volatile sig_atomic_t g_interrupted = 0;
 
-// Nearest-rank percentile of an unsorted latency sample (q in [0, 1]).
-double Percentile(std::vector<double> values, double q) {
-  if (values.empty()) return 0.0;
-  std::sort(values.begin(), values.end());
-  const double rank = q * static_cast<double>(values.size());
-  size_t index = static_cast<size_t>(std::ceil(rank));
-  if (index > 0) --index;
-  index = std::min(index, values.size() - 1);
-  return values[index];
-}
+void HandleStopSignal(int /*signum*/) { g_interrupted = 1; }
 
 int Run(int argc, char** argv) {
   util::FlagParser flags;
-  flags.Define("scenario", "zipf",
-               "catalog scenario (zipf, zipf-deep, correlated, uniform)");
-  flags.Define("types", "0", "override the scenario's type count (0 = keep)");
-  flags.Define("adversaries", "0",
-               "override the scenario's adversary count (0 = keep)");
-  flags.Define("game_seed", "0", "override the scenario's seed (0 = keep)");
+  scenario::DefineScenarioFlags(flags, /*default_scenario=*/"zipf",
+                                /*default_types=*/"0");
   flags.Define("stream", "jitter",
                "alert-stream evolution: jitter, walk, seasonal");
   flags.Define("cycles", "30", "audit cycles to replay");
@@ -89,19 +74,10 @@ int Run(int argc, char** argv) {
     return 0;
   }
 
-  auto spec = scenario::SpecByName(flags.GetString("scenario"));
+  auto spec = scenario::SpecFromFlags(flags);
   if (!spec.ok()) {
     std::cerr << spec.status() << "\n";
     return 1;
-  }
-  if (const int types = flags.GetInt("types"); types > 0) {
-    spec->num_types = types;
-  }
-  if (const int adversaries = flags.GetInt("adversaries"); adversaries > 0) {
-    spec->num_adversaries = adversaries;
-  }
-  if (const int seed = flags.GetInt("game_seed"); seed > 0) {
-    spec->seed = static_cast<uint64_t>(seed);
   }
   auto instance = scenario::Generate(*spec);
   if (!instance.ok()) {
@@ -137,13 +113,23 @@ int Run(int argc, char** argv) {
   options.num_threads = flags.GetInt("threads");
   service::AuditService service(std::move(*instance), options);
 
+  struct sigaction action;
+  action.sa_handler = HandleStopSignal;
+  sigemptyset(&action.sa_mask);
+  // SA_RESTART: the flag is checked between cycles, and an interrupted
+  // stdout write would otherwise fail with EINTR and silently truncate
+  // the CSV this tool promises to finish.
+  action.sa_flags = SA_RESTART;
+  sigaction(SIGINT, &action, nullptr);
+  sigaction(SIGTERM, &action, nullptr);
+
   const int cycles = flags.GetInt("cycles");
+  int cycles_completed = 0;
   util::CsvWriter csv(std::cout);
   csv.WriteRow({"cycle", "budget", "source", "drift", "objective",
                 "cycle_seconds"});
-  int served_from_cache = 0, warm_solves = 0, cold_solves = 0;
   std::vector<double> cycle_seconds;
-  for (int cycle = 1; cycle <= cycles; ++cycle) {
+  for (int cycle = 1; cycle <= cycles && !g_interrupted; ++cycle) {
     auto dists = stream.Next();
     if (!dists.ok()) {
       std::cerr << "cycle " << cycle << ": " << dists.status() << "\n";
@@ -161,18 +147,8 @@ int Run(int argc, char** argv) {
       return 1;
     }
     cycle_seconds.push_back(report->seconds);
+    ++cycles_completed;
     for (const auto& policy : report->policies) {
-      switch (policy.source) {
-        case service::AuditService::Source::kCache:
-          ++served_from_cache;
-          break;
-        case service::AuditService::Source::kWarmSolve:
-          ++warm_solves;
-          break;
-        case service::AuditService::Source::kColdSolve:
-          ++cold_solves;
-          break;
-      }
       csv.WriteRow({std::to_string(cycle),
                     util::CsvWriter::FormatDouble(policy.budget),
                     SourceName(policy.source),
@@ -182,29 +158,31 @@ int Run(int argc, char** argv) {
     }
   }
 
-  const double p50 = Percentile(cycle_seconds, 0.50);
-  const double p90 = Percentile(cycle_seconds, 0.90);
-  const double p99 = Percentile(cycle_seconds, 0.99);
-  const double worst =
-      cycle_seconds.empty()
-          ? 0.0
-          : *std::max_element(cycle_seconds.begin(), cycle_seconds.end());
-  double total_seconds = 0.0;
-  for (double s : cycle_seconds) total_seconds += s;
-  const auto cache_stats = service.cache_stats();
-  const auto compile_stats = service.compile_cache_stats();
-  std::cerr << "scenario " << flags.GetString("scenario") << ": " << cycles
-            << " cycles x " << options.budgets.size() << " budgets in "
-            << total_seconds << "s — " << served_from_cache
-            << " cache hits, " << warm_solves << " warm, " << cold_solves
+  std::sort(cycle_seconds.begin(), cycle_seconds.end());
+  const double p50 = util::NearestRankPercentileSorted(cycle_seconds, 0.50);
+  const double p90 = util::NearestRankPercentileSorted(cycle_seconds, 0.90);
+  const double p99 = util::NearestRankPercentileSorted(cycle_seconds, 0.99);
+  const double worst = cycle_seconds.empty() ? 0.0 : cycle_seconds.back();
+  // The split and wall time come from the service's own counters —
+  // the same numbers the audit server's `stats` verb serves.
+  const service::AuditService::Stats stats = service.stats();
+  if (g_interrupted) {
+    std::cerr << "interrupted after " << cycles_completed << "/" << cycles
+              << " cycles; writing partial report\n";
+  }
+  std::cerr << "scenario " << flags.GetString("scenario") << ": "
+            << cycles_completed << " cycles x " << options.budgets.size()
+            << " budgets in " << stats.total_cycle_seconds << "s — "
+            << stats.served_from_cache << " cache hits, "
+            << stats.warm_solves << " warm, " << stats.cold_solves
             << " cold\n"
             << "cycle latency: p50 " << p50 << "s p90 " << p90 << "s p99 "
             << p99 << "s max " << worst << "s\n"
-            << "policy cache: " << cache_stats.hits << " hits / "
-            << cache_stats.misses << " misses, " << cache_stats.insertions
-            << " insertions, " << cache_stats.evictions << " evictions; "
-            << "compile cache: " << compile_stats.hits << " hits / "
-            << compile_stats.misses << " misses\n";
+            << "policy cache: " << stats.cache.hits << " hits / "
+            << stats.cache.misses << " misses, " << stats.cache.insertions
+            << " insertions, " << stats.cache.evictions << " evictions; "
+            << "compile cache: " << stats.compile.hits << " hits / "
+            << stats.compile.misses << " misses\n";
 
   const std::string json_path = flags.GetString("json");
   if (!json_path.empty()) {
@@ -213,11 +191,13 @@ int Run(int argc, char** argv) {
     summary["scenario"] = flags.GetString("scenario");
     summary["stream"] = flags.GetString("stream");
     summary["cycles"] = cycles;
+    summary["cycles_completed"] = cycles_completed;
+    summary["interrupted"] = g_interrupted != 0;
     summary["budgets"] = static_cast<int>(options.budgets.size());
-    summary["cache_hits"] = served_from_cache;
-    summary["warm_solves"] = warm_solves;
-    summary["cold_solves"] = cold_solves;
-    summary["total_seconds"] = total_seconds;
+    summary["cache_hits"] = static_cast<double>(stats.served_from_cache);
+    summary["warm_solves"] = static_cast<double>(stats.warm_solves);
+    summary["cold_solves"] = static_cast<double>(stats.cold_solves);
+    summary["total_seconds"] = stats.total_cycle_seconds;
     summary["cycle_seconds_p50"] = p50;
     summary["cycle_seconds_p90"] = p90;
     summary["cycle_seconds_p99"] = p99;
