@@ -1,0 +1,238 @@
+// Microbenchmark for the wire codecs of the audit server's hot verbs:
+// the JSON path (server/protocol.h) against the compact binary path
+// (server/binary_codec.h), on the two payloads that dominate serving
+// traffic — an `ingest` request carrying per-type alert distributions and
+// a `solve_cycle` response carrying the cycle's policies.
+//
+// Two kinds of numbers come out. The deterministic ones gate in CI via
+// tools/bench_compare.py: `round_trip_identical` (the binary decode
+// returns the request/response bit-exactly) and the byte-size ratios
+// (`*_json_binary_size_ratio` = JSON bytes / binary bytes, higher is
+// better, a pure function of the codec). The encode/decode wall-clock
+// throughputs ride along as `*_seconds` fields — archived, not gated.
+//
+// Measured numbers land in BENCH_micro_frame.json.
+#include <algorithm>
+#include <cmath>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "bench/exit_codes.h"
+#include "prob/count_distribution.h"
+#include "server/binary_codec.h"
+#include "server/protocol.h"
+#include "service/audit_service.h"
+#include "util/flags.h"
+#include "util/json.h"
+#include "util/timer.h"
+
+namespace {
+
+using namespace auditgame;  // NOLINT
+
+std::vector<prob::CountDistribution> MakeDistributions(int types,
+                                                       int support) {
+  std::vector<prob::CountDistribution> dists;
+  for (int t = 0; t < types; ++t) {
+    std::vector<double> pmf(static_cast<size_t>(support));
+    for (int z = 0; z < support; ++z) {
+      // Deterministic ragged shape: distinct per type, nothing uniform.
+      pmf[static_cast<size_t>(z)] = 1.0 + ((z * 7 + t * 3) % 11);
+    }
+    auto dist = prob::CountDistribution::FromPmf(t, std::move(pmf));
+    if (!dist.ok()) {
+      std::cerr << dist.status() << "\n";
+      std::exit(1);
+    }
+    dists.push_back(*std::move(dist));
+  }
+  return dists;
+}
+
+service::AuditService::CycleReport MakeReport(int budgets, int types) {
+  service::AuditService::CycleReport report;
+  report.cycle = 41;
+  report.seconds = 0.015625;
+  for (int b = 0; b < budgets; ++b) {
+    service::AuditService::CyclePolicy policy;
+    policy.budget = 5.0 + b;
+    policy.source = service::AuditService::Source::kWarmSolve;
+    policy.drift = 0.03125 * b;
+    policy.result.objective = -1.25 - b;
+    for (int t = 0; t < types; ++t) {
+      policy.result.thresholds.push_back(static_cast<double>(t + b));
+    }
+    report.policies.push_back(std::move(policy));
+  }
+  return report;
+}
+
+// The wire carries IEEE-754 bits unchanged; the one place precision can
+// move is CountDistribution's constructor, which renormalizes the decoded
+// pmf (a divide by a sum within a few ULPs of 1). So "identical" here
+// means support-exact and value-equal to 4 ULPs — the same contract the
+// codec unit tests assert — while the JSON path, which prints decimal,
+// drifts orders of magnitude more.
+bool SameDistributions(const std::vector<prob::CountDistribution>& a,
+                       const std::vector<prob::CountDistribution>& b) {
+  if (a.size() != b.size()) return false;
+  for (size_t i = 0; i < a.size(); ++i) {
+    if (a[i].min_value() != b[i].min_value() ||
+        a[i].support_size() != b[i].support_size()) {
+      return false;
+    }
+    for (int z = a[i].min_value(); z <= a[i].max_value(); ++z) {
+      const double x = a[i].Pmf(z), y = b[i].Pmf(z);
+      if (std::abs(x - y) > 4 * std::abs(x) * 2.220446049250313e-16) {
+        return false;
+      }
+    }
+  }
+  return true;
+}
+
+int Run(int argc, char** argv) {
+  util::FlagParser flags;
+  flags.Define("types", "5", "alert types per ingest payload");
+  flags.Define("support", "24", "pmf entries per distribution");
+  flags.Define("budgets", "2", "policies per solve_cycle response");
+  flags.Define("reps", "2000", "encode+decode repetitions per codec");
+  flags.Define("json", "BENCH_micro_frame.json",
+               "machine-readable report path (empty = none)");
+  auto status = flags.Parse(argc, argv);
+  if (!status.ok()) {
+    std::cerr << status << "\n" << flags.HelpString(argv[0]);
+    return 1;
+  }
+  if (flags.help_requested()) {
+    std::cout << flags.HelpString(argv[0]);
+    return 0;
+  }
+  const int types = std::max(1, flags.GetInt("types"));
+  const int support = std::max(1, flags.GetInt("support"));
+  const int budgets = std::max(1, flags.GetInt("budgets"));
+  const int reps = std::max(1, flags.GetInt("reps"));
+
+  const auto dists = MakeDistributions(types, support);
+  const auto report = MakeReport(budgets, types);
+
+  // --- correctness: the binary codec must round-trip the ingest (see
+  // SameDistributions for what "identical" means here) ---
+  const std::string ingest_json = server::MakeIngestRequest(7, "bench", dists);
+  const std::string ingest_binary =
+      server::EncodeBinaryIngestRequest(7, "bench", dists);
+  bool round_trip_identical;
+  {
+    auto decoded = server::DecodeBinaryRequest(ingest_binary);
+    round_trip_identical = decoded.ok() && decoded->id == 7 &&
+                           decoded->tenant == "bench" &&
+                           SameDistributions(decoded->distributions, dists);
+  }
+  const std::string response_json =
+      server::MakeSolveCycleResponse(7, "bench", 0, report);
+  const std::string response_binary =
+      server::EncodeBinarySolveCycleResponse(7, 0, report);
+  {
+    auto decoded = server::DecodeBinaryResponse(response_binary);
+    round_trip_identical =
+        round_trip_identical && decoded.ok() &&
+        decoded->cycle == report.cycle &&
+        decoded->policies.size() == report.policies.size();
+  }
+
+  // --- timing: encode and decode throughput per codec ---
+  util::Timer timer;
+  for (int i = 0; i < reps; ++i) {
+    volatile size_t sink =
+        server::MakeIngestRequest(i, "bench", dists).size();
+    (void)sink;
+  }
+  const double json_encode_seconds = timer.ElapsedSeconds();
+  timer = util::Timer();
+  for (int i = 0; i < reps; ++i) {
+    volatile size_t sink =
+        server::EncodeBinaryIngestRequest(i, "bench", dists).size();
+    (void)sink;
+  }
+  const double binary_encode_seconds = timer.ElapsedSeconds();
+  timer = util::Timer();
+  size_t decoded_types = 0;
+  for (int i = 0; i < reps; ++i) {
+    auto doc = util::JsonValue::Parse(ingest_json);
+    auto parsed = server::ParseRequest(*doc);
+    decoded_types += parsed->distributions.size();
+  }
+  const double json_decode_seconds = timer.ElapsedSeconds();
+  timer = util::Timer();
+  for (int i = 0; i < reps; ++i) {
+    auto parsed = server::DecodeBinaryRequest(ingest_binary);
+    decoded_types += parsed->distributions.size();
+  }
+  const double binary_decode_seconds = timer.ElapsedSeconds();
+  if (decoded_types !=
+      static_cast<size_t>(2 * reps) * static_cast<size_t>(types)) {
+    std::cerr << "decode sink mismatch\n";
+    return bench::kSmokeExitDisagreement;
+  }
+
+  const double ingest_size_ratio =
+      static_cast<double>(ingest_json.size()) /
+      static_cast<double>(ingest_binary.size());
+  const double response_size_ratio =
+      static_cast<double>(response_json.size()) /
+      static_cast<double>(response_binary.size());
+  const bool binary_smaller =
+      ingest_binary.size() < ingest_json.size() &&
+      response_binary.size() < response_json.size();
+
+  std::cerr << "micro_frame: ingest " << ingest_json.size() << "B json vs "
+            << ingest_binary.size() << "B binary (ratio "
+            << ingest_size_ratio << "), response " << response_json.size()
+            << "B vs " << response_binary.size() << "B (ratio "
+            << response_size_ratio << ")\n"
+            << "  encode: json " << json_encode_seconds << "s, binary "
+            << binary_encode_seconds << "s; decode: json "
+            << json_decode_seconds << "s, binary " << binary_decode_seconds
+            << "s (" << reps << " reps)\n"
+            << "  round_trip_identical=" << round_trip_identical
+            << " binary_smaller=" << binary_smaller << "\n";
+
+  if (const std::string path = flags.GetString("json"); !path.empty()) {
+    util::JsonValue::Object out;
+    out["bench"] = "micro_frame";
+    out["types"] = types;
+    out["support"] = support;
+    out["budgets"] = budgets;
+    out["reps"] = reps;
+    out["ingest_json_bytes"] = static_cast<double>(ingest_json.size());
+    out["ingest_binary_bytes"] = static_cast<double>(ingest_binary.size());
+    out["response_json_bytes"] = static_cast<double>(response_json.size());
+    out["response_binary_bytes"] =
+        static_cast<double>(response_binary.size());
+    // Gated (deterministic): the booleans and the size ratios.
+    out["round_trip_identical"] = round_trip_identical;
+    out["binary_smaller_than_json"] = binary_smaller;
+    out["ingest_json_binary_size_ratio"] = ingest_size_ratio;
+    out["response_json_binary_size_ratio"] = response_size_ratio;
+    // Archived (machine-dependent): wall-clock per codec.
+    out["json_encode_seconds"] = json_encode_seconds;
+    out["binary_encode_seconds"] = binary_encode_seconds;
+    out["json_decode_seconds"] = json_decode_seconds;
+    out["binary_decode_seconds"] = binary_decode_seconds;
+    std::ofstream stream(path);
+    if (!stream) {
+      std::cerr << "cannot write " << path << "\n";
+      return bench::kSmokeExitIoError;
+    }
+    stream << util::JsonValue(std::move(out)).Dump(2) << "\n";
+  }
+  return (round_trip_identical && binary_smaller)
+             ? bench::kSmokeExitOk
+             : bench::kSmokeExitDisagreement;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) { return Run(argc, argv); }

@@ -59,6 +59,37 @@ util::Status FrameClient::Send(std::string_view payload) {
   return util::OkStatus();
 }
 
+void FrameClient::QueueSend(std::string_view payload) {
+  send_buffer_ += EncodeFrame(payload);
+}
+
+util::Status FrameClient::FlushSends() {
+  if (!broken_.ok()) return broken_;
+  size_t sent = 0;
+  while (sent < send_buffer_.size()) {
+    const ssize_t n = ::send(socket_.fd(), send_buffer_.data() + sent,
+                             send_buffer_.size() - sent, MSG_NOSIGNAL);
+    if (n < 0) {
+      if (errno == EINTR) continue;
+      send_buffer_.erase(0, sent);
+      return util::InternalError("send: " + std::string(strerror(errno)));
+    }
+    sent += static_cast<size_t>(n);
+  }
+  send_buffer_.clear();
+  return util::OkStatus();
+}
+
+util::StatusOr<bool> FrameClient::ReceiveBuffered(std::string* payload) {
+  if (!broken_.ok()) return broken_;
+  auto next = decoder_.Next(payload);
+  if (!next.ok()) {
+    broken_ = next.status();
+    return broken_;
+  }
+  return *next;
+}
+
 util::StatusOr<std::string> FrameClient::Receive() {
   if (!broken_.ok()) return broken_;
   const auto fail = [this](std::string message) {

@@ -31,6 +31,24 @@ class FrameClient {
   /// Writes one full frame (blocking until every byte is accepted).
   util::Status Send(std::string_view payload);
 
+  /// Appends one frame to the local send buffer without touching the
+  /// socket — pipelined callers queue a whole request window, then pay one
+  /// FlushSends() syscall for all of it.
+  void QueueSend(std::string_view payload);
+
+  /// Writes every queued frame (blocking until the kernel accepted all of
+  /// it). No-op when nothing is queued.
+  util::Status FlushSends();
+
+  size_t queued_send_bytes() const { return send_buffer_.size(); }
+
+  /// Decodes one frame from bytes already buffered by a previous Receive()
+  /// — never reads the socket, never blocks. Returns true with *payload
+  /// filled, or false when draining the buffer needs more socket data.
+  /// Pipelined callers drain buffered responses before topping the window
+  /// up, so a burst of responses costs one recv(2), not one per frame.
+  util::StatusOr<bool> ReceiveBuffered(std::string* payload);
+
   /// Blocks until one complete frame arrives; error on EOF, timeout, or a
   /// framing violation. Any such error breaks the client permanently: a
   /// timed-out response may still arrive (or sit half-buffered in the
@@ -49,6 +67,7 @@ class FrameClient {
 
   Socket socket_;
   FrameDecoder decoder_;
+  std::string send_buffer_;
   /// Set on the first receive failure; sticky (see Receive()).
   util::Status broken_ = util::OkStatus();
 };

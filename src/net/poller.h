@@ -2,7 +2,7 @@
 #define AUDIT_GAME_NET_POLLER_H_
 
 #include <cstddef>
-#include <map>
+#include <memory>
 #include <vector>
 
 #include "util/status.h"
@@ -20,38 +20,50 @@ struct PollEvent {
   bool hangup = false;
 };
 
-/// Readiness notifier over poll(2). poll — not epoll — keeps the code
-/// portable across every POSIX the toolchain targets, and the server's fd
-/// counts (hundreds of connections, one listener, one wake pipe) are far
-/// below where epoll's O(1) dispatch starts to matter; the interface is
-/// level-triggered so a switch to epoll(LT) later is a drop-in.
+/// Readiness notifier: the level-triggered event-loop primitive behind each
+/// reactor. Two backends implement the same interface:
+///
+///  * `kEpoll` (Linux): O(1) dispatch independent of the watched-set size —
+///    the serving backend, where one reactor may own tens of thousands of
+///    pipelined connections.
+///  * `kPoll`: portable POSIX poll(2), O(n) per wait. The fallback for
+///    non-Linux builds and the reference the epoll backend is tested
+///    against; at small fd counts the two are indistinguishable.
+///
+/// `kDefault` picks epoll where compiled in, poll otherwise. Both backends
+/// are level-triggered with identical semantics, so callers never branch on
+/// which one they got.
 ///
 /// Not thread-safe: one Poller belongs to one event-loop thread.
 class Poller {
  public:
+  virtual ~Poller() = default;
+
   /// Registers `fd` or updates its interest set. `read`/`write` select the
   /// events to wake on (hangup/error always wake).
-  void Watch(int fd, bool read, bool write);
+  virtual void Watch(int fd, bool read, bool write) = 0;
 
   /// Stops watching `fd` (no-op if unknown).
-  void Forget(int fd);
+  virtual void Forget(int fd) = 0;
 
-  size_t watched() const { return interest_.size(); }
+  virtual size_t watched() const = 0;
 
   /// Blocks until at least one watched descriptor is ready or `timeout_ms`
   /// elapses (-1 = forever). Returns the ready set; an empty result means
   /// the timeout genuinely expired with nothing pending (EINTR is retried
   /// internally — anything that must interrupt the wait writes to a
-  /// watched pipe, as the audit server's wake pipe does).
-  util::StatusOr<std::vector<PollEvent>> Wait(int timeout_ms);
+  /// watched descriptor, as the reactors' wake channels do).
+  virtual util::StatusOr<std::vector<PollEvent>> Wait(int timeout_ms) = 0;
 
- private:
-  struct Interest {
-    bool read = false;
-    bool write = false;
-  };
-  std::map<int, Interest> interest_;
+  /// "epoll" or "poll" — for logs and the stats verb.
+  virtual const char* backend_name() const = 0;
 };
+
+enum class PollerBackend { kDefault, kPoll, kEpoll };
+
+/// Creates a poller. `kEpoll` returns nullptr on platforms without epoll;
+/// `kDefault` never fails.
+std::unique_ptr<Poller> MakePoller(PollerBackend backend = PollerBackend::kDefault);
 
 }  // namespace auditgame::net
 

@@ -1,19 +1,18 @@
 #include "server/audit_server.h"
 
-#include <errno.h>
-#include <unistd.h>
-
+#include <algorithm>
 #include <chrono>
 #include <utility>
 
+#include "server/binary_codec.h"
 #include "util/hash.h"
 
 namespace auditgame::server {
 
 namespace {
-/// Poll granularity: fast enough that a drain or stop request is noticed
-/// promptly even if the wake byte is lost, cheap enough to idle on.
-constexpr int kIdlePollMs = 500;
+/// Acceptor granularity: bounds how stale the stats snapshot and the
+/// drain/stop checks can get if a wake notification is lost.
+constexpr int kAcceptorPollMs = 250;
 constexpr int kDrainPollMs = 50;
 }  // namespace
 
@@ -21,17 +20,21 @@ AuditServer::AuditServer(core::GameInstance base_instance,
                          AuditServerOptions options)
     : options_(std::move(options)), base_instance_(std::move(base_instance)) {
   if (options_.num_shards < 1) options_.num_shards = 1;
+  if (options_.num_reactors < 1) options_.num_reactors = 1;
   if (options_.queue_capacity < 1) options_.queue_capacity = 1;
+  if (options_.stats_refresh_ms < 1) options_.stats_refresh_ms = 1;
 }
 
 AuditServer::~AuditServer() {
-  // Join the shard workers before any other member dies: their responder
-  // lambdas touch response_mutex_/responses_, which are declared after
-  // shards_ and would otherwise be destroyed first on paths where Run()
-  // never joined (Start() without Run(), or Run() failing early). Nothing
-  // can be delivered anymore, so the backlog is discarded, not drained.
+  // Stop the shard workers before the reactors die: shard responders post
+  // into reactor inboxes, so shards must be joined while the reactors (and
+  // the response queues they own) are still alive. On paths where Run()
+  // completed this is all no-ops. Nothing can be delivered anymore, so
+  // shard backlogs are discarded, not drained.
   for (auto& shard : shards_) shard->DiscardPending();
   for (auto& shard : shards_) shard->Join();
+  for (auto& reactor : reactors_) reactor->Kill();
+  for (auto& reactor : reactors_) reactor->Join();
 }
 
 size_t AuditServer::ShardForTenant(const std::string& tenant,
@@ -43,15 +46,31 @@ size_t AuditServer::ShardForTenant(const std::string& tenant,
 
 util::Status AuditServer::Start() {
   if (started_) return util::FailedPreconditionError("already started");
-  ASSIGN_OR_RETURN(listener_,
-                   net::ListenTcp(options_.host, options_.port));
+  ASSIGN_OR_RETURN(listener_, net::ListenTcp(options_.host, options_.port));
   ASSIGN_OR_RETURN(port_, net::LocalPort(listener_));
-  auto pipe = net::MakeWakePipe();
-  RETURN_IF_ERROR(pipe.status());
-  wake_rx_ = std::move(pipe->first);
-  wake_tx_ = std::move(pipe->second);
-  poller_.Watch(listener_.fd(), /*read=*/true, /*write=*/false);
-  poller_.Watch(wake_rx_.fd(), /*read=*/true, /*write=*/false);
+  ASSIGN_OR_RETURN(wake_, net::WakeChannel::Make());
+  acceptor_poller_ = net::MakePoller(options_.poller_backend);
+  if (!acceptor_poller_) {
+    return util::InvalidArgumentError(
+        "requested poller backend unavailable on this platform");
+  }
+  acceptor_poller_->Watch(listener_.fd(), /*read=*/true, /*write=*/false);
+  acceptor_poller_->Watch(wake_.read_fd(), /*read=*/true, /*write=*/false);
+
+  ReactorOptions reactor_options;
+  reactor_options.max_frame_payload = options_.max_frame_payload;
+  reactor_options.max_write_buffer = options_.max_write_buffer;
+  reactor_options.idle_timeout_ms = options_.idle_timeout_ms;
+  reactor_options.poller_backend = options_.poller_backend;
+  reactors_.reserve(static_cast<size_t>(options_.num_reactors));
+  for (int i = 0; i < options_.num_reactors; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(
+        i, reactor_options,
+        [this](Reactor& reactor, uint64_t conn_id,
+               const std::string& payload) {
+          return HandleFrame(reactor, conn_id, payload);
+        }));
+  }
 
   shards_.reserve(static_cast<size_t>(options_.num_shards));
   for (int i = 0; i < options_.num_shards; ++i) {
@@ -59,35 +78,66 @@ util::Status AuditServer::Start() {
         i, base_instance_, options_.service, options_.queue_capacity,
         options_.max_batch,
         [this](std::vector<Shard::Response> batch) {
-          {
-            std::lock_guard<std::mutex> lock(response_mutex_);
-            for (Shard::Response& response : batch) {
-              responses_.push_back(PendingResponse{
-                  response.conn_id, std::move(response.payload)});
+          // Route each response to the reactor that owns its connection
+          // (conn_id % num_reactors — valid even after a close; the owner
+          // counts the orphan). One PostResponses per reactor per batch.
+          const size_t n = reactors_.size();
+          if (n == 1) {
+            reactors_[0]->PostResponses(std::move(batch));
+            return;
+          }
+          std::vector<std::vector<Shard::Response>> per_reactor(n);
+          for (Shard::Response& response : batch) {
+            per_reactor[response.conn_id % n].push_back(std::move(response));
+          }
+          for (size_t r = 0; r < n; ++r) {
+            if (!per_reactor[r].empty()) {
+              reactors_[r]->PostResponses(std::move(per_reactor[r]));
             }
           }
-          WakeLoop();
         },
-        [this] { WakeLoop(); }));
+        [this] { wake_.Notify(); }));
+  }
+
+  for (auto& reactor : reactors_) {
+    RETURN_IF_ERROR(reactor->Start());
   }
   for (auto& shard : shards_) shard->Start();
+  RefreshStatsSnapshot();
   started_ = true;
   return util::OkStatus();
 }
 
 void AuditServer::RequestStop() {
   stop_requested_.store(true, std::memory_order_release);
-  // write(2) is async-signal-safe; a full pipe already guarantees a wakeup.
-  if (wake_tx_.valid()) {
-    const char byte = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_tx_.fd(), &byte, 1);
-  }
+  wake_.Notify();  // one async-signal-safe write(2)
 }
 
-void AuditServer::WakeLoop() {
-  if (wake_tx_.valid()) {
-    const char byte = 1;
-    [[maybe_unused]] ssize_t n = ::write(wake_tx_.fd(), &byte, 1);
+int64_t AuditServer::LiveConnectionEstimate() const {
+  // accepted − closed is exact even while adoptions are still queued in
+  // reactor inboxes (both counters are monotonic), which is what the
+  // accept cap needs: an accept burst may not bypass it.
+  int64_t closed = 0;
+  for (const auto& reactor : reactors_) closed += reactor->closed_connections();
+  return accepted_connections_.load(std::memory_order_relaxed) - closed;
+}
+
+void AuditServer::AdmitConnections(std::vector<net::Socket> sockets,
+                                   bool enforce_cap) {
+  int64_t live = LiveConnectionEstimate();
+  for (net::Socket& socket : sockets) {
+    if (enforce_cap && options_.max_connections > 0 &&
+        live >= static_cast<int64_t>(options_.max_connections)) {
+      // Graceful refusal: close immediately instead of letting the peer
+      // hang in a never-served queue. The peer sees EOF on first read.
+      accept_rejections_.fetch_add(1, std::memory_order_relaxed);
+      socket.Close();
+      continue;
+    }
+    const uint64_t conn_id = ++next_conn_id_;
+    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+    ++live;
+    reactors_[conn_id % reactors_.size()]->Adopt(std::move(socket), conn_id);
   }
 }
 
@@ -96,49 +146,26 @@ void AuditServer::BeginDrain() {
   if (listener_.valid()) {
     // Closing a listening socket resets every handshake-complete
     // connection still waiting in its accept queue — and those peers may
-    // already have written requests. Accept them first so the drain can
-    // answer them (with `overloaded`) instead of RST-ing them away.
+    // already have written requests. Accept them first (cap waived: they
+    // are a bounded, already-handshaken backlog) so the drain can answer
+    // them (with `overloaded`) instead of RST-ing them away.
     if (auto accepted = net::AcceptAll(listener_); accepted.ok()) {
-      RegisterConnections(std::move(*accepted));
+      AdmitConnections(std::move(*accepted), /*enforce_cap=*/false);
     }
-    poller_.Forget(listener_.fd());
+    acceptor_poller_->Forget(listener_.fd());
     listener_.Close();
   }
+  // Close the shard queues first: from here on every frame a reactor reads
+  // gets `overloaded`, so reactor in-flight counts only shrink.
   for (auto& shard : shards_) shard->BeginDrain();
-}
-
-void AuditServer::RegisterConnections(std::vector<net::Socket> sockets) {
-  for (net::Socket& socket : sockets) {
-    const uint64_t conn_id = next_conn_id_++;
-    const int fd = socket.fd();
-    connections_.emplace(
-        conn_id,
-        ConnState(net::Connection(std::move(socket),
-                                  options_.max_frame_payload,
-                                  options_.max_write_buffer)));
-    fd_to_conn_[fd] = conn_id;
-    poller_.Watch(fd, /*read=*/true, /*write=*/false);
-    ++accepted_connections_;
-  }
-}
-
-bool AuditServer::DrainComplete() {
-  for (const auto& shard : shards_) {
-    if (!shard->finished()) return false;
-  }
-  {
-    std::lock_guard<std::mutex> lock(response_mutex_);
-    if (!responses_.empty()) return false;
-  }
-  for (const auto& [conn_id, state] : connections_) {
-    if (state.conn.wants_write()) return false;
-  }
-  return true;
+  for (auto& reactor : reactors_) reactor->BeginDrain();
 }
 
 util::Status AuditServer::Run() {
   if (!started_) return util::FailedPreconditionError("Start() first");
   std::chrono::steady_clock::time_point drain_deadline;
+  auto last_refresh = std::chrono::steady_clock::now();
+  bool killed = false;
 
   for (;;) {
     if (stop_requested_.load(std::memory_order_acquire) && !draining_) {
@@ -146,209 +173,188 @@ util::Status AuditServer::Run() {
       drain_deadline = std::chrono::steady_clock::now() +
                        std::chrono::milliseconds(options_.drain_timeout_ms);
     }
-    if (draining_ &&
-        std::chrono::steady_clock::now() >= drain_deadline) {
-      break;
+    if (draining_) {
+      const bool all_drained =
+          std::all_of(reactors_.begin(), reactors_.end(),
+                      [](const auto& reactor) { return reactor->drained(); });
+      if (all_drained) break;
+      if (!killed && std::chrono::steady_clock::now() >= drain_deadline) {
+        // Deadline: abandon shard backlogs so the reactors' outstanding
+        // counts can never settle, then make them exit regardless.
+        for (auto& shard : shards_) shard->DiscardPending();
+        for (auto& reactor : reactors_) reactor->Kill();
+        killed = true;
+      }
     }
 
-    auto events = poller_.Wait(draining_ ? kDrainPollMs : kIdlePollMs);
+    auto events = acceptor_poller_->Wait(
+        draining_ ? kDrainPollMs
+                  : std::min(kAcceptorPollMs, options_.stats_refresh_ms));
     RETURN_IF_ERROR(events.status());
-    const bool idle_poll = events->empty();
-
     for (const net::PollEvent& event : *events) {
-      if (event.fd == wake_rx_.fd()) {
-        char buf[256];
-        while (::read(wake_rx_.fd(), buf, sizeof(buf)) > 0) {
-        }
+      if (event.fd == wake_.read_fd()) {
+        wake_.Drain();
         continue;
       }
       if (listener_.valid() && event.fd == listener_.fd()) {
         auto accepted = net::AcceptAll(listener_);
         if (!accepted.ok()) continue;  // transient; the listener stays up
-        RegisterConnections(std::move(*accepted));
-        continue;
-      }
-
-      const auto fd_it = fd_to_conn_.find(event.fd);
-      if (fd_it == fd_to_conn_.end()) continue;
-      const uint64_t conn_id = fd_it->second;
-
-      if (event.readable || event.hangup) {
-        auto conn_it = connections_.find(conn_id);
-        if (conn_it == connections_.end()) continue;
-        std::vector<std::string> frames;
-        auto open = conn_it->second.conn.ReadFrames(&frames);
-        frames_in_ += static_cast<int64_t>(frames.size());
-        for (const std::string& frame : frames) HandleFrame(conn_id, frame);
-        // Re-find: handling a frame can close the connection (slow
-        // consumer) and invalidate the iterator.
-        conn_it = connections_.find(conn_id);
-        if (conn_it == connections_.end()) continue;
-        if (!open.ok() || !*open) {
-          // Peer closed its write side (or broke framing): stop reading,
-          // but keep the connection until buffered output and in-flight
-          // shard responses are settled — pipelined requests before a
-          // half-close still deserve answers.
-          conn_it->second.read_closed = true;
-          UpdateInterest(conn_id);
-          MaybeFinishConnection(conn_id);
-          continue;
-        }
-      }
-      if (event.writable) {
-        auto conn_it = connections_.find(conn_id);
-        if (conn_it == connections_.end()) continue;
-        if (!conn_it->second.conn.Flush()) {
-          CloseConnection(conn_id);
-          continue;
-        }
-        UpdateInterest(conn_id);
-        MaybeFinishConnection(conn_id);
+        AdmitConnections(std::move(*accepted), /*enforce_cap=*/true);
       }
     }
 
-    DeliverResponses();
-
-    // Exit only off an *empty* poll: anything the kernel still buffered on
-    // a connection has then been read and answered (requests arriving
-    // after the stop get `overloaded` from the closed queues), so nothing
-    // is dropped in silence.
-    if (draining_ && idle_poll && DrainComplete()) break;
+    if (!draining_) {
+      const auto now = std::chrono::steady_clock::now();
+      if (now - last_refresh >=
+          std::chrono::milliseconds(options_.stats_refresh_ms)) {
+        last_refresh = now;
+        RefreshStatsSnapshot();
+      }
+    }
   }
 
-  // Reclaim the shard threads, then drop any connections still open. On a
-  // clean drain the queues are already empty and DiscardPending is a
-  // no-op; on the deadline path it abandons the backlog so Join() returns
-  // after at most one in-flight solve — the deadline genuinely bounds
-  // shutdown, since those answers could no longer be delivered anyway.
+  // Reclaim the worker threads: shards first (their responders post into
+  // reactor inboxes), then the reactors, then count responses that raced
+  // the exit and could no longer be delivered.
   for (auto& shard : shards_) shard->DiscardPending();
   for (auto& shard : shards_) shard->Join();
-  DeliverResponses();  // last-gasp flush of responses that raced the exit
-  connections_.clear();
-  fd_to_conn_.clear();
-  return util::OkStatus();
+  for (auto& reactor : reactors_) reactor->Kill();
+  util::Status status = util::OkStatus();
+  for (auto& reactor : reactors_) {
+    reactor->Join();
+    if (status.ok()) status = reactor->status();
+    reactor->DrainLeftovers();
+  }
+  RefreshStatsSnapshot();  // final numbers for StatsBody() callers
+  return status;
 }
 
-void AuditServer::DeliverResponses() {
-  std::vector<PendingResponse> batch;
-  {
-    std::lock_guard<std::mutex> lock(response_mutex_);
-    batch.swap(responses_);
+bool AuditServer::HandleFrame(Reactor& reactor, uint64_t conn_id,
+                              const std::string& payload) {
+  if (IsBinaryFrame(payload)) {
+    reactor.SetBinaryMode(conn_id);
+    auto request = DecodeBinaryRequest(payload);
+    if (!request.ok()) {
+      // A payload that claims to be binary and fails to decode means the
+      // peer's encoder and ours disagree; every later frame is suspect.
+      // One error frame, then the connection goes (sticky).
+      reactor.CountProtocolError();
+      reactor.Reply(conn_id,
+                    EncodeBinaryErrorResponse(BinaryCorrelationIdOf(payload),
+                                              request.status().ToString()));
+      reactor.Poison(conn_id);
+      return false;
+    }
+    Dispatch(reactor, conn_id, *std::move(request));
+    return true;
   }
-  for (PendingResponse& response : batch) {
-    Reply(response.conn_id, response.payload, /*from_shard=*/true);
-  }
-}
 
-void AuditServer::HandleFrame(uint64_t conn_id, const std::string& payload) {
   auto doc = util::JsonValue::Parse(payload);
   if (!doc.ok()) {
+    reactor.CountProtocolError();
+    if (reactor.binary_mode(conn_id)) {
+      // A binary-mode peer produced a frame that is neither binary nor
+      // JSON: encoder desync, same sticky discipline as a bad binary frame.
+      reactor.Reply(conn_id,
+                    EncodeBinaryErrorResponse(-1, doc.status().ToString()));
+      reactor.Poison(conn_id);
+      return false;
+    }
     // Malformed JSON in a well-formed frame: answer with an error frame and
     // keep the connection — the stream itself is still in sync.
-    ++protocol_errors_;
-    Reply(conn_id, MakeErrorResponse(-1, doc.status().ToString()));
-    return;
+    reactor.Reply(conn_id, MakeErrorResponse(-1, doc.status().ToString()));
+    return true;
   }
   auto request = ParseRequest(*doc);
   if (!request.ok()) {
-    ++protocol_errors_;
-    Reply(conn_id,
-          MakeErrorResponse(RequestIdOf(*doc), request.status().ToString()));
-    return;
+    reactor.CountProtocolError();
+    reactor.Reply(conn_id, MakeErrorResponse(RequestIdOf(*doc),
+                                             request.status().ToString()));
+    return true;
   }
 
   if (request->verb == Verb::kStats) {
-    Reply(conn_id, MakeStatsResponse(request->id, StatsBody()));
-    return;
+    reactor.Reply(conn_id,
+                  MakeStatsResponse(request->id, StatsSnapshotBody()));
+    return true;
   }
 
-  const size_t shard = ShardForTenant(request->tenant, shards_.size());
-  const int64_t id = request->id;
-  const std::string tenant = request->tenant;
+  Dispatch(reactor, conn_id, *std::move(request));
+  return true;
+}
+
+void AuditServer::Dispatch(Reactor& reactor, uint64_t conn_id,
+                           Request request) {
+  const size_t shard = ShardForTenant(request.tenant, shards_.size());
+  const int64_t id = request.id;
+  const bool binary = request.binary;
+  const unsigned char binary_verb = request.verb == Verb::kIngest
+                                        ? kBinaryVerbIngest
+                                        : kBinaryVerbSolveCycle;
+  const std::string tenant = request.tenant;
   // During a drain the queues are closed, so TrySubmit fails and the
   // client gets the same retryable `overloaded` a full queue produces.
-  if (!shards_[shard]->TrySubmit(ShardTask{conn_id, *std::move(request)})) {
-    ++overloaded_;
-    Reply(conn_id,
-          MakeOverloadedResponse(id, tenant, static_cast<int>(shard)));
+  if (!shards_[shard]->TrySubmit(ShardTask{conn_id, std::move(request)})) {
+    reactor.CountOverloaded();
+    reactor.Reply(conn_id,
+                  binary ? EncodeBinaryOverloadedResponse(
+                               id, static_cast<int>(shard), binary_verb)
+                         : MakeOverloadedResponse(id, tenant,
+                                                  static_cast<int>(shard)));
     return;
   }
-  if (auto it = connections_.find(conn_id); it != connections_.end()) {
-    ++it->second.in_flight;  // settled by the shard's response
-  }
+  reactor.OnSubmitted(conn_id);  // settled by the shard's response
 }
 
-void AuditServer::Reply(uint64_t conn_id, const std::string& payload,
-                        bool from_shard) {
-  auto it = connections_.find(conn_id);
-  if (it == connections_.end()) {
-    // The client disconnected before its response was ready; it cannot be
-    // answered, only counted.
-    ++orphaned_responses_;
-    return;
+util::JsonValue::Object AuditServer::StatsSnapshotBody() {
+  std::shared_ptr<const util::JsonValue::Object> snapshot;
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot = stats_snapshot_;
   }
-  if (from_shard) --it->second.in_flight;
-  if (!it->second.conn.QueueFrame(payload)) {
-    ++slow_consumer_closes_;
-    CloseConnection(conn_id);
-    return;
-  }
-  ++frames_out_;
-  if (!it->second.conn.Flush()) {
-    CloseConnection(conn_id);
-    return;
-  }
-  UpdateInterest(conn_id);
-  MaybeFinishConnection(conn_id);
+  if (!snapshot) return util::JsonValue::Object{};
+  return *snapshot;  // copy; the shared body itself is immutable
 }
 
-void AuditServer::UpdateInterest(uint64_t conn_id) {
-  auto it = connections_.find(conn_id);
-  if (it == connections_.end()) return;
-  const ConnState& state = it->second;
-  if (state.read_closed && !state.conn.wants_write()) {
-    // Nothing to poll for — and poll(2) reports POLLHUP/POLLERR even for
-    // an empty interest set, so leaving a dead-but-pending connection
-    // (in-flight shard responses) registered would busy-spin the loop.
-    // Response delivery re-registers write interest when it queues data.
-    poller_.Forget(state.conn.fd());
-    return;
-  }
-  poller_.Watch(state.conn.fd(), /*read=*/!state.read_closed,
-                /*write=*/state.conn.wants_write());
-}
-
-void AuditServer::MaybeFinishConnection(uint64_t conn_id) {
-  auto it = connections_.find(conn_id);
-  if (it == connections_.end()) return;
-  const ConnState& state = it->second;
-  if (state.read_closed && state.in_flight == 0 &&
-      !state.conn.wants_write()) {
-    CloseConnection(conn_id);
-  }
-}
-
-void AuditServer::CloseConnection(uint64_t conn_id) {
-  auto it = connections_.find(conn_id);
-  if (it == connections_.end()) return;
-  poller_.Forget(it->second.conn.fd());
-  fd_to_conn_.erase(it->second.conn.fd());
-  connections_.erase(it);
+void AuditServer::RefreshStatsSnapshot() {
+  auto body =
+      std::make_shared<const util::JsonValue::Object>(StatsBody());
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  stats_snapshot_ = std::move(body);
 }
 
 util::JsonValue::Object AuditServer::StatsBody() {
+  int64_t active = 0, frames_in = 0, frames_out = 0, protocol_errors = 0;
+  int64_t overloaded = 0, slow_closes = 0, orphaned = 0, idle_closes = 0;
+  for (const auto& reactor : reactors_) {
+    active += reactor->active_connections();
+    frames_in += reactor->frames_in();
+    frames_out += reactor->frames_out();
+    protocol_errors += reactor->protocol_errors();
+    overloaded += reactor->overloaded();
+    slow_closes += reactor->slow_consumer_closes();
+    orphaned += reactor->orphaned_responses();
+    idle_closes += reactor->idle_closes();
+  }
+
   util::JsonValue::Object body;
   util::JsonValue::Object server;
-  server["active_connections"] = static_cast<int>(connections_.size());
-  server["accepted_connections"] = static_cast<double>(accepted_connections_);
-  server["frames_in"] = static_cast<double>(frames_in_);
-  server["frames_out"] = static_cast<double>(frames_out_);
-  server["protocol_errors"] = static_cast<double>(protocol_errors_);
-  server["overloaded"] = static_cast<double>(overloaded_);
-  server["slow_consumer_closes"] =
-      static_cast<double>(slow_consumer_closes_);
-  server["orphaned_responses"] = static_cast<double>(orphaned_responses_);
+  server["active_connections"] = static_cast<double>(active);
+  server["accepted_connections"] = static_cast<double>(
+      accepted_connections_.load(std::memory_order_relaxed));
+  server["accept_rejections"] = static_cast<double>(
+      accept_rejections_.load(std::memory_order_relaxed));
+  server["frames_in"] = static_cast<double>(frames_in);
+  server["frames_out"] = static_cast<double>(frames_out);
+  server["protocol_errors"] = static_cast<double>(protocol_errors);
+  server["overloaded"] = static_cast<double>(overloaded);
+  server["slow_consumer_closes"] = static_cast<double>(slow_closes);
+  server["orphaned_responses"] = static_cast<double>(orphaned);
+  server["idle_closes"] = static_cast<double>(idle_closes);
   server["shards"] = static_cast<int>(shards_.size());
+  server["reactors"] = static_cast<int>(reactors_.size());
+  server["poller"] = std::string(
+      reactors_.empty() ? "none" : reactors_.front()->backend_name());
   server["draining"] = draining_;
   body["server"] = std::move(server);
 

@@ -3,7 +3,6 @@
 
 #include <atomic>
 #include <cstdint>
-#include <map>
 #include <memory>
 #include <mutex>
 #include <string>
@@ -11,10 +10,10 @@
 #include <vector>
 
 #include "core/game.h"
-#include "net/connection.h"
 #include "net/frame.h"
 #include "net/poller.h"
 #include "net/socket.h"
+#include "server/reactor.h"
 #include "server/shard.h"
 #include "service/audit_service.h"
 #include "util/json.h"
@@ -28,6 +27,10 @@ struct AuditServerOptions {
   /// 0 binds an ephemeral port; read it back with port() after Start().
   uint16_t port = 0;
   int num_shards = 4;
+  /// IO threads. Each accepted connection is pinned to one reactor for its
+  /// whole life (conn_id % num_reactors), so reactors share nothing but
+  /// the accept stream and the shard queues.
+  int num_reactors = 1;
   /// Per-shard request-queue bound — the backpressure knob. A full queue
   /// answers `overloaded` immediately instead of buffering.
   size_t queue_capacity = 128;
@@ -37,30 +40,47 @@ struct AuditServerOptions {
   /// Per-connection write-buffer bound; a peer further behind than this is
   /// disconnected (slow-consumer close) rather than buffered forever.
   size_t max_write_buffer = 4u << 20;
+  /// Connections with no traffic for this long — and nothing owed to them
+  /// — are reaped (dead clients do not hold fds forever). 0 disables.
+  int idle_timeout_ms = 300000;
+  /// Accept cap: beyond this many live connections new accepts are closed
+  /// immediately (a graceful refusal, not a hang). 0 = unlimited.
+  size_t max_connections = 0;
+  /// How often the acceptor rebuilds the stats snapshot the `stats` verb
+  /// answers from (reactors never lock a shard for it).
+  int stats_refresh_ms = 250;
+  /// Event-loop backend for every reactor (kDefault = epoll where
+  /// available, poll(2) otherwise).
+  net::PollerBackend poller_backend = net::PollerBackend::kDefault;
   /// How long a graceful stop waits for shards to drain and responses to
   /// flush before giving up.
   int drain_timeout_ms = 10000;
-  /// Per-tenant serving configuration. Set service.num_threads = 1 for
+  /// Per-tenant serving configuration. Set service.num_threads < 0 for
   /// servers with many tenants (tools/audit_server does): every tenant
-  /// owns an engine thread pool, and server concurrency should come from
-  /// shards, not from per-tenant pools.
+  /// owns a solver engine, and an engine thread pool per tenant does not
+  /// scale — inline mode solves on the shard thread itself.
   service::AuditServiceOptions service;
 };
 
 /// The wire-serving layer over the paper's audit loop: N shards, each a
-/// single-writer AuditService host on its own thread, fronted by one
-/// poll-based IO thread speaking the length-prefixed JSON protocol of
-/// server/protocol.h. Tenants are routed by FNV-1a hash of their id, so
-/// one tenant's cycles stay ordered (same shard, FIFO queue) while tenants
-/// on different shards solve concurrently. See docs/DESIGN.md "Network
-/// serving".
+/// single-writer AuditService host on its own thread, fronted by a pool of
+/// reactor IO threads (epoll-based where available) speaking the
+/// length-prefixed protocol of server/protocol.h in its JSON or binary
+/// encoding (server/binary_codec.h). The acceptor thread — the one that
+/// calls Run() — owns the listener and hands each connection to one
+/// reactor for life; tenants are routed by FNV-1a hash of their id, so one
+/// tenant's cycles stay ordered (same shard, FIFO queue) while tenants on
+/// different shards solve concurrently. Connections pipeline freely:
+/// responses are paired by correlation id and may return out of submission
+/// order across tenants. See docs/DESIGN.md "Network serving".
 ///
-/// Lifecycle: Start() binds and spawns the shard threads; Run() owns the
-/// calling thread until RequestStop() (async-signal-safe, callable from a
-/// SIGINT handler) — it then stops accepting, lets every shard drain its
-/// accepted queue, flushes the resulting responses, and returns. Every
-/// accepted request is answered with a policy, `overloaded`, or an error
-/// frame — nothing is dropped in silence.
+/// Lifecycle: Start() binds and spawns the shard + reactor threads; Run()
+/// owns the calling thread until RequestStop() (async-signal-safe,
+/// callable from a SIGINT handler) — it then stops accepting, lets every
+/// shard drain its accepted queue, waits for every reactor to flush the
+/// resulting responses, and returns. Every accepted request is answered
+/// with a policy, `overloaded`, or an error frame — nothing is dropped in
+/// silence.
 class AuditServer {
  public:
   /// Every tenant's game starts as a copy of `base_instance` and diverges
@@ -75,7 +95,7 @@ class AuditServer {
   util::Status Run();
 
   /// Signals Run() to begin the graceful drain. Async-signal-safe: one
-  /// atomic store plus a write(2) to the wake pipe.
+  /// atomic store plus a write(2) to the wake channel.
   void RequestStop();
 
   /// The bound port (valid after Start()).
@@ -85,73 +105,53 @@ class AuditServer {
   /// for the routing tests and capacity planning.
   static size_t ShardForTenant(const std::string& tenant, size_t num_shards);
 
-  /// The `stats` verb's body (server counters + per-shard snapshots).
-  /// Call only from the thread that runs Run() — or after Run() returned,
-  /// for a final drain summary.
+  /// Builds a fresh stats body (server counters + per-shard snapshots) —
+  /// the final-summary path for tools and tests. The `stats` verb itself
+  /// is answered from the cached snapshot (see StatsSnapshotBody), so a
+  /// stats request never locks a shard from a reactor thread.
   util::JsonValue::Object StatsBody();
 
  private:
-  struct PendingResponse {
-    uint64_t conn_id = 0;
-    std::string payload;
-  };
-
-  /// A connection plus the server-side state the contract needs: how many
-  /// shard-queued requests still owe it a response, and whether its read
-  /// side closed. A half-closed peer with responses in flight stays open
-  /// until every answer is flushed — pipelined requests before a
-  /// half-close still deserve answers.
-  struct ConnState {
-    explicit ConnState(net::Connection connection)
-        : conn(std::move(connection)) {}
-    net::Connection conn;
-    int64_t in_flight = 0;
-    bool read_closed = false;
-  };
-
-  void WakeLoop();
-  void RegisterConnections(std::vector<net::Socket> sockets);
-  void DeliverResponses();
-  void HandleFrame(uint64_t conn_id, const std::string& payload);
-  /// `from_shard` marks responses that settle an in-flight shard task.
-  void Reply(uint64_t conn_id, const std::string& payload,
-             bool from_shard = false);
-  void CloseConnection(uint64_t conn_id);
-  /// Closes a read-closed connection once nothing is owed to it.
-  void MaybeFinishConnection(uint64_t conn_id);
-  void UpdateInterest(uint64_t conn_id);
+  /// The frame handler every reactor runs; returns false to poison the
+  /// connection (sticky binary-decode failure).
+  bool HandleFrame(Reactor& reactor, uint64_t conn_id,
+                   const std::string& payload);
+  /// Routes one validated request to its shard, answering `overloaded`
+  /// when the queue refuses it.
+  void Dispatch(Reactor& reactor, uint64_t conn_id, Request request);
+  /// Copy of the periodically refreshed stats snapshot (what the `stats`
+  /// verb answers with).
+  util::JsonValue::Object StatsSnapshotBody();
+  void RefreshStatsSnapshot();
+  void AdmitConnections(std::vector<net::Socket> sockets, bool enforce_cap);
   void BeginDrain();
-  bool DrainComplete();
+  int64_t LiveConnectionEstimate() const;
 
   AuditServerOptions options_;
   core::GameInstance base_instance_;
 
   net::Socket listener_;
-  net::Socket wake_rx_, wake_tx_;
-  net::Poller poller_;
+  net::WakeChannel wake_;
+  std::unique_ptr<net::Poller> acceptor_poller_;
   uint16_t port_ = 0;
   bool started_ = false;
 
+  /// Reactors are declared before shards_ so shard threads (whose
+  /// responders post into reactor inboxes) are destroyed first.
+  std::vector<std::unique_ptr<Reactor>> reactors_;
   std::vector<std::unique_ptr<Shard>> shards_;
 
-  uint64_t next_conn_id_ = 1;
-  std::map<uint64_t, ConnState> connections_;
-  std::map<int, uint64_t> fd_to_conn_;
+  uint64_t next_conn_id_ = 0;
 
-  std::mutex response_mutex_;
-  std::vector<PendingResponse> responses_;
+  std::mutex snapshot_mutex_;
+  std::shared_ptr<const util::JsonValue::Object> stats_snapshot_;
 
   std::atomic<bool> stop_requested_{false};
   bool draining_ = false;
 
-  // IO-thread-only counters, reported by the stats verb.
-  int64_t accepted_connections_ = 0;
-  int64_t frames_in_ = 0;
-  int64_t frames_out_ = 0;
-  int64_t protocol_errors_ = 0;
-  int64_t overloaded_ = 0;
-  int64_t slow_consumer_closes_ = 0;
-  int64_t orphaned_responses_ = 0;
+  // Acceptor-thread counters, reported by the stats verb.
+  std::atomic<int64_t> accepted_connections_{0};
+  std::atomic<int64_t> accept_rejections_{0};
 };
 
 }  // namespace auditgame::server

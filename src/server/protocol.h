@@ -29,6 +29,15 @@ namespace auditgame::server {
 /// `error` carries a `message`; malformed JSON gets an error response with
 /// id -1 on the same connection — only framing violations cost the
 /// connection itself.
+///
+/// The `id` is a *correlation id*: a connection may pipeline any number of
+/// in-flight requests, and responses echo the id so the client can pair
+/// them. Responses may complete out of submission order across tenants
+/// (different shards); one tenant's responses stay in submission order
+/// (same shard, FIFO queue). The hot verbs also have a compact binary
+/// encoding carried in the same frames — see server/binary_codec.h;
+/// `Request::binary` records which encoding a request arrived in, and the
+/// response mirrors it.
 enum class Verb { kIngest, kSolveCycle, kStats };
 
 const char* VerbName(Verb verb);
@@ -38,6 +47,9 @@ struct Request {
   Verb verb = Verb::kStats;
   std::string tenant;
   int64_t id = -1;
+  /// Wire encoding the request arrived in (and its response leaves in):
+  /// true = binary (server/binary_codec.h), false = JSON.
+  bool binary = false;
   /// kIngest only: the cycle's refreshed per-type distributions.
   std::vector<prob::CountDistribution> distributions;
 };

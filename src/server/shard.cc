@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <utility>
 
+#include "server/binary_codec.h"
 #include "util/percentile.h"
 
 namespace auditgame::server {
@@ -73,13 +74,20 @@ void Shard::Process(const ShardTask& task, std::vector<Response>* responses) {
     case Verb::kIngest: {
       service::AuditService* service = TenantService(request.tenant);
       // ParseRequest validated shape; the service validates semantics
-      // (type count, pmf validity against the game).
+      // (type count, pmf validity against the game). The response mirrors
+      // the request's wire encoding (binary or JSON).
       util::Status status =
           service->UpdateAlertDistributions(request.distributions);
       if (status.ok()) {
-        response = MakeIngestOkResponse(request.id, request.tenant, index_);
+        response = request.binary
+                       ? EncodeBinaryIngestOkResponse(request.id, index_)
+                       : MakeIngestOkResponse(request.id, request.tenant,
+                                              index_);
       } else {
-        response = MakeErrorResponse(request.id, status.ToString());
+        response = request.binary
+                       ? EncodeBinaryErrorResponse(request.id,
+                                                   status.ToString())
+                       : MakeErrorResponse(request.id, status.ToString());
       }
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++processed_;
@@ -91,10 +99,17 @@ void Shard::Process(const ShardTask& task, std::vector<Response>* responses) {
       service::AuditService* service = TenantService(request.tenant);
       auto report = service->RunCycle();
       if (report.ok()) {
-        response = MakeSolveCycleResponse(request.id, request.tenant, index_,
-                                          *report);
+        response = request.binary
+                       ? EncodeBinarySolveCycleResponse(request.id, index_,
+                                                        *report)
+                       : MakeSolveCycleResponse(request.id, request.tenant,
+                                                index_, *report);
       } else {
-        response = MakeErrorResponse(request.id, report.status().ToString());
+        response = request.binary
+                       ? EncodeBinaryErrorResponse(request.id,
+                                                   report.status().ToString())
+                       : MakeErrorResponse(request.id,
+                                           report.status().ToString());
       }
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++processed_;

@@ -38,7 +38,9 @@ struct AuditServiceOptions {
   /// IshmOptions::max_subset_size); 0 keeps the backend's full sweep.
   int warm_subset_cap = 1;
   size_t cache_capacity = 256;
-  /// Engine worker threads; 0 = one per core.
+  /// Engine worker threads; 0 = one per core, < 0 = inline mode (the
+  /// engine solves on the calling thread, spawning nothing — what the
+  /// audit server uses so ten thousand tenant services cost zero threads).
   int num_threads = 0;
 };
 

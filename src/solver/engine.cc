@@ -92,13 +92,15 @@ std::vector<util::StatusOr<SolveResult>> SolverEngine::SolveAll(
   }
 
   // Workers fill preassigned slots so the output order is the input order,
-  // independent of scheduling.
+  // independent of scheduling. Inline mode (no pool) runs the same worker
+  // body on the calling thread — bit-for-bit the same results, since
+  // requests never share mutable state either way.
   std::vector<std::unique_ptr<util::StatusOr<SolveResult>>> slots(
       requests.size());
   for (size_t i = 0; i < requests.size(); ++i) {
     const EngineRequest& request = requests[i];
     auto& slot = slots[i];
-    pool_.Schedule([&request, &slot, &compiled] {
+    auto work = [&request, &slot, &compiled] {
       // Library code is exception-free (Status-based), but a worker must
       // never let anything escape onto the pool thread.
       try {
@@ -118,9 +120,14 @@ std::vector<util::StatusOr<SolveResult>> SolverEngine::SolveAll(
         slot = std::make_unique<util::StatusOr<SolveResult>>(
             util::InternalError("solver threw a non-exception"));
       }
-    });
+    };
+    if (pool_) {
+      pool_->Schedule(std::move(work));
+    } else {
+      work();
+    }
   }
-  pool_.Wait();
+  if (pool_) pool_->Wait();
 
   std::vector<util::StatusOr<SolveResult>> results;
   results.reserve(slots.size());

@@ -62,14 +62,22 @@ class SolverEngine {
     int64_t misses = 0;
   };
 
-  /// `num_threads` = 0 uses ThreadPool::DefaultThreadCount();
-  /// `compile_cache_capacity` bounds the number of distinct compiled games
-  /// kept across batches.
+  /// `num_threads` = 0 uses ThreadPool::DefaultThreadCount(); < 0 selects
+  /// *inline mode* — no pool at all, SolveAll() runs every request on the
+  /// calling thread. Inline mode exists for hosts that already own the
+  /// concurrency (the audit server's shards: thousands of tenant engines,
+  /// each solving from its single shard thread — a pool per tenant would
+  /// be thousands of idle threads). `compile_cache_capacity` bounds the
+  /// number of distinct compiled games kept across batches.
   explicit SolverEngine(int num_threads = 0,
                         size_t compile_cache_capacity = 64)
-      : pool_(num_threads), compiled_cache_(compile_cache_capacity) {}
+      : pool_(num_threads < 0 ? nullptr
+                              : std::make_unique<util::ThreadPool>(
+                                    num_threads)),
+        compiled_cache_(compile_cache_capacity) {}
 
-  int num_threads() const { return pool_.num_threads(); }
+  /// 0 in inline mode (no worker threads exist).
+  int num_threads() const { return pool_ ? pool_->num_threads() : 0; }
 
   /// Runs every request. Failures (unknown solver, invalid game, solve
   /// error) are reported per-slot; one bad request never aborts the batch.
@@ -89,7 +97,8 @@ class SolverEngine {
   /// Returns the compiled form of `instance`, compiling and caching on miss.
   CompiledPtr CompileCached(const core::GameInstance& instance);
 
-  util::ThreadPool pool_;
+  /// Null in inline mode.
+  std::unique_ptr<util::ThreadPool> pool_;
   mutable std::mutex cache_mutex_;
   util::LruCache<util::Fingerprint, CompiledPtr> compiled_cache_;
   CompileCacheStats cache_stats_;

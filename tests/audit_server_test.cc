@@ -7,6 +7,7 @@
 
 #include <sys/socket.h>
 
+#include <chrono>
 #include <memory>
 #include <set>
 #include <string>
@@ -16,7 +17,9 @@
 #include "gtest/gtest.h"
 #include "net/client.h"
 #include "net/frame.h"
+#include "net/poller.h"
 #include "scenario/generator.h"
+#include "server/binary_codec.h"
 #include "server/protocol.h"
 #include "util/json.h"
 
@@ -258,24 +261,38 @@ TEST_F(AuditServerTest, BackpressureAnswersEveryRequest) {
 TEST_F(AuditServerTest, StatsReportsShardsAndTenants) {
   AuditServerOptions options;
   options.num_shards = 3;
+  options.stats_refresh_ms = 10;
   StartServer(options);
   auto client = Connect();
   ASSERT_EQ(StatusOf(Call(client, MakeSolveCycleRequest(1, "t1"))), "ok");
   ASSERT_EQ(StatusOf(Call(client, MakeSolveCycleRequest(2, "t2"))), "ok");
 
-  util::JsonValue doc = Call(client, MakeStatsRequest(3));
-  ASSERT_EQ(StatusOf(doc), "ok");
-  const util::JsonValue* shards = doc.Find("shards");
-  ASSERT_NE(shards, nullptr);
-  ASSERT_TRUE(shards->is_array());
-  ASSERT_EQ(shards->as_array().size(), 3u);
+  // The stats verb answers from a periodically refreshed snapshot (it
+  // never locks a shard from a reactor thread), so the counters converge
+  // to the truth rather than reflecting it instantaneously: poll.
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
   double tenants = 0.0, solves = 0.0;
-  for (const util::JsonValue& shard : shards->as_array()) {
-    auto t = shard.GetNumber("tenants");
-    auto s = shard.GetNumber("solves");
-    ASSERT_TRUE(t.ok() && s.ok());
-    tenants += *t;
-    solves += *s;
+  int64_t id = 3;
+  util::JsonValue doc;
+  for (;;) {
+    doc = Call(client, MakeStatsRequest(id++));
+    ASSERT_EQ(StatusOf(doc), "ok");
+    const util::JsonValue* shards = doc.Find("shards");
+    ASSERT_NE(shards, nullptr);
+    ASSERT_TRUE(shards->is_array());
+    ASSERT_EQ(shards->as_array().size(), 3u);
+    tenants = 0.0;
+    solves = 0.0;
+    for (const util::JsonValue& shard : shards->as_array()) {
+      auto t = shard.GetNumber("tenants");
+      auto s = shard.GetNumber("solves");
+      ASSERT_TRUE(t.ok() && s.ok());
+      tenants += *t;
+      solves += *s;
+    }
+    if (solves >= 2.0 || std::chrono::steady_clock::now() >= deadline) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(5));
   }
   EXPECT_EQ(tenants, 2.0);
   EXPECT_EQ(solves, 2.0);
@@ -284,6 +301,148 @@ TEST_F(AuditServerTest, StatsReportsShardsAndTenants) {
   auto protocol_errors = server_stats->GetNumber("protocol_errors");
   ASSERT_TRUE(protocol_errors.ok());
   EXPECT_EQ(*protocol_errors, 0.0);
+  auto reactors = server_stats->GetNumber("reactors");
+  ASSERT_TRUE(reactors.ok());
+  EXPECT_GE(*reactors, 1.0);
+}
+
+TEST_F(AuditServerTest, PipelinedBinaryRequestsInterleaveAcrossTenants) {
+  AuditServerOptions options;
+  options.num_shards = 2;
+  options.queue_capacity = 64;
+  StartServer(options);
+  auto client = Connect();
+
+  // One connection pipelines five solves each for two tenants (different
+  // shards) without reading a single response. The correlation ids pair
+  // the answers; across tenants they may interleave in any order, but each
+  // tenant's own cycle numbers must come back strictly increasing.
+  constexpr int kSolves = 5;
+  for (int i = 1; i <= kSolves; ++i) {
+    client.QueueSend(EncodeBinarySolveCycleRequest(100 + i, "tenant-a"));
+    client.QueueSend(EncodeBinarySolveCycleRequest(200 + i, "tenant-b"));
+  }
+  ASSERT_TRUE(client.FlushSends().ok());
+
+  int next_a = 1, next_b = 1;
+  int64_t last_cycle_a = 0, last_cycle_b = 0;
+  for (int n = 0; n < 2 * kSolves; ++n) {
+    auto payload = client.Receive();
+    ASSERT_TRUE(payload.ok()) << payload.status();
+    ASSERT_TRUE(IsBinaryFrame(*payload));  // response mirrors the encoding
+    auto response = DecodeBinaryResponse(*payload);
+    ASSERT_TRUE(response.ok()) << response.status();
+    ASSERT_EQ(response->status, kBinaryStatusOk);
+    if (response->correlation_id > 200) {
+      EXPECT_EQ(response->correlation_id, 200 + next_b++);
+      EXPECT_GT(response->cycle, last_cycle_b);
+      last_cycle_b = response->cycle;
+    } else {
+      EXPECT_EQ(response->correlation_id, 100 + next_a++);
+      EXPECT_GT(response->cycle, last_cycle_a);
+      last_cycle_a = response->cycle;
+    }
+  }
+  EXPECT_EQ(next_a, kSolves + 1);
+  EXPECT_EQ(next_b, kSolves + 1);
+}
+
+TEST_F(AuditServerTest, JsonAndBinaryCoexistOnOneConnection) {
+  StartServer();
+  auto client = Connect();
+
+  // JSON ingest, binary solve, JSON stats — every response mirrors its
+  // request's encoding, on the same connection.
+  util::JsonValue doc = Call(client, MakeIngestRequest(1, "mixed", baseline_));
+  EXPECT_EQ(StatusOf(doc), "ok");
+
+  ASSERT_TRUE(client.Send(EncodeBinarySolveCycleRequest(2, "mixed")).ok());
+  auto payload = client.Receive();
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  ASSERT_TRUE(IsBinaryFrame(*payload));
+  auto response = DecodeBinaryResponse(*payload);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->correlation_id, 2);
+  EXPECT_EQ(response->status, kBinaryStatusOk);
+  EXPECT_EQ(response->cycle, 1);
+
+  doc = Call(client, MakeStatsRequest(3));
+  EXPECT_EQ(StatusOf(doc), "ok");
+}
+
+TEST_F(AuditServerTest, MalformedBinaryFrameAnswersThenDisconnects) {
+  StartServer();
+  auto client = Connect();
+
+  // A payload that claims to be binary (magic byte) but fails to decode
+  // means encoder desync: the server answers one binary error frame and
+  // then drops the connection — unlike malformed JSON, which is survivable.
+  std::string garbage = EncodeBinarySolveCycleRequest(9, "tenant");
+  garbage[3] = 77;  // unknown verb
+  ASSERT_TRUE(client.Send(garbage).ok());
+  auto payload = client.Receive();
+  ASSERT_TRUE(payload.ok()) << payload.status();
+  ASSERT_TRUE(IsBinaryFrame(*payload));
+  auto response = DecodeBinaryResponse(*payload);
+  ASSERT_TRUE(response.ok()) << response.status();
+  EXPECT_EQ(response->status, kBinaryStatusError);
+  EXPECT_EQ(response->correlation_id, 9);  // best-effort id echo
+  EXPECT_FALSE(client.Receive().ok());     // sticky: EOF follows
+
+  // A fresh connection is unaffected.
+  auto fresh = Connect();
+  EXPECT_EQ(StatusOf(Call(fresh, MakeStatsRequest(1))), "ok");
+}
+
+TEST_F(AuditServerTest, IdleConnectionsAreReaped) {
+  AuditServerOptions options;
+  options.idle_timeout_ms = 50;
+  StartServer(options);
+  auto idle = Connect();
+  // No request ever sent: the reactor's idle sweep must close the
+  // connection (EOF on our side) instead of holding the fd forever.
+  EXPECT_FALSE(idle.Receive().ok());
+
+  // A connection that keeps talking stays up well past the timeout.
+  auto busy = Connect();
+  for (int i = 0; i < 4; ++i) {
+    EXPECT_EQ(StatusOf(Call(busy, MakeStatsRequest(i))), "ok");
+    std::this_thread::sleep_for(std::chrono::milliseconds(30));
+  }
+}
+
+TEST_F(AuditServerTest, MaxConnectionsCapClosesExcessAccepts) {
+  AuditServerOptions options;
+  options.max_connections = 1;
+  StartServer(options);
+
+  auto first = Connect();
+  ASSERT_EQ(StatusOf(Call(first, MakeStatsRequest(1))), "ok");
+
+  // The second accept is over the cap: closed immediately, so the first
+  // read sees EOF instead of a response.
+  auto second = Connect();
+  ASSERT_TRUE(second.Send(MakeStatsRequest(2)).ok());
+  EXPECT_FALSE(second.Receive().ok());
+
+  // The admitted connection is unaffected.
+  EXPECT_EQ(StatusOf(Call(first, MakeStatsRequest(3))), "ok");
+}
+
+TEST_F(AuditServerTest, PollBackendServesLikeTheDefault) {
+  AuditServerOptions options;
+  options.poller_backend = net::PollerBackend::kPoll;
+  options.num_reactors = 2;
+  StartServer(options);
+  auto client = Connect();
+  EXPECT_EQ(StatusOf(Call(client, MakeSolveCycleRequest(1, "t"))), "ok");
+  util::JsonValue doc = Call(client, MakeStatsRequest(2));
+  ASSERT_EQ(StatusOf(doc), "ok");
+  const util::JsonValue* server_stats = doc.Find("server");
+  ASSERT_NE(server_stats, nullptr);
+  auto poller = server_stats->GetString("poller");
+  ASSERT_TRUE(poller.ok());
+  EXPECT_EQ(*poller, "poll");
 }
 
 TEST_F(AuditServerTest, HalfClosedClientStillGetsItsResponses) {

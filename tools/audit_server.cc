@@ -1,10 +1,14 @@
 // audit_server: the sharded multi-tenant audit server as a standalone
-// process. Serves the wire protocol of server/protocol.h (length-prefixed
-// JSON frames: `ingest` / `solve_cycle` / `stats`) over TCP, with one
-// single-writer AuditService per tenant routed by tenant-id hash to one of
-// --shards worker threads. Backpressure is explicit: when a shard's
-// bounded queue is full the request is answered `overloaded`, never
-// buffered without limit.
+// process. Serves the wire protocol of server/protocol.h — length-prefixed
+// frames carrying JSON (`ingest` / `solve_cycle` / `stats`) or the compact
+// binary encoding of the hot verbs (server/binary_codec.h) — over TCP.
+// Connections are accepted on one listener thread and pinned to one of
+// --reactors epoll event loops; requests route by tenant-id hash to one of
+// --shards worker threads, each owning a single-writer AuditService per
+// tenant. Responses may complete out of submission order across tenants
+// (pipelining by correlation id); per-tenant order is structural.
+// Backpressure is explicit: when a shard's bounded queue is full the
+// request is answered `overloaded`, never buffered without limit.
 //
 // Every tenant's game starts as a copy of the configured scenario instance
 // and diverges through `ingest`. SIGINT/SIGTERM trigger a graceful drain:
@@ -15,6 +19,7 @@
 //   audit_server --port=0    # ephemeral; the bound port is printed
 #include <signal.h>
 
+#include <algorithm>
 #include <iostream>
 #include <string>
 #include <utility>
@@ -39,10 +44,23 @@ int Run(int argc, char** argv) {
   flags.Define("host", "127.0.0.1", "numeric IPv4 bind address");
   flags.Define("port", "7353", "TCP port (0 = ephemeral, printed on start)");
   flags.Define("shards", "4", "shard worker threads");
+  flags.Define("reactors", "1",
+               "IO event-loop threads (each connection is pinned to one)");
+  flags.Define("poller", "default",
+               "event backend: default (epoll on Linux), epoll, poll");
   flags.Define("queue_capacity", "128",
                "per-shard request-queue bound (full queue => overloaded)");
   flags.Define("batch", "16", "max requests drained per shard wakeup");
   flags.Define("max_frame_kb", "1024", "frame payload cap in KiB");
+  flags.Define("idle_timeout_ms", "300000",
+               "close connections idle this long with nothing in flight "
+               "(0 = never)");
+  flags.Define("max_connections", "0",
+               "live-connection cap; excess accepts are closed immediately "
+               "(0 = unlimited)");
+  flags.Define("stats_refresh_ms", "250",
+               "stats-snapshot refresh period (the `stats` verb reads the "
+               "snapshot, never the live shards)");
   flags.Define("drain_timeout_ms", "10000",
                "graceful-stop budget for draining shards and flushing");
   scenario::DefineScenarioFlags(flags, /*default_scenario=*/"uniform",
@@ -51,9 +69,10 @@ int Run(int argc, char** argv) {
   flags.Define("eps", "0.25", "ISHM step size");
   flags.Define("warm_max_drift", "0.25",
                "drift threshold above which re-solves are cold");
-  flags.Define("threads", "1",
-               "engine workers per tenant service (keep small: shards are "
-               "the server's concurrency)");
+  flags.Define("threads", "-1",
+               "engine workers per tenant service; -1 = inline mode (solve "
+               "on the shard thread, no per-tenant pool — the only mode "
+               "that scales to tens of thousands of tenants)");
   flags.Define("pricing_threads", "1", "CGGS pricing threads per solve");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
@@ -76,10 +95,26 @@ int Run(int argc, char** argv) {
     return 1;
   }
 
+  const std::string poller = flags.GetString("poller");
   server::AuditServerOptions options;
   options.host = flags.GetString("host");
   options.port = static_cast<uint16_t>(flags.GetInt("port"));
   options.num_shards = flags.GetInt("shards");
+  options.num_reactors = flags.GetInt("reactors");
+  if (poller == "default") {
+    options.poller_backend = net::PollerBackend::kDefault;
+  } else if (poller == "epoll") {
+    options.poller_backend = net::PollerBackend::kEpoll;
+  } else if (poller == "poll") {
+    options.poller_backend = net::PollerBackend::kPoll;
+  } else {
+    std::cerr << "--poller must be default, epoll, or poll\n";
+    return 1;
+  }
+  options.idle_timeout_ms = flags.GetInt("idle_timeout_ms");
+  options.max_connections =
+      static_cast<size_t>(std::max(0, flags.GetInt("max_connections")));
+  options.stats_refresh_ms = flags.GetInt("stats_refresh_ms");
   options.queue_capacity = static_cast<size_t>(flags.GetInt("queue_capacity"));
   options.max_batch = static_cast<size_t>(flags.GetInt("batch"));
   options.max_frame_payload =
@@ -116,8 +151,8 @@ int Run(int argc, char** argv) {
   signal(SIGPIPE, SIG_IGN);
 
   std::cerr << "audit_server: listening on " << options.host << ":"
-            << server.port() << " with " << options.num_shards
-            << " shards (queue capacity "
+            << server.port() << " with " << options.num_shards << " shards, "
+            << options.num_reactors << " reactors (queue capacity "
             << static_cast<int>(options.queue_capacity) << ", batch "
             << static_cast<int>(options.max_batch) << ")\n";
 

@@ -1,20 +1,33 @@
-// loadgen: socket-level load generator for the audit server. Spawns one
-// connection per tenant, replays a scenario alert stream (src/scenario/)
-// as interleaved `ingest` + `solve_cycle` requests, retries `overloaded`
-// backpressure responses with a small backoff, and reports throughput and
-// request-latency percentiles. Verifies the serving contract as it goes:
-// every request must be answered (policy, `overloaded`, or an error
-// frame), and each tenant's solve responses must carry strictly
-// increasing cycle numbers (the per-tenant ordering the shard routing
-// guarantees). Exits non-zero when either check fails.
+// loadgen: socket-level load generator for the audit server. Multiplexes
+// many simulated tenants — tens of thousands, far more than one thread or
+// connection per tenant could reach — over a small set of shared,
+// *pipelined* connections: each connection keeps a window of in-flight
+// requests (at most one per tenant, so per-tenant order stays meaningful),
+// pairs responses back to tenants by correlation id, and batches both
+// directions (one send(2) per window top-up, one recv(2) per response
+// burst). Requests use the compact binary encoding of the hot verbs by
+// default (--encoding=json for the debug path). Each tenant replays a
+// scenario alert stream (src/scenario/) as `ingest` + `solve_cycle`
+// cycles; --solves_per_cycle polls the policy several times per ingest
+// (the read-heavy serving pattern the policy cache exists for).
+//
+// The serving contract is verified as it goes: every request must be
+// answered (policy, `overloaded`, or an error frame), responses must pair
+// with a sent request, and each tenant's solve responses must carry
+// strictly increasing cycle numbers — the per-tenant ordering the shard
+// routing guarantees even while responses interleave across tenants.
+// `overloaded` responses are retried with a backoff that never blocks the
+// connection (the tenant sits out while others keep the window full).
+// Exits non-zero when any check fails, or when --min_throughput is set
+// and not met.
 //
 // With --connect it drives an external audit_server (the CI smoke job's
 // two-process mode); without it, it starts an in-process server on an
 // ephemeral port — the self-contained mode ctest runs — and shuts it down
 // gracefully at the end.
 //
-//   loadgen --tenants=4 --cycles=25 --shards=4 --json=BENCH_server.json
-//   loadgen --connect=127.0.0.1:7353 --tenants=8 --cycles=50
+//   loadgen --tenants=10000 --cycles=5 --connections=2 --window=256
+//   loadgen --connect=127.0.0.1:7353 --tenants=2000 --encoding=binary
 #include <signal.h>
 
 #include <algorithm>
@@ -24,9 +37,9 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
-#include <mutex>
 #include <string>
 #include <thread>
+#include <unordered_map>
 #include <utility>
 #include <vector>
 
@@ -34,6 +47,7 @@
 #include "scenario/generator.h"
 #include "scenario/stream.h"
 #include "server/audit_server.h"
+#include "server/binary_codec.h"
 #include "server/protocol.h"
 #include "util/flags.h"
 #include "util/json.h"
@@ -43,14 +57,18 @@
 namespace {
 
 using namespace auditgame;  // NOLINT
+using Clock = std::chrono::steady_clock;
 
 struct WorkerConfig {
   std::string host;
   uint16_t port = 0;
   int cycles = 0;
+  int solves_per_cycle = 1;
+  int window = 64;
   int retries = 0;
   int retry_backoff_ms = 0;
   int timeout_ms = 0;
+  bool binary = true;
   scenario::StreamSpec stream_spec;
 };
 
@@ -63,148 +81,329 @@ struct WorkerResult {
   int64_t transport_failures = 0;
   int64_t overloaded_retries = 0;
   /// Requests still `overloaded` after every retry (answered, but the
-  /// cycle was abandoned).
+  /// op was abandoned).
   int64_t gave_up_overloaded = 0;
   int64_t order_violations = 0;
+  /// Responses whose correlation id matched no in-flight request.
+  int64_t unmatched_responses = 0;
   std::vector<double> latency_seconds;
   std::vector<std::string> error_samples;
+
+  void SampleError(std::string message) {
+    if (error_samples.size() < 5) error_samples.push_back(std::move(message));
+  }
 };
 
-/// One request to a terminal response: retries `overloaded` with backoff,
-/// records the user-perceived latency (including retries). Returns the
-/// terminal response document, or an error status on a transport failure.
-util::StatusOr<util::JsonValue> RunOp(net::FrameClient& client,
-                                      const std::string& payload,
-                                      const WorkerConfig& config,
-                                      WorkerResult& result) {
-  util::Timer timer;
-  for (int attempt = 0; attempt <= config.retries; ++attempt) {
-    ++result.requests;
-    auto response = client.Call(payload);
-    if (!response.ok()) {
-      ++result.transport_failures;
-      return response.status();
+/// One simulated tenant's replay state machine. At most one request of a
+/// tenant is ever in flight, so its cycle order is checkable even while
+/// the connection interleaves thousands of tenants.
+struct TenantState {
+  std::string name;
+  std::unique_ptr<scenario::ScenarioStream> stream;
+  enum class Phase { kIngest, kSolve, kDone } phase = Phase::kIngest;
+  int cycle = 0;        // completed cycles
+  int solves_done = 0;  // solve ops completed within the current cycle
+  int attempts = 0;     // overloaded retries spent on the current op
+  int64_t last_cycle = 0;
+  bool in_flight = false;
+  /// The current op's encoded payload, kept for overloaded retries (the
+  /// retry re-sends the same bytes, same correlation id).
+  std::string pending_payload;
+  int64_t current_id = -1;
+  Clock::time_point op_start;
+  Clock::time_point backoff_until;
+  /// Ops that reached a terminal answer, plus ops skipped after a failed
+  /// ingest — the bookkeeping a transport-failure abort needs to count
+  /// exactly the never-answered remainder.
+  int64_t ops_terminal = 0;
+  int64_t ops_skipped = 0;
+};
+
+/// A decoded terminal response, either encoding.
+struct OpResponse {
+  int64_t id = -1;
+  enum class Status { kOk, kOverloaded, kError } status = Status::kError;
+  bool has_cycle = false;
+  int64_t cycle = 0;
+  std::string message;
+};
+
+util::StatusOr<OpResponse> DecodeResponse(const std::string& payload,
+                                          bool binary) {
+  OpResponse op;
+  if (binary) {
+    ASSIGN_OR_RETURN(server::BinaryResponse response,
+                     server::DecodeBinaryResponse(payload));
+    op.id = response.correlation_id;
+    op.status = response.status == server::kBinaryStatusOk
+                    ? OpResponse::Status::kOk
+                    : response.status == server::kBinaryStatusOverloaded
+                          ? OpResponse::Status::kOverloaded
+                          : OpResponse::Status::kError;
+    if (response.verb == server::kBinaryVerbSolveCycle &&
+        response.status == server::kBinaryStatusOk) {
+      op.has_cycle = true;
+      op.cycle = response.cycle;
     }
-    auto doc = util::JsonValue::Parse(*response);
-    if (!doc.ok()) {
-      ++result.request_errors;
-      return doc.status();
-    }
-    auto status = doc->GetString("status");
-    if (!status.ok()) {
-      ++result.request_errors;
-      return status.status();
-    }
-    if (*status == "overloaded" && attempt < config.retries) {
-      ++result.overloaded_retries;
-      std::this_thread::sleep_for(
-          std::chrono::milliseconds(config.retry_backoff_ms));
-      continue;
-    }
-    result.latency_seconds.push_back(timer.ElapsedSeconds());
-    if (*status == "overloaded") ++result.gave_up_overloaded;
-    return *std::move(doc);
+    op.message = std::move(response.message);
+    return op;
   }
-  return util::InternalError("unreachable retry loop exit");
+  ASSIGN_OR_RETURN(util::JsonValue doc, util::JsonValue::Parse(payload));
+  ASSIGN_OR_RETURN(double id, doc.GetNumber("id"));
+  op.id = static_cast<int64_t>(id);
+  ASSIGN_OR_RETURN(std::string status, doc.GetString("status"));
+  if (status == "ok") {
+    op.status = OpResponse::Status::kOk;
+  } else if (status == "overloaded") {
+    op.status = OpResponse::Status::kOverloaded;
+  } else {
+    op.status = OpResponse::Status::kError;
+  }
+  if (auto cycle = doc.GetNumber("cycle"); cycle.ok()) {
+    op.has_cycle = true;
+    op.cycle = static_cast<int64_t>(*cycle);
+  }
+  if (const util::JsonValue* m = doc.Find("message");
+      m != nullptr && m->is_string()) {
+    op.message = m->as_string();
+  }
+  return op;
 }
 
-void RunTenant(int tenant_index,
-               const std::vector<prob::CountDistribution>& baseline,
-               const WorkerConfig& config, WorkerResult& result) {
-  const std::string tenant = "tenant-" + std::to_string(tenant_index);
+/// Ops each tenant sends over a full clean replay.
+int64_t PlannedOps(const WorkerConfig& config) {
+  return static_cast<int64_t>(config.cycles) *
+         (1 + static_cast<int64_t>(config.solves_per_cycle));
+}
+
+/// Drives every tenant assigned to one shared connection to completion.
+void RunConnection(const std::vector<int>& tenant_indices,
+                   const std::vector<prob::CountDistribution>& baseline,
+                   const WorkerConfig& config, WorkerResult& result) {
   auto client = net::FrameClient::Connect(config.host, config.port,
                                           /*connect_wait_ms=*/10000);
   if (!client.ok()) {
     // The whole replay is unanswered: count every request it would have
     // sent as a transport failure rather than silently shrinking the run.
-    result.requests = result.transport_failures =
-        static_cast<int64_t>(config.cycles) * 2;
-    result.error_samples.push_back(client.status().ToString());
+    const int64_t planned =
+        PlannedOps(config) * static_cast<int64_t>(tenant_indices.size());
+    result.requests += planned;
+    result.transport_failures += planned;
+    result.SampleError(client.status().ToString());
     return;
   }
   if (config.timeout_ms > 0) {
     (void)client->SetReceiveTimeout(config.timeout_ms);
   }
 
-  scenario::StreamSpec spec = config.stream_spec;
-  spec.seed += static_cast<uint64_t>(tenant_index);  // per-tenant stream
-  scenario::ScenarioStream stream(baseline, spec);
+  std::vector<TenantState> tenants;
+  tenants.reserve(tenant_indices.size());
+  for (const int tenant_index : tenant_indices) {
+    TenantState state;
+    state.name = "tenant-" + std::to_string(tenant_index);
+    scenario::StreamSpec spec = config.stream_spec;
+    spec.seed += static_cast<uint64_t>(tenant_index);  // per-tenant stream
+    state.stream =
+        std::make_unique<scenario::ScenarioStream>(baseline, spec);
+    tenants.push_back(std::move(state));
+  }
 
-  // When a transport failure aborts the tenant mid-replay, the requests
-  // it would still have sent are counted as unanswered (mirroring the
-  // connect-failure path above) so the report never shrinks the run.
-  const int64_t planned = static_cast<int64_t>(config.cycles) * 2;
-  int64_t ops_done = 0;
-  int64_t ops_skipped = 0;  // solves not sent after a rejected ingest
-  const auto abort_tenant = [&] {
-    // -1: the op that just failed was already counted by RunOp.
-    const int64_t remaining = planned - ops_done - ops_skipped - 1;
-    if (remaining > 0) {
-      result.requests += remaining;
-      result.transport_failures += remaining;
+  // id -> tenant slot for every in-flight request on this connection.
+  std::unordered_map<int64_t, size_t> outstanding;
+  outstanding.reserve(static_cast<size_t>(config.window) * 2);
+  int64_t next_id = 0;
+  size_t active = tenants.size();
+  size_t cursor = 0;  // round-robin top-up position
+
+  // When the transport dies mid-replay, everything already sent but not
+  // answered — and everything the connection's tenants would still have
+  // sent — is counted as unanswered, mirroring the connect-failure path.
+  const auto abort_connection = [&](const util::Status& status) {
+    result.SampleError(status.ToString());
+    result.transport_failures += static_cast<int64_t>(outstanding.size());
+    for (const TenantState& tenant : tenants) {
+      if (tenant.phase == TenantState::Phase::kDone) continue;
+      int64_t remaining =
+          PlannedOps(config) - tenant.ops_terminal - tenant.ops_skipped;
+      if (tenant.in_flight) --remaining;  // counted via `outstanding` above
+      if (remaining > 0) {
+        result.requests += remaining;
+        result.transport_failures += remaining;
+      }
     }
   };
 
-  int64_t next_id = static_cast<int64_t>(tenant_index) * 1000000;
-  int64_t last_cycle = 0;
-  for (int cycle = 1; cycle <= config.cycles; ++cycle) {
-    auto dists = stream.Next();
-    if (!dists.ok()) {
-      result.error_samples.push_back(dists.status().ToString());
-      ++result.request_errors;
-      return;
-    }
-
-    auto ingest = RunOp(
-        *client, server::MakeIngestRequest(++next_id, tenant, *dists),
-        config, result);
-    if (!ingest.ok()) {
-      result.error_samples.push_back(ingest.status().ToString());
-      abort_tenant();  // transport failure: stop this tenant
-      return;
-    }
-    ++ops_done;
-    if (auto status = ingest->GetString("status");
-        !status.ok() || *status != "ok") {
-      if (!status.ok() || *status == "error") {
-        ++result.request_errors;
-        if (const util::JsonValue* m = ingest->Find("message");
-            m != nullptr && m->is_string()) {
-          result.error_samples.push_back(m->as_string());
+  // Advances one tenant past a terminal response. `ok` distinguishes a
+  // served op from an abandoned one (error / gave-up overloaded) — a
+  // failed ingest skips the cycle's solves, since solving now would run on
+  // stale distributions.
+  const auto advance = [&](TenantState& tenant, bool op_ok) {
+    ++tenant.ops_terminal;
+    tenant.pending_payload.clear();
+    tenant.attempts = 0;
+    const auto finish_cycle = [&] {
+      ++tenant.cycle;
+      tenant.solves_done = 0;
+      tenant.phase = tenant.cycle >= config.cycles
+                         ? TenantState::Phase::kDone
+                         : TenantState::Phase::kIngest;
+      if (tenant.phase == TenantState::Phase::kDone) --active;
+    };
+    if (tenant.phase == TenantState::Phase::kIngest) {
+      if (!op_ok || config.solves_per_cycle == 0) {
+        if (op_ok) {
+          finish_cycle();
+        } else {
+          tenant.ops_skipped += config.solves_per_cycle;
+          finish_cycle();
         }
+        return;
       }
-      // Rejected or gave-up-overloaded ingest: solving now would run the
-      // cycle on stale distributions — skip it and keep the pairing
-      // honest.
-      ++ops_skipped;
+      tenant.phase = TenantState::Phase::kSolve;
+      return;
+    }
+    // kSolve:
+    ++tenant.solves_done;
+    if (tenant.solves_done >= config.solves_per_cycle) finish_cycle();
+  };
+
+  const auto process_response = [&](const std::string& payload) -> bool {
+    auto op = DecodeResponse(payload, config.binary);
+    if (!op.ok()) {
+      ++result.request_errors;
+      result.SampleError(op.status().ToString());
+      return true;  // undecodable response; the pairing check will catch loss
+    }
+    const auto it = outstanding.find(op->id);
+    if (it == outstanding.end()) {
+      ++result.unmatched_responses;
+      result.SampleError("unmatched response id " + std::to_string(op->id));
+      return true;
+    }
+    TenantState& tenant = tenants[it->second];
+    outstanding.erase(it);
+    tenant.in_flight = false;
+
+    if (op->status == OpResponse::Status::kOverloaded &&
+        tenant.attempts < config.retries) {
+      ++tenant.attempts;
+      ++result.overloaded_retries;
+      tenant.backoff_until =
+          Clock::now() +
+          std::chrono::milliseconds(config.retry_backoff_ms);
+      return true;  // same payload re-queued by the next top-up
+    }
+
+    result.latency_seconds.push_back(
+        std::chrono::duration<double>(Clock::now() - tenant.op_start)
+            .count());
+    if (op->status == OpResponse::Status::kOverloaded) {
+      ++result.gave_up_overloaded;
+      advance(tenant, /*op_ok=*/false);
+      return true;
+    }
+    if (op->status == OpResponse::Status::kError) {
+      ++result.request_errors;
+      if (!op->message.empty()) result.SampleError(op->message);
+      advance(tenant, /*op_ok=*/false);
+      return true;
+    }
+    if (tenant.phase == TenantState::Phase::kSolve) {
+      ++result.ok;
+      if (!op->has_cycle || op->cycle <= tenant.last_cycle) {
+        ++result.order_violations;
+      } else {
+        tenant.last_cycle = op->cycle;
+      }
+    }
+    advance(tenant, /*op_ok=*/true);
+    return true;
+  };
+
+  while (active > 0) {
+    // Top up the window: walk the tenants round-robin, queueing one op per
+    // ready tenant until the window is full, then flush everything queued
+    // with one send.
+    const Clock::time_point now = Clock::now();
+    Clock::time_point earliest_backoff = Clock::time_point::max();
+    bool queued_any = false;
+    size_t scanned = 0;
+    while (outstanding.size() < static_cast<size_t>(config.window) &&
+           scanned < tenants.size()) {
+      const size_t slot = cursor;
+      TenantState& tenant = tenants[slot];
+      cursor = (cursor + 1) % tenants.size();
+      ++scanned;
+      if (tenant.phase == TenantState::Phase::kDone || tenant.in_flight) {
+        continue;
+      }
+      if (tenant.backoff_until > now) {
+        earliest_backoff = std::min(earliest_backoff, tenant.backoff_until);
+        continue;
+      }
+      if (tenant.pending_payload.empty()) {
+        const int64_t id = ++next_id;
+        if (tenant.phase == TenantState::Phase::kIngest) {
+          auto dists = tenant.stream->Next();
+          if (!dists.ok()) {
+            ++result.request_errors;
+            result.SampleError(dists.status().ToString());
+            tenant.phase = TenantState::Phase::kDone;
+            --active;
+            continue;
+          }
+          tenant.pending_payload =
+              config.binary
+                  ? server::EncodeBinaryIngestRequest(id, tenant.name,
+                                                      *dists)
+                  : server::MakeIngestRequest(id, tenant.name, *dists);
+        } else {
+          tenant.pending_payload =
+              config.binary
+                  ? server::EncodeBinarySolveCycleRequest(id, tenant.name)
+                  : server::MakeSolveCycleRequest(id, tenant.name);
+        }
+        tenant.op_start = now;
+        tenant.current_id = id;
+      }
+      client->QueueSend(tenant.pending_payload);
+      outstanding.emplace(tenant.current_id, slot);
+      tenant.in_flight = true;
+      ++result.requests;
+      queued_any = true;
+    }
+    if (queued_any) {
+      if (util::Status sent = client->FlushSends(); !sent.ok()) {
+        abort_connection(sent);
+        return;
+      }
+    }
+
+    if (outstanding.empty()) {
+      if (active == 0) break;
+      if (earliest_backoff != Clock::time_point::max()) {
+        std::this_thread::sleep_until(earliest_backoff);
+      }
       continue;
     }
 
-    auto solve = RunOp(
-        *client, server::MakeSolveCycleRequest(++next_id, tenant), config,
-        result);
-    if (!solve.ok()) {
-      result.error_samples.push_back(solve.status().ToString());
-      abort_tenant();
+    // One blocking receive, then drain every response already buffered —
+    // a burst of pipelined responses costs one recv(2).
+    auto response = client->Receive();
+    if (!response.ok()) {
+      abort_connection(response.status());
       return;
     }
-    ++ops_done;
-    auto status = solve->GetString("status");
-    if (!status.ok() || *status == "error") {
-      ++result.request_errors;
-      if (const util::JsonValue* m = solve->Find("message");
-          m != nullptr && m->is_string()) {
-        result.error_samples.push_back(m->as_string());
+    process_response(*response);
+    for (;;) {
+      std::string buffered;
+      auto more = client->ReceiveBuffered(&buffered);
+      if (!more.ok()) {
+        abort_connection(more.status());
+        return;
       }
-      continue;
-    }
-    if (*status != "ok") continue;  // gave up overloaded: no cycle ran
-    ++result.ok;
-    auto cycle_number = solve->GetNumber("cycle");
-    if (!cycle_number.ok() || *cycle_number <= static_cast<double>(last_cycle)) {
-      ++result.order_violations;
-    } else {
-      last_cycle = static_cast<int64_t>(*cycle_number);
+      if (!*more) break;
+      process_response(buffered);
     }
   }
 }
@@ -214,11 +413,25 @@ int Run(int argc, char** argv) {
   flags.Define("connect", "",
                "host:port of a running audit_server (empty = start one "
                "in-process on an ephemeral port)");
-  flags.Define("tenants", "4", "concurrent tenants (one connection each)");
-  flags.Define("cycles", "25", "audit cycles per tenant (2 requests each)");
+  flags.Define("tenants", "64", "simulated tenants (multiplexed)");
+  flags.Define("cycles", "25",
+               "audit cycles per tenant (1 ingest + solves_per_cycle "
+               "solves each)");
+  flags.Define("solves_per_cycle", "1",
+               "solve_cycle requests per ingest (policy polling)");
+  flags.Define("connections", "2",
+               "shared pipelined connections (one worker thread each)");
+  flags.Define("window", "64",
+               "max in-flight requests per connection (at most one per "
+               "tenant)");
+  flags.Define("encoding", "binary",
+               "wire encoding of the hot verbs: binary, json");
   flags.Define("retries", "50", "max retries per overloaded response");
-  flags.Define("retry_backoff_ms", "5", "sleep between overloaded retries");
+  flags.Define("retry_backoff_ms", "5", "tenant sit-out after overloaded");
   flags.Define("timeout_ms", "30000", "per-response receive timeout");
+  flags.Define("min_throughput", "0",
+               "fail (and report throughput_floor_met=false) below this "
+               "many requests/s (0 = no floor)");
   // Scenario flags must match the server's so ingest type counts line up.
   scenario::DefineScenarioFlags(flags, /*default_scenario=*/"uniform",
                                 /*default_types=*/"5");
@@ -237,6 +450,7 @@ int Run(int argc, char** argv) {
   flags.Define("shards", "4",
                "in-process server: shard worker threads (with --connect: "
                "label-only, set to the server's value)");
+  flags.Define("reactors", "1", "in-process server: reactor IO threads");
   flags.Define("queue_capacity", "128",
                "in-process server: per-shard queue bound");
   flags.Define("batch", "16", "in-process server: max batch per wakeup");
@@ -273,12 +487,20 @@ int Run(int argc, char** argv) {
     std::cerr << stream_kind.status() << "\n";
     return 1;
   }
+  const std::string encoding = flags.GetString("encoding");
+  if (encoding != "binary" && encoding != "json") {
+    std::cerr << "--encoding must be binary or json\n";
+    return 1;
+  }
 
   WorkerConfig config;
   config.cycles = flags.GetInt("cycles");
+  config.solves_per_cycle = std::max(0, flags.GetInt("solves_per_cycle"));
+  config.window = std::max(1, flags.GetInt("window"));
   config.retries = flags.GetInt("retries");
   config.retry_backoff_ms = flags.GetInt("retry_backoff_ms");
   config.timeout_ms = flags.GetInt("timeout_ms");
+  config.binary = encoding == "binary";
   config.stream_spec.kind = *stream_kind;
   config.stream_spec.drift_amplitude = flags.GetDouble("drift");
   config.stream_spec.revisit_period = flags.GetInt("revisit");
@@ -293,13 +515,15 @@ int Run(int argc, char** argv) {
     server::AuditServerOptions options;
     options.port = 0;
     options.num_shards = flags.GetInt("shards");
+    options.num_reactors = flags.GetInt("reactors");
     options.queue_capacity =
         static_cast<size_t>(flags.GetInt("queue_capacity"));
     options.max_batch = static_cast<size_t>(flags.GetInt("batch"));
     options.service.budgets = flags.GetDoubleList("budgets");
     options.service.solver_options.ishm.step_size = flags.GetDouble("eps");
     options.service.warm_start_max_drift = flags.GetDouble("warm_max_drift");
-    options.service.num_threads = 1;
+    // Inline engines: tenant count is unbounded, per-tenant threads are not.
+    options.service.num_threads = -1;
     local_server = std::make_unique<server::AuditServer>(
         core::GameInstance(*instance), options);
     if (util::Status started = local_server->Start(); !started.ok()) {
@@ -328,14 +552,24 @@ int Run(int argc, char** argv) {
     config.port = static_cast<uint16_t>(*port);
   }
 
-  const int tenants = flags.GetInt("tenants");
-  std::vector<WorkerResult> results(static_cast<size_t>(tenants));
+  const int tenants = std::max(1, flags.GetInt("tenants"));
+  const int connections =
+      std::min(std::max(1, flags.GetInt("connections")), tenants);
+  // Round-robin tenant partition: connection c drives tenants c, c+C, ...
+  std::vector<std::vector<int>> partition(
+      static_cast<size_t>(connections));
+  for (int t = 0; t < tenants; ++t) {
+    partition[static_cast<size_t>(t % connections)].push_back(t);
+  }
+
+  std::vector<WorkerResult> results(static_cast<size_t>(connections));
   std::vector<std::thread> workers;
-  workers.reserve(static_cast<size_t>(tenants));
+  workers.reserve(static_cast<size_t>(connections));
   util::Timer wall;
-  for (int i = 0; i < tenants; ++i) {
-    workers.emplace_back(RunTenant, i, std::cref(baseline),
-                         std::cref(config), std::ref(results[i]));
+  for (int c = 0; c < connections; ++c) {
+    workers.emplace_back(RunConnection, std::cref(partition[c]),
+                         std::cref(baseline), std::cref(config),
+                         std::ref(results[c]));
   }
   for (std::thread& worker : workers) worker.join();
   const double wall_seconds = wall.ElapsedSeconds();
@@ -361,7 +595,7 @@ int Run(int argc, char** argv) {
 
   WorkerResult total;
   std::vector<double> latencies;
-  for (const WorkerResult& r : results) {
+  for (WorkerResult& r : results) {
     total.requests += r.requests;
     total.ok += r.ok;
     total.request_errors += r.request_errors;
@@ -369,12 +603,11 @@ int Run(int argc, char** argv) {
     total.overloaded_retries += r.overloaded_retries;
     total.gave_up_overloaded += r.gave_up_overloaded;
     total.order_violations += r.order_violations;
+    total.unmatched_responses += r.unmatched_responses;
     latencies.insert(latencies.end(), r.latency_seconds.begin(),
                      r.latency_seconds.end());
-    for (const std::string& sample : r.error_samples) {
-      if (total.error_samples.size() < 5) {
-        total.error_samples.push_back(sample);
-      }
+    for (std::string& sample : r.error_samples) {
+      total.SampleError(std::move(sample));
     }
   }
   const int64_t answered = total.requests - total.transport_failures;
@@ -391,17 +624,28 @@ int Run(int argc, char** argv) {
       wall_seconds > 0.0
           ? static_cast<double>(total.requests) / wall_seconds
           : 0.0;
+  const double min_throughput = flags.GetDouble("min_throughput");
+  const bool floor_met =
+      min_throughput <= 0.0 || throughput >= min_throughput;
 
   std::cerr << "loadgen: " << tenants << " tenants x " << config.cycles
-            << " cycles -> " << total.requests << " requests in "
-            << wall_seconds << "s (" << throughput << " req/s)\n"
+            << " cycles (" << config.solves_per_cycle
+            << " solves/cycle) over " << connections
+            << " connections (window " << config.window << ", " << encoding
+            << ") -> " << total.requests << " requests in " << wall_seconds
+            << "s (" << throughput << " req/s)\n"
             << "  ok " << total.ok << ", errors " << total.request_errors
             << ", unanswered " << total.transport_failures
+            << ", unmatched " << total.unmatched_responses
             << ", overloaded retries " << total.overloaded_retries
             << " (gave up " << total.gave_up_overloaded << ")"
             << ", order violations " << total.order_violations << "\n"
             << "  latency: p50 " << p50 << "s p90 " << p90 << "s p99 " << p99
             << "s max " << worst << "s\n";
+  if (min_throughput > 0.0) {
+    std::cerr << "  throughput floor " << min_throughput
+              << " req/s: " << (floor_met ? "met" : "NOT MET") << "\n";
+  }
   for (const std::string& sample : total.error_samples) {
     std::cerr << "  error: " << sample << "\n";
   }
@@ -415,6 +659,10 @@ int Run(int argc, char** argv) {
     summary["bench"] = "server_loadgen";
     summary["tenants"] = tenants;
     summary["cycles"] = config.cycles;
+    summary["solves_per_cycle"] = config.solves_per_cycle;
+    summary["connections"] = connections;
+    summary["window"] = config.window;
+    summary["encoding"] = encoding;
     summary["shards"] = flags.GetInt("shards");
     summary["scenario"] = flags.GetString("scenario");
     summary["stream"] = flags.GetString("stream");
@@ -423,6 +671,8 @@ int Run(int argc, char** argv) {
     summary["request_errors"] = static_cast<double>(total.request_errors);
     summary["unanswered_requests"] =
         static_cast<double>(total.transport_failures);
+    summary["unmatched_responses"] =
+        static_cast<double>(total.unmatched_responses);
     summary["overloaded_retries"] =
         static_cast<double>(total.overloaded_retries);
     summary["gave_up_overloaded"] =
@@ -431,9 +681,11 @@ int Run(int argc, char** argv) {
         static_cast<double>(total.order_violations);
     // The gated contract: booleans must stay true, the ratio must not
     // fall (tools/bench_compare.py's classification).
-    summary["zero_protocol_errors"] = total.request_errors == 0;
+    summary["zero_protocol_errors"] =
+        total.request_errors == 0 && total.unmatched_responses == 0;
     summary["order_preserved"] = total.order_violations == 0;
     summary["all_requests_answered"] = total.transport_failures == 0;
+    summary["throughput_floor_met"] = floor_met;
     summary["answered_ratio"] = answered_ratio;
     // Timing fields ride along ungated (machine-dependent).
     summary["wall_seconds"] = wall_seconds;
@@ -452,7 +704,8 @@ int Run(int argc, char** argv) {
 
   const bool clean = total.request_errors == 0 &&
                      total.transport_failures == 0 &&
-                     total.order_violations == 0;
+                     total.order_violations == 0 &&
+                     total.unmatched_responses == 0 && floor_met;
   return clean ? 0 : 1;
 }
 
