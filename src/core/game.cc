@@ -5,6 +5,9 @@
 #include <cstring>
 #include <map>
 #include <string>
+#include <utility>
+
+#include "util/serializer.h"
 
 namespace auditgame::core {
 namespace {
@@ -132,6 +135,33 @@ double AdversaryUtility(const VictimProfile& victim,
   }
   return -pat * victim.penalty + (1.0 - pat) * victim.benefit -
          victim.attack_cost;
+}
+
+void VictimProfile::StreamState(util::Serializer& s) {
+  s.Section("victim", 1);
+  s.VecF64(type_probs);
+  s.F64(benefit);
+  s.F64(penalty);
+  s.F64(attack_cost);
+}
+
+void Adversary::StreamState(util::Serializer& s) {
+  s.Section("adversary", 1);
+  s.F64(attack_probability);
+  s.VecObj(victims);
+  s.Bool(can_opt_out);
+}
+
+void GameInstance::StreamState(util::Serializer& s) {
+  s.Section("game", 1);
+  s.VecStr(type_names);
+  s.VecF64(audit_costs);
+  s.VecObj(alert_distributions);
+  s.VecObj(adversaries);
+  if (s.reading() && s.ok()) {
+    util::Status valid = Validate();
+    if (!valid.ok()) s.Fail(std::move(valid));
+  }
 }
 
 }  // namespace auditgame::core

@@ -7,6 +7,10 @@
 #include "prob/count_distribution.h"
 #include "util/status.h"
 
+namespace auditgame::util {
+class Serializer;
+}  // namespace auditgame::util
+
 namespace auditgame::core {
 
 /// How attacking one particular victim looks to one adversary: the chance
@@ -27,6 +31,8 @@ struct VictimProfile {
   double penalty = 0.0;
   /// K<e,v>: cost of mounting the attack, always paid.
   double attack_cost = 0.0;
+
+  void StreamState(util::Serializer& s);
 };
 
 /// A potential adversary e: present with probability `attack_probability`
@@ -36,6 +42,8 @@ struct Adversary {
   double attack_probability = 1.0;
   std::vector<VictimProfile> victims;
   bool can_opt_out = false;
+
+  void StreamState(util::Serializer& s);
 };
 
 /// A complete instance of the alert-prioritization game (everything except
@@ -52,6 +60,8 @@ struct GameInstance {
 
   /// Checks internal consistency (sizes, probability ranges, positivity).
   util::Status Validate() const;
+
+  void StreamState(util::Serializer& s);
 };
 
 /// ---- Compiled form -------------------------------------------------------

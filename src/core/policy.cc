@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "util/serializer.h"
+
 namespace auditgame::core {
 
 util::Status AuditPolicy::Validate(int num_types) const {
@@ -100,6 +102,14 @@ util::StatusOr<std::vector<double>> MixedDetectionProbabilities(
     for (int t = 0; t < detection.num_types(); ++t) mixed[t] += po * pal[t];
   }
   return mixed;
+}
+
+void AuditPolicy::StreamState(util::Serializer& s) {
+  s.Section("policy", 1);
+  s.VecVecI32(orderings);
+  s.VecF64(probabilities);
+  s.VecF64(thresholds);
+  s.F64(budget);
 }
 
 }  // namespace auditgame::core

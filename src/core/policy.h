@@ -8,6 +8,10 @@
 #include "util/status.h"
 #include "util/statusor.h"
 
+namespace auditgame::util {
+class Serializer;
+}  // namespace auditgame::util
+
 namespace auditgame::core {
 
 /// The auditor's (possibly mixed) strategy: a distribution over alert-type
@@ -21,6 +25,8 @@ struct AuditPolicy {
   /// Checks that probabilities form a distribution and orderings are
   /// permutations of the same type set.
   util::Status Validate(int num_types) const;
+
+  void StreamState(util::Serializer& s);
 };
 
 /// Result of evaluating a policy against best-responding adversaries.

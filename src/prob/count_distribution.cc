@@ -4,6 +4,8 @@
 #include <cmath>
 #include <string>
 
+#include "util/serializer.h"
+
 namespace auditgame::prob {
 
 double NormalCdf(double x) { return 0.5 * std::erfc(-x / std::sqrt(2.0)); }
@@ -121,6 +123,17 @@ util::StatusOr<CountDistribution> CountDistribution::FromSamples(
 
 CountDistribution CountDistribution::Constant(int value) {
   return CountDistribution(value, {1.0});
+}
+
+void CountDistribution::StreamState(util::Serializer& s) {
+  s.Section("pcd", 1);
+  s.I32(min_value_);
+  s.VecF64(pmf_);
+  s.VecF64(cdf_);
+  if (s.reading() && s.ok() && cdf_.size() != pmf_.size()) {
+    s.Fail(util::InvalidArgumentError(
+        "CountDistribution: pmf/cdf length mismatch in stream"));
+  }
 }
 
 double CountDistribution::Pmf(int z) const {

@@ -7,6 +7,10 @@
 #include "util/status.h"
 #include "util/statusor.h"
 
+namespace auditgame::util {
+class Serializer;
+}  // namespace auditgame::util
+
 namespace auditgame::prob {
 
 /// Standard normal CDF.
@@ -56,6 +60,15 @@ class CountDistribution {
 
   /// Degenerate distribution: always `value`.
   static CountDistribution Constant(int value);
+
+  /// Empty placeholder, only meaningful as a StreamState restore target
+  /// (every factory above yields a non-empty support).
+  CountDistribution() : min_value_(0) {}
+
+  /// Streams the support and both probability tables as raw double bits —
+  /// deliberately NOT via FromPmf, whose renormalization would perturb
+  /// values by a few ULPs and break bit-for-bit replay.
+  void StreamState(util::Serializer& s);
 
   int min_value() const { return min_value_; }
   int max_value() const { return min_value_ + static_cast<int>(pmf_.size()) - 1; }

@@ -96,7 +96,18 @@ util::Status AuditServer::Start() {
             }
           }
         },
-        [this] { wake_.Notify(); }));
+        [this] { wake_.Notify(); },
+        options_.durability.enabled()
+            ? std::make_unique<ShardPersistence>(i, options_.durability)
+            : nullptr));
+  }
+
+  // Recover every shard before a single connection is accepted (and before
+  // the shard threads start — recovery owns the shard state exclusively).
+  // A failure here aborts startup: serving from wrong state is worse than
+  // not serving.
+  for (auto& shard : shards_) {
+    RETURN_IF_ERROR(shard->Recover());
   }
 
   for (auto& reactor : reactors_) {
@@ -245,7 +256,7 @@ bool AuditServer::HandleFrame(Reactor& reactor, uint64_t conn_id,
       reactor.Poison(conn_id);
       return false;
     }
-    Dispatch(reactor, conn_id, *std::move(request));
+    Dispatch(reactor, conn_id, *std::move(request), payload);
     return true;
   }
 
@@ -279,22 +290,28 @@ bool AuditServer::HandleFrame(Reactor& reactor, uint64_t conn_id,
     return true;
   }
 
-  Dispatch(reactor, conn_id, *std::move(request));
+  Dispatch(reactor, conn_id, *std::move(request), payload);
   return true;
 }
 
 void AuditServer::Dispatch(Reactor& reactor, uint64_t conn_id,
-                           Request request) {
+                           Request request, const std::string& payload) {
   const size_t shard = ShardForTenant(request.tenant, shards_.size());
   const int64_t id = request.id;
   const bool binary = request.binary;
+  const bool mutates =
+      request.verb == Verb::kIngest || request.verb == Verb::kSolveCycle;
   const unsigned char binary_verb = request.verb == Verb::kIngest
                                         ? kBinaryVerbIngest
                                         : kBinaryVerbSolveCycle;
   const std::string tenant = request.tenant;
+  ShardTask task{conn_id, std::move(request), {}};
+  // WAL the verbatim wire bytes of state-mutating verbs: replay re-parses
+  // the identical input, so recovered state matches bit-for-bit.
+  if (mutates && options_.durability.enabled()) task.wal_payload = payload;
   // During a drain the queues are closed, so TrySubmit fails and the
   // client gets the same retryable `overloaded` a full queue produces.
-  if (!shards_[shard]->TrySubmit(ShardTask{conn_id, std::move(request)})) {
+  if (!shards_[shard]->TrySubmit(std::move(task))) {
     reactor.CountOverloaded();
     reactor.Reply(conn_id,
                   binary ? EncodeBinaryOverloadedResponse(
@@ -390,10 +407,42 @@ util::JsonValue::Object AuditServer::StatsBody() {
     obj["solve_seconds_p99"] = s.solve_seconds_p99;
     obj["solve_seconds_max"] = s.solve_seconds_max;
     obj["solve_samples"] = static_cast<double>(s.solve_samples);
+    obj["durability"] = s.durability;
+    if (s.durability) {
+      obj["wal_errors"] = static_cast<double>(s.wal_errors);
+      util::JsonValue::Object persistence;
+      persistence["last_snapshot_seq"] =
+          static_cast<double>(s.persistence.last_snapshot_seq);
+      persistence["wal_records"] =
+          static_cast<double>(s.persistence.wal_records);
+      persistence["wal_bytes"] = static_cast<double>(s.persistence.wal_bytes);
+      persistence["wal_segments"] =
+          static_cast<double>(s.persistence.wal_segments);
+      persistence["snapshots_written"] =
+          static_cast<double>(s.persistence.snapshots_written);
+      persistence["wal_syncs"] = static_cast<double>(s.persistence.wal_syncs);
+      persistence["recovery_replayed"] =
+          static_cast<double>(s.persistence.recovery_replayed);
+      persistence["recovery_seconds"] = s.persistence.recovery_seconds;
+      persistence["recovery_wal_lsn"] =
+          static_cast<double>(s.persistence.recovery_wal_lsn);
+      persistence["recovery_fingerprint"] = s.persistence.recovery_fingerprint;
+      persistence["wal_sync"] = s.persistence.wal_sync;
+      obj["persistence"] = std::move(persistence);
+    }
     shards.push_back(std::move(obj));
   }
   body["shards"] = std::move(shards);
   return body;
+}
+
+std::vector<std::string> AuditServer::StateFingerprints() {
+  std::vector<std::string> fingerprints;
+  fingerprints.reserve(shards_.size());
+  for (auto& shard : shards_) {
+    fingerprints.push_back(shard->StateFingerprint().ToHex());
+  }
+  return fingerprints;
 }
 
 }  // namespace auditgame::server

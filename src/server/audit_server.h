@@ -13,6 +13,7 @@
 #include "net/frame.h"
 #include "net/poller.h"
 #include "net/socket.h"
+#include "server/durability.h"
 #include "server/reactor.h"
 #include "server/shard.h"
 #include "service/audit_service.h"
@@ -60,6 +61,10 @@ struct AuditServerOptions {
   /// owns a solver engine, and an engine thread pool per tenant does not
   /// scale — inline mode solves on the shard thread itself.
   service::AuditServiceOptions service;
+  /// Durable state: per-shard snapshots + ingest/solve WAL under
+  /// `durability.data_dir` (empty = off). Start() recovers every shard
+  /// from disk before the server accepts a single connection.
+  DurabilityOptions durability;
 };
 
 /// The wire-serving layer over the paper's audit loop: N shards, each a
@@ -111,14 +116,21 @@ class AuditServer {
   /// stats request never locks a shard from a reactor thread.
   util::JsonValue::Object StatsBody();
 
+  /// Per-shard timing-free state fingerprints (hex). Test/inspection hook:
+  /// call only while the shards are quiescent (before Run() or after it
+  /// returned) — it serializes live tenant state.
+  std::vector<std::string> StateFingerprints();
+
  private:
   /// The frame handler every reactor runs; returns false to poison the
   /// connection (sticky binary-decode failure).
   bool HandleFrame(Reactor& reactor, uint64_t conn_id,
                    const std::string& payload);
   /// Routes one validated request to its shard, answering `overloaded`
-  /// when the queue refuses it.
-  void Dispatch(Reactor& reactor, uint64_t conn_id, Request request);
+  /// when the queue refuses it. `payload` is the verbatim frame body —
+  /// WAL'd for state-mutating verbs when durability is on.
+  void Dispatch(Reactor& reactor, uint64_t conn_id, Request request,
+                const std::string& payload);
   /// Copy of the periodically refreshed stats snapshot (what the `stats`
   /// verb answers with).
   util::JsonValue::Object StatsSnapshotBody();

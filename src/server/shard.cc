@@ -1,10 +1,13 @@
 #include "server/shard.h"
 
 #include <algorithm>
+#include <cstdio>
 #include <utility>
 
+#include "core/game_io.h"
 #include "server/binary_codec.h"
 #include "util/percentile.h"
+#include "util/serializer.h"
 
 namespace auditgame::server {
 
@@ -15,14 +18,16 @@ constexpr size_t kSolveSecondsWindow = 4096;
 Shard::Shard(int index, core::GameInstance base_instance,
              service::AuditServiceOptions service_options,
              size_t queue_capacity, size_t max_batch, Responder responder,
-             std::function<void()> on_finished)
+             std::function<void()> on_finished,
+             std::unique_ptr<ShardPersistence> persistence)
     : index_(index),
       base_instance_(std::move(base_instance)),
       service_options_(std::move(service_options)),
       max_batch_(max_batch == 0 ? 1 : max_batch),
       queue_(queue_capacity),
       responder_(std::move(responder)),
-      on_finished_(std::move(on_finished)) {}
+      on_finished_(std::move(on_finished)),
+      persistence_(std::move(persistence)) {}
 
 Shard::~Shard() {
   queue_.Close();
@@ -47,14 +52,159 @@ void Shard::Run() {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++batches_;
     }
+    // Durability order per micro-batch: append every state-mutating
+    // payload to the WAL, apply, group-commit, and only then release the
+    // responses — a response never races the record that makes it
+    // replayable. WAL IO failure degrades durability, not availability:
+    // the batch is still served, the error counted.
+    if (persistence_ != nullptr) {
+      for (const ShardTask& task : batch) {
+        if (task.wal_payload.empty()) continue;
+        if (auto lsn = persistence_->AppendWal(task.wal_payload); !lsn.ok()) {
+          std::lock_guard<std::mutex> lock(stats_mutex_);
+          ++wal_errors_;
+        }
+      }
+    }
     responses.clear();
     responses.reserve(batch.size());
     for (const ShardTask& task : batch) Process(task, &responses);
+    if (persistence_ != nullptr) {
+      if (util::Status committed = persistence_->CommitBatch();
+          !committed.ok()) {
+        std::lock_guard<std::mutex> lock(stats_mutex_);
+        ++wal_errors_;
+      }
+    }
     responder_(std::move(responses));
     responses = std::vector<Response>();
+    if (persistence_ != nullptr && persistence_->ShouldSnapshot()) {
+      // Serialization happens here on the shard thread (cheap, memory
+      // only); the write+fsync runs on the persistence writer thread, so
+      // the request path never blocks on snapshot IO.
+      persistence_->SnapshotAsync(SerializeState(),
+                                  persistence_->next_lsn() - 1);
+    }
+  }
+  if (persistence_ != nullptr && persistence_->options().snapshot_on_drain) {
+    // Clean drain: one synchronous snapshot so the next start restores
+    // instead of replaying the whole WAL.
+    if (util::Status status = persistence_->FinalSnapshot(
+            SerializeState(), persistence_->next_lsn() - 1);
+        !status.ok()) {
+      std::fprintf(stderr, "shard %d: drain snapshot failed: %s\n", index_,
+                   status.ToString().c_str());
+    }
   }
   finished_.store(true, std::memory_order_release);
   if (on_finished_) on_finished_();
+}
+
+util::Fingerprint Shard::ConfigFingerprint() const {
+  util::FingerprintBuilder fp;
+  fp.AppendString("shard-config-v1");
+  const util::Fingerprint service =
+      service::FingerprintServiceConfig(service_options_);
+  fp.AppendU64(service.hi);
+  fp.AppendU64(service.lo);
+  const util::Fingerprint game = core::FingerprintGame(base_instance_);
+  fp.AppendU64(game.hi);
+  fp.AppendU64(game.lo);
+  return fp.Build();
+}
+
+void Shard::StreamState(util::Serializer& s) {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  s.Section("shard", 1);
+  util::Fingerprint config = ConfigFingerprint();
+  const util::Fingerprint expected = config;
+  s.Object(config);
+  if (s.reading() && s.ok() && config != expected) {
+    s.Fail(util::FailedPreconditionError(
+        "shard " + std::to_string(index_) +
+        ": snapshot was recorded under a different service configuration or "
+        "base game (snapshot config " + config.ToHex() + ", this server " +
+        expected.ToHex() + ") — refusing to restore"));
+  }
+  s.I64(processed_);
+  // Batch count is a scheduling artifact (micro-batch sizes depend on queue
+  // timing) and WAL replay applies records one-by-one, so it is persisted
+  // but kept out of the state fingerprint.
+  s.TimingI64(batches_);
+  s.I64(ingests_);
+  s.I64(solves_);
+  s.I64(request_errors_);
+  s.I64(policies_from_cache_);
+  s.I64(warm_solves_);
+  s.I64(cold_solves_);
+  s.I64(solve_samples_);
+  s.VecTimingF64(solve_seconds_window_);
+  s.SizeT(solve_seconds_next_);
+  uint64_t num_tenants = tenants_.size();
+  s.U64(num_tenants);
+  if (s.reading()) {
+    tenants_.clear();
+    for (uint64_t i = 0; i < num_tenants && s.ok(); ++i) {
+      std::string tenant;
+      s.Str(tenant);
+      auto service = std::make_unique<service::AuditService>(
+          base_instance_, service_options_);
+      s.Object(*service);
+      if (s.ok()) tenants_.emplace(std::move(tenant), std::move(service));
+    }
+  } else {
+    for (auto& [tenant, service] : tenants_) {
+      std::string name = tenant;
+      s.Str(name);
+      s.Object(*service);
+    }
+  }
+}
+
+std::string Shard::SerializeState() {
+  util::Serializer s = util::Serializer::Writer();
+  StreamState(s);
+  return s.TakeBuffer();
+}
+
+util::Fingerprint Shard::StateFingerprint() {
+  util::Serializer s = util::Serializer::Fingerprinter();
+  StreamState(s);
+  util::FingerprintBuilder fp;
+  fp.Append(s.buffer());
+  return fp.Build();
+}
+
+util::Status Shard::ReplayWalPayload(const std::string& payload) {
+  Request request;
+  if (IsBinaryFrame(payload)) {
+    ASSIGN_OR_RETURN(request, DecodeBinaryRequest(payload));
+  } else {
+    ASSIGN_OR_RETURN(const util::JsonValue doc, util::JsonValue::Parse(payload));
+    ASSIGN_OR_RETURN(request, ParseRequest(doc));
+  }
+  // The original execution's response is gone with the crash; replay only
+  // rebuilds state. A request that failed then fails identically now, so
+  // even the error counters line up.
+  std::vector<Response> discarded;
+  Process(ShardTask{0, std::move(request), {}}, &discarded);
+  return util::OkStatus();
+}
+
+util::Status Shard::Recover() {
+  if (persistence_ == nullptr) return util::OkStatus();
+  RETURN_IF_ERROR(persistence_->Recover(
+      [this](const SnapshotContents& snapshot) {
+        util::Serializer s = util::Serializer::Reader(snapshot.body);
+        StreamState(s);
+        s.ExpectExhausted();
+        return s.status();
+      },
+      [this](const WalRecord& record) {
+        return ReplayWalPayload(record.payload);
+      }));
+  persistence_->SetRecoveryFingerprint(StateFingerprint().ToHex());
+  return util::OkStatus();
 }
 
 service::AuditService* Shard::TenantService(const std::string& tenant) {
@@ -159,6 +309,10 @@ ShardStatsSnapshot Shard::Snapshot() const {
   snapshot.shard = index_;
   snapshot.queue_depth = queue_.size();
   snapshot.queue_capacity = queue_.capacity();
+  if (persistence_ != nullptr) {
+    snapshot.durability = true;
+    snapshot.persistence = persistence_->Stats();
+  }
   std::vector<double> window;
   {
     std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -168,6 +322,7 @@ ShardStatsSnapshot Shard::Snapshot() const {
     snapshot.ingests = ingests_;
     snapshot.solves = solves_;
     snapshot.request_errors = request_errors_;
+    snapshot.wal_errors = wal_errors_;
     snapshot.policies_from_cache = policies_from_cache_;
     snapshot.warm_solves = warm_solves_;
     snapshot.cold_solves = cold_solves_;

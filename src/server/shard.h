@@ -13,10 +13,16 @@
 
 #include "core/game.h"
 #include "server/bounded_queue.h"
+#include "server/durability.h"
 #include "server/protocol.h"
 #include "service/audit_service.h"
 #include "service/policy_cache.h"
 #include "solver/engine.h"
+#include "util/hash.h"
+
+namespace auditgame::util {
+class Serializer;
+}  // namespace auditgame::util
 
 namespace auditgame::server {
 
@@ -26,6 +32,12 @@ namespace auditgame::server {
 struct ShardTask {
   uint64_t conn_id = 0;
   Request request;
+  /// Durability: the verbatim wire payload of a state-mutating request
+  /// (ingest/solve_cycle), WAL-appended before the task is applied. Empty
+  /// when durability is off or the verb carries no state. Verbatim bytes —
+  /// not a re-encoding — so replay re-parses the identical input and
+  /// reproduces state bit-for-bit.
+  std::string wal_payload;
 };
 
 /// A point-in-time copy of one shard's counters, taken from the IO thread
@@ -55,6 +67,10 @@ struct ShardStatsSnapshot {
   double solve_seconds_p99 = 0.0;
   double solve_seconds_max = 0.0;
   int64_t solve_samples = 0;
+  /// Durability (zero/empty when the shard runs without a data_dir).
+  bool durability = false;
+  int64_t wal_errors = 0;
+  PersistenceStats persistence;
 };
 
 /// One shard of the AuditServer: a single worker thread owning the
@@ -91,11 +107,20 @@ class Shard {
   Shard(int index, core::GameInstance base_instance,
         service::AuditServiceOptions service_options, size_t queue_capacity,
         size_t max_batch, Responder responder,
-        std::function<void()> on_finished);
+        std::function<void()> on_finished,
+        std::unique_ptr<ShardPersistence> persistence = nullptr);
   ~Shard();
 
   Shard(const Shard&) = delete;
   Shard& operator=(const Shard&) = delete;
+
+  /// Restores state from the shard's data directory (newest valid
+  /// snapshot, then the WAL suffix through the normal Process() path) and
+  /// records the post-recovery state fingerprint. Must be called before
+  /// Start(); no-op without persistence. A config-mismatch snapshot or a
+  /// corrupt non-final segment refuses recovery rather than serving wrong
+  /// state.
+  util::Status Recover();
 
   void Start();
 
@@ -121,8 +146,30 @@ class Shard {
 
   ShardStatsSnapshot Snapshot() const;
 
+  /// Streams the shard's full durable state: a configuration-fingerprint
+  /// guard (service options + base instance — state recorded under one
+  /// configuration must not silently replay under another), the counters,
+  /// and every tenant's AuditService. Thread-contract: shard thread, or
+  /// any thread while the worker is not running (locks stats_mutex_
+  /// against Snapshot()).
+  void StreamState(util::Serializer& s);
+
+  /// Serialized StreamState bytes (the snapshot body).
+  std::string SerializeState();
+
+  /// Timing-free content fingerprint of the shard state — equal across two
+  /// independent recoveries of the same snapshot+WAL, the bit-for-bit
+  /// verification hook. Same thread contract as StreamState().
+  util::Fingerprint StateFingerprint();
+
+  ShardPersistence* persistence() const { return persistence_.get(); }
+
  private:
   void Run();
+  /// Re-parses one WAL payload exactly as the wire path would and applies
+  /// it through Process() with the responses discarded.
+  util::Status ReplayWalPayload(const std::string& payload);
+  util::Fingerprint ConfigFingerprint() const;
   /// Executes one task, appending its response to the batch's output.
   void Process(const ShardTask& task, std::vector<Response>* responses);
   /// Looks up or lazily creates the tenant's service. Called only from the
@@ -137,6 +184,8 @@ class Shard {
   BoundedQueue<ShardTask> queue_;
   Responder responder_;
   std::function<void()> on_finished_;
+  /// Null when the server runs without durability.
+  std::unique_ptr<ShardPersistence> persistence_;
   std::thread thread_;
   std::atomic<bool> finished_{false};
 
@@ -149,6 +198,10 @@ class Shard {
   int64_t ingests_ = 0;
   int64_t solves_ = 0;
   int64_t request_errors_ = 0;
+  /// WAL append/commit failures (disk errors). The shard keeps serving —
+  /// durability degrades, availability does not — but the count surfaces
+  /// loudly in stats.
+  int64_t wal_errors_ = 0;
   int64_t policies_from_cache_ = 0;
   int64_t warm_solves_ = 0;
   int64_t cold_solves_ = 0;

@@ -1,8 +1,10 @@
 #include "service/audit_service.h"
 
 #include <algorithm>
+#include <string>
 #include <utility>
 
+#include "util/serializer.h"
 #include "util/timer.h"
 
 namespace auditgame::service {
@@ -147,6 +149,61 @@ AuditService::Stats AuditService::stats() const {
   stats.cache = cache_.stats();
   stats.compile = engine_.compile_cache_stats();
   return stats;
+}
+
+util::Fingerprint FingerprintServiceConfig(const AuditServiceOptions& options) {
+  util::FingerprintBuilder fp;
+  fp.AppendString("audit-service-config-v1");
+  // Reuse the request fingerprint per budget (instance-free: the null
+  // instance gets its own marker) so any option FingerprintRequest treats
+  // as solve-relevant is automatically config-relevant here too.
+  fp.AppendI64(static_cast<int64_t>(options.budgets.size()));
+  for (double budget : options.budgets) {
+    solver::EngineRequest request;
+    request.solver = options.solver;
+    request.budget = budget;
+    request.detection_options = options.detection_options;
+    request.options = options.solver_options;
+    const util::Fingerprint key = FingerprintRequest(request);
+    fp.AppendU64(key.hi);
+    fp.AppendU64(key.lo);
+  }
+  fp.AppendDouble(options.warm_start_max_drift);
+  fp.AppendI64(options.warm_subset_cap);
+  fp.AppendU64(options.cache_capacity);
+  return fp.Build();
+}
+
+void AuditService::StreamState(util::Serializer& s) {
+  s.Section("audit_service", 1);
+  s.Object(instance_);
+  s.I64(cycles_run_);
+  s.I64(served_from_cache_);
+  s.I64(warm_solves_);
+  s.I64(cold_solves_);
+  s.TimingF64(total_cycle_seconds_);
+  s.TimingF64(last_cycle_seconds_);
+  uint64_t num_baselines = last_solves_.size();
+  s.U64(num_baselines);
+  if (s.reading()) {
+    last_solves_.clear();
+    for (uint64_t i = 0; i < num_baselines && s.ok(); ++i) {
+      double budget = 0.0;
+      s.F64(budget);
+      LastSolve last;
+      s.VecObj(last.distributions);
+      s.Object(last.result);
+      if (s.ok()) last_solves_.emplace(budget, std::move(last));
+    }
+  } else {
+    for (auto& [budget, last] : last_solves_) {
+      double key = budget;
+      s.F64(key);
+      s.VecObj(last.distributions);
+      s.Object(last.result);
+    }
+  }
+  s.Object(cache_);
 }
 
 }  // namespace auditgame::service

@@ -44,6 +44,15 @@ struct AuditServiceOptions {
   int num_threads = 0;
 };
 
+/// Content fingerprint of everything in `options` that shapes solve results
+/// or cache behaviour (solver + per-budget request configuration, warm-start
+/// gates, cache capacity) — num_threads excluded, since threading is
+/// result-neutral by contract. Durable snapshots store this as a guard:
+/// restoring state produced under one configuration into a service
+/// configured differently would silently change replay, so recovery refuses
+/// on mismatch instead.
+util::Fingerprint FingerprintServiceConfig(const AuditServiceOptions& options);
+
 /// The serving loop of a live auditing deployment: each audit cycle the
 /// operator ingests the day's refreshed alert-count distributions and asks
 /// for the optimal policies. The service fingerprints the resulting
@@ -134,6 +143,13 @@ class AuditService {
   /// distribution sets; 1 (maximal) on a size mismatch.
   static double MeasureDrift(const std::vector<prob::CountDistribution>& a,
                              const std::vector<prob::CountDistribution>& b);
+
+  /// Streams the full serving state: the current instance (validated on
+  /// read), lifetime counters, per-budget warm-start baselines, and the
+  /// policy cache. The engine's compile cache is deliberately NOT streamed
+  /// — it is derived state, rebuilt on demand from the instance. Call from
+  /// the service's single-writer thread.
+  void StreamState(util::Serializer& s);
 
  private:
   /// The cold request for one budget under the current instance.

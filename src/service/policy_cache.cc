@@ -1,8 +1,10 @@
 #include "service/policy_cache.h"
 
+#include <string>
 #include <utility>
 
 #include "core/game_io.h"
+#include "util/serializer.h"
 
 namespace auditgame::service {
 
@@ -101,6 +103,46 @@ size_t PolicyCache::size() const {
 size_t PolicyCache::capacity() const {
   std::lock_guard<std::mutex> lock(mutex_);
   return cache_.capacity();
+}
+
+void PolicyCache::StreamState(util::Serializer& s) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  s.Section("policy_cache", 1);
+  uint64_t capacity = cache_.capacity();
+  s.U64(capacity);
+  if (s.reading() && s.ok() && capacity != cache_.capacity()) {
+    s.Fail(util::FailedPreconditionError(
+        "PolicyCache: snapshot capacity " + std::to_string(capacity) +
+        " != configured capacity " + std::to_string(cache_.capacity())));
+  }
+  s.I64(stats_.hits);
+  s.I64(stats_.misses);
+  s.I64(stats_.insertions);
+  int64_t evictions = cache_.evictions();
+  s.I64(evictions);
+  uint64_t count = cache_.size();
+  s.U64(count);
+  if (s.ok() && s.reading()) {
+    cache_.Clear();
+    cache_.SetEvictions(evictions);
+    for (uint64_t i = 0; i < count; ++i) {
+      util::Fingerprint key;
+      solver::SolveResult result;
+      s.Object(key);
+      s.Object(result);
+      if (!s.ok()) return;
+      // Oldest-first re-insertion reproduces the recency list; count never
+      // exceeds capacity (checked above), so nothing evicts here.
+      cache_.Insert(key, std::move(result));
+    }
+  } else if (s.ok()) {
+    cache_.ForEachOldestFirst(
+        [&s](const util::Fingerprint& key, const solver::SolveResult& result) {
+          util::Fingerprint k = key;
+          s.Object(k);
+          s.Object(const_cast<solver::SolveResult&>(result));
+        });
+  }
 }
 
 }  // namespace auditgame::service

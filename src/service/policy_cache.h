@@ -10,6 +10,10 @@
 #include "util/hash.h"
 #include "util/lru_cache.h"
 
+namespace auditgame::util {
+class Serializer;
+}  // namespace auditgame::util
+
 namespace auditgame::service {
 
 /// Content fingerprint of the full configured request: the game instance
@@ -57,6 +61,13 @@ class PolicyCache {
   Stats stats() const;
   size_t size() const;
   size_t capacity() const;
+
+  /// Streams every entry (oldest-first, so restore reproduces the LRU
+  /// order), the hit/miss/insertion/eviction counters, and the capacity as
+  /// a guard (a snapshot taken under one capacity must not be restored
+  /// into a differently sized cache — recency-dependent eviction would
+  /// diverge from the original process). Takes the cache lock.
+  void StreamState(util::Serializer& s);
 
  private:
   mutable std::mutex mutex_;

@@ -15,6 +15,10 @@
 #include "util/status.h"
 #include "util/statusor.h"
 
+namespace auditgame::util {
+class Serializer;
+}  // namespace auditgame::util
+
 namespace auditgame::solver {
 
 /// The unified solver seam. The paper's algorithms form a family of
@@ -97,6 +101,10 @@ struct SolveStats {
   uint64_t search_space = 0;
   /// Wall-clock time of the Solve() call.
   double seconds = 0.0;
+
+  /// Timing fields stream as TimingF64 — skipped by state fingerprints,
+  /// since two bit-identical recoveries measure different wall-clocks.
+  void StreamState(util::Serializer& s);
 };
 
 /// What every backend returns: the objective (expected auditor loss), the
@@ -110,6 +118,8 @@ struct SolveResult {
   /// floored to whole audits where the backend does so).
   std::vector<double> thresholds;
   SolveStats stats;
+
+  void StreamState(util::Serializer& s);
 };
 
 /// Abstract polymorphic solver. Implementations are stateless between

@@ -12,6 +12,7 @@
 #include "core/ishm.h"
 #include "solver/registry.h"
 #include "solver/solver.h"
+#include "util/serializer.h"
 #include "util/timer.h"
 
 namespace auditgame::solver {
@@ -181,6 +182,29 @@ class IshmSolver : public Solver {
 };
 
 }  // namespace
+
+void SolveStats::StreamState(util::Serializer& s) {
+  s.Section("solve_stats", 1);
+  s.I64(evaluations);
+  s.I64(distinct_evaluations);
+  s.I32(improvements);
+  s.I32(lp_solves);
+  s.I32(warm_lp_solves);
+  s.I32(columns_generated);
+  s.TimingF64(pricing_seconds);
+  s.U64(vectors_evaluated);
+  s.U64(search_space);
+  s.TimingF64(seconds);
+}
+
+void SolveResult::StreamState(util::Serializer& s) {
+  s.Section("solve_result", 1);
+  s.Str(solver);
+  s.F64(objective);
+  s.Object(policy);
+  s.VecF64(thresholds);
+  s.Object(stats);
+}
 
 namespace internal {
 

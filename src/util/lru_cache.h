@@ -62,6 +62,20 @@ class LruCache {
     index_.clear();
   }
 
+  /// Visits entries from least- to most-recently-used. Serialization hook:
+  /// re-Insert()ing entries in this order reproduces both contents and the
+  /// recency list exactly (the last entry visited ends up most recent).
+  template <typename Fn>
+  void ForEachOldestFirst(Fn&& fn) const {
+    for (auto it = entries_.rbegin(); it != entries_.rend(); ++it) {
+      fn(it->first, it->second);
+    }
+  }
+
+  /// Restores the lifetime eviction counter after a snapshot load (Insert()
+  /// keeps incrementing it from here).
+  void SetEvictions(int64_t evictions) { evictions_ = evictions; }
+
  private:
   size_t capacity_;
   int64_t evictions_ = 0;

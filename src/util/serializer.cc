@@ -1,0 +1,298 @@
+#include "util/serializer.h"
+
+#include <array>
+#include <cstring>
+
+namespace auditgame::util {
+namespace {
+
+std::array<uint32_t, 256> BuildCrcTable() {
+  std::array<uint32_t, 256> table{};
+  for (uint32_t i = 0; i < 256; ++i) {
+    uint32_t c = i;
+    for (int k = 0; k < 8; ++k) {
+      c = (c & 1u) ? 0xEDB88320u ^ (c >> 1) : c >> 1;
+    }
+    table[i] = c;
+  }
+  return table;
+}
+
+const std::array<uint32_t, 256>& CrcTable() {
+  static const std::array<uint32_t, 256> table = BuildCrcTable();
+  return table;
+}
+
+}  // namespace
+
+uint32_t Crc32Update(uint32_t crc, std::string_view data) {
+  const std::array<uint32_t, 256>& table = CrcTable();
+  crc = ~crc;
+  for (unsigned char byte : data) {
+    crc = table[(crc ^ byte) & 0xFFu] ^ (crc >> 8);
+  }
+  return ~crc;
+}
+
+uint32_t Crc32(std::string_view data) { return Crc32Update(0, data); }
+
+void Serializer::Fail(Status status) {
+  if (status_.ok()) status_ = std::move(status);
+}
+
+void Serializer::PutBytes(const void* data, size_t size) {
+  buffer_.append(static_cast<const char*>(data), size);
+}
+
+bool Serializer::TakeBytes(void* out, size_t size) {
+  if (!ok()) {
+    std::memset(out, 0, size);
+    return false;
+  }
+  if (remaining() < size) {
+    std::memset(out, 0, size);
+    Fail(InvalidArgumentError("serializer: truncated input (need " +
+                              std::to_string(size) + " bytes, have " +
+                              std::to_string(remaining()) + ")"));
+    return false;
+  }
+  std::memcpy(out, input_.data() + pos_, size);
+  pos_ += size;
+  return true;
+}
+
+void Serializer::U8(uint8_t& v) {
+  if (!ok()) {
+    if (reading()) v = 0;
+    return;
+  }
+  if (reading()) {
+    TakeBytes(&v, 1);
+  } else {
+    PutBytes(&v, 1);
+  }
+}
+
+void Serializer::U16(uint16_t& v) {
+  if (!ok()) {
+    if (reading()) v = 0;
+    return;
+  }
+  if (reading()) {
+    unsigned char b[2];
+    if (!TakeBytes(b, 2)) {
+      v = 0;
+      return;
+    }
+    v = static_cast<uint16_t>((uint16_t{b[0]} << 8) | uint16_t{b[1]});
+  } else {
+    unsigned char b[2] = {static_cast<unsigned char>(v >> 8),
+                          static_cast<unsigned char>(v)};
+    PutBytes(b, 2);
+  }
+}
+
+void Serializer::U32(uint32_t& v) {
+  if (!ok()) {
+    if (reading()) v = 0;
+    return;
+  }
+  if (reading()) {
+    unsigned char b[4];
+    if (!TakeBytes(b, 4)) {
+      v = 0;
+      return;
+    }
+    v = (uint32_t{b[0]} << 24) | (uint32_t{b[1]} << 16) |
+        (uint32_t{b[2]} << 8) | uint32_t{b[3]};
+  } else {
+    unsigned char b[4] = {
+        static_cast<unsigned char>(v >> 24), static_cast<unsigned char>(v >> 16),
+        static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+    PutBytes(b, 4);
+  }
+}
+
+void Serializer::U64(uint64_t& v) {
+  if (!ok()) {
+    if (reading()) v = 0;
+    return;
+  }
+  if (reading()) {
+    unsigned char b[8];
+    if (!TakeBytes(b, 8)) {
+      v = 0;
+      return;
+    }
+    v = 0;
+    for (unsigned char byte : b) v = (v << 8) | byte;
+  } else {
+    unsigned char b[8];
+    for (int i = 7; i >= 0; --i) {
+      b[i] = static_cast<unsigned char>(v >> (8 * (7 - i)));
+    }
+    PutBytes(b, 8);
+  }
+}
+
+void Serializer::I32(int& v) {
+  int64_t wide = v;
+  I64(wide);
+  if (reading()) v = static_cast<int>(wide);
+}
+
+void Serializer::I64(int64_t& v) {
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+  if (reading()) std::memcpy(&v, &bits, sizeof(v));
+}
+
+void Serializer::SizeT(size_t& v) {
+  uint64_t wide = v;
+  U64(wide);
+  if (reading()) v = static_cast<size_t>(wide);
+}
+
+void Serializer::Bool(bool& v) {
+  uint8_t byte = v ? 1 : 0;
+  U8(byte);
+  if (reading()) {
+    if (byte > 1) {
+      Fail(InvalidArgumentError("serializer: invalid bool byte"));
+      v = false;
+      return;
+    }
+    v = byte != 0;
+  }
+}
+
+void Serializer::F64(double& v) {
+  // Raw bit pattern: round trips every value (incl. -0.0, NaN payloads)
+  // bit-for-bit, which replay determinism depends on.
+  uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  U64(bits);
+  if (reading()) std::memcpy(&v, &bits, sizeof(v));
+}
+
+void Serializer::TimingF64(double& v) {
+  if (fingerprinting()) return;
+  F64(v);
+}
+
+void Serializer::TimingI64(int64_t& v) {
+  if (fingerprinting()) return;
+  I64(v);
+}
+
+uint64_t Serializer::Length(size_t size) {
+  uint64_t n = size;
+  U64(n);
+  if (reading() && ok() && n > remaining()) {
+    Fail(InvalidArgumentError("serializer: length " + std::to_string(n) +
+                              " exceeds remaining input (" +
+                              std::to_string(remaining()) + " bytes)"));
+    return 0;
+  }
+  return ok() ? n : 0;
+}
+
+void Serializer::Str(std::string& v) {
+  uint64_t n = Length(v.size());
+  if (!ok()) {
+    if (reading()) v.clear();
+    return;
+  }
+  if (reading()) {
+    v.assign(input_.data() + pos_, static_cast<size_t>(n));
+    pos_ += static_cast<size_t>(n);
+  } else {
+    PutBytes(v.data(), v.size());
+  }
+}
+
+void Serializer::VecF64(std::vector<double>& v) {
+  uint64_t n = Length(v.size());
+  if (!ok()) {
+    if (reading()) v.clear();
+    return;
+  }
+  if (reading()) v.assign(static_cast<size_t>(n), 0.0);
+  for (double& x : v) {
+    F64(x);
+    if (!ok()) return;
+  }
+}
+
+void Serializer::VecTimingF64(std::vector<double>& v) {
+  if (fingerprinting()) return;
+  VecF64(v);
+}
+
+void Serializer::VecI32(std::vector<int>& v) {
+  uint64_t n = Length(v.size());
+  if (!ok()) {
+    if (reading()) v.clear();
+    return;
+  }
+  if (reading()) v.assign(static_cast<size_t>(n), 0);
+  for (int& x : v) {
+    I32(x);
+    if (!ok()) return;
+  }
+}
+
+void Serializer::VecStr(std::vector<std::string>& v) {
+  uint64_t n = Length(v.size());
+  if (!ok()) {
+    if (reading()) v.clear();
+    return;
+  }
+  if (reading()) v.assign(static_cast<size_t>(n), std::string());
+  for (std::string& s : v) {
+    Str(s);
+    if (!ok()) return;
+  }
+}
+
+void Serializer::VecVecI32(std::vector<std::vector<int>>& v) {
+  uint64_t n = Length(v.size());
+  if (!ok()) {
+    if (reading()) v.clear();
+    return;
+  }
+  if (reading()) v.assign(static_cast<size_t>(n), std::vector<int>());
+  for (std::vector<int>& inner : v) {
+    VecI32(inner);
+    if (!ok()) return;
+  }
+}
+
+void Serializer::Section(std::string_view tag, uint32_t version) {
+  std::string stored_tag(tag);
+  Str(stored_tag);
+  if (reading() && ok() && stored_tag != tag) {
+    Fail(InvalidArgumentError("serializer: section tag mismatch (expected '" +
+                              std::string(tag) + "', found '" + stored_tag +
+                              "')"));
+  }
+  uint32_t stored_version = version;
+  U32(stored_version);
+  if (reading() && ok() && stored_version != version) {
+    Fail(InvalidArgumentError(
+        "serializer: section '" + std::string(tag) + "' version mismatch " +
+        "(stream has v" + std::to_string(stored_version) +
+        ", this build reads v" + std::to_string(version) + ")"));
+  }
+}
+
+void Serializer::ExpectExhausted() {
+  if (!ok() || !reading()) return;
+  if (remaining() != 0) {
+    Fail(InvalidArgumentError("serializer: " + std::to_string(remaining()) +
+                              " trailing bytes after final field"));
+  }
+}
+
+}  // namespace auditgame::util

@@ -1,0 +1,169 @@
+#ifndef AUDIT_GAME_UTIL_SERIALIZER_H_
+#define AUDIT_GAME_UTIL_SERIALIZER_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "util/hash.h"
+#include "util/status.h"
+
+namespace auditgame::util {
+
+/// CRC-32 (IEEE 802.3, polynomial 0xEDB88320) of `data`, the checksum the
+/// durability file formats frame every payload with. `Crc32Update` chains
+/// incrementally: Crc32(ab) == Crc32Update(Crc32(a-as-seed...)) — use the
+/// one-shot form unless streaming.
+uint32_t Crc32(std::string_view data);
+uint32_t Crc32Update(uint32_t crc, std::string_view data);
+
+/// A bidirectional, versioned, endian-stable state stream — the single
+/// interface every stateful layer implements via a
+/// `StreamState(Serializer&)` method that both saves and restores it (the
+/// direction lives in the serializer, so the field list is written exactly
+/// once and read/write can never skew).
+///
+/// Encoding: all integers fixed-width big-endian; doubles as their raw
+/// IEEE-754 bit pattern (bit-for-bit round trips — no text formatting, no
+/// renormalization — because snapshot/WAL replay must reproduce solver
+/// state exactly); strings and vectors length-prefixed.
+///
+/// Modes:
+///   - Writer(): appends to an internal buffer (never fails).
+///   - Reader(data): consumes `data` with sticky error handling — any
+///     bounds violation, tag mismatch, or version mismatch sets status()
+///     and every later operation no-ops with zeroed outputs, so callers
+///     check ok() once at the end instead of after every field.
+///   - Fingerprinter(): a writer whose TimingF64 fields are skipped, for
+///     content fingerprints of state where wall-clock measurements must
+///     not perturb equality (two bit-identical recoveries measure
+///     different solve times; see FingerprintState).
+///
+/// Versioning: each composite type opens its block with
+/// Section("tag", kVersion). On read the tag must match and the stored
+/// version must equal the current one — a snapshot from a build with a
+/// different layout is rejected with a clear error instead of being
+/// misparsed.
+class Serializer {
+ public:
+  static Serializer Writer() { return Serializer(Mode::kWrite); }
+  static Serializer Fingerprinter() { return Serializer(Mode::kFingerprint); }
+  static Serializer Reader(std::string_view data) {
+    Serializer s(Mode::kRead);
+    s.input_ = data;
+    return s;
+  }
+
+  bool writing() const { return mode_ != Mode::kRead; }
+  bool reading() const { return mode_ == Mode::kRead; }
+  bool fingerprinting() const { return mode_ == Mode::kFingerprint; }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// Marks the stream failed; every later operation no-ops. The first
+  /// failure wins (later ones are usually cascades of the first).
+  void Fail(Status status);
+
+  /// Opens a versioned block. Write: emits the tag and version. Read:
+  /// fails unless the stored tag and version match exactly.
+  void Section(std::string_view tag, uint32_t version);
+
+  void U8(uint8_t& v);
+  void U16(uint16_t& v);
+  void U32(uint32_t& v);
+  void U64(uint64_t& v);
+  void I32(int& v);
+  void I64(int64_t& v);
+  void SizeT(size_t& v);
+  void Bool(bool& v);
+  void F64(double& v);
+  /// A wall-clock measurement: streamed like F64 in read/write mode,
+  /// skipped entirely by Fingerprinter() (see class comment).
+  void TimingF64(double& v);
+  /// An operational counter whose value depends on scheduling (e.g. how
+  /// many micro-batches a queue drained), not on logical state: persisted
+  /// like I64, excluded from fingerprints like TimingF64.
+  void TimingI64(int64_t& v);
+
+  /// Length-prefixed string. Read rejects lengths beyond the remaining
+  /// input, so a corrupt length field can never drive a huge allocation.
+  void Str(std::string& v);
+
+  void VecF64(std::vector<double>& v);
+  void VecTimingF64(std::vector<double>& v);
+  void VecI32(std::vector<int>& v);
+  void VecStr(std::vector<std::string>& v);
+  void VecVecI32(std::vector<std::vector<int>>& v);
+
+  /// Streams a composite implementing StreamState(Serializer&).
+  template <typename T>
+  void Object(T& v) {
+    if (!ok()) return;
+    v.StreamState(*this);
+  }
+
+  /// Vector of composites; T must be default-constructible for the read
+  /// path.
+  template <typename T>
+  void VecObj(std::vector<T>& v) {
+    uint64_t n = Length(v.size());
+    if (!ok()) return;
+    if (reading()) v.assign(static_cast<size_t>(n), T{});
+    for (T& item : v) {
+      Object(item);
+      if (!ok()) return;
+    }
+  }
+
+  void Object(Fingerprint& v) {
+    U64(v.hi);
+    U64(v.lo);
+  }
+
+  /// Write modes: the bytes produced so far.
+  const std::string& buffer() const { return buffer_; }
+  std::string TakeBuffer() { return std::move(buffer_); }
+
+  /// Read mode: unconsumed bytes.
+  size_t remaining() const { return input_.size() - pos_; }
+  /// Read mode: fails unless every input byte was consumed (trailing
+  /// garbage means the producer and consumer disagree about the layout).
+  void ExpectExhausted();
+
+ private:
+  enum class Mode { kWrite, kRead, kFingerprint };
+
+  explicit Serializer(Mode mode) : mode_(mode) {}
+
+  /// Streams a length field, validating it against the remaining input on
+  /// read (each element is at least one byte). Returns the length.
+  uint64_t Length(size_t size);
+
+  void PutBytes(const void* data, size_t size);
+  bool TakeBytes(void* out, size_t size);
+
+  Mode mode_;
+  Status status_ = OkStatus();
+  std::string buffer_;      // write modes
+  std::string_view input_;  // read mode
+  size_t pos_ = 0;
+};
+
+/// Content fingerprint of any StreamState-bearing value: streams it in
+/// Fingerprinter mode (timings skipped) and fingerprints the bytes. Used
+/// by recovery verification: two independent recoveries of the same
+/// snapshot + WAL must produce equal fingerprints.
+template <typename T>
+Fingerprint FingerprintState(T& v) {
+  Serializer s = Serializer::Fingerprinter();
+  v.StreamState(s);
+  FingerprintBuilder fp;
+  fp.Append(s.buffer());
+  return fp.Build();
+}
+
+}  // namespace auditgame::util
+
+#endif  // AUDIT_GAME_UTIL_SERIALIZER_H_

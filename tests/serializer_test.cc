@@ -1,0 +1,284 @@
+#include "util/serializer.h"
+
+#include <cmath>
+#include <cstring>
+#include <limits>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace auditgame::util {
+namespace {
+
+TEST(Crc32Test, MatchesIeeeCheckVector) {
+  // The canonical CRC-32 check value: crc32("123456789") = 0xCBF43926.
+  EXPECT_EQ(Crc32("123456789"), 0xCBF43926u);
+  EXPECT_EQ(Crc32(""), 0u);
+}
+
+TEST(Crc32Test, UpdateChainsIncrementally) {
+  const std::string text = "the quick brown fox";
+  uint32_t chained = Crc32(text.substr(0, 7));
+  chained = Crc32Update(chained, text.substr(7));
+  EXPECT_EQ(chained, Crc32(text));
+}
+
+TEST(SerializerTest, ScalarRoundTrip) {
+  uint8_t u8 = 0xAB;
+  uint16_t u16 = 0xBEEF;
+  uint32_t u32 = 0xDEADBEEFu;
+  uint64_t u64 = 0x0123456789ABCDEFull;
+  int i32 = -123456;
+  int64_t i64 = -9876543210LL;
+  size_t st = 987654321u;
+  bool b = true;
+  double f = -0.1;
+
+  Serializer w = Serializer::Writer();
+  w.U8(u8);
+  w.U16(u16);
+  w.U32(u32);
+  w.U64(u64);
+  w.I32(i32);
+  w.I64(i64);
+  w.SizeT(st);
+  w.Bool(b);
+  w.F64(f);
+  ASSERT_TRUE(w.ok()) << w.status();
+
+  uint8_t ru8 = 0;
+  uint16_t ru16 = 0;
+  uint32_t ru32 = 0;
+  uint64_t ru64 = 0;
+  int ri32 = 0;
+  int64_t ri64 = 0;
+  size_t rst = 0;
+  bool rb = false;
+  double rf = 0.0;
+  Serializer r = Serializer::Reader(w.buffer());
+  r.U8(ru8);
+  r.U16(ru16);
+  r.U32(ru32);
+  r.U64(ru64);
+  r.I32(ri32);
+  r.I64(ri64);
+  r.SizeT(rst);
+  r.Bool(rb);
+  r.F64(rf);
+  r.ExpectExhausted();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(ru8, u8);
+  EXPECT_EQ(ru16, u16);
+  EXPECT_EQ(ru32, u32);
+  EXPECT_EQ(ru64, u64);
+  EXPECT_EQ(ri32, i32);
+  EXPECT_EQ(ri64, i64);
+  EXPECT_EQ(rst, st);
+  EXPECT_EQ(rb, b);
+  EXPECT_EQ(rf, f);
+}
+
+TEST(SerializerTest, DoubleRoundTripsAreBitExact) {
+  // The durability contract: doubles survive as raw bit patterns — no
+  // formatting, no renormalization. NaN payloads, -0.0, denormals and ULP
+  // neighbours must all come back identical.
+  std::vector<double> specials = {
+      0.0,
+      -0.0,
+      1.0,
+      std::nextafter(1.0, 2.0),
+      std::numeric_limits<double>::min(),
+      std::numeric_limits<double>::denorm_min(),
+      std::numeric_limits<double>::max(),
+      std::numeric_limits<double>::infinity(),
+      -std::numeric_limits<double>::infinity(),
+      std::numeric_limits<double>::quiet_NaN(),
+      0.1 + 0.2,  // famously != 0.3
+  };
+  Serializer w = Serializer::Writer();
+  std::vector<double> to_write = specials;
+  w.VecF64(to_write);
+  ASSERT_TRUE(w.ok());
+
+  std::vector<double> read;
+  Serializer r = Serializer::Reader(w.buffer());
+  r.VecF64(read);
+  r.ExpectExhausted();
+  ASSERT_TRUE(r.ok()) << r.status();
+  ASSERT_EQ(read.size(), specials.size());
+  for (size_t i = 0; i < specials.size(); ++i) {
+    uint64_t want = 0, got = 0;
+    std::memcpy(&want, &specials[i], 8);
+    std::memcpy(&got, &read[i], 8);
+    EXPECT_EQ(got, want) << "double #" << i << " drifted";
+  }
+}
+
+TEST(SerializerTest, StringAndVectorRoundTrip) {
+  std::string str = std::string("embedded\0nul", 12);
+  std::vector<int> vi = {-1, 0, 7, 1 << 30};
+  std::vector<std::string> vs = {"", "a", "bb"};
+  std::vector<std::vector<int>> vvi = {{}, {1}, {2, 3}};
+
+  Serializer w = Serializer::Writer();
+  w.Str(str);
+  w.VecI32(vi);
+  w.VecStr(vs);
+  w.VecVecI32(vvi);
+  ASSERT_TRUE(w.ok());
+
+  std::string rstr;
+  std::vector<int> rvi;
+  std::vector<std::string> rvs;
+  std::vector<std::vector<int>> rvvi;
+  Serializer r = Serializer::Reader(w.buffer());
+  r.Str(rstr);
+  r.VecI32(rvi);
+  r.VecStr(rvs);
+  r.VecVecI32(rvvi);
+  r.ExpectExhausted();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(rstr, str);
+  EXPECT_EQ(rvi, vi);
+  EXPECT_EQ(rvs, vs);
+  EXPECT_EQ(rvvi, vvi);
+}
+
+TEST(SerializerTest, SectionVersionMismatchIsRejected) {
+  Serializer w = Serializer::Writer();
+  w.Section("thing", 2);
+  double payload = 1.5;
+  w.F64(payload);
+
+  Serializer r = Serializer::Reader(w.buffer());
+  r.Section("thing", 3);  // reader expects a different layout version
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kInvalidArgument) << r.status();
+
+  // Sticky: later reads are no-ops with zeroed outputs.
+  double after = 42.0;
+  r.F64(after);
+  EXPECT_EQ(after, 0.0);
+}
+
+TEST(SerializerTest, SectionTagMismatchIsRejected) {
+  Serializer w = Serializer::Writer();
+  w.Section("policy", 1);
+  Serializer r = Serializer::Reader(w.buffer());
+  r.Section("shard", 1);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializerTest, TruncatedInputFailsInsteadOfMisreading) {
+  Serializer w = Serializer::Writer();
+  std::vector<double> v = {1.0, 2.0, 3.0};
+  w.VecF64(v);
+  const std::string full = w.buffer();
+  // Every proper prefix must fail cleanly — no partial vectors, no huge
+  // allocations from a torn length field.
+  for (size_t cut = 0; cut < full.size(); ++cut) {
+    std::vector<double> out;
+    Serializer r = Serializer::Reader(std::string_view(full).substr(0, cut));
+    r.VecF64(out);
+    EXPECT_FALSE(r.ok()) << "prefix of " << cut << " bytes parsed";
+  }
+}
+
+TEST(SerializerTest, CorruptLengthFieldCannotDriveHugeAllocation) {
+  // A length claiming more elements than remaining bytes must fail at the
+  // length, before any allocation proportional to it.
+  Serializer w = Serializer::Writer();
+  uint64_t huge = ~0ull;
+  w.U64(huge);
+  std::vector<std::string> out;
+  Serializer r = Serializer::Reader(w.buffer());
+  r.VecStr(out);
+  EXPECT_FALSE(r.ok());
+  EXPECT_TRUE(out.empty());
+}
+
+TEST(SerializerTest, TrailingBytesFailExpectExhausted) {
+  Serializer w = Serializer::Writer();
+  bool b = true;
+  w.Bool(b);
+  w.Bool(b);
+  Serializer r = Serializer::Reader(w.buffer());
+  bool rb = false;
+  r.Bool(rb);
+  r.ExpectExhausted();  // one Bool of the two consumed
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializerTest, BoolRejectsNonCanonicalBytes) {
+  std::string bytes = "\x02";
+  Serializer r = Serializer::Reader(bytes);
+  bool b = false;
+  r.Bool(b);
+  EXPECT_FALSE(r.ok());
+}
+
+TEST(SerializerTest, FingerprinterSkipsTimingFields) {
+  struct Timed {
+    double value = 1.0;
+    double seconds = 0.0;
+    void StreamState(Serializer& s) {
+      s.F64(value);
+      s.TimingF64(seconds);
+    }
+  };
+  Timed a{3.5, 0.001};
+  Timed b{3.5, 99.0};  // same content, different wall clock
+  EXPECT_EQ(FingerprintState(a), FingerprintState(b));
+
+  Timed c{3.6, 0.001};
+  EXPECT_NE(FingerprintState(a), FingerprintState(c));
+
+  // In read/write mode TimingF64 is a normal field and round-trips.
+  Serializer w = Serializer::Writer();
+  a.StreamState(w);
+  Timed restored;
+  Serializer r = Serializer::Reader(w.buffer());
+  restored.StreamState(r);
+  r.ExpectExhausted();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(restored.seconds, a.seconds);
+}
+
+TEST(SerializerTest, VecObjRoundTrip) {
+  struct Point {
+    int x = 0;
+    int y = 0;
+    void StreamState(Serializer& s) {
+      s.I32(x);
+      s.I32(y);
+    }
+    bool operator==(const Point& o) const { return x == o.x && y == o.y; }
+  };
+  std::vector<Point> points = {{1, 2}, {-3, 4}, {0, 0}};
+  Serializer w = Serializer::Writer();
+  w.VecObj(points);
+  std::vector<Point> restored;
+  Serializer r = Serializer::Reader(w.buffer());
+  r.VecObj(restored);
+  r.ExpectExhausted();
+  ASSERT_TRUE(r.ok()) << r.status();
+  EXPECT_EQ(restored, points);
+}
+
+TEST(SerializerTest, FingerprintObjectRoundTrip) {
+  Fingerprint fp;
+  fp.hi = 0x1122334455667788ull;
+  fp.lo = 0x99AABBCCDDEEFF00ull;
+  Serializer w = Serializer::Writer();
+  w.Object(fp);
+  Fingerprint restored;
+  Serializer r = Serializer::Reader(w.buffer());
+  r.Object(restored);
+  r.ExpectExhausted();
+  ASSERT_TRUE(r.ok());
+  EXPECT_EQ(restored, fp);
+}
+
+}  // namespace
+}  // namespace auditgame::util
