@@ -19,12 +19,14 @@
 #include <memory>
 #include <string>
 
+#include "bench/alloc_count.h"
 #include "bench/smoke_common.h"
 #include "core/cggs.h"
 #include "core/detection.h"
 #include "data/syn_a.h"
 #include "prob/count_distribution.h"
 #include "solver/registry.h"
+#include "util/arena.h"
 #include "util/json.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -150,6 +152,9 @@ struct ModeRun {
   int lp_solves = 0;
   int warm_lp_solves = 0;
   long master_iterations = 0;
+  /// Steady-state heap allocations per SolveCggs call with a shared
+  /// workspace (the serving configuration) — the arena refactor gate.
+  double allocations_per_solve = 0.0;
 };
 
 ModeRun TimeMode(const core::GameInstance& instance,
@@ -165,8 +170,12 @@ ModeRun TimeMode(const core::GameInstance& instance,
   }
   core::CggsOptions options;
   options.master_mode = master_mode;
-  util::Timer timer;
-  for (int r = 0; r < reps; ++r) {
+  // One workspace across the reps, like a serving loop (result-neutral;
+  // see CggsOptions::workspace). The first solve sizes the arenas — warm
+  // up before counting so the reported number is the steady state.
+  util::WorkspacePool workspace;
+  options.workspace = &workspace;
+  auto solve_once = [&]() {
     auto result = core::SolveCggs(compiled, *detection, thresholds, options);
     if (!result.ok()) {
       std::fprintf(stderr, "SolveCggs (mode %d) failed: %s\n",
@@ -178,8 +187,14 @@ ModeRun TimeMode(const core::GameInstance& instance,
     run.lp_solves = result->lp_solves;
     run.warm_lp_solves = result->warm_lp_solves;
     run.master_iterations = result->master_lp_iterations;
-  }
+  };
+  solve_once();  // warmup, untimed and uncounted
+  const uint64_t alloc_before = bench::HeapAllocationCount();
+  util::Timer timer;
+  for (int r = 0; r < reps; ++r) solve_once();
   run.seconds = timer.ElapsedSeconds() / reps;
+  run.allocations_per_solve =
+      static_cast<double>(bench::HeapAllocationCount() - alloc_before) / reps;
   return run;
 }
 
@@ -216,12 +231,14 @@ int RunSmoke(const std::string& json_path) {
         static_cast<double>(std::max(1L, incremental.master_iterations));
     json_case["incremental_warm_lp_solves"] = incremental.warm_lp_solves;
     json_case["incremental_lp_solves"] = incremental.lp_solves;
+    json_case["incremental_allocations_per_solve"] =
+        incremental.allocations_per_solve;
     std::printf("types=%d cold %.4fs incremental %.4fs speedup %.2fx "
-                "(iterations %ld vs %ld, warm %d/%d)\n",
+                "(iterations %ld vs %ld, warm %d/%d, %.0f allocs/solve)\n",
                 types, cold.seconds, incremental.seconds,
                 cold.seconds / incremental.seconds, cold.master_iterations,
                 incremental.master_iterations, incremental.warm_lp_solves,
-                incremental.lp_solves);
+                incremental.lp_solves, incremental.allocations_per_solve);
     cases.push_back(std::move(json_case));
   }
 

@@ -1,15 +1,32 @@
 // Microbenchmarks for the detection-probability estimators: exact
 // (prefix-convolution) vs Monte Carlo across instance sizes, plus the
 // incremental prefix operations CGGS relies on.
+//
+// Two entry points:
+//  * Google Benchmark (default): timing curves.
+//  * --smoke_json=PATH: runs the detection hot path (the Into-style calls
+//    CGGS prices with) under the scalar and SIMD kernel backends and
+//    writes a BENCH_*.json report — bit-identity of the two backends,
+//    allocations-per-solve in steady state (the arena/kernel refactor
+//    gate), and timings for the archive.
 #include <benchmark/benchmark.h>
 
 #include <algorithm>
 #include <cmath>
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
 
+#include "bench/alloc_count.h"
+#include "bench/smoke_common.h"
 #include "core/detection.h"
 #include "data/credit.h"
 #include "data/emr.h"
 #include "data/syn_a.h"
+#include "math/kernels.h"
+#include "util/json.h"
+#include "util/timer.h"
 
 namespace {
 
@@ -116,6 +133,127 @@ void BM_MonteCarloError(benchmark::State& state) {
 }
 BENCHMARK(BM_MonteCarloError)->Arg(500)->Arg(2000)->Arg(10000);
 
+// ---- Smoke mode ----------------------------------------------------------
+
+struct BackendRun {
+  double seconds = 0.0;
+  double allocations_per_solve = 0.0;
+  std::vector<double> pal;
+};
+
+// One "solve" is the steady-state pricing unit: a full detection-
+// probability sweep over an ordering through the caller-scratch API
+// (DetectionProbabilitiesInto), exactly how CGGS evaluates candidates.
+BackendRun RunDetection(core::DetectionModel& model, int t_count, int reps) {
+  BackendRun run;
+  const auto ordering = IdentityOrdering(t_count);
+  core::DetectionModel::Prefix prefix = model.EmptyPrefix();
+  std::vector<double> pal;
+  // Warm up so every buffer reaches steady-state capacity before counting.
+  for (int r = 0; r < 3; ++r) {
+    (void)model.DetectionProbabilitiesInto(ordering, prefix, pal);
+  }
+  const uint64_t alloc_before = bench::HeapAllocationCount();
+  util::Timer timer;
+  for (int r = 0; r < reps; ++r) {
+    const util::Status status =
+        model.DetectionProbabilitiesInto(ordering, prefix, pal);
+    if (!status.ok()) {
+      std::fprintf(stderr, "DetectionProbabilitiesInto failed: %s\n",
+                   status.ToString().c_str());
+      std::exit(1);
+    }
+  }
+  run.seconds = timer.ElapsedSeconds() / reps;
+  run.allocations_per_solve =
+      static_cast<double>(bench::HeapAllocationCount() - alloc_before) / reps;
+  run.pal = pal;
+  return run;
+}
+
+bool BitIdentical(const std::vector<double>& a, const std::vector<double>& b) {
+  return a.size() == b.size() &&
+         (a.empty() ||
+          std::memcmp(a.data(), b.data(), a.size() * sizeof(double)) == 0);
+}
+
+int RunSmoke(const std::string& json_path) {
+  const bool simd = math::SimdAvailable();
+  util::JsonValue::Array cases;
+  bool all_identical = true;
+
+  struct Case {
+    const char* mode;
+    core::DetectionModel::Mode model_mode;
+    int mc_samples;
+    int reps;
+  };
+  const Case kCases[] = {
+      {"exact", core::DetectionModel::Mode::kExact, 0, 400},
+      {"monte_carlo", core::DetectionModel::Mode::kMonteCarlo, 2000, 400},
+  };
+
+  const auto& instance = EmrInstance();
+  const auto thresholds = HalfMeanThresholds(instance);
+  for (const Case& c : kCases) {
+    core::DetectionModel::Options options;
+    options.mode = c.model_mode;
+    if (c.mc_samples > 0) options.mc_samples = c.mc_samples;
+    auto model = core::DetectionModel::Create(instance, 100.0, options);
+    if (!model.ok() || !model->SetThresholds(thresholds).ok()) {
+      std::fprintf(stderr, "detection model setup failed (%s)\n", c.mode);
+      return 1;
+    }
+
+    if (!math::SetBackend(math::Backend::kScalar)) return 1;
+    const BackendRun scalar =
+        RunDetection(*model, instance.num_types(), c.reps);
+    BackendRun vectorized;
+    if (simd) {
+      if (!math::SetBackend(math::Backend::kSimd)) return 1;
+      vectorized = RunDetection(*model, instance.num_types(), c.reps);
+      math::SetBackend(math::Backend::kSimd);
+    }
+
+    const bool identical =
+        !simd || BitIdentical(scalar.pal, vectorized.pal);
+    all_identical = all_identical && identical;
+    util::JsonValue::Object json_case;
+    json_case["game"] = "emr";
+    json_case["mode"] = c.mode;
+    json_case["scalar_seconds"] = scalar.seconds;
+    json_case["allocations_per_solve"] = scalar.allocations_per_solve;
+    json_case["pal_bit_identical_scalar_simd"] = identical;
+    if (simd) {
+      json_case["simd_backend"] = math::BackendName();
+      json_case["simd_seconds"] = vectorized.seconds;
+      json_case["speedup_simd_over_scalar"] =
+          scalar.seconds / vectorized.seconds;
+    }
+    std::printf("%s scalar %.6fs%s allocs/solve %.2f identical=%d\n", c.mode,
+                scalar.seconds,
+                simd ? (" simd " + std::to_string(vectorized.seconds) + "s")
+                           .c_str()
+                     : "",
+                scalar.allocations_per_solve, identical ? 1 : 0);
+    cases.push_back(std::move(json_case));
+  }
+
+  util::JsonValue::Object report;
+  report["bench"] = "micro_detection";
+  report["mode"] = "smoke";
+  report["simd_compared"] = simd;
+  report["pal_bit_identical_scalar_simd"] = all_identical;
+  report["cases"] = std::move(cases);
+  const int write_status =
+      bench::WriteSmokeReport(json_path, std::move(report));
+  // Backend disagreement outranks a report-write failure: it is the signal
+  // CI must not mistake for an infrastructure problem.
+  return all_identical ? write_status : bench::kSmokeExitDisagreement;
+}
+
 }  // namespace
 
-BENCHMARK_MAIN();
+int main(int argc, char** argv) {
+  return auditgame::bench::SmokeOrBenchmarkMain(argc, argv, RunSmoke);
+}

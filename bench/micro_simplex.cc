@@ -15,6 +15,7 @@
 #include <cstdlib>
 #include <string>
 
+#include "bench/alloc_count.h"
 #include "bench/smoke_common.h"
 #include "core/detection.h"
 #include "core/game_lp.h"
@@ -22,6 +23,7 @@
 #include "lp/model.h"
 #include "lp/revised_simplex.h"
 #include "lp/simplex.h"
+#include "util/arena.h"
 #include "util/combinatorics.h"
 #include "util/json.h"
 #include "util/random.h"
@@ -101,14 +103,23 @@ struct BackendRun {
   double seconds = 0.0;
   long iterations = 0;
   double objective = 0.0;
+  double allocations_per_solve = 0.0;
 };
 
 BackendRun TimeBackend(const lp::LpModel& model, lp::SimplexBackend backend,
                        int reps) {
-  const lp::SimplexSolver::Options options = BackendOptions(backend);
+  lp::SimplexSolver::Options options = BackendOptions(backend);
+  // The revised backend draws its working memory from a caller workspace
+  // when given one — the serving configuration (the incremental master LP
+  // shares one across re-solves). The measured loop is then the steady
+  // state: the warmup solve sizes the arenas, the counted solves reuse
+  // them.
+  util::WorkspacePool workspace;
+  if (backend == lp::SimplexBackend::kRevised) {
+    options.workspace = &workspace;
+  }
   BackendRun run;
-  util::Timer timer;
-  for (int r = 0; r < reps; ++r) {
+  auto solve_once = [&](BackendRun& into) {
     const auto solution = lp::SimplexSolver::Solve(model, options);
     if (!solution.ok() ||
         solution->status != lp::SolveStatus::kOptimal) {
@@ -119,11 +130,17 @@ BackendRun TimeBackend(const lp::LpModel& model, lp::SimplexBackend backend,
                        : solution.status().ToString().c_str());
       std::exit(1);
     }
-    run.objective = solution->objective;
-    run.iterations =
+    into.objective = solution->objective;
+    into.iterations =
         solution->phase1_iterations + solution->phase2_iterations;
-  }
+  };
+  solve_once(run);  // warmup, untimed and uncounted
+  const uint64_t alloc_before = bench::HeapAllocationCount();
+  util::Timer timer;
+  for (int r = 0; r < reps; ++r) solve_once(run);
   run.seconds = timer.ElapsedSeconds() / reps;
+  run.allocations_per_solve =
+      static_cast<double>(bench::HeapAllocationCount() - alloc_before) / reps;
   return run;
 }
 
@@ -151,10 +168,15 @@ int RunSmoke(const std::string& json_path) {
         static_cast<double>(dense.iterations) /
         static_cast<double>(std::max(1L, revised.iterations));
     json_case["objective_gap"] = gap;
-    std::printf("n=%d dense %.6fs (%ld it) revised %.6fs (%ld it) "
-                "speedup %.2fx gap %.2e\n",
-                n, dense.seconds, dense.iterations, revised.seconds,
-                revised.iterations, dense.seconds / revised.seconds, gap);
+    json_case["dense_allocations_per_solve"] = dense.allocations_per_solve;
+    json_case["revised_allocations_per_solve"] =
+        revised.allocations_per_solve;
+    std::printf("n=%d dense %.6fs (%ld it, %.0f allocs) revised %.6fs "
+                "(%ld it, %.0f allocs) speedup %.2fx gap %.2e\n",
+                n, dense.seconds, dense.iterations,
+                dense.allocations_per_solve, revised.seconds,
+                revised.iterations, revised.allocations_per_solve,
+                dense.seconds / revised.seconds, gap);
     cases.push_back(std::move(json_case));
   }
 

@@ -1,15 +1,16 @@
 #include "core/cggs.h"
 
 #include <algorithm>
+#include <cstring>
 #include <future>
 #include <limits>
 #include <memory>
 #include <numeric>
-#include <set>
 #include <utility>
 
 #include "core/game_lp.h"
 #include "core/master_lp.h"
+#include "util/arena.h"
 #include "util/hash.h"
 #include "util/random.h"
 #include "util/thread_pool.h"
@@ -20,10 +21,12 @@ namespace {
 
 // Dual-weighted utility sum_{g,v} y_{g,v} * Ua(pal, <g,v>) — the variable
 // part of a column's reduced cost (the full reduced cost subtracts the
-// convexity dual).
+// convexity dual). `pal` holds one entry per type; the pointer form lets
+// pricing score arena-backed candidate buffers without materializing
+// vectors.
 double DualWeightedUtility(const CompiledGame& game,
                            const std::vector<std::vector<double>>& duals,
-                           const std::vector<double>& pal) {
+                           const double* pal) {
   double total = 0.0;
   for (size_t g = 0; g < game.groups.size(); ++g) {
     const auto& victims = game.groups[g].victims;
@@ -96,25 +99,42 @@ void RunChunks(util::ThreadPool* pool, int num_chunks, const Fn& fn) {
 // own copy of the placed-prefix Pal vector, so the arithmetic per candidate
 // is exactly the serial path's), then reduced to the minimum score with
 // ties broken by the smallest type index.
-std::vector<int> GreedyOrdering(const CompiledGame& game,
-                                const DetectionModel& detection,
-                                const std::vector<std::vector<double>>& duals,
-                                util::ThreadPool* pool, int max_chunks) {
+// Every buffer is carved from `arena` up front (and rewound on return), so
+// steady-state pricing rounds run with zero heap allocations: the chunk-
+// local Pal copies live in rows of one block preassigned by chunk index —
+// never by thread identity — which keeps the arithmetic, and therefore the
+// result, bit-identical across thread counts. `prefix` and `ordering_out`
+// are caller-owned scratch reused across rounds.
+void GreedyOrdering(const CompiledGame& game, const DetectionModel& detection,
+                    const std::vector<std::vector<double>>& duals,
+                    util::ThreadPool* pool, int max_chunks,
+                    util::Arena& arena, DetectionModel::Prefix& prefix,
+                    std::vector<int>& ordering_out) {
   const int t_count = game.num_types;
-  std::vector<int> ordering;
-  ordering.reserve(t_count);
-  std::vector<bool> placed(t_count, false);
-  std::vector<double> pal(t_count, 0.0);
-  std::vector<double> scores(t_count, 0.0);
-  std::vector<double> candidate_pals(t_count, 0.0);
-  const int num_chunks =
-      pool == nullptr ? 1 : std::min(max_chunks, t_count);
-  DetectionModel::Prefix prefix = detection.EmptyPrefix();
+  ordering_out.clear();
+  ordering_out.reserve(static_cast<size_t>(t_count));
+  const int num_chunks = pool == nullptr ? 1 : std::min(max_chunks, t_count);
+
+  util::ArenaScope scope(arena);
+  const size_t t_size = static_cast<size_t>(t_count);
+  uint8_t* placed = arena.AllocateArray<uint8_t>(t_size);
+  double* pal = arena.AllocateArray<double>(t_size);
+  double* scores = arena.AllocateArray<double>(t_size);
+  double* candidate_pals = arena.AllocateArray<double>(t_size);
+  // Chunk-local Pal rows, carved before the parallel region; workers never
+  // call Allocate.
+  double* chunk_pals =
+      arena.AllocateArray<double>(static_cast<size_t>(num_chunks) * t_size);
+  std::memset(placed, 0, t_size * sizeof(uint8_t));
+  for (size_t t = 0; t < t_size; ++t) pal[t] = 0.0;
+
+  detection.ResetPrefix(prefix);
   for (int step = 0; step < t_count; ++step) {
     RunChunks(pool, num_chunks, [&](int chunk) {
       const int begin = chunk * t_count / num_chunks;
       const int end = (chunk + 1) * t_count / num_chunks;
-      std::vector<double> local_pal = pal;
+      double* local_pal = chunk_pals + static_cast<size_t>(chunk) * t_size;
+      std::memcpy(local_pal, pal, t_size * sizeof(double));
       for (int t = begin; t < end; ++t) {
         if (placed[t]) continue;
         const double candidate_pal = detection.PalGivenPrefix(prefix, t);
@@ -133,12 +153,11 @@ std::vector<int> GreedyOrdering(const CompiledGame& game,
         best_type = t;
       }
     }
-    placed[best_type] = true;
+    placed[best_type] = 1;
     pal[best_type] = candidate_pals[best_type];
-    ordering.push_back(best_type);
+    ordering_out.push_back(best_type);
     if (step + 1 < t_count) detection.ExtendPrefix(prefix, best_type);
   }
-  return ordering;
 }
 
 }  // namespace
@@ -165,22 +184,43 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
     }
   }
 
+  // Scratch workspace for the whole solve — shared (caller-provided) or
+  // owned. Slot 0 backs the serial sections: greedy pricing buffers and
+  // the master LP's revised-simplex working memory, which alternate and
+  // nest their ArenaScopes LIFO.
+  util::WorkspacePool* workspace = options.workspace;
+  std::unique_ptr<util::WorkspacePool> owned_workspace;
+  if (workspace == nullptr) {
+    owned_workspace = std::make_unique<util::WorkspacePool>();
+    workspace = owned_workspace.get();
+  }
+  workspace->Prepare(1);
+  util::Arena& arena = workspace->Get(0);
+
   // Q starts from the warm-start set — deduplicated, and with orderings
   // that are not permutations of this game's type set silently dropped
   // (a cached seed may predate an instance reshape) — or the identity
   // ordering when no valid seed remains.
+  // Membership in Q is checked by linear scan: |Q| is capped at
+  // max_columns and the per-round check count is tiny next to pricing, so
+  // a scan beats the per-insert node + key-copy allocations of a set.
   std::vector<std::vector<int>> columns;
-  std::set<std::vector<int>> column_set;
+  columns.reserve(static_cast<size_t>(std::max(1, options.max_columns)));
+  const auto in_columns = [&columns](const std::vector<int>& ordering) {
+    for (const std::vector<int>& column : columns) {
+      if (column == ordering) return true;
+    }
+    return false;
+  };
   for (const std::vector<int>& ordering : options.initial_orderings) {
     if (!IsValidOrdering(ordering, game.num_types)) continue;
-    if (!column_set.insert(ordering).second) continue;
+    if (in_columns(ordering)) continue;
     columns.push_back(ordering);
   }
   if (columns.empty()) {
     std::vector<int> identity(game.num_types);
     std::iota(identity.begin(), identity.end(), 0);
     columns.push_back(identity);
-    column_set.insert(identity);
   }
 
   // The restricted master lives across all pricing iterations: every new
@@ -192,6 +232,8 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
     master_options.backend = lp::SimplexBackend::kDenseTableau;
     master_options.incremental = false;
   }
+  master_options.lp.workspace = workspace;
+  master_options.expected_orderings = options.max_columns;
   RestrictedMasterLp master_lp(game, detection, master_options);
   for (const auto& column : columns) {
     RETURN_IF_ERROR(master_lp.AddOrdering(column));
@@ -199,43 +241,62 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
 
   CggsResult result;
   RestrictedLpSolution master;
+
+  // Round-persistent scratch: candidate orderings, their reduced-cost
+  // slots, and one (prefix, pal) evaluation scratch per candidate slot —
+  // preassigned by candidate index, so the parallel sweep touches disjoint
+  // state and steady-state rounds are allocation-free.
+  const size_t num_candidates = static_cast<size_t>(1 + options.random_probes);
+  std::vector<std::vector<int>> candidates(num_candidates);
+  std::vector<uint8_t> skip;
+  std::vector<double> reduced_costs;
+  std::vector<util::Status> statuses;
+  struct CandidateScratch {
+    DetectionModel::Prefix prefix;
+    std::vector<double> pal;
+  };
+  std::vector<CandidateScratch> eval_scratch(num_candidates);
+  DetectionModel::Prefix greedy_prefix;
+
   for (int round = 0;; ++round) {
-    ASSIGN_OR_RETURN(master, master_lp.Solve());
+    RETURN_IF_ERROR(master_lp.SolveInto(master));
     ++result.lp_solves;
     if (static_cast<int>(columns.size()) >= options.max_columns) break;
 
     // Price candidates: the greedy ordering plus a few random probes, each
     // probe shuffled by its own pre-seeded Rng.
     util::Timer pricing_timer;
-    std::vector<std::vector<int>> candidates;
-    candidates.push_back(GreedyOrdering(game, detection, master.victim_duals,
-                                        pool, options.pricing_threads));
+    GreedyOrdering(game, detection, master.victim_duals, pool,
+                   options.pricing_threads, arena, greedy_prefix,
+                   candidates[0]);
     for (int r = 0; r < options.random_probes; ++r) {
-      std::vector<int> random_ordering(game.num_types);
+      std::vector<int>& random_ordering = candidates[static_cast<size_t>(r) + 1];
+      random_ordering.resize(static_cast<size_t>(game.num_types));
       std::iota(random_ordering.begin(), random_ordering.end(), 0);
       util::Rng probe_rng(ProbeSeed(options.seed, round, r));
       probe_rng.Shuffle(random_ordering);
-      candidates.push_back(std::move(random_ordering));
     }
 
     // Reduced costs of the novel candidates, one preassigned slot each.
-    const int num_candidates = static_cast<int>(candidates.size());
-    std::vector<bool> skip(candidates.size(), false);
-    for (size_t i = 0; i < candidates.size(); ++i) {
-      skip[i] = column_set.count(candidates[i]) > 0;  // already in Q
+    skip.assign(num_candidates, 0);
+    for (size_t i = 0; i < num_candidates; ++i) {
+      skip[i] = in_columns(candidates[i]) ? 1 : 0;  // already in Q
     }
-    std::vector<double> reduced_costs(candidates.size(), 0.0);
-    std::vector<util::Status> statuses(candidates.size(), util::OkStatus());
-    RunChunks(pool, num_candidates, [&](int i) {
-      if (skip[static_cast<size_t>(i)]) return;
-      auto pal = detection.DetectionProbabilities(
-          candidates[static_cast<size_t>(i)]);
-      if (!pal.ok()) {
-        statuses[static_cast<size_t>(i)] = pal.status();
+    reduced_costs.assign(num_candidates, 0.0);
+    statuses.assign(num_candidates, util::OkStatus());
+    RunChunks(pool, static_cast<int>(num_candidates), [&](int i) {
+      const size_t slot = static_cast<size_t>(i);
+      if (skip[slot]) return;
+      CandidateScratch& scratch = eval_scratch[slot];
+      const util::Status status = detection.DetectionProbabilitiesInto(
+          candidates[slot], scratch.prefix, scratch.pal);
+      if (!status.ok()) {
+        statuses[slot] = status;
         return;
       }
-      reduced_costs[static_cast<size_t>(i)] =
-          DualWeightedUtility(game, master.victim_duals, *pal) -
+      reduced_costs[slot] =
+          DualWeightedUtility(game, master.victim_duals,
+                              scratch.pal.data()) -
           master.convexity_dual;
     });
     for (const util::Status& status : statuses) RETURN_IF_ERROR(status);
@@ -256,10 +317,10 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
     }
     result.pricing_seconds += pricing_timer.ElapsedSeconds();
     if (best_index < 0) break;  // no improving column
-    std::vector<int> best_candidate =
-        std::move(candidates[static_cast<size_t>(best_index)]);
+    // Copy (not move): the candidate slots keep their buffers for reuse
+    // next round; the copy becomes the persistent column.
+    std::vector<int> best_candidate = candidates[static_cast<size_t>(best_index)];
     RETURN_IF_ERROR(master_lp.AddOrdering(best_candidate));
-    column_set.insert(best_candidate);
     columns.push_back(std::move(best_candidate));
     ++result.columns_generated;
   }
@@ -267,7 +328,6 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
   result.objective = master.objective;
   result.warm_lp_solves = master_lp.stats().warm_solves;
   result.master_lp_iterations = master_lp.stats().iterations;
-  result.columns = columns;
   result.policy.budget = detection.budget();
   result.policy.thresholds = thresholds;
   for (size_t o = 0; o < columns.size(); ++o) {
@@ -276,6 +336,7 @@ util::StatusOr<CggsResult> SolveCggs(const CompiledGame& game,
       result.policy.probabilities.push_back(master.ordering_probs[o]);
     }
   }
+  result.columns = std::move(columns);
   double total = 0.0;
   for (double p : result.policy.probabilities) total += p;
   if (total > 0) {

@@ -12,6 +12,7 @@
 
 namespace auditgame::util {
 class ThreadPool;
+class WorkspacePool;
 }  // namespace auditgame::util
 
 namespace auditgame::core {
@@ -62,6 +63,14 @@ struct CggsOptions {
   /// chunked by pricing_threads, never by pool size) and therefore
   /// excluded from policy-cache fingerprints.
   util::ThreadPool* pricing_pool = nullptr;
+  /// Optional non-owning scratch pool (util/arena.h) for the solve's hot
+  /// paths: greedy-pricing candidate buffers and the master LP's revised
+  /// simplex draw from it instead of the heap, so repeated solves (ISHM
+  /// sweeps, serving loops) run allocation-free in steady state. Must
+  /// outlive the solve. Null = the solve creates its own. Scratch slots are
+  /// preassigned by chunk index, so — like pricing_pool — this is
+  /// result-neutral and excluded from policy-cache fingerprints.
+  util::WorkspacePool* workspace = nullptr;
   /// Optional warm start: orderings to seed Q with (e.g. the support of the
   /// solution at a neighboring threshold vector during ISHM).
   std::vector<std::vector<int>> initial_orderings;

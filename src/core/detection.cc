@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstdint>
 #include <string>
 
+#include "math/kernels.h"
 #include "util/random.h"
 
 namespace auditgame::core {
@@ -60,10 +62,13 @@ util::StatusOr<DetectionModel> DetectionModel::Create(
     // deterministic and smooth.
     util::Rng rng(options.seed);
     const int t_count = model.num_types();
-    model.samples_.resize(static_cast<size_t>(options.mc_samples) * t_count);
+    const size_t k_count = static_cast<size_t>(options.mc_samples);
+    model.samples_.resize(k_count * t_count);
+    // Draw order stays sample-major (the historical common-random-number
+    // stream); only the storage is type-major.
     for (int k = 0; k < options.mc_samples; ++k) {
       for (int t = 0; t < t_count; ++t) {
-        model.samples_[static_cast<size_t>(k) * t_count + t] =
+        model.samples_[static_cast<size_t>(t) * k_count + k] =
             model.distributions_[t].Sample(rng);
       }
     }
@@ -96,8 +101,10 @@ util::Status DetectionModel::SetThresholds(
 void DetectionModel::PrepareExactTables() {
   const int t_count = num_types();
   const double unit = options_.budget_unit;
-  consumption_.assign(t_count, {});
-  g_.assign(t_count, {});
+  // resize + clear (not assign) keeps every inner vector's capacity across
+  // SetThresholds calls — ISHM sweeps re-threshold the same model in a loop.
+  consumption_.resize(static_cast<size_t>(t_count));
+  g_.resize(static_cast<size_t>(t_count));
   for (int t = 0; t < t_count; ++t) {
     const prob::CountDistribution& dist = distributions_[t];
     const double cost = audit_costs_[t];
@@ -107,19 +114,20 @@ void DetectionModel::PrepareExactTables() {
     // Consumption distribution: cell(min(b, z * C)) aggregated over z.
     // Once z * C >= b every z consumes exactly b, so the support is small.
     // Under kReserved the whole threshold is consumed deterministically.
-    std::vector<double> cell_prob(static_cast<size_t>(grid_size_), 0.0);
+    cell_prob_scratch_.assign(static_cast<size_t>(grid_size_), 0.0);
     for (int z = dist.min_value(); z <= dist.max_value(); ++z) {
       const double consumed =
           options_.consumption == Consumption::kReserved ? b
                                                          : std::min(b, z * cost);
       int cell = static_cast<int>(std::llround(consumed / unit));
       cell = std::min(cell, grid_size_ - 1);
-      cell_prob[static_cast<size_t>(cell)] += dist.Pmf(z);
+      cell_prob_scratch_[static_cast<size_t>(cell)] += dist.Pmf(z);
     }
     auto& sparse = consumption_[t];
+    sparse.clear();
     for (int cell = 0; cell < grid_size_; ++cell) {
-      if (cell_prob[static_cast<size_t>(cell)] > 0) {
-        sparse.emplace_back(cell, cell_prob[static_cast<size_t>(cell)]);
+      if (cell_prob_scratch_[static_cast<size_t>(cell)] > 0) {
+        sparse.emplace_back(cell, cell_prob_scratch_[static_cast<size_t>(cell)]);
       }
     }
 
@@ -133,9 +141,13 @@ void DetectionModel::PrepareExactTables() {
       const int capacity = std::min(budget_cap, per_type_cap);
       double value = 0.0;
       if (capacity > 0) {
+        // Branchy per-z term, so the expectation reduces through the
+        // canonical blocked accumulator rather than a vector kernel.
+        math::BlockedAccumulator acc;
         for (int z = dist.min_value(); z <= dist.max_value(); ++z) {
-          value += dist.Pmf(z) * DetectionTerm(options_.semantics, capacity, z);
+          acc.Add(dist.Pmf(z) * DetectionTerm(options_.semantics, capacity, z));
         }
+        value = acc.Total();
         if (options_.semantics == Semantics::kRatioOfExpectations) {
           value = std::min(value / mean_z_[static_cast<size_t>(t)], 1.0);
         }
@@ -147,103 +159,134 @@ void DetectionModel::PrepareExactTables() {
 
 void DetectionModel::PrepareMcTables() {
   const int t_count = num_types();
-  const size_t n = samples_.size();
-  mc_consumption_.resize(n);
-  for (size_t i = 0; i < n; ++i) {
-    const int t = static_cast<int>(i % t_count);
-    mc_consumption_[i] =
-        options_.consumption == Consumption::kReserved
-            ? thresholds_[t]
-            : std::min(thresholds_[t], samples_[i] * audit_costs_[t]);
+  const size_t k_count = static_cast<size_t>(options_.mc_samples);
+  mc_consumption_.resize(samples_.size());
+  for (int t = 0; t < t_count; ++t) {
+    const double b = thresholds_[t];
+    const double cost = audit_costs_[t];
+    const int* z_row = samples_.data() + static_cast<size_t>(t) * k_count;
+    double* out_row = mc_consumption_.data() + static_cast<size_t>(t) * k_count;
+    if (options_.consumption == Consumption::kReserved) {
+      for (size_t k = 0; k < k_count; ++k) out_row[k] = b;
+    } else {
+      for (size_t k = 0; k < k_count; ++k) {
+        out_row[k] = std::min(b, z_row[k] * cost);
+      }
+    }
   }
 }
 
 DetectionModel::Prefix DetectionModel::EmptyPrefix() const {
   Prefix prefix;
+  ResetPrefix(prefix);
+  return prefix;
+}
+
+void DetectionModel::ResetPrefix(Prefix& prefix) const {
   if (options_.mode == Mode::kExact) {
     prefix.data.assign(static_cast<size_t>(grid_size_), 0.0);
     prefix.data[0] = 1.0;
   } else {
     prefix.data.assign(static_cast<size_t>(options_.mc_samples), 0.0);
   }
-  return prefix;
 }
 
 double DetectionModel::PalGivenPrefix(const Prefix& prefix, int type) const {
   if (options_.mode == Mode::kExact) {
-    const auto& g = g_[type];
-    double pal = 0.0;
-    for (int s = 0; s < grid_size_; ++s) {
-      const double p = prefix.data[static_cast<size_t>(s)];
-      if (p > 0) pal += p * g[static_cast<size_t>(s)];
-    }
-    return pal;
+    // Weighted-tail accumulation: prefix probability x conditional
+    // detection, one dense kernel dot over the budget grid.
+    return math::Dot(prefix.data.data(), g_[type].data(),
+                     static_cast<size_t>(grid_size_));
   }
-  // Monte Carlo: average the detection term over samples.
-  const int t_count = num_types();
+  // Monte Carlo: average the detection term over samples. The per-sample
+  // term is branchy scalar code, so it reduces through the canonical
+  // blocked accumulator; the z sum is exact in int64 (order-free).
+  const size_t k_count = static_cast<size_t>(options_.mc_samples);
   const double cost = audit_costs_[type];
   const int per_type_cap =
       static_cast<int>(std::floor(thresholds_[type] / cost));
-  double total = 0.0;
-  double z_total = 0.0;
-  for (int k = 0; k < options_.mc_samples; ++k) {
-    const double remaining = budget_ - prefix.data[static_cast<size_t>(k)];
+  const int* z_row = samples_.data() + static_cast<size_t>(type) * k_count;
+  math::BlockedAccumulator total;
+  int64_t z_total = 0;
+  for (size_t k = 0; k < k_count; ++k) {
+    const double remaining = budget_ - prefix.data[k];
     const int budget_cap =
         std::max(static_cast<int>(std::floor(remaining / cost)), 0);
     const int capacity = std::min(budget_cap, per_type_cap);
-    const int z = samples_[static_cast<size_t>(k) * t_count + type];
-    total += DetectionTerm(options_.semantics, capacity, z);
-    z_total += z;
+    total.Add(DetectionTerm(options_.semantics, capacity, z_row[k]));
+    z_total += z_row[k];
   }
   if (options_.semantics == Semantics::kRatioOfExpectations) {
-    return z_total > 0 ? std::min(total / z_total, 1.0) : 0.0;
+    return z_total > 0
+               ? std::min(total.Total() / static_cast<double>(z_total), 1.0)
+               : 0.0;
   }
-  return total / options_.mc_samples;
+  return total.Total() / options_.mc_samples;
 }
 
 void DetectionModel::ExtendPrefix(Prefix& prefix, int type) const {
   if (options_.mode == Mode::kExact) {
-    std::vector<double> next(static_cast<size_t>(grid_size_), 0.0);
-    const auto& cons = consumption_[type];
-    for (int s = 0; s < grid_size_; ++s) {
-      const double p = prefix.data[static_cast<size_t>(s)];
-      if (p <= 0) continue;
-      for (const auto& [cell, q] : cons) {
-        const int target = std::min(s + cell, grid_size_ - 1);
-        next[static_cast<size_t>(target)] += p * q;
-      }
+    // The consumption pmf is sparse; each support point (cell, q) is one
+    // shifted-axpy pass over the whole prefix with saturation at the last
+    // grid cell. Double-buffered through prefix.scratch so repeated
+    // extensions never allocate after the first.
+    const size_t n = static_cast<size_t>(grid_size_);
+    prefix.scratch.assign(n, 0.0);
+    for (const auto& [cell, q] : consumption_[type]) {
+      math::ConvolveShiftSaturate(prefix.data.data(), n,
+                                  static_cast<size_t>(cell), q,
+                                  prefix.scratch.data());
     }
-    prefix.data = std::move(next);
+    prefix.data.swap(prefix.scratch);
     return;
   }
-  const int t_count = num_types();
-  for (int k = 0; k < options_.mc_samples; ++k) {
-    prefix.data[static_cast<size_t>(k)] +=
-        mc_consumption_[static_cast<size_t>(k) * t_count + type];
-  }
+  const size_t k_count = static_cast<size_t>(options_.mc_samples);
+  math::Add(mc_consumption_.data() + static_cast<size_t>(type) * k_count,
+            prefix.data.data(), k_count);
 }
 
 util::StatusOr<std::vector<double>> DetectionModel::DetectionProbabilities(
     const std::vector<int>& ordering) const {
+  std::vector<double> pal;
+  Prefix prefix;
+  RETURN_IF_ERROR(DetectionProbabilitiesInto(ordering, prefix, pal));
+  return pal;
+}
+
+util::Status DetectionModel::DetectionProbabilitiesInto(
+    const std::vector<int>& ordering, Prefix& prefix,
+    std::vector<double>& pal) const {
   const int t_count = num_types();
   if (static_cast<int>(ordering.size()) != t_count) {
     return util::InvalidArgumentError("ordering must contain every type");
   }
-  std::vector<bool> seen(t_count, false);
-  for (int t : ordering) {
-    if (t < 0 || t >= t_count || seen[t]) {
-      return util::InvalidArgumentError("ordering is not a permutation");
+  if (t_count <= 64) {
+    // Allocation-free permutation check for the common instance sizes.
+    uint64_t seen = 0;
+    for (int t : ordering) {
+      const uint64_t bit = uint64_t{1} << (t & 63);
+      if (t < 0 || t >= t_count || (seen & bit)) {
+        return util::InvalidArgumentError("ordering is not a permutation");
+      }
+      seen |= bit;
     }
-    seen[t] = true;
+  } else {
+    std::vector<bool> seen(static_cast<size_t>(t_count), false);
+    for (int t : ordering) {
+      if (t < 0 || t >= t_count || seen[static_cast<size_t>(t)]) {
+        return util::InvalidArgumentError("ordering is not a permutation");
+      }
+      seen[static_cast<size_t>(t)] = true;
+    }
   }
-  std::vector<double> pal(t_count, 0.0);
-  Prefix prefix = EmptyPrefix();
+  pal.assign(static_cast<size_t>(t_count), 0.0);
+  ResetPrefix(prefix);
   for (size_t i = 0; i < ordering.size(); ++i) {
     const int t = ordering[i];
-    pal[t] = PalGivenPrefix(prefix, t);
+    pal[static_cast<size_t>(t)] = PalGivenPrefix(prefix, t);
     if (i + 1 < ordering.size()) ExtendPrefix(prefix, t);
   }
-  return pal;
+  return util::OkStatus();
 }
 
 }  // namespace auditgame::core

@@ -98,16 +98,33 @@ class DetectionModel {
   /// budget grid. kMonteCarlo: consumed budget per sample.
   struct Prefix {
     std::vector<double> data;
+    /// Convolution double-buffer: ExtendPrefix writes into `scratch` and
+    /// swaps, so repeated extensions reuse the same two allocations for the
+    /// life of the prefix (CGGS holds prefixes across whole pricing rounds).
+    std::vector<double> scratch;
   };
 
   /// Prefix of the empty ordering (no budget consumed).
   Prefix EmptyPrefix() const;
+
+  /// Re-initializes `prefix` to the empty-ordering state in place, keeping
+  /// its buffers — the allocation-free form of EmptyPrefix for callers that
+  /// hold a Prefix across pricing rounds.
+  void ResetPrefix(Prefix& prefix) const;
 
   /// Pal of `type` if appended right after the prefix.
   double PalGivenPrefix(const Prefix& prefix, int type) const;
 
   /// Appends `type` to the prefix (consumes its budget).
   void ExtendPrefix(Prefix& prefix, int type) const;
+
+  /// Allocation-free variant of DetectionProbabilities for hot loops (CGGS
+  /// reduced-cost sweeps): `prefix` and `pal` are caller-owned scratch
+  /// reused across calls — both are reset/resized in place, so
+  /// steady-state calls never touch the heap.
+  util::Status DetectionProbabilitiesInto(const std::vector<int>& ordering,
+                                          Prefix& prefix,
+                                          std::vector<double>& pal) const;
 
  private:
   DetectionModel() = default;
@@ -131,10 +148,18 @@ class DetectionModel {
   std::vector<std::vector<double>> g_;
 
   // --- kMonteCarlo state ---
-  // samples_[k*T + t] = sampled Z_t for sample k.
+  // Type-major layout so the per-type hot loops (PalGivenPrefix,
+  // ExtendPrefix) touch contiguous memory the kernels can stream over:
+  // samples_[t*K + k] = sampled Z_t for sample k. The samples are still
+  // DRAWN in sample-major order (k outer, t inner) so the common random
+  // numbers match the pre-refactor model bit for bit.
   std::vector<int> samples_;
-  // mc_consumption_[k*T + t] = min(b_t, Z_t C_t).
+  // mc_consumption_[t*K + k] = min(b_t, Z_t C_t).
   std::vector<double> mc_consumption_;
+
+  // SetThresholds scratch (reused across calls; ISHM sweeps call
+  // SetThresholds in a loop).
+  std::vector<double> cell_prob_scratch_;
 };
 
 }  // namespace auditgame::core

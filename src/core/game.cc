@@ -7,6 +7,7 @@
 #include <string>
 #include <utility>
 
+#include "math/kernels.h"
 #include "util/serializer.h"
 
 namespace auditgame::core {
@@ -127,14 +128,16 @@ util::StatusOr<CompiledGame> Compile(const GameInstance& instance) {
   return compiled;
 }
 
-double AdversaryUtility(const VictimProfile& victim,
-                        const std::vector<double>& pal) {
-  double pat = 0.0;
-  for (size_t t = 0; t < victim.type_probs.size(); ++t) {
-    pat += victim.type_probs[t] * pal[t];
-  }
+double AdversaryUtility(const VictimProfile& victim, const double* pal) {
+  const double pat =
+      math::Dot(victim.type_probs.data(), pal, victim.type_probs.size());
   return -pat * victim.penalty + (1.0 - pat) * victim.benefit -
          victim.attack_cost;
+}
+
+double AdversaryUtility(const VictimProfile& victim,
+                        const std::vector<double>& pal) {
+  return AdversaryUtility(victim, pal.data());
 }
 
 void VictimProfile::StreamState(util::Serializer& s) {

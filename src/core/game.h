@@ -92,7 +92,12 @@ struct CompiledGame {
 /// Compiles `instance`; requires Validate() to pass.
 util::StatusOr<CompiledGame> Compile(const GameInstance& instance);
 
-/// Ua for one victim under per-type detection probabilities `pal`.
+/// Ua for one victim under per-type detection probabilities `pal`. The
+/// Pal-weighted attack probability reduces through the canonical kernel dot
+/// (math/kernels.h), so the value is bit-identical in any kernel backend.
+/// The pointer form serves arena-backed hot loops (CGGS pricing); `pal`
+/// must hold one entry per type in `victim.type_probs`.
+double AdversaryUtility(const VictimProfile& victim, const double* pal);
 double AdversaryUtility(const VictimProfile& victim,
                         const std::vector<double>& pal);
 

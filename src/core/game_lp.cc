@@ -21,6 +21,7 @@ util::StatusOr<RestrictedLpSolution> SolveRestrictedGameLp(
   RestrictedMasterLp::Options options;
   options.backend = lp::SimplexBackend::kDenseTableau;
   options.incremental = false;
+  options.expected_orderings = static_cast<int>(orderings.size());
   RestrictedMasterLp master(game, detection, options);
   for (const auto& ordering : orderings) {
     RETURN_IF_ERROR(master.AddOrdering(ordering));

@@ -31,8 +31,6 @@ struct RestrictedLpSolution {
   std::vector<std::vector<double>> victim_duals;
   /// Dual of the convexity row sum_o p_o = 1.
   double convexity_dual = 0.0;
-  /// Pal vectors per candidate ordering (cached for reuse by callers).
-  std::vector<std::vector<double>> pal_per_ordering;
 };
 
 /// Solves the restricted LP for the ordering set `orderings`. `detection`

@@ -8,31 +8,34 @@
 #include <set>
 
 #include "core/game_lp.h"
+#include "util/arena.h"
 #include "util/combinatorics.h"
 #include "util/thread_pool.h"
 
 namespace auditgame::core {
 namespace {
 
-// Effective thresholds: whole audits only. Keyed for memoization.
-std::vector<double> EffectiveThresholds(const std::vector<double>& raw,
-                                        const std::vector<double>& costs,
-                                        bool floor_enabled) {
-  std::vector<double> effective(raw.size());
+// Effective thresholds: whole audits only. Keyed for memoization. Writes
+// into a caller-owned buffer — the ISHM sweep calls this per candidate
+// move, so it reuses one buffer instead of allocating each time.
+void EffectiveThresholdsInto(const std::vector<double>& raw,
+                             const std::vector<double>& costs,
+                             bool floor_enabled,
+                             std::vector<double>& effective) {
+  effective.resize(raw.size());
   for (size_t t = 0; t < raw.size(); ++t) {
     effective[t] = floor_enabled
                        ? std::floor(raw[t] / costs[t] + 1e-9) * costs[t]
                        : raw[t];
   }
-  return effective;
 }
 
-std::vector<int64_t> CacheKey(const std::vector<double>& effective) {
-  std::vector<int64_t> key(effective.size());
+void CacheKeyInto(const std::vector<double>& effective,
+                  std::vector<int64_t>& key) {
+  key.resize(effective.size());
   for (size_t t = 0; t < effective.size(); ++t) {
     key[t] = static_cast<int64_t>(std::llround(effective[t] * 4096.0));
   }
-  return key;
 }
 
 }  // namespace
@@ -53,20 +56,23 @@ util::StatusOr<IshmResult> SolveIshm(const GameInstance& instance,
   IshmResult result;
   result.stats = IshmStats();
 
-  // Memoized evaluation of a raw threshold vector.
+  // Memoized evaluation of a raw threshold vector. The effective/key
+  // buffers persist across the sweep's hundreds of candidate evaluations;
+  // only a cache miss materializes a stored key.
   std::map<std::vector<int64_t>, ThresholdEvaluation> cache;
+  std::vector<double> effective_buf;
+  std::vector<int64_t> key_buf;
   auto evaluate =
       [&](const std::vector<double>& raw) -> util::StatusOr<ThresholdEvaluation> {
     ++result.stats.evaluations;
-    const std::vector<double> effective =
-        EffectiveThresholds(raw, instance.audit_costs,
-                            options.floor_to_audit_cost);
-    const std::vector<int64_t> key = CacheKey(effective);
-    auto it = cache.find(key);
+    EffectiveThresholdsInto(raw, instance.audit_costs,
+                            options.floor_to_audit_cost, effective_buf);
+    CacheKeyInto(effective_buf, key_buf);
+    auto it = cache.find(key_buf);
     if (it != cache.end()) return it->second;
     ++result.stats.distinct_evaluations;
-    ASSIGN_OR_RETURN(ThresholdEvaluation eval, evaluator(effective));
-    cache.emplace(key, eval);
+    ASSIGN_OR_RETURN(ThresholdEvaluation eval, evaluator(effective_buf));
+    cache.emplace(key_buf, eval);
     return eval;
   };
 
@@ -115,8 +121,9 @@ util::StatusOr<IshmResult> SolveIshm(const GameInstance& instance,
       double round_best = std::numeric_limits<double>::infinity();
       int round_best_combo = -1;
       ThresholdEvaluation round_best_eval;
+      std::vector<double> temp;
       for (size_t j = 0; j < combos.size(); ++j) {
-        std::vector<double> temp = thresholds;
+        temp.assign(thresholds.begin(), thresholds.end());
         for (int idx : combos[j]) temp[idx] *= ratio;
         ASSIGN_OR_RETURN(ThresholdEvaluation eval, evaluate(temp));
         if (eval.objective < round_best) {
@@ -157,8 +164,9 @@ util::StatusOr<IshmResult> SolveIshm(const GameInstance& instance,
 
   result.objective = best_objective;
   result.thresholds = thresholds;
-  result.effective_thresholds = EffectiveThresholds(
-      thresholds, instance.audit_costs, options.floor_to_audit_cost);
+  EffectiveThresholdsInto(thresholds, instance.audit_costs,
+                          options.floor_to_audit_cost,
+                          result.effective_thresholds);
   result.policy = best_eval.policy;
   return result;
 }
@@ -189,11 +197,19 @@ ThresholdEvaluator MakeCggsEvaluator(const CompiledGame& game,
   if (options.pricing_threads > 1 && options.pricing_pool == nullptr) {
     pricing_pool = std::make_shared<util::ThreadPool>(options.pricing_threads);
   }
-  return [&game, &detection, options, pool, pricing_pool](
+  // Likewise one scratch workspace for the evaluator's lifetime: the first
+  // solve sizes the arenas, every later evaluation reuses them and runs
+  // allocation-free on the pricing and simplex hot paths.
+  std::shared_ptr<util::WorkspacePool> workspace;
+  if (options.workspace == nullptr) {
+    workspace = std::make_shared<util::WorkspacePool>();
+  }
+  return [&game, &detection, options, pool, pricing_pool, workspace](
              const std::vector<double>& thresholds)
              -> util::StatusOr<ThresholdEvaluation> {
     CggsOptions local = options;
     if (pricing_pool != nullptr) local.pricing_pool = pricing_pool.get();
+    if (workspace != nullptr) local.workspace = workspace.get();
     local.initial_orderings.insert(local.initial_orderings.end(),
                                    pool->begin(), pool->end());
     ASSIGN_OR_RETURN(CggsResult cggs,

@@ -11,6 +11,13 @@ RestrictedMasterLp::RestrictedMasterLp(const CompiledGame& game,
                                        Options options)
     : game_(game), detection_(detection), options_(options) {
   const size_t num_groups = game_.groups.size();
+  size_t num_victim_rows = 0;
+  for (const auto& group : game_.groups) num_victim_rows += group.victims.size();
+  const int expected = std::max(0, options_.expected_orderings);
+  model_.Reserve(static_cast<int>(num_groups) + expected,
+                 static_cast<int>(num_victim_rows) + 1);
+  po_vars_.reserve(static_cast<size_t>(expected));
+  pal_per_ordering_.reserve(static_cast<size_t>(expected));
   u_vars_.reserve(num_groups);
   for (size_t g = 0; g < num_groups; ++g) {
     const double lb = game_.groups[g].can_opt_out ? 0.0 : -lp::kInfinity;
@@ -27,84 +34,105 @@ RestrictedMasterLp::RestrictedMasterLp(const CompiledGame& game,
           lp::Sense::kGreaterEqual, 0.0,
           "g" + std::to_string(g) + "v" + std::to_string(v));
       victim_rows_[g][v] = row;
+      model_.ReserveRowEntries(row, 1 + expected);
       model_.AddCoefficient(row, u_vars_[g], 1.0);
     }
   }
   convexity_row_ = model_.AddConstraint(lp::Sense::kEqual, 1.0, "conv");
+  model_.ReserveRowEntries(convexity_row_, expected);
+  // The reused solve buffers track the growing column count; reserving
+  // them to the hint keeps the per-round resizes allocation-free too.
+  const size_t expected_vars = num_groups + static_cast<size_t>(expected);
+  const size_t num_rows = num_victim_rows + 1;
+  revised_.solution.primal.reserve(expected_vars);
+  revised_.solution.reduced_cost.reserve(expected_vars);
+  revised_.solution.dual.reserve(num_rows);
+  revised_.basis.structural.reserve(expected_vars);
+  revised_.basis.logical.reserve(num_rows);
+  basis_.structural.reserve(expected_vars);
+  basis_.logical.reserve(num_rows);
 }
 
 util::Status RestrictedMasterLp::AddOrdering(
     const std::vector<int>& ordering) {
-  ASSIGN_OR_RETURN(std::vector<double> pal,
-                   detection_.DetectionProbabilities(ordering));
+  RETURN_IF_ERROR(detection_.DetectionProbabilitiesInto(ordering, pal_prefix_,
+                                                        pal_scratch_));
   const int var = model_.AddVariable(
       0.0, 0.0, lp::kInfinity, "p" + std::to_string(po_vars_.size()));
   for (size_t g = 0; g < game_.groups.size(); ++g) {
     const auto& victims = game_.groups[g].victims;
     for (size_t v = 0; v < victims.size(); ++v) {
       model_.AddCoefficient(victim_rows_[g][v], var,
-                            -AdversaryUtility(victims[v], pal));
+                            -AdversaryUtility(victims[v], pal_scratch_));
     }
   }
   model_.AddCoefficient(convexity_row_, var, 1.0);
   po_vars_.push_back(var);
-  pal_per_ordering_.push_back(std::move(pal));
+  pal_per_ordering_.push_back(pal_scratch_);
   return util::OkStatus();
 }
 
 util::StatusOr<RestrictedLpSolution> RestrictedMasterLp::Solve() {
+  RestrictedLpSolution result;
+  RETURN_IF_ERROR(SolveInto(result));
+  return result;
+}
+
+util::Status RestrictedMasterLp::SolveInto(RestrictedLpSolution& result) {
   if (po_vars_.empty()) {
     return util::InvalidArgumentError("no candidate orderings");
   }
 
-  lp::LpSolution lp_solution;
+  const lp::LpSolution* lp_solution = nullptr;
+  lp::LpSolution dense_solution;
   if (options_.backend == lp::SimplexBackend::kRevised) {
     lp::SimplexSolver::Options lp_options = options_.lp;
     lp_options.backend = lp::SimplexBackend::kRevised;
     const lp::Basis* warm =
         options_.incremental && has_basis_ ? &basis_ : nullptr;
-    ASSIGN_OR_RETURN(lp::RevisedSolution revised,
-                     lp::RevisedSimplex::Solve(model_, lp_options, warm));
-    if (revised.solution.status == lp::SolveStatus::kOptimal) {
-      basis_ = std::move(revised.basis);
+    RETURN_IF_ERROR(
+        lp::RevisedSimplex::SolveInto(model_, lp_options, warm, revised_));
+    if (revised_.solution.status == lp::SolveStatus::kOptimal) {
+      // Swap, not move: the displaced previous basis becomes next solve's
+      // reusable buffer (SolveInto refills it in place).
+      std::swap(basis_, revised_.basis);
       has_basis_ = true;
-      if (revised.warm_started) ++stats_.warm_solves;
+      if (revised_.warm_started) ++stats_.warm_solves;
     }
-    lp_solution = std::move(revised.solution);
+    lp_solution = &revised_.solution;
   } else {
     lp::SimplexSolver::Options lp_options = options_.lp;
     lp_options.backend = lp::SimplexBackend::kDenseTableau;
-    ASSIGN_OR_RETURN(lp_solution,
+    ASSIGN_OR_RETURN(dense_solution,
                      lp::SimplexSolver::Solve(model_, lp_options));
+    lp_solution = &dense_solution;
   }
   ++stats_.solves;
   stats_.iterations +=
-      lp_solution.phase1_iterations + lp_solution.phase2_iterations;
-  if (lp_solution.status != lp::SolveStatus::kOptimal) {
+      lp_solution->phase1_iterations + lp_solution->phase2_iterations;
+  if (lp_solution->status != lp::SolveStatus::kOptimal) {
     return util::InternalError(
         std::string("game LP not optimal: ") +
-        lp::SolveStatusToString(lp_solution.status));
+        lp::SolveStatusToString(lp_solution->status));
   }
 
-  RestrictedLpSolution result;
-  result.objective = lp_solution.objective;
-  result.pal_per_ordering = pal_per_ordering_;
+  result.objective = lp_solution->objective;
   result.ordering_probs.resize(po_vars_.size());
   for (size_t o = 0; o < po_vars_.size(); ++o) {
-    result.ordering_probs[o] = std::max(0.0, lp_solution.primal[po_vars_[o]]);
+    result.ordering_probs[o] = std::max(0.0, lp_solution->primal[po_vars_[o]]);
   }
   const size_t num_groups = game_.groups.size();
   result.group_utilities.resize(num_groups);
   result.victim_duals.resize(num_groups);
   for (size_t g = 0; g < num_groups; ++g) {
-    result.group_utilities[g] = lp_solution.primal[u_vars_[g]];
+    result.group_utilities[g] = lp_solution->primal[u_vars_[g]];
     result.victim_duals[g].resize(victim_rows_[g].size());
     for (size_t v = 0; v < victim_rows_[g].size(); ++v) {
-      result.victim_duals[g][v] = lp_solution.dual[victim_rows_[g][v]];
+      result.victim_duals[g][v] = lp_solution->dual[victim_rows_[g][v]];
     }
   }
-  result.convexity_dual = lp_solution.dual[convexity_row_];
-  return result;
+  result.convexity_dual = lp_solution->dual[convexity_row_];
+  return util::OkStatus();
 }
 
 }  // namespace auditgame::core

@@ -43,6 +43,11 @@ class RestrictedMasterLp {
     /// Tolerances and iteration caps for the underlying solver; the
     /// `backend` field above wins over lp.backend.
     lp::SimplexSolver::Options lp;
+    /// Expected number of AddOrdering calls over the master's lifetime —
+    /// an allocation hint only (CGGS passes its column cap): the model's
+    /// row storage is reserved once in the constructor so appending
+    /// columns never regrows it. Appending beyond the hint stays correct.
+    int expected_orderings = 0;
   };
 
   struct Stats {
@@ -70,6 +75,12 @@ class RestrictedMasterLp {
   /// is available.
   util::StatusOr<RestrictedLpSolution> Solve();
 
+  /// Allocation-reusing form for the pricing loop: `out`'s vectors are
+  /// resized in place, so a caller that keeps one RestrictedLpSolution
+  /// across rounds (CGGS) re-solves without touching the heap once the
+  /// buffers reach steady-state size.
+  util::Status SolveInto(RestrictedLpSolution& out);
+
   const Stats& stats() const { return stats_; }
 
  private:
@@ -87,6 +98,15 @@ class RestrictedMasterLp {
   lp::Basis basis_;
   bool has_basis_ = false;
   Stats stats_;
+
+  // Reused across solves/additions so the steady-state pricing loop is
+  // allocation-free: the revised backend refills `revised_` in place (its
+  // basis buffers swap with `basis_` each accepted solve), and AddOrdering
+  // evaluates Pal into `pal_prefix_`/`pal_scratch_` before copying the one
+  // persistent vector into pal_per_ordering_.
+  lp::RevisedSolution revised_;
+  DetectionModel::Prefix pal_prefix_;
+  std::vector<double> pal_scratch_;
 };
 
 }  // namespace auditgame::core

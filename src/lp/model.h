@@ -48,6 +48,27 @@ class LpModel {
   /// Sets (accumulates) a coefficient in a row. Requires valid indices.
   void AddCoefficient(int row, int var, double value);
 
+  /// Pre-sizes the model-level storage for `variables` variables and
+  /// `constraints` rows. Purely an allocation hint for builders that know
+  /// their final shape (the column-generation master reserves its full
+  /// column budget up front so appending columns never reallocates).
+  void Reserve(int variables, int constraints) {
+    costs_.reserve(variables);
+    lower_.reserve(variables);
+    upper_.reserve(variables);
+    var_names_.reserve(variables);
+    rows_.reserve(constraints);
+    senses_.reserve(constraints);
+    rhs_.reserve(constraints);
+    row_names_.reserve(constraints);
+  }
+
+  /// Pre-sizes one row's sparse entry storage for `entries` coefficients.
+  void ReserveRowEntries(int row, int entries) {
+    rows_[row].vars.reserve(entries);
+    rows_[row].coeffs.reserve(entries);
+  }
+
   /// Adds a constant to the objective (useful when substituting out fixed
   /// variable parts); reported objective includes it.
   void AddObjectiveConstant(double value) { objective_constant_ += value; }

@@ -2,9 +2,13 @@
 
 #include <algorithm>
 #include <cmath>
+#include <cstring>
 #include <limits>
+#include <memory>
 #include <utility>
 
+#include "math/kernels.h"
+#include "util/arena.h"
 #include "util/logging.h"
 
 namespace auditgame::lp {
@@ -21,6 +25,17 @@ constexpr double kInf = std::numeric_limits<double>::infinity();
 //
 // so a basis is any nonsingular m-subset of the n_structural + m columns
 // and every nonbasic column rests at a bound (or at zero when free).
+//
+// Memory: every engine buffer — bounds, costs, the LU factors and their
+// transpose, the eta file's d-vectors, all Ftran/Btran scratch — is drawn
+// from one arena (the caller's WorkspacePool slot 0 when provided, a local
+// arena otherwise) under a single RAII scope, so a caller that solves in a
+// loop (the incremental master LP) pays heap allocations only on its first
+// solve. Dense inner loops (forward/backward substitution, elimination,
+// reduced-cost dots) run on math/kernels, so they vectorize while staying
+// bit-identical across kernel backends; Btran substitutes against a
+// transposed copy of the LU factors refreshed at each factorization, which
+// turns its column-strided traversal into contiguous kernel dots.
 class Engine {
  public:
   Engine(const LpModel& model, const SimplexSolver::Options& options)
@@ -28,24 +43,66 @@ class Engine {
         options_(options),
         ns_(model.num_variables()),
         m_(model.num_constraints()),
-        n_(ns_ + m_) {
-    cols_.resize(ns_);
+        n_(ns_ + m_),
+        owned_arena_(options.workspace == nullptr
+                         ? std::make_unique<util::Arena>()
+                         : nullptr),
+        arena_(options.workspace != nullptr ? options.workspace->Get(0)
+                                            : *owned_arena_),
+        scope_(arena_),
+        col_starts_(arena_),
+        col_entries_(arena_),
+        lower_(arena_),
+        upper_(arena_),
+        cost_(arena_),
+        b_(arena_),
+        status_(arena_),
+        basic_(arena_),
+        x_(arena_),
+        lu_(arena_),
+        lut_(arena_),
+        perm_(arena_),
+        etas_(arena_),
+        work_v_(arena_),
+        work_w_(arena_),
+        cb_(arena_),
+        y_(arena_),
+        w_(arena_),
+        col_(arena_) {
+    // Structural columns in CSR-like form, entries ordered by row within
+    // each column (the build traverses rows in order).
+    col_starts_.assign(static_cast<size_t>(ns_) + 1, 0);
     for (int i = 0; i < m_; ++i) {
-      const auto& vars = model.row_vars(i);
-      const auto& coeffs = model.row_coeffs(i);
-      for (size_t k = 0; k < vars.size(); ++k) {
-        cols_[vars[k]].emplace_back(i, coeffs[k]);
+      for (int var : model.row_vars(i)) {
+        ++col_starts_[static_cast<size_t>(var) + 1];
       }
     }
-    lower_.resize(n_);
-    upper_.resize(n_);
-    cost_.assign(n_, 0.0);
+    for (int j = 0; j < ns_; ++j) {
+      col_starts_[static_cast<size_t>(j) + 1] +=
+          col_starts_[static_cast<size_t>(j)];
+    }
+    col_entries_.resize(col_starts_[static_cast<size_t>(ns_)]);
+    {
+      util::ArenaScope cursor_scope(arena_);
+      int* cursor = arena_.AllocateArray<int>(static_cast<size_t>(ns_));
+      for (int j = 0; j < ns_; ++j) cursor[j] = col_starts_[j];
+      for (int i = 0; i < m_; ++i) {
+        const auto& vars = model.row_vars(i);
+        const auto& coeffs = model.row_coeffs(i);
+        for (size_t k = 0; k < vars.size(); ++k) {
+          col_entries_[static_cast<size_t>(cursor[vars[k]]++)] = {i, coeffs[k]};
+        }
+      }
+    }
+    lower_.resize(static_cast<size_t>(n_));
+    upper_.resize(static_cast<size_t>(n_));
+    cost_.assign(static_cast<size_t>(n_), 0.0);
     for (int j = 0; j < ns_; ++j) {
       lower_[j] = model.lower_bound(j);
       upper_[j] = model.upper_bound(j);
       cost_[j] = model.cost(j);
     }
-    b_.resize(m_);
+    b_.resize(static_cast<size_t>(m_));
     for (int i = 0; i < m_; ++i) {
       b_[i] = model.rhs(i);
       const int col = ns_ + i;
@@ -64,10 +121,31 @@ class Engine {
           break;
       }
     }
+    // Size the solve scratch once; nothing below reallocates mid-solve.
+    const size_t ms = static_cast<size_t>(m_);
+    x_.assign(static_cast<size_t>(n_), 0.0);
+    work_v_.reserve(ms);
+    work_w_.reserve(ms);
+    cb_.reserve(ms);
+    y_.reserve(ms);
+    w_.reserve(ms);
+    col_.reserve(ms);
+    etas_.reserve(static_cast<size_t>(std::max(1, options_.refactor_interval)));
   }
 
-  util::StatusOr<RevisedSolution> Run(const Basis* warm_start) {
-    RevisedSolution result;
+  util::Status Run(const Basis* warm_start, RevisedSolution& result) {
+    // Reused buffers: clear (keeping capacity) so every early-return path
+    // leaves the same state a fresh RevisedSolution would have.
+    result.solution.objective = 0.0;
+    result.solution.primal.clear();
+    result.solution.dual.clear();
+    result.solution.reduced_cost.clear();
+    result.solution.phase1_iterations = 0;
+    result.solution.phase2_iterations = 0;
+    result.solution.status = SolveStatus::kIterationLimit;
+    result.basis.structural.clear();
+    result.basis.logical.clear();
+    result.warm_started = false;
     bool installed = InstallBasis(warm_start);
     if (!installed) InstallColdBasis();
     if (installed && !Factorize()) {
@@ -94,10 +172,10 @@ class Engine {
         break;
       case PhaseOutcome::kInfeasible:
         solution.status = SolveStatus::kInfeasible;
-        return result;
+        return util::OkStatus();
       case PhaseOutcome::kIterationLimit:
         solution.status = SolveStatus::kIterationLimit;
-        return result;
+        return util::OkStatus();
       case PhaseOutcome::kUnbounded:
         return util::InternalError(
             "revised simplex: phase 1 reported an unbounded direction");
@@ -116,20 +194,20 @@ class Engine {
         break;
       case PhaseOutcome::kUnbounded:
         solution.status = SolveStatus::kUnbounded;
-        return result;
+        return util::OkStatus();
       case PhaseOutcome::kIterationLimit:
         solution.status = SolveStatus::kIterationLimit;
-        return result;
+        return util::OkStatus();
       case PhaseOutcome::kInfeasible:
         solution.status = SolveStatus::kInfeasible;
-        return result;
+        return util::OkStatus();
       case PhaseOutcome::kNumericalFailure:
         return util::InternalError(
             "revised simplex: singular basis during phase 2");
     }
     ComputeBasicValues();
     ExtractSolution(result);
-    return result;
+    return util::OkStatus();
   }
 
  private:
@@ -142,8 +220,13 @@ class Engine {
   };
 
   struct Eta {
-    int r;                  // basis position replaced
-    std::vector<double> d;  // B_old^{-1} a_entering (position-indexed)
+    int r;      // basis position replaced
+    double* d;  // B_old^{-1} a_entering (position-indexed), arena-owned
+  };
+
+  struct ColEntry {
+    int row;
+    double value;
   };
 
   double FeasTol(double bound) const {
@@ -153,9 +236,9 @@ class Engine {
   // ---- Basis installation ----------------------------------------------
 
   void InstallColdBasis() {
-    status_.assign(n_, VarStatus::kAtLower);
+    status_.assign(static_cast<size_t>(n_), VarStatus::kAtLower);
     for (int j = 0; j < ns_; ++j) status_[j] = DefaultNonbasicStatus(j);
-    basic_.resize(m_);
+    basic_.resize(static_cast<size_t>(m_));
     for (int i = 0; i < m_; ++i) {
       basic_[i] = ns_ + i;
       status_[ns_ + i] = VarStatus::kBasic;
@@ -176,8 +259,8 @@ class Engine {
         static_cast<int>(warm->structural.size()) > ns_) {
       return false;
     }
-    status_.assign(n_, VarStatus::kAtLower);
-    std::vector<int> basics;
+    status_.assign(static_cast<size_t>(n_), VarStatus::kAtLower);
+    basic_.clear();
     for (int j = 0; j < n_; ++j) {
       VarStatus s;
       if (j < ns_) {
@@ -188,7 +271,7 @@ class Engine {
         s = warm->logical[j - ns_];
       }
       if (s == VarStatus::kBasic) {
-        basics.push_back(j);
+        basic_.push_back(j);
       } else {
         // Repair statuses pointing at bounds the column does not have.
         if (s == VarStatus::kAtLower && lower_[j] == -kInf) {
@@ -202,9 +285,7 @@ class Engine {
       }
       status_[j] = s;
     }
-    if (static_cast<int>(basics.size()) != m_) return false;
-    basic_ = std::move(basics);
-    return true;
+    return static_cast<int>(basic_.size()) == m_;
   }
 
   // ---- Factorization: dense LU with partial pivoting + eta file --------
@@ -220,12 +301,14 @@ class Engine {
     for (int k = 0; k < m_; ++k) {
       const int col = basic_[k];
       if (col < ns_) {
-        for (const auto& [row, value] : cols_[col]) Lu(row, k) += value;
+        for (int e = col_starts_[col]; e < col_starts_[col + 1]; ++e) {
+          Lu(col_entries_[e].row, k) += col_entries_[e].value;
+        }
       } else {
         Lu(col - ns_, k) += 1.0;
       }
     }
-    perm_.resize(m_);
+    perm_.resize(static_cast<size_t>(m_));
     for (int i = 0; i < m_; ++i) perm_[i] = i;
     for (int k = 0; k < m_; ++k) {
       int p = k;
@@ -247,73 +330,98 @@ class Engine {
         const double factor = Lu(i, k) * inv;
         if (factor == 0.0) continue;
         Lu(i, k) = factor;
-        for (int j = k + 1; j < m_; ++j) Lu(i, j) -= factor * Lu(k, j);
+        // Row update: one contiguous axpy over the trailing submatrix row.
+        math::Axpy(-factor, &lu_[static_cast<size_t>(k) * m_ + k + 1],
+                   &lu_[static_cast<size_t>(i) * m_ + k + 1],
+                   static_cast<size_t>(m_ - k - 1));
+      }
+    }
+    // Transposed copy: Btran substitutes along LU *columns*, which stride
+    // by m in lu_; lut_(i, j) = Lu(j, i) makes those traversals contiguous
+    // kernel dots. Refreshed with every factorization.
+    lut_.resize(static_cast<size_t>(m_) * m_);
+    for (int i = 0; i < m_; ++i) {
+      for (int j = 0; j < m_; ++j) {
+        lut_[static_cast<size_t>(i) * m_ + j] = Lu(j, i);
       }
     }
     return true;
   }
 
-  // Solves B w = v. Input indexed by row, output by basis position.
-  std::vector<double> Ftran(const std::vector<double>& v) const {
-    std::vector<double> w(m_);
+  double Lut(int i, int j) const {
+    return lut_[static_cast<size_t>(i) * m_ + j];
+  }
+
+  // Solves B w = v into `w`. Input indexed by row, output by basis
+  // position. `v` and `w` must be distinct buffers.
+  void Ftran(const util::ArenaVector<double>& v,
+             util::ArenaVector<double>& w) const {
+    w.resize(static_cast<size_t>(m_));
     for (int k = 0; k < m_; ++k) w[k] = v[perm_[k]];
     for (int k = 1; k < m_; ++k) {
-      double sum = w[k];
-      for (int j = 0; j < k; ++j) sum -= Lu(k, j) * w[j];
-      w[k] = sum;
+      // Forward substitution: L rows are contiguous prefixes of lu_ rows.
+      w[k] -= math::Dot(&lu_[static_cast<size_t>(k) * m_], w.data(),
+                        static_cast<size_t>(k));
     }
     for (int k = m_ - 1; k >= 0; --k) {
-      double sum = w[k];
-      for (int j = k + 1; j < m_; ++j) sum -= Lu(k, j) * w[j];
+      const double sum =
+          w[k] - math::Dot(&lu_[static_cast<size_t>(k) * m_ + k + 1],
+                           w.data() + k + 1, static_cast<size_t>(m_ - k - 1));
       w[k] = sum / Lu(k, k);
     }
-    for (const Eta& eta : etas_) {
+    for (size_t e = 0; e < etas_.size(); ++e) {
+      const Eta& eta = etas_[e];
       const double t = w[eta.r] / eta.d[eta.r];
-      for (int i = 0; i < m_; ++i) w[i] -= eta.d[i] * t;
+      math::Axpy(-t, eta.d, w.data(), static_cast<size_t>(m_));
       w[eta.r] = t;
     }
-    return w;
   }
 
-  // Solves B'y = c. Input indexed by basis position, output by row.
-  std::vector<double> Btran(std::vector<double> c) const {
-    for (auto it = etas_.rbegin(); it != etas_.rend(); ++it) {
-      const Eta& eta = *it;
-      double dot = 0.0;
-      for (int i = 0; i < m_; ++i) dot += c[i] * eta.d[i];
+  // Solves B'y = c into `y`, consuming `c` as scratch. Inputs indexed by
+  // basis position, output by row.
+  void Btran(util::ArenaVector<double>& c, util::ArenaVector<double>& y) {
+    for (size_t e = etas_.size(); e-- > 0;) {
+      const Eta& eta = etas_[e];
+      const double dot =
+          math::Dot(c.data(), eta.d, static_cast<size_t>(m_));
       c[eta.r] = (c[eta.r] - (dot - c[eta.r] * eta.d[eta.r])) / eta.d[eta.r];
     }
-    std::vector<double> a(m_);
+    work_v_.resize(static_cast<size_t>(m_));
+    util::ArenaVector<double>& a = work_v_;
     for (int k = 0; k < m_; ++k) {
-      double sum = c[k];
-      for (int j = 0; j < k; ++j) sum -= Lu(j, k) * a[j];
-      a[k] = sum / Lu(k, k);
+      // U' is lower triangular; its rows are contiguous in the transposed
+      // factors.
+      const double sum =
+          c[k] - math::Dot(&lut_[static_cast<size_t>(k) * m_], a.data(),
+                           static_cast<size_t>(k));
+      a[k] = sum / Lut(k, k);
     }
     for (int k = m_ - 1; k >= 0; --k) {
-      double sum = a[k];
-      for (int j = k + 1; j < m_; ++j) sum -= Lu(j, k) * a[j];
-      a[k] = sum;
+      a[k] -= math::Dot(&lut_[static_cast<size_t>(k) * m_ + k + 1],
+                        a.data() + k + 1, static_cast<size_t>(m_ - k - 1));
     }
-    std::vector<double> y(m_);
+    y.resize(static_cast<size_t>(m_));
     for (int k = 0; k < m_; ++k) y[perm_[k]] = a[k];
-    return y;
   }
 
-  // Column `col` of the constraint matrix, densified by row.
-  std::vector<double> DenseColumn(int col) const {
-    std::vector<double> a(m_, 0.0);
+  // Column `col` of the constraint matrix, densified by row into `a`.
+  void DenseColumnInto(int col, util::ArenaVector<double>& a) const {
+    a.assign(static_cast<size_t>(m_), 0.0);
     if (col < ns_) {
-      for (const auto& [row, value] : cols_[col]) a[row] += value;
+      for (int e = col_starts_[col]; e < col_starts_[col + 1]; ++e) {
+        a[col_entries_[e].row] += col_entries_[e].value;
+      }
     } else {
       a[col - ns_] = 1.0;
     }
-    return a;
   }
 
-  double DotColumn(const std::vector<double>& y, int col) const {
+  double DotColumn(const util::ArenaVector<double>& y, int col) const {
     if (col >= ns_) return y[col - ns_];
     double dot = 0.0;
-    for (const auto& [row, value] : cols_[col]) dot += y[row] * value;
+    for (int e = col_starts_[col]; e < col_starts_[col + 1]; ++e) {
+      dot += y[col_entries_[e].row] * col_entries_[e].value;
+    }
     return dot;
   }
 
@@ -331,28 +439,30 @@ class Engine {
   // Recomputes x_B = B^{-1}(b - N x_N) from the factorization, clearing
   // the drift of the incremental updates.
   void ComputeBasicValues() {
-    x_.assign(n_, 0.0);
-    std::vector<double> v = b_;
+    x_.assign(static_cast<size_t>(n_), 0.0);
+    work_v_.assign(b_.begin(), b_.end());
     for (int j = 0; j < n_; ++j) {
       if (status_[j] == VarStatus::kBasic) continue;
       const double xj = NonbasicValue(j);
       x_[j] = xj;
       if (xj == 0.0) continue;
       if (j < ns_) {
-        for (const auto& [row, value] : cols_[j]) v[row] -= value * xj;
+        for (int e = col_starts_[j]; e < col_starts_[j + 1]; ++e) {
+          work_v_[col_entries_[e].row] -= col_entries_[e].value * xj;
+        }
       } else {
-        v[j - ns_] -= xj;
+        work_v_[j - ns_] -= xj;
       }
     }
-    const std::vector<double> xb = Ftran(v);
-    for (int k = 0; k < m_; ++k) x_[basic_[k]] = xb[k];
+    Ftran(work_v_, work_w_);
+    for (int k = 0; k < m_; ++k) x_[basic_[k]] = work_w_[k];
   }
 
   // Sum of bound violations over the basic variables (the phase-1
   // objective) and, via `cb`, its gradient on the basis.
-  double Infeasibility(std::vector<double>* cb) const {
+  double Infeasibility(util::ArenaVector<double>* cb) const {
     double total = 0.0;
-    if (cb != nullptr) cb->assign(m_, 0.0);
+    if (cb != nullptr) cb->assign(static_cast<size_t>(m_), 0.0);
     for (int k = 0; k < m_; ++k) {
       const int col = basic_[k];
       const double x = x_[col];
@@ -374,16 +484,16 @@ class Engine {
     int stall = 0;
     bool bland = false;
     double last_objective = kInf;
-    std::vector<double> cb(m_);
     for (;;) {
       double objective;
       if (phase1) {
-        objective = Infeasibility(&cb);
+        objective = Infeasibility(&cb_);
         if (objective <= options_.tolerance * 10) return PhaseOutcome::kDone;
       } else {
-        for (int k = 0; k < m_; ++k) cb[k] = cost_[basic_[k]];
-        objective = 0.0;
-        for (int j = 0; j < n_; ++j) objective += cost_[j] * x_[j];
+        cb_.resize(static_cast<size_t>(m_));
+        for (int k = 0; k < m_; ++k) cb_[k] = cost_[basic_[k]];
+        objective =
+            math::Dot(cost_.data(), x_.data(), static_cast<size_t>(n_));
       }
       if (objective < last_objective - 1e-12) {
         last_objective = objective;
@@ -393,7 +503,7 @@ class Engine {
         bland = true;  // Bland's rule escapes degenerate cycling
       }
 
-      const std::vector<double> y = Btran(cb);
+      Btran(cb_, y_);
       int entering = -1;
       double entering_dir = 0.0;
       double best_violation = options_.tolerance;
@@ -401,7 +511,7 @@ class Engine {
         if (status_[j] == VarStatus::kBasic) continue;
         if (upper_[j] - lower_[j] <= 0.0) continue;  // fixed, cannot move
         const double phase_cost = phase1 ? 0.0 : cost_[j];
-        const double d = phase_cost - DotColumn(y, j);
+        const double d = phase_cost - DotColumn(y_, j);
         double violation = 0.0;
         double dir = 0.0;
         if (status_[j] == VarStatus::kAtLower && d < -options_.tolerance) {
@@ -442,9 +552,10 @@ class Engine {
       // contract).
       if (*used >= iteration_budget) return PhaseOutcome::kIterationLimit;
 
-      const std::vector<double> w = Ftran(DenseColumn(entering));
+      DenseColumnInto(entering, col_);
+      Ftran(col_, w_);
       const PhaseOutcome step =
-          Step(phase1, entering, entering_dir, w, bland);
+          Step(phase1, entering, entering_dir, w_, bland);
       if (step != PhaseOutcome::kDone) return step;
       ++*used;
     }
@@ -453,7 +564,7 @@ class Engine {
   // One ratio test + update (bound flip or basis change). Returns kDone on
   // a completed step, or a terminal outcome.
   PhaseOutcome Step(bool phase1, int entering, double dir,
-                    const std::vector<double>& w, bool bland) {
+                    const util::ArenaVector<double>& w, bool bland) {
     constexpr double kTieTol = 1e-9;
     const double flip_t = upper_[entering] - lower_[entering];  // inf ok
 
@@ -510,7 +621,12 @@ class Engine {
     x_[leaving_col] = NonbasicValue(leaving_col);
     status_[entering] = VarStatus::kBasic;
     basic_[leaving] = entering;
-    etas_.push_back(Eta{leaving, w});
+    // The eta d-vector is a bump allocation, not a heap vector: the whole
+    // eta file is reclaimed when the engine's arena scope unwinds (or
+    // logically discarded at the next refactorization).
+    double* d = arena_.AllocateArray<double>(static_cast<size_t>(m_));
+    std::memcpy(d, w.data(), static_cast<size_t>(m_) * sizeof(double));
+    etas_.push_back(Eta{leaving, d});
     if (static_cast<int>(etas_.size()) >=
         std::max(1, options_.refactor_interval)) {
       if (!Factorize()) return PhaseOutcome::kNumericalFailure;
@@ -556,24 +672,22 @@ class Engine {
 
   // ---- Solution extraction ---------------------------------------------
 
-  void ExtractSolution(RevisedSolution& result) const {
+  void ExtractSolution(RevisedSolution& result) {
     LpSolution& solution = result.solution;
     solution.status = SolveStatus::kOptimal;
-    solution.primal.assign(ns_, 0.0);
-    double objective = model_.objective_constant();
-    for (int j = 0; j < ns_; ++j) {
-      solution.primal[j] = x_[j];
-      objective += cost_[j] * x_[j];
-    }
-    solution.objective = objective;
+    solution.primal.assign(static_cast<size_t>(ns_), 0.0);
+    for (int j = 0; j < ns_; ++j) solution.primal[j] = x_[j];
+    solution.objective =
+        model_.objective_constant() +
+        math::Dot(cost_.data(), x_.data(), static_cast<size_t>(ns_));
 
-    std::vector<double> cb(m_);
-    for (int k = 0; k < m_; ++k) cb[k] = cost_[basic_[k]];
-    const std::vector<double> y = Btran(std::move(cb));
-    solution.dual = y;
-    solution.reduced_cost.assign(ns_, 0.0);
+    cb_.resize(static_cast<size_t>(m_));
+    for (int k = 0; k < m_; ++k) cb_[k] = cost_[basic_[k]];
+    Btran(cb_, y_);
+    solution.dual.assign(y_.begin(), y_.end());
+    solution.reduced_cost.assign(static_cast<size_t>(ns_), 0.0);
     for (int j = 0; j < ns_; ++j) {
-      solution.reduced_cost[j] = cost_[j] - DotColumn(y, j);
+      solution.reduced_cost[j] = cost_[j] - DotColumn(y_, j);
     }
 
     result.basis.structural.assign(status_.begin(), status_.begin() + ns_);
@@ -586,26 +700,46 @@ class Engine {
   const int m_;   // rows
   const int n_;   // structural + logical columns
 
-  std::vector<std::vector<std::pair<int, double>>> cols_;
-  std::vector<double> lower_, upper_, cost_, b_;
+  // Arena backing for everything below: the caller's workspace slot 0 or a
+  // locally owned arena. `scope_` must precede every ArenaVector member so
+  // its rewind (to the pre-solve mark) runs after their (trivial) cleanup.
+  std::unique_ptr<util::Arena> owned_arena_;
+  util::Arena& arena_;
+  util::ArenaScope scope_;
 
-  std::vector<VarStatus> status_;  // per column
-  std::vector<int> basic_;         // basis position -> column
-  std::vector<double> x_;          // per column
+  // Structural columns, CSR over columns (entries row-ordered).
+  util::ArenaVector<int> col_starts_;
+  util::ArenaVector<ColEntry> col_entries_;
+  util::ArenaVector<double> lower_, upper_, cost_, b_;
 
-  std::vector<double> lu_;  // packed L (unit lower) / U factors of B
-  std::vector<int> perm_;   // row permutation of the factorization
-  std::vector<Eta> etas_;
+  util::ArenaVector<VarStatus> status_;  // per column
+  util::ArenaVector<int> basic_;         // basis position -> column
+  util::ArenaVector<double> x_;          // per column
+
+  util::ArenaVector<double> lu_;   // packed L (unit lower) / U factors of B
+  util::ArenaVector<double> lut_;  // transposed factors, for Btran
+  util::ArenaVector<int> perm_;    // row permutation of the factorization
+  util::ArenaVector<Eta> etas_;
+
+  // Per-iteration scratch, sized once in the constructor.
+  util::ArenaVector<double> work_v_, work_w_;  // ComputeBasicValues / Btran
+  util::ArenaVector<double> cb_, y_, w_, col_;
 };
 
 // No constraints: every variable sits at its cost-minimizing bound. Kept in
 // sync with the dense backend's m == 0 path, including the convention that
 // a variable resting at a bound keeps its cost as its reduced cost.
-util::StatusOr<RevisedSolution> SolveUnconstrained(const LpModel& model) {
-  RevisedSolution result;
+util::Status SolveUnconstrained(const LpModel& model,
+                                RevisedSolution& result) {
   LpSolution& solution = result.solution;
+  solution.objective = 0.0;
+  solution.phase1_iterations = 0;
+  solution.phase2_iterations = 0;
+  solution.dual.clear();
   solution.primal.assign(model.num_variables(), 0.0);
   solution.reduced_cost.assign(model.num_variables(), 0.0);
+  result.warm_started = false;
+  result.basis.logical.clear();
   result.basis.structural.assign(model.num_variables(), VarStatus::kAtLower);
   double objective = model.objective_constant();
   for (int j = 0; j < model.num_variables(); ++j) {
@@ -630,8 +764,9 @@ util::StatusOr<RevisedSolution> SolveUnconstrained(const LpModel& model) {
     }
     if (!std::isfinite(x)) {
       solution.status = SolveStatus::kUnbounded;
-      result.basis = Basis();
-      return result;
+      result.basis.structural.clear();
+      result.basis.logical.clear();
+      return util::OkStatus();
     }
     solution.primal[j] = x;
     solution.reduced_cost[j] = c;
@@ -640,7 +775,7 @@ util::StatusOr<RevisedSolution> SolveUnconstrained(const LpModel& model) {
   }
   solution.status = SolveStatus::kOptimal;
   solution.objective = objective;
-  return result;
+  return util::OkStatus();
 }
 
 }  // namespace
@@ -648,10 +783,19 @@ util::StatusOr<RevisedSolution> SolveUnconstrained(const LpModel& model) {
 util::StatusOr<RevisedSolution> RevisedSimplex::Solve(
     const LpModel& model, const SimplexSolver::Options& options,
     const Basis* warm_start) {
+  RevisedSolution result;
+  RETURN_IF_ERROR(SolveInto(model, options, warm_start, result));
+  return result;
+}
+
+util::Status RevisedSimplex::SolveInto(const LpModel& model,
+                                       const SimplexSolver::Options& options,
+                                       const Basis* warm_start,
+                                       RevisedSolution& out) {
   RETURN_IF_ERROR(model.Validate());
-  if (model.num_constraints() == 0) return SolveUnconstrained(model);
+  if (model.num_constraints() == 0) return SolveUnconstrained(model, out);
   Engine engine(model, options);
-  return engine.Run(warm_start);
+  return engine.Run(warm_start, out);
 }
 
 }  // namespace auditgame::lp

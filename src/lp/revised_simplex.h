@@ -77,6 +77,15 @@ class RevisedSimplex {
   static util::StatusOr<RevisedSolution> Solve(const LpModel& model) {
     return Solve(model, SimplexSolver::Options(), nullptr);
   }
+
+  /// Allocation-reusing form for re-solve loops (the CGGS master): `out`'s
+  /// solution and basis buffers are cleared and refilled in place, so a
+  /// caller that keeps one RevisedSolution across rounds solves without
+  /// touching the heap once the buffers reach steady-state size. `out` may
+  /// not alias `warm_start`'s basis.
+  static util::Status SolveInto(const LpModel& model,
+                                const SimplexSolver::Options& options,
+                                const Basis* warm_start, RevisedSolution& out);
 };
 
 }  // namespace auditgame::lp

@@ -7,6 +7,10 @@
 #include "util/status.h"
 #include "util/statusor.h"
 
+namespace auditgame::util {
+class WorkspacePool;
+}  // namespace auditgame::util
+
 namespace auditgame::lp {
 
 /// Termination status of a solve.
@@ -87,6 +91,13 @@ class SimplexSolver {
     SimplexBackend backend = SimplexBackend::kDenseTableau;
     /// kRevised only: basis pivots between LU refactorizations.
     int refactor_interval = 64;
+    /// Optional non-owning scratch pool (util/arena.h) the revised simplex
+    /// draws its per-solve working memory from (LU factors, eta d-vectors,
+    /// Ftran/Btran scratch); must outlive every Solve using these options.
+    /// Null = each solve allocates its own scratch. Callers that solve in a
+    /// loop (the incremental master LP) share one pool here so steady-state
+    /// re-solves never touch the heap.
+    util::WorkspacePool* workspace = nullptr;
   };
 
   /// Solves `model`. Returns an error status only for malformed models;

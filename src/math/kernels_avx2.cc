@@ -1,0 +1,117 @@
+// AVX2 backend for math/kernels. This TU is compiled with
+// -mavx2 -ffp-contract=off (see src/CMakeLists.txt) and only linked when the
+// compiler supports it; the table below is dereferenced only after a runtime
+// __builtin_cpu_supports("avx2") check in kernels.cc.
+//
+// One 4-lane __m256d register IS the canonical blocked accumulator: lane l
+// holds the partial sum of elements with index ≡ l (mod 4). The reduce
+// stores the four lanes and adds them as (l0 + l1) + (l2 + l3) — the same
+// order as the scalar and SSE2 backends, so results are bit-identical.
+// No FMA intrinsics are used (a fused multiply-add rounds once where the
+// other backends round twice, which would split the backends).
+
+#include <immintrin.h>
+
+#include <cmath>
+
+#include "math/kernels.h"
+#include "math/kernels_internal.h"
+
+namespace auditgame::math::detail {
+namespace {
+
+double SumAvx2(const double* x, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  const size_t n4 = n & ~(kBlockLanes - 1);
+  for (; i < n4; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_loadu_pd(x + i));
+  }
+  double lane[kBlockLanes];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += x[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double DotAvx2(const double* x, const double* y, size_t n) {
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  const size_t n4 = n & ~(kBlockLanes - 1);
+  for (; i < n4; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_mul_pd(_mm256_loadu_pd(x + i), _mm256_loadu_pd(y + i)));
+  }
+  double lane[kBlockLanes];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += x[i] * y[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+double AbsDiffSumAvx2(const double* x, const double* y, size_t n) {
+  const __m256d sign_mask = _mm256_set1_pd(-0.0);
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  const size_t n4 = n & ~(kBlockLanes - 1);
+  for (; i < n4; i += 4) {
+    acc = _mm256_add_pd(
+        acc, _mm256_andnot_pd(sign_mask, _mm256_sub_pd(_mm256_loadu_pd(x + i),
+                                                       _mm256_loadu_pd(y + i))));
+  }
+  double lane[kBlockLanes];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += std::fabs(x[i] - y[i]);
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+void AxpyAvx2(double a, const double* x, double* y, size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  size_t i = 0;
+  const size_t n4 = n & ~(kBlockLanes - 1);
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i),
+                             _mm256_mul_pd(av, _mm256_loadu_pd(x + i))));
+  }
+  for (; i < n; ++i) y[i] += a * x[i];
+}
+
+void AddAvx2(const double* x, double* y, size_t n) {
+  size_t i = 0;
+  const size_t n4 = n & ~(kBlockLanes - 1);
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(
+        y + i, _mm256_add_pd(_mm256_loadu_pd(y + i), _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) y[i] += x[i];
+}
+
+void ScaleAvx2(double a, double* x, size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  size_t i = 0;
+  const size_t n4 = n & ~(kBlockLanes - 1);
+  for (; i < n4; i += 4) {
+    _mm256_storeu_pd(x + i, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  }
+  for (; i < n; ++i) x[i] *= a;
+}
+
+double ScaledSumAvx2(double a, const double* x, size_t n) {
+  const __m256d av = _mm256_set1_pd(a);
+  __m256d acc = _mm256_setzero_pd();
+  size_t i = 0;
+  const size_t n4 = n & ~(kBlockLanes - 1);
+  for (; i < n4; i += 4) {
+    acc = _mm256_add_pd(acc, _mm256_mul_pd(av, _mm256_loadu_pd(x + i)));
+  }
+  double lane[kBlockLanes];
+  _mm256_storeu_pd(lane, acc);
+  for (; i < n; ++i) lane[i & 3] += a * x[i];
+  return (lane[0] + lane[1]) + (lane[2] + lane[3]);
+}
+
+}  // namespace
+
+const Ops kAvx2Ops = {SumAvx2,  DotAvx2,   AbsDiffSumAvx2, AxpyAvx2,
+                      AddAvx2,  ScaleAvx2, ScaledSumAvx2};
+
+}  // namespace auditgame::math::detail

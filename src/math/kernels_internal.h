@@ -1,0 +1,31 @@
+#ifndef AUDIT_GAME_MATH_KERNELS_INTERNAL_H_
+#define AUDIT_GAME_MATH_KERNELS_INTERNAL_H_
+
+#include <cstddef>
+
+namespace auditgame::math::detail {
+
+/// Per-backend implementation table. Every entry must honor the canonical
+/// blocked-order contract in kernels.h — adding an entry here means adding
+/// it to the scalar, SSE2, and AVX2 backends with bit-identical semantics.
+struct Ops {
+  double (*sum)(const double* x, size_t n);
+  double (*dot)(const double* x, const double* y, size_t n);
+  double (*abs_diff_sum)(const double* x, const double* y, size_t n);
+  void (*axpy)(double a, const double* x, double* y, size_t n);
+  void (*add)(const double* x, double* y, size_t n);
+  void (*scale)(double a, double* x, size_t n);
+  /// Blocked-order sum of a * x[i] (each term rounded once, then blocked
+  /// summation) — the saturating tail of ConvolveShiftSaturate.
+  double (*scaled_sum)(double a, const double* x, size_t n);
+};
+
+#ifdef AUDIT_HAVE_AVX2
+/// Defined in kernels_avx2.cc (compiled with -mavx2 -ffp-contract=off).
+/// Only dereferenced after __builtin_cpu_supports("avx2") says yes.
+extern const Ops kAvx2Ops;
+#endif
+
+}  // namespace auditgame::math::detail
+
+#endif  // AUDIT_GAME_MATH_KERNELS_INTERNAL_H_

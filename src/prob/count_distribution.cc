@@ -4,6 +4,7 @@
 #include <cmath>
 #include <string>
 
+#include "math/kernels.h"
 #include "util/serializer.h"
 
 namespace auditgame::prob {
@@ -41,15 +42,17 @@ util::StatusOr<CountDistribution> CountDistribution::FromPmf(
     return util::InvalidArgumentError("alert counts cannot be negative");
   }
   if (pmf.empty()) return util::InvalidArgumentError("empty pmf");
-  double total = 0.0;
   for (double p : pmf) {
     if (p < 0 || !std::isfinite(p)) {
       return util::InvalidArgumentError("pmf entries must be finite and >= 0");
     }
-    total += p;
   }
+  // Canonical blocked-order normalization (math/kernels.h): the mass sum
+  // and the renormalization are defined in kernel semantics, so the pmf is
+  // bit-identical whichever backend is active.
+  const double total = math::Sum(pmf.data(), pmf.size());
   if (total <= 0) return util::InvalidArgumentError("pmf sums to zero");
-  for (double& p : pmf) p /= total;
+  math::Scale(1.0 / total, pmf.data(), pmf.size());
   return CountDistribution(min_value, std::move(pmf));
 }
 
@@ -155,21 +158,21 @@ int CountDistribution::UpperBound(double coverage) const {
 }
 
 double CountDistribution::Mean() const {
-  double mean = 0.0;
+  math::BlockedAccumulator mean;
   for (size_t i = 0; i < pmf_.size(); ++i) {
-    mean += pmf_[i] * (min_value_ + static_cast<int>(i));
+    mean.Add(pmf_[i] * (min_value_ + static_cast<int>(i)));
   }
-  return mean;
+  return mean.Total();
 }
 
 double CountDistribution::Variance() const {
   const double mean = Mean();
-  double var = 0.0;
+  math::BlockedAccumulator var;
   for (size_t i = 0; i < pmf_.size(); ++i) {
     const double d = (min_value_ + static_cast<int>(i)) - mean;
-    var += pmf_[i] * d * d;
+    var.Add(pmf_[i] * d * d);
   }
-  return var;
+  return var.Total();
 }
 
 int CountDistribution::Sample(util::Rng& rng) const {
@@ -206,13 +209,21 @@ util::StatusOr<CountDistribution> JitterPmf(const CountDistribution& dist,
 
 double TotalVariationDistance(const CountDistribution& p,
                               const CountDistribution& q) {
+  // Aligned supports (the common serving case: drift between a pmf and its
+  // jittered successor) reduce to one AbsDiffSum kernel call over the raw
+  // tables; mismatched supports fall back to the padded loop, in the same
+  // canonical blocked order.
+  if (p.min_value() == q.min_value() && p.max_value() == q.max_value()) {
+    return 0.5 * math::AbsDiffSum(p.pmf_data().data(), q.pmf_data().data(),
+                                  p.pmf_data().size());
+  }
   const int lo = std::min(p.min_value(), q.min_value());
   const int hi = std::max(p.max_value(), q.max_value());
-  double sum = 0.0;
+  math::BlockedAccumulator sum;
   for (int z = lo; z <= hi; ++z) {
-    sum += std::fabs(p.Pmf(z) - q.Pmf(z));
+    sum.Add(std::fabs(p.Pmf(z) - q.Pmf(z)));
   }
-  return 0.5 * sum;
+  return 0.5 * sum.Total();
 }
 
 }  // namespace auditgame::prob

@@ -77,6 +77,10 @@ class CountDistribution {
   /// P(Z = z); zero outside the support.
   double Pmf(int z) const;
 
+  /// The raw pmf table over [min_value, max_value] — contiguous access for
+  /// the numeric kernels (math/kernels.h) on drift/convolution hot paths.
+  const std::vector<double>& pmf_data() const { return pmf_; }
+
   /// F(n) = P(Z <= n). This is the paper's F_t.
   double Cdf(int n) const;
 

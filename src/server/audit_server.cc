@@ -421,6 +421,10 @@ util::JsonValue::Object AuditServer::StatsBody() {
       persistence["snapshots_written"] =
           static_cast<double>(s.persistence.snapshots_written);
       persistence["wal_syncs"] = static_cast<double>(s.persistence.wal_syncs);
+      persistence["fsync_seconds_p50"] = s.persistence.fsync_seconds_p50;
+      persistence["fsync_seconds_p90"] = s.persistence.fsync_seconds_p90;
+      persistence["fsync_seconds_p99"] = s.persistence.fsync_seconds_p99;
+      persistence["fsync_seconds_max"] = s.persistence.fsync_seconds_max;
       persistence["recovery_replayed"] =
           static_cast<double>(s.persistence.recovery_replayed);
       persistence["recovery_seconds"] = s.persistence.recovery_seconds;

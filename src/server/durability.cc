@@ -8,12 +8,14 @@
 
 #include <algorithm>
 #include <cerrno>
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <utility>
 
+#include "util/percentile.h"
 #include "util/serializer.h"
 
 namespace auditgame::server {
@@ -473,9 +475,19 @@ util::Status ShardPersistence::WriteAndMaybeSync(std::string_view bytes,
     off += static_cast<size_t>(n);
   }
   if (sync) {
+    const auto start = std::chrono::steady_clock::now();
     if (::fdatasync(wal_fd_) != 0) return ErrnoError("fdatasync " + wal_path_);
+    const double seconds =
+        std::chrono::duration<double>(std::chrono::steady_clock::now() - start)
+            .count();
     std::lock_guard<std::mutex> lock(stats_mutex_);
     ++stats_.wal_syncs;
+    if (fsync_window_.size() < kFsyncWindow) {
+      fsync_window_.push_back(seconds);
+    } else {
+      fsync_window_[fsync_next_] = seconds;
+      fsync_next_ = (fsync_next_ + 1) % kFsyncWindow;
+    }
   }
   return util::OkStatus();
 }
@@ -650,8 +662,21 @@ void ShardPersistence::SetRecoveryFingerprint(std::string hex) {
 }
 
 PersistenceStats ShardPersistence::Stats() const {
-  std::lock_guard<std::mutex> lock(stats_mutex_);
-  return stats_;
+  PersistenceStats stats;
+  std::vector<double> window;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    stats = stats_;
+    window = fsync_window_;
+  }
+  if (!window.empty()) {
+    std::sort(window.begin(), window.end());
+    stats.fsync_seconds_p50 = util::NearestRankPercentileSorted(window, 0.50);
+    stats.fsync_seconds_p90 = util::NearestRankPercentileSorted(window, 0.90);
+    stats.fsync_seconds_p99 = util::NearestRankPercentileSorted(window, 0.99);
+    stats.fsync_seconds_max = window.back();
+  }
+  return stats;
 }
 
 }  // namespace auditgame::server

@@ -15,6 +15,10 @@ Metrics are classified by key name:
   is better, gated at ``current > baseline * (1 + threshold)`` (gaps get
   a 1e-9 absolute floor so exact-zero baselines don't trip on rounding
   noise);
+* ``*alloc*`` / ``*heap_block*`` — allocation counters from the arena
+  refactor, lower is better; exact-zero baselines get a small absolute
+  floor (an occasional one-off allocation in a thousand solves is not a
+  regression);
 * ``*seconds*`` / ``*speedup*`` — wall-clock measurements: machine- and
   noise-dependent (sub-millisecond cases swing far more than 25% between
   identical runs), so they are skipped unless --gate-timing is passed.
@@ -31,6 +35,7 @@ import json
 import sys
 
 GAP_ABSOLUTE_FLOOR = 1e-9
+ALLOC_ABSOLUTE_FLOOR = 0.5
 
 
 def classify(key):
@@ -42,6 +47,8 @@ def classify(key):
     # the substring "ratio", and "warm_lp_solves" contains "lp_solves".
     if "warm_lp_solves" in k:
         return "higher"
+    if "alloc" in k or "heap_block" in k:
+        return "lower"
     if "iterations" in k or "lp_solves" in k or "gap" in k:
         return "lower"
     if "ratio" in k:
@@ -92,6 +99,8 @@ class Comparison:
             ceiling = base * (1.0 + self.threshold)
             if "gap" in key.lower():
                 ceiling = max(ceiling, GAP_ABSOLUTE_FLOOR)
+            if "alloc" in key.lower() or "heap_block" in key.lower():
+                ceiling = max(ceiling, ALLOC_ABSOLUTE_FLOOR)
             if cur > ceiling:
                 self.fail(
                     path,
