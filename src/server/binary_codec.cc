@@ -285,6 +285,32 @@ std::string EncodeBinaryOverloadedResponse(int64_t correlation_id, int shard,
   return out;
 }
 
+std::string EncodeBinaryBackendDownResponse(int64_t correlation_id,
+                                            unsigned char verb) {
+  std::string out;
+  out.reserve(15);
+  PutResponseHeader(&out, verb, correlation_id, kBinaryStatusBackendDown, -1);
+  return out;
+}
+
+bool RewriteBinaryCorrelationId(std::string* payload, int64_t correlation_id) {
+  // magic(1) version(1) kind(1) verb(1) id(8): the id spans bytes 4..11 of
+  // every binary frame, request or response.
+  if (payload->size() < 12 || !IsBinaryFrame(*payload)) return false;
+  uint64_t v = static_cast<uint64_t>(correlation_id);
+  for (int i = 0; i < 8; ++i) {
+    (*payload)[4 + i] = static_cast<char>((v >> (56 - 8 * i)) & 0xff);
+  }
+  return true;
+}
+
+int BinaryResponseStatusOf(std::string_view payload) {
+  // Response header: magic(1) version(1) kind(1) verb(1) id(8) status(1).
+  if (payload.size() < 13 || !IsBinaryFrame(payload)) return -1;
+  if (static_cast<unsigned char>(payload[2]) != kBinaryKindResponse) return -1;
+  return static_cast<unsigned char>(payload[12]);
+}
+
 std::string EncodeBinaryErrorResponse(int64_t correlation_id,
                                       std::string_view message) {
   std::string out;
@@ -352,6 +378,7 @@ util::StatusOr<BinaryResponse> DecodeBinaryResponse(std::string_view payload) {
       }
       break;
     case kBinaryStatusOverloaded:
+    case kBinaryStatusBackendDown:
       break;
     case kBinaryStatusError: {
       uint32_t len;

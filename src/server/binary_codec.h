@@ -35,7 +35,8 @@ namespace auditgame::server {
 /// then per verb: `ingest` packs `u16 n` distributions, each
 /// `u32 min, u16 pmf_len, pmf_len × f64` (IEEE-754 bits); `solve_cycle`
 /// has no body. Responses echo the header with kind = 2 plus
-/// `u8 status (0 ok, 1 overloaded, 2 error)` and `u16 shard`, then the
+/// `u8 status (0 ok, 1 overloaded, 2 error, 3 backend_down)` and `u16
+/// shard`, then the
 /// verb-specific body (see binary_codec.cc). The `correlation_id` is the
 /// pipelining key: it is the binary carrier of the JSON path's `id`, every
 /// response echoes it verbatim, and responses on one connection may
@@ -60,6 +61,10 @@ inline constexpr unsigned char kBinaryVerbSolveCycle = 2;
 inline constexpr unsigned char kBinaryStatusOk = 0;
 inline constexpr unsigned char kBinaryStatusOverloaded = 1;
 inline constexpr unsigned char kBinaryStatusError = 2;
+/// Router-originated: the backend owning this tenant is unreachable and the
+/// request was never applied anywhere — retryable, like `overloaded`, but
+/// distinguishable so clients and drills can count failover traffic.
+inline constexpr unsigned char kBinaryStatusBackendDown = 3;
 
 /// True when `payload` takes the binary path (first byte is the magic).
 inline bool IsBinaryFrame(std::string_view payload) {
@@ -93,8 +98,24 @@ std::string EncodeBinarySolveCycleResponse(
     const service::AuditService::CycleReport& report);
 std::string EncodeBinaryOverloadedResponse(int64_t correlation_id, int shard,
                                            unsigned char verb);
+std::string EncodeBinaryBackendDownResponse(int64_t correlation_id,
+                                            unsigned char verb);
 std::string EncodeBinaryErrorResponse(int64_t correlation_id,
                                       std::string_view message);
+
+/// --- router-side helpers ---
+///
+/// The correlation id sits at a fixed offset (bytes 4..11, big-endian) in
+/// both request and response headers, so a proxy can remap ids without
+/// decoding — or re-encoding — the verb-specific body.
+
+/// Overwrites the correlation id in place. False when the payload is too
+/// short to carry the fixed header or is not a binary frame.
+bool RewriteBinaryCorrelationId(std::string* payload, int64_t correlation_id);
+
+/// Status byte of a binary *response* payload without a full decode (-1
+/// when the header is truncated or this is not a binary response frame).
+int BinaryResponseStatusOf(std::string_view payload);
 
 /// --- client-side response decoder ---
 

@@ -216,6 +216,12 @@ std::string MakeOverloadedResponse(int64_t id, const std::string& tenant,
   return util::JsonValue(std::move(obj)).Dump();
 }
 
+std::string MakeBackendDownResponse(int64_t id, const std::string& tenant) {
+  util::JsonValue::Object obj = Envelope(id, "backend_down");
+  obj["tenant"] = tenant;
+  return util::JsonValue(std::move(obj)).Dump();
+}
+
 std::string MakeErrorResponse(int64_t id, const std::string& message) {
   util::JsonValue::Object obj = Envelope(id, "error");
   obj["message"] = message;

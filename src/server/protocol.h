@@ -24,8 +24,12 @@ namespace auditgame::server {
 ///   {"verb":"stats","id":9}
 ///
 /// Responses always carry `id` and `status` ("ok" | "overloaded" |
-/// "error"). `overloaded` is the backpressure contract: the shard's
-/// bounded queue was full, nothing was applied, and the client may retry.
+/// "error" | "backend_down"). `overloaded` is the backpressure contract:
+/// the shard's bounded queue was full, nothing was applied, and the client
+/// may retry. `backend_down` is its cluster-mode sibling, originated by
+/// the router when the backend owning a tenant is unreachable — equally
+/// retryable (nothing was applied), but distinguishable so failover
+/// traffic can be counted.
 /// `error` carries a `message`; malformed JSON gets an error response with
 /// id -1 on the same connection — only framing violations cost the
 /// connection itself.
@@ -79,6 +83,9 @@ std::string MakeSolveCycleResponse(
     const service::AuditService::CycleReport& report);
 std::string MakeOverloadedResponse(int64_t id, const std::string& tenant,
                                    int shard);
+/// Router-originated: the tenant's backend is unreachable; nothing was
+/// applied and the client may retry.
+std::string MakeBackendDownResponse(int64_t id, const std::string& tenant);
 std::string MakeErrorResponse(int64_t id, const std::string& message);
 
 /// Wraps a prebuilt stats body into the response envelope.

@@ -1,0 +1,776 @@
+#include "server/router.h"
+
+#include <algorithm>
+#include <chrono>
+#include <thread>
+#include <utility>
+
+#include "server/binary_codec.h"
+
+namespace auditgame::server {
+
+namespace {
+constexpr int kAcceptorPollMs = 250;
+constexpr int kDrainPollMs = 50;
+
+unsigned char BinaryVerbOf(Verb verb) {
+  return verb == Verb::kIngest ? kBinaryVerbIngest : kBinaryVerbSolveCycle;
+}
+
+/// Splits "host:port"; false on anything unparsable.
+bool ParseHostPort(const std::string& spec, std::string* host,
+                   uint16_t* port) {
+  const size_t colon = spec.rfind(':');
+  if (colon == std::string::npos || colon == 0 ||
+      colon + 1 >= spec.size()) {
+    return false;
+  }
+  long value = 0;
+  for (size_t i = colon + 1; i < spec.size(); ++i) {
+    if (spec[i] < '0' || spec[i] > '9') return false;
+    value = value * 10 + (spec[i] - '0');
+    if (value > 65535) return false;
+  }
+  *host = spec.substr(0, colon);
+  *port = static_cast<uint16_t>(value);
+  return true;
+}
+}  // namespace
+
+Router::Router(RouterOptions options) : options_(std::move(options)) {
+  if (options_.num_reactors < 1) options_.num_reactors = 1;
+  if (options_.virtual_nodes < 1) options_.virtual_nodes = 1;
+  if (options_.replica_retries < 0) options_.replica_retries = 0;
+  if (options_.replica_retry_backoff_ms < 1)
+    options_.replica_retry_backoff_ms = 1;
+  full_ring_ = HashRing(options_.virtual_nodes);
+  live_ring_ = HashRing(options_.virtual_nodes);
+}
+
+Router::~Router() {
+  // Channel threads call back into this object (and post into reactor
+  // inboxes), so they must be gone before anything else is torn down.
+  for (auto& channel : channels_) {
+    if (channel) channel->BeginShutdown();
+  }
+  for (auto& channel : channels_) {
+    if (channel) channel->Join();
+  }
+  for (auto& reactor : reactors_) reactor->Kill();
+  for (auto& reactor : reactors_) reactor->Join();
+}
+
+util::Status Router::Start() {
+  if (started_) return util::FailedPreconditionError("already started");
+  if (options_.backends.empty()) {
+    return util::InvalidArgumentError("router needs at least one backend");
+  }
+
+  std::vector<std::pair<std::string, uint16_t>> backend_addrs;
+  backend_addrs.reserve(options_.backends.size());
+  for (size_t i = 0; i < options_.backends.size(); ++i) {
+    std::string host;
+    uint16_t port = 0;
+    if (!ParseHostPort(options_.backends[i], &host, &port)) {
+      return util::InvalidArgumentError("bad backend address: " +
+                                        options_.backends[i]);
+    }
+    backend_addrs.emplace_back(std::move(host), port);
+    backend_names_.push_back(options_.backends[i]);
+    full_ring_.AddNode(static_cast<int>(i), options_.backends[i]);
+  }
+
+  ASSIGN_OR_RETURN(listener_, net::ListenTcp(options_.host, options_.port));
+  ASSIGN_OR_RETURN(port_, net::LocalPort(listener_));
+  ASSIGN_OR_RETURN(wake_, net::WakeChannel::Make());
+  acceptor_poller_ = net::MakePoller(options_.poller_backend);
+  if (!acceptor_poller_) {
+    return util::InvalidArgumentError(
+        "requested poller backend unavailable on this platform");
+  }
+  acceptor_poller_->Watch(listener_.fd(), /*read=*/true, /*write=*/false);
+  acceptor_poller_->Watch(wake_.read_fd(), /*read=*/true, /*write=*/false);
+
+  ReactorOptions reactor_options;
+  reactor_options.max_frame_payload = options_.max_frame_payload;
+  reactor_options.max_write_buffer = options_.max_write_buffer;
+  reactor_options.idle_timeout_ms = options_.idle_timeout_ms;
+  reactor_options.poller_backend = options_.poller_backend;
+  reactors_.reserve(static_cast<size_t>(options_.num_reactors));
+  for (int i = 0; i < options_.num_reactors; ++i) {
+    reactors_.push_back(std::make_unique<Reactor>(
+        i, reactor_options,
+        [this](Reactor& reactor, uint64_t conn_id,
+               const std::string& payload) {
+          return HandleFrame(reactor, conn_id, payload);
+        }));
+  }
+  for (auto& reactor : reactors_) {
+    RETURN_IF_ERROR(reactor->Start());
+  }
+
+  net::FrameChannelOptions channel_options = options_.channel;
+  channel_options.max_frame_payload = options_.max_frame_payload;
+  channel_options.poller_backend = options_.poller_backend;
+  channels_.reserve(backend_addrs.size());
+  for (size_t i = 0; i < backend_addrs.size(); ++i) {
+    net::FrameChannel::Events events;
+    events.on_frame = [this, i](std::string payload) {
+      OnBackendFrame(i, std::move(payload));
+    };
+    events.on_state = [this, i](bool up) { OnBackendState(i, up); };
+    channels_.push_back(std::make_unique<net::FrameChannel>(
+        backend_addrs[i].first, backend_addrs[i].second, channel_options,
+        std::move(events)));
+  }
+  for (auto& channel : channels_) {
+    RETURN_IF_ERROR(channel->Start());
+  }
+
+  // Give the backends a moment to come up; serving starts regardless
+  // (still-down backends answer `backend_down` until they connect).
+  const auto deadline =
+      std::chrono::steady_clock::now() +
+      std::chrono::milliseconds(options_.backend_connect_wait_ms);
+  while (std::chrono::steady_clock::now() < deadline) {
+    const bool all_up =
+        std::all_of(channels_.begin(), channels_.end(),
+                    [](const auto& channel) { return channel->up(); });
+    if (all_up) break;
+    std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  }
+
+  last_ping_ = std::chrono::steady_clock::now();
+  started_ = true;
+  return util::OkStatus();
+}
+
+void Router::RequestStop() {
+  stop_requested_.store(true, std::memory_order_release);
+  wake_.Notify();
+}
+
+int Router::PrimaryBackendFor(const std::string& tenant) {
+  const uint64_t point = HashRing::PointForTenant(tenant);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_ring_.PrimaryFor(point);
+}
+
+int Router::SuccessorBackendFor(const std::string& tenant) {
+  const uint64_t point = HashRing::PointForTenant(tenant);
+  std::lock_guard<std::mutex> lock(mutex_);
+  return live_ring_.SuccessorFor(point);
+}
+
+int64_t Router::LiveConnectionEstimate() const {
+  int64_t closed = 0;
+  for (const auto& reactor : reactors_) closed += reactor->closed_connections();
+  return accepted_connections_.load(std::memory_order_relaxed) - closed;
+}
+
+void Router::AdmitConnections(std::vector<net::Socket> sockets,
+                              bool enforce_cap) {
+  int64_t live = LiveConnectionEstimate();
+  for (net::Socket& socket : sockets) {
+    if (enforce_cap && options_.max_connections > 0 &&
+        live >= static_cast<int64_t>(options_.max_connections)) {
+      accept_rejections_.fetch_add(1, std::memory_order_relaxed);
+      socket.Close();
+      continue;
+    }
+    const uint64_t conn_id = ++next_conn_id_;
+    accepted_connections_.fetch_add(1, std::memory_order_relaxed);
+    ++live;
+    reactors_[conn_id % reactors_.size()]->Adopt(std::move(socket), conn_id);
+  }
+}
+
+void Router::BeginDrain() {
+  draining_.store(true, std::memory_order_release);
+  if (listener_.valid()) {
+    // Same RST-avoidance as AuditServer: accept the already-handshaken
+    // backlog so the drain can answer it instead of resetting it.
+    if (auto accepted = net::AcceptAll(listener_); accepted.ok()) {
+      AdmitConnections(std::move(*accepted), /*enforce_cap=*/false);
+    }
+    acceptor_poller_->Forget(listener_.fd());
+    listener_.Close();
+  }
+  for (auto& reactor : reactors_) reactor->BeginDrain();
+}
+
+void Router::MaybePing() {
+  if (options_.ping_interval_ms <= 0) return;
+  const auto now = std::chrono::steady_clock::now();
+  if (now - last_ping_ <
+      std::chrono::milliseconds(options_.ping_interval_ms)) {
+    return;
+  }
+  last_ping_ = now;
+  for (auto& channel : channels_) {
+    if (channel->up()) {
+      // Correlation id 0 is reserved for pings; OnBackendFrame swallows
+      // the response. A refusal is fine — the point is keeping traffic
+      // outstanding on healthy channels.
+      (void)channel->TrySubmit(MakeStatsRequest(0));
+    }
+  }
+}
+
+util::Status Router::Run() {
+  if (!started_) return util::FailedPreconditionError("Start() first");
+  std::chrono::steady_clock::time_point drain_deadline;
+  bool killed = false;
+
+  for (;;) {
+    if (stop_requested_.load(std::memory_order_acquire) &&
+        !draining_.load(std::memory_order_relaxed)) {
+      BeginDrain();
+      drain_deadline = std::chrono::steady_clock::now() +
+                       std::chrono::milliseconds(options_.drain_timeout_ms);
+    }
+    if (draining_.load(std::memory_order_relaxed)) {
+      const bool all_drained =
+          std::all_of(reactors_.begin(), reactors_.end(),
+                      [](const auto& reactor) { return reactor->drained(); });
+      if (all_drained) break;
+      if (!killed && std::chrono::steady_clock::now() >= drain_deadline) {
+        for (auto& reactor : reactors_) reactor->Kill();
+        killed = true;
+      }
+    }
+
+    auto events =
+        acceptor_poller_->Wait(draining_.load(std::memory_order_relaxed)
+                               ? kDrainPollMs
+                               : kAcceptorPollMs);
+    RETURN_IF_ERROR(events.status());
+    for (const net::PollEvent& event : *events) {
+      if (event.fd == wake_.read_fd()) {
+        wake_.Drain();
+        continue;
+      }
+      if (listener_.valid() && event.fd == listener_.fd()) {
+        auto accepted = net::AcceptAll(listener_);
+        if (!accepted.ok()) continue;
+        AdmitConnections(std::move(*accepted), /*enforce_cap=*/true);
+      }
+    }
+
+    if (!draining_.load(std::memory_order_relaxed)) MaybePing();
+  }
+
+  // Channels first (stops the response stream into reactor inboxes), then
+  // the reactors.
+  for (auto& channel : channels_) channel->BeginShutdown();
+  for (auto& channel : channels_) channel->Join();
+  for (auto& reactor : reactors_) reactor->Kill();
+  util::Status status = util::OkStatus();
+  for (auto& reactor : reactors_) {
+    reactor->Join();
+    if (status.ok()) status = reactor->status();
+    reactor->DrainLeftovers();
+  }
+  return status;
+}
+
+bool Router::HandleFrame(Reactor& reactor, uint64_t conn_id,
+                         const std::string& payload) {
+  if (IsBinaryFrame(payload)) {
+    reactor.SetBinaryMode(conn_id);
+    auto request = DecodeBinaryRequest(payload);
+    if (!request.ok()) {
+      reactor.CountProtocolError();
+      reactor.Reply(conn_id,
+                    EncodeBinaryErrorResponse(BinaryCorrelationIdOf(payload),
+                                              request.status().ToString()));
+      reactor.Poison(conn_id);
+      return false;
+    }
+    Route(reactor, conn_id, *std::move(request), payload);
+    return true;
+  }
+
+  auto doc = util::JsonValue::Parse(payload);
+  if (!doc.ok()) {
+    reactor.CountProtocolError();
+    if (reactor.binary_mode(conn_id)) {
+      reactor.Reply(conn_id,
+                    EncodeBinaryErrorResponse(-1, doc.status().ToString()));
+      reactor.Poison(conn_id);
+      return false;
+    }
+    reactor.Reply(conn_id, MakeErrorResponse(-1, doc.status().ToString()));
+    return true;
+  }
+  auto request = ParseRequest(*doc);
+  if (!request.ok()) {
+    reactor.CountProtocolError();
+    reactor.Reply(conn_id, MakeErrorResponse(RequestIdOf(*doc),
+                                             request.status().ToString()));
+    return true;
+  }
+
+  if (request->verb == Verb::kStats) {
+    reactor.Reply(conn_id, MakeStatsResponse(request->id, StatsBody()));
+    return true;
+  }
+
+  Route(reactor, conn_id, *std::move(request), payload);
+  return true;
+}
+
+void Router::Route(Reactor& reactor, uint64_t conn_id, Request request,
+                   const std::string& payload) {
+  const int64_t client_id = request.id;
+  const bool binary = request.binary;
+  const unsigned char binary_verb = BinaryVerbOf(request.verb);
+
+  if (draining_.load(std::memory_order_acquire)) {
+    // Same retryable refusal a draining AuditServer produces.
+    reactor.CountOverloaded();
+    reactor.Reply(conn_id,
+                  binary ? EncodeBinaryOverloadedResponse(client_id, -1,
+                                                          binary_verb)
+                         : MakeOverloadedResponse(client_id, request.tenant,
+                                                  -1));
+    return;
+  }
+
+  const uint64_t point = HashRing::PointForTenant(request.tenant);
+
+  std::unique_lock<std::mutex> lock(mutex_);
+  const int primary = live_ring_.PrimaryFor(point);
+  if (primary < 0) {
+    lock.unlock();
+    backend_down_replies_.fetch_add(1, std::memory_order_relaxed);
+    reactor.Reply(conn_id,
+                  binary ? EncodeBinaryBackendDownResponse(client_id,
+                                                           binary_verb)
+                         : MakeBackendDownResponse(client_id, request.tenant));
+    return;
+  }
+
+  PendingOp op;
+  op.conn_id = conn_id;
+  op.client_id = client_id;
+  op.binary = binary;
+  op.verb = request.verb;
+  op.tenant = request.tenant;
+  op.rerouted = primary != full_ring_.PrimaryFor(point);
+  op.primary_backend = primary;
+
+  const int64_t op_id = next_op_id_++;
+  const int64_t primary_sub = op_id << 1;
+  const int64_t replica_sub = primary_sub | 1;
+
+  // The forwarded payloads: binary frames get the id patched in place
+  // (fixed offset); JSON is rebuilt from the parsed request — the builders
+  // emit shortest-round-trip doubles, so the values are bit-identical.
+  std::string primary_payload;
+  if (binary) {
+    primary_payload = payload;
+    RewriteBinaryCorrelationId(&primary_payload, primary_sub);
+  } else {
+    primary_payload =
+        request.verb == Verb::kIngest
+            ? MakeIngestRequest(primary_sub, request.tenant,
+                                request.distributions)
+            : MakeSolveCycleRequest(primary_sub, request.tenant);
+  }
+
+  // Replica-first submission: if the mirror cannot even be queued the op
+  // is refused outright (nothing applied anywhere), and if the primary
+  // then fails the mirror still applies — the replica may run ahead of
+  // clients but never behind, which is the failover-order invariant.
+  const int replica =
+      options_.replicate ? live_ring_.SuccessorFor(point) : -1;
+  if (replica >= 0) {
+    std::string replica_payload;
+    if (binary) {
+      replica_payload = payload;
+      RewriteBinaryCorrelationId(&replica_payload, replica_sub);
+    } else {
+      replica_payload =
+          request.verb == Verb::kIngest
+              ? MakeIngestRequest(replica_sub, request.tenant,
+                                  request.distributions)
+              : MakeSolveCycleRequest(replica_sub, request.tenant);
+    }
+    const auto submitted = channels_[replica]->TrySubmit(replica_payload);
+    if (submitted == net::FrameChannel::Submit::kAccepted) {
+      op.replica_backend = replica;
+      op.replica_payload = std::move(replica_payload);
+      replicated_.fetch_add(1, std::memory_order_relaxed);
+    } else if (submitted == net::FrameChannel::Submit::kFull) {
+      // Backpressure before anything was applied: cleanly retryable.
+      lock.unlock();
+      replication_rejected_.fetch_add(1, std::memory_order_relaxed);
+      reactor.CountOverloaded();
+      reactor.Reply(conn_id,
+                    binary ? EncodeBinaryOverloadedResponse(client_id, -1,
+                                                            binary_verb)
+                           : MakeOverloadedResponse(client_id, op.tenant, -1));
+      return;
+    } else {
+      // Successor unreachable: serve unmirrored rather than not at all.
+      replication_skipped_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+  op.replica_done = op.replica_backend < 0;
+
+  const auto submitted = channels_[primary]->TrySubmit(std::move(primary_payload));
+  if (submitted != net::FrameChannel::Submit::kAccepted) {
+    const bool full = submitted == net::FrameChannel::Submit::kFull;
+    std::string reply =
+        binary ? (full ? EncodeBinaryOverloadedResponse(client_id, -1,
+                                                        binary_verb)
+                       : EncodeBinaryBackendDownResponse(client_id,
+                                                         binary_verb))
+               : (full ? MakeOverloadedResponse(client_id, op.tenant, -1)
+                       : MakeBackendDownResponse(client_id, op.tenant));
+    if (op.replica_backend >= 0) {
+      // The mirror is already on its way; keep the op (released) so its
+      // response has a home, then answer the client right now.
+      op.primary_done = true;
+      op.client_released = true;
+      ops_.emplace(op_id, std::move(op));
+    }
+    lock.unlock();
+    if (full) {
+      reactor.CountOverloaded();
+    } else {
+      backend_down_replies_.fetch_add(1, std::memory_order_relaxed);
+    }
+    reactor.Reply(conn_id, reply);
+    return;
+  }
+
+  forwarded_.fetch_add(1, std::memory_order_relaxed);
+  if (op.rerouted) rerouted_ops_.fetch_add(1, std::memory_order_relaxed);
+  ops_.emplace(op_id, std::move(op));
+  lock.unlock();
+  reactor.OnSubmitted(conn_id);  // settled by the posted response
+}
+
+void Router::CountRerouteSources(const PendingOp& op,
+                                 const std::string& payload,
+                                 const util::JsonValue* doc) {
+  if (op.binary) {
+    auto response = DecodeBinaryResponse(payload);
+    if (!response.ok() || response->status != kBinaryStatusOk) return;
+    for (const BinaryPolicy& policy : response->policies) {
+      switch (policy.source) {
+        case service::AuditService::Source::kCache:
+          post_failover_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case service::AuditService::Source::kWarmSolve:
+          post_failover_warm_solves_.fetch_add(1, std::memory_order_relaxed);
+          break;
+        case service::AuditService::Source::kColdSolve:
+          post_failover_cold_solves_.fetch_add(1, std::memory_order_relaxed);
+          break;
+      }
+    }
+    return;
+  }
+  if (doc == nullptr) return;
+  auto status = doc->GetString("status");
+  if (!status.ok() || *status != "ok") return;
+  const util::JsonValue* policies = doc->Find("policies");
+  if (policies == nullptr || !policies->is_array()) return;
+  for (const util::JsonValue& policy : policies->as_array()) {
+    auto source = policy.GetString("source");
+    if (!source.ok()) continue;
+    if (*source == "cache") {
+      post_failover_cache_hits_.fetch_add(1, std::memory_order_relaxed);
+    } else if (*source == "warm") {
+      post_failover_warm_solves_.fetch_add(1, std::memory_order_relaxed);
+    } else if (*source == "cold") {
+      post_failover_cold_solves_.fetch_add(1, std::memory_order_relaxed);
+    }
+  }
+}
+
+void Router::OnBackendFrame(size_t backend, std::string payload) {
+  (void)backend;
+  const bool binary = IsBinaryFrame(payload);
+  util::JsonValue doc;
+  int64_t sub_id = -1;
+  if (binary) {
+    sub_id = BinaryCorrelationIdOf(payload);
+  } else {
+    auto parsed = util::JsonValue::Parse(payload);
+    if (!parsed.ok() || !parsed->is_object()) {
+      backend_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    doc = *std::move(parsed);
+    if (auto id = doc.GetNumber("id"); id.ok()) {
+      sub_id = static_cast<int64_t>(*id);
+    }
+  }
+  if (sub_id == 0) return;  // ping response
+  if (sub_id < 0) {
+    backend_protocol_errors_.fetch_add(1, std::memory_order_relaxed);
+    return;
+  }
+  const int64_t op_id = sub_id >> 1;
+  const bool is_replica = (sub_id & 1) != 0;
+
+  std::vector<Shard::Response> releases;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = ops_.find(op_id);
+    if (it == ops_.end()) {
+      stray_responses_.fetch_add(1, std::memory_order_relaxed);
+      return;
+    }
+    PendingOp& op = it->second;
+
+    if (is_replica) {
+      if (op.replica_done) {
+        stray_responses_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      bool overloaded;
+      bool error;
+      if (binary) {
+        const int status = BinaryResponseStatusOf(payload);
+        overloaded = status == kBinaryStatusOverloaded;
+        error = status != kBinaryStatusOk && !overloaded;
+      } else {
+        auto status = doc.GetString("status");
+        overloaded = status.ok() && *status == "overloaded";
+        error = !status.ok() || (*status != "ok" && !overloaded);
+      }
+      if (overloaded && !op.client_released &&
+          op.replica_attempts < options_.replica_retries &&
+          op.replica_backend >= 0) {
+        // `overloaded` means not-applied: retry until the mirror lands so
+        // the replica never falls behind what the client will observe.
+        ++op.replica_attempts;
+        const auto retried = channels_[op.replica_backend]->TrySubmitAfter(
+            op.replica_payload, options_.replica_retry_backoff_ms);
+        if (retried == net::FrameChannel::Submit::kAccepted) {
+          replica_retries_.fetch_add(1, std::memory_order_relaxed);
+          return;
+        }
+        replication_abandoned_.fetch_add(1, std::memory_order_relaxed);
+      } else if (overloaded) {
+        replication_abandoned_.fetch_add(1, std::memory_order_relaxed);
+      } else if (error) {
+        replication_errors_.fetch_add(1, std::memory_order_relaxed);
+      }
+      op.replica_done = true;
+      op.replica_payload.clear();
+    } else {
+      if (op.primary_done) {
+        stray_responses_.fetch_add(1, std::memory_order_relaxed);
+        return;
+      }
+      if (op.rerouted && op.verb == Verb::kSolveCycle) {
+        CountRerouteSources(op, payload, binary ? nullptr : &doc);
+      }
+      if (binary) {
+        RewriteBinaryCorrelationId(&payload, op.client_id);
+        op.primary_response = std::move(payload);
+      } else {
+        doc.as_object()["id"] = static_cast<double>(op.client_id);
+        op.primary_response = doc.Dump();
+      }
+      op.primary_done = true;
+    }
+
+    if (op.primary_done && op.replica_done) {
+      if (!op.client_released) {
+        releases.push_back(
+            Shard::Response{op.conn_id, std::move(op.primary_response)});
+      }
+      ops_.erase(it);
+    }
+  }
+  PostReleases(std::move(releases));
+}
+
+void Router::OnBackendState(size_t backend, bool up) {
+  std::vector<Shard::Response> releases;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    if (up) {
+      live_ring_.AddNode(static_cast<int>(backend), backend_names_[backend]);
+      return;
+    }
+    const bool was_live = live_ring_.HasNode(static_cast<int>(backend));
+    live_ring_.RemoveNode(static_cast<int>(backend));
+    // Channels are torn down as part of the router's own graceful stop;
+    // only a live backend lost mid-service counts as a failover.
+    if (was_live && !draining_.load(std::memory_order_relaxed)) {
+      failovers_.fetch_add(1, std::memory_order_relaxed);
+    }
+
+    // Every op with a leg on this backend just lost it: the channel
+    // dropped its queue, so no response will ever come. Resolve them now —
+    // primaries answer `backend_down` (retryable), mirrors are abandoned.
+    for (auto it = ops_.begin(); it != ops_.end();) {
+      PendingOp& op = it->second;
+      if (op.replica_backend == static_cast<int>(backend) &&
+          !op.replica_done) {
+        op.replica_done = true;
+        op.replica_payload.clear();
+        replication_abandoned_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (op.primary_backend == static_cast<int>(backend) &&
+          !op.primary_done) {
+        op.primary_done = true;
+        op.primary_response =
+            op.binary ? EncodeBinaryBackendDownResponse(op.client_id,
+                                                        BinaryVerbOf(op.verb))
+                      : MakeBackendDownResponse(op.client_id, op.tenant);
+        backend_down_replies_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (op.primary_done && op.replica_done) {
+        if (!op.client_released) {
+          releases.push_back(
+              Shard::Response{op.conn_id, std::move(op.primary_response)});
+        }
+        it = ops_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  }
+  PostReleases(std::move(releases));
+}
+
+void Router::PostReleases(std::vector<Shard::Response> releases) {
+  if (releases.empty()) return;
+  const size_t n = reactors_.size();
+  if (n == 1) {
+    reactors_[0]->PostResponses(std::move(releases));
+    return;
+  }
+  std::vector<std::vector<Shard::Response>> per_reactor(n);
+  for (Shard::Response& response : releases) {
+    per_reactor[response.conn_id % n].push_back(std::move(response));
+  }
+  for (size_t r = 0; r < n; ++r) {
+    if (!per_reactor[r].empty()) {
+      reactors_[r]->PostResponses(std::move(per_reactor[r]));
+    }
+  }
+}
+
+util::JsonValue::Object Router::StatsBody() {
+  int64_t active = 0, frames_in = 0, frames_out = 0, protocol_errors = 0;
+  int64_t overloaded = 0, slow_closes = 0, orphaned = 0, idle_closes = 0;
+  for (const auto& reactor : reactors_) {
+    active += reactor->active_connections();
+    frames_in += reactor->frames_in();
+    frames_out += reactor->frames_out();
+    protocol_errors += reactor->protocol_errors();
+    overloaded += reactor->overloaded();
+    slow_closes += reactor->slow_consumer_closes();
+    orphaned += reactor->orphaned_responses();
+    idle_closes += reactor->idle_closes();
+  }
+
+  util::JsonValue::Object body;
+  util::JsonValue::Object server;
+  server["role"] = "router";
+  server["active_connections"] = static_cast<double>(active);
+  server["accepted_connections"] = static_cast<double>(
+      accepted_connections_.load(std::memory_order_relaxed));
+  server["accept_rejections"] = static_cast<double>(
+      accept_rejections_.load(std::memory_order_relaxed));
+  server["frames_in"] = static_cast<double>(frames_in);
+  server["frames_out"] = static_cast<double>(frames_out);
+  server["protocol_errors"] = static_cast<double>(protocol_errors);
+  server["overloaded"] = static_cast<double>(overloaded);
+  server["slow_consumer_closes"] = static_cast<double>(slow_closes);
+  server["orphaned_responses"] = static_cast<double>(orphaned);
+  server["idle_closes"] = static_cast<double>(idle_closes);
+  server["reactors"] = static_cast<int>(reactors_.size());
+  server["poller"] = std::string(
+      reactors_.empty() ? "none" : reactors_.front()->backend_name());
+  server["draining"] = draining_.load(std::memory_order_relaxed);
+  body["server"] = std::move(server);
+
+  util::JsonValue::Object router = ReportBody();
+  size_t live = 0;
+  size_t pending_ops = 0;
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    live = live_ring_.size();
+    pending_ops = ops_.size();
+  }
+  router["live_backends"] = static_cast<double>(live);
+  router["pending_ops"] = static_cast<double>(pending_ops);
+
+  util::JsonValue::Array backends;
+  backends.reserve(channels_.size());
+  for (size_t i = 0; i < channels_.size(); ++i) {
+    const auto& channel = channels_[i];
+    util::JsonValue::Object obj;
+    obj["backend"] = static_cast<int>(i);
+    obj["address"] = backend_names_[i];
+    obj["up"] = channel->up();
+    obj["frames_sent"] = static_cast<double>(channel->frames_sent());
+    obj["frames_received"] = static_cast<double>(channel->frames_received());
+    obj["connects"] = static_cast<double>(channel->connects());
+    obj["disconnects"] = static_cast<double>(channel->disconnects());
+    obj["response_timeouts"] =
+        static_cast<double>(channel->response_timeouts());
+    obj["rejected_full"] = static_cast<double>(channel->rejected_full());
+    obj["rejected_down"] = static_cast<double>(channel->rejected_down());
+    obj["dropped_on_disconnect"] =
+        static_cast<double>(channel->dropped_on_disconnect());
+    obj["outstanding"] = static_cast<double>(channel->outstanding());
+    backends.push_back(std::move(obj));
+  }
+  router["backends"] = std::move(backends);
+  body["router"] = std::move(router);
+  return body;
+}
+
+util::JsonValue::Object Router::ReportBody() {
+  const auto load = [](const std::atomic<int64_t>& counter) {
+    return static_cast<double>(counter.load(std::memory_order_relaxed));
+  };
+  const int64_t cache_hits =
+      post_failover_cache_hits_.load(std::memory_order_relaxed);
+  const int64_t warm = post_failover_warm_solves_.load(std::memory_order_relaxed);
+  const int64_t cold = post_failover_cold_solves_.load(std::memory_order_relaxed);
+
+  util::JsonValue::Object body;
+  body["configured_backends"] = static_cast<int>(options_.backends.size());
+  body["virtual_nodes"] = options_.virtual_nodes;
+  body["replicate"] = options_.replicate;
+  body["forwarded_requests"] = load(forwarded_);
+  body["replicated_requests"] = load(replicated_);
+  body["replica_retries"] = load(replica_retries_);
+  body["replication_skipped"] = load(replication_skipped_);
+  body["replication_rejected"] = load(replication_rejected_);
+  body["replication_abandoned"] = load(replication_abandoned_);
+  body["replication_errors"] = load(replication_errors_);
+  body["backend_down_responses"] = load(backend_down_replies_);
+  body["rerouted_requests"] = load(rerouted_ops_);
+  body["failovers"] = load(failovers_);
+  body["stray_responses"] = load(stray_responses_);
+  body["backend_protocol_errors"] = load(backend_protocol_errors_);
+  body["post_failover_cache_hits"] = static_cast<double>(cache_hits);
+  body["post_failover_warm_solves"] = static_cast<double>(warm);
+  body["post_failover_cold_solves"] = static_cast<double>(cold);
+  body["backend_failover_observed"] =
+      failovers_.load(std::memory_order_relaxed) > 0;
+  body["warm_hit_after_failover"] = cache_hits + warm > 0;
+  const int64_t post_total = cache_hits + warm + cold;
+  body["post_failover_warm_hit_ratio"] =
+      post_total > 0
+          ? static_cast<double>(cache_hits + warm) /
+                static_cast<double>(post_total)
+          : 0.0;
+  return body;
+}
+
+}  // namespace auditgame::server

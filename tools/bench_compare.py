@@ -27,6 +27,14 @@ Metrics are classified by key name:
 * everything else (objectives, sweep configuration) is context, not a
   gate.
 
+``--require KEY`` (repeatable, dotted path for nesting) insists the key
+exists in *both* reports: the walk above only gates keys present in the
+baseline, so a metric that silently vanishes from a regenerated baseline
+— or was never produced because the drill that feeds it didn't run —
+would otherwise pass unchecked. The cluster smoke uses it to make
+``warm_hit_after_failover`` and ``backend_failover_observed`` mandatory,
+not merely non-regressing.
+
 Exit codes: 0 ok, 1 regression, 2 usage / unreadable report.
 """
 
@@ -131,6 +139,16 @@ class Comparison:
                             f"is {cur!r}")
 
 
+def lookup(report, dotted):
+    """Resolves a dotted path ('router.failovers') in nested dicts."""
+    node = report
+    for part in dotted.split("."):
+        if not isinstance(node, dict) or part not in node:
+            return False, None
+        node = node[part]
+    return True, node
+
+
 def load(path):
     try:
         with open(path, "r", encoding="utf-8") as f:
@@ -158,6 +176,14 @@ def main():
         help="also gate *_seconds / *speedup* metrics (only meaningful for "
         "long-running cases on one quiet machine)",
     )
+    parser.add_argument(
+        "--require",
+        action="append",
+        default=[],
+        metavar="KEY",
+        help="dotted key that must exist in both reports (repeatable); a "
+        "missing required key fails the gate even if nothing regressed",
+    )
     args = parser.parse_args()
     if not 0 <= args.threshold < 1:
         print("bench_compare: --threshold must be in [0, 1)", file=sys.stderr)
@@ -167,6 +193,12 @@ def main():
     current = load(args.current)
     comparison = Comparison(args.threshold, args.gate_timing)
     comparison.walk("", baseline, current)
+    for key in args.require:
+        for label, report in (("baseline", baseline), ("current", current)):
+            found, _ = lookup(report, key)
+            if not found:
+                comparison.fail(key, f"required key missing from {label}")
+        comparison.checked += 1
 
     name = baseline.get("bench", args.baseline) if isinstance(baseline, dict) else args.baseline
     if comparison.failures:

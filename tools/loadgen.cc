@@ -21,13 +21,22 @@
 // Exits non-zero when any check fails, or when --min_throughput is set
 // and not met.
 //
-// With --connect it drives an external audit_server (the CI smoke job's
-// two-process mode); without it, it starts an in-process server on an
+// With --connect it drives one or more external servers (comma-separated
+// targets; connection c dials target c mod targets) — an audit_server for
+// the CI smoke job's two-process mode, or audit_router front doors for the
+// cluster drill. Without it, it starts an in-process server on an
 // ephemeral port — the self-contained mode ctest runs — and shuts it down
-// gracefully at the end.
+// gracefully at the end. Against a cluster, two extra recovery paths keep
+// a killed backend a latency blip instead of a failed run: `backend_down`
+// responses are retried like `overloaded` (the router answers them for
+// requests lost with a dead backend — nothing was applied), and a dropped
+// connection is re-dialed up to --reconnects times with every in-flight
+// request re-sent byte-identical (same correlation ids, so the pairing
+// and per-tenant order checks keep running across the gap).
 //
 //   loadgen --tenants=10000 --cycles=5 --connections=2 --window=256
 //   loadgen --connect=127.0.0.1:7353 --tenants=2000 --encoding=binary
+//   loadgen --connect=127.0.0.1:7450 --reconnects=4 --retries=400
 #include <signal.h>
 
 #include <algorithm>
@@ -37,6 +46,7 @@
 #include <fstream>
 #include <iostream>
 #include <memory>
+#include <sstream>
 #include <string>
 #include <thread>
 #include <unordered_map>
@@ -60,16 +70,23 @@ using namespace auditgame;  // NOLINT
 using Clock = std::chrono::steady_clock;
 
 struct WorkerConfig {
-  std::string host;
-  uint16_t port = 0;
   int cycles = 0;
   int solves_per_cycle = 1;
   int window = 64;
   int retries = 0;
   int retry_backoff_ms = 0;
   int timeout_ms = 0;
+  /// Transport re-dials allowed per connection before the run aborts.
+  int reconnects = 0;
   bool binary = true;
   scenario::StreamSpec stream_spec;
+};
+
+/// One dial target; with multiple --connect entries, connection c drives
+/// target c mod targets.
+struct Target {
+  std::string host;
+  uint16_t port = 0;
 };
 
 struct WorkerResult {
@@ -83,6 +100,12 @@ struct WorkerResult {
   /// Requests still `overloaded` after every retry (answered, but the
   /// op was abandoned).
   int64_t gave_up_overloaded = 0;
+  /// `backend_down` responses retried (cluster mode: the request died with
+  /// a backend; the retry re-routes to the failover target).
+  int64_t backend_down_retries = 0;
+  int64_t gave_up_backend_down = 0;
+  /// Successful transport re-dials (every in-flight request re-sent).
+  int64_t reconnects = 0;
   int64_t order_violations = 0;
   /// Responses whose correlation id matched no in-flight request.
   int64_t unmatched_responses = 0;
@@ -122,7 +145,12 @@ struct TenantState {
 /// A decoded terminal response, either encoding.
 struct OpResponse {
   int64_t id = -1;
-  enum class Status { kOk, kOverloaded, kError } status = Status::kError;
+  enum class Status {
+    kOk,
+    kOverloaded,
+    kBackendDown,
+    kError
+  } status = Status::kError;
   bool has_cycle = false;
   int64_t cycle = 0;
   std::string message;
@@ -135,11 +163,20 @@ util::StatusOr<OpResponse> DecodeResponse(const std::string& payload,
     ASSIGN_OR_RETURN(server::BinaryResponse response,
                      server::DecodeBinaryResponse(payload));
     op.id = response.correlation_id;
-    op.status = response.status == server::kBinaryStatusOk
-                    ? OpResponse::Status::kOk
-                    : response.status == server::kBinaryStatusOverloaded
-                          ? OpResponse::Status::kOverloaded
-                          : OpResponse::Status::kError;
+    switch (response.status) {
+      case server::kBinaryStatusOk:
+        op.status = OpResponse::Status::kOk;
+        break;
+      case server::kBinaryStatusOverloaded:
+        op.status = OpResponse::Status::kOverloaded;
+        break;
+      case server::kBinaryStatusBackendDown:
+        op.status = OpResponse::Status::kBackendDown;
+        break;
+      default:
+        op.status = OpResponse::Status::kError;
+        break;
+    }
     if (response.verb == server::kBinaryVerbSolveCycle &&
         response.status == server::kBinaryStatusOk) {
       op.has_cycle = true;
@@ -156,6 +193,8 @@ util::StatusOr<OpResponse> DecodeResponse(const std::string& payload,
     op.status = OpResponse::Status::kOk;
   } else if (status == "overloaded") {
     op.status = OpResponse::Status::kOverloaded;
+  } else if (status == "backend_down") {
+    op.status = OpResponse::Status::kBackendDown;
   } else {
     op.status = OpResponse::Status::kError;
   }
@@ -179,8 +218,9 @@ int64_t PlannedOps(const WorkerConfig& config) {
 /// Drives every tenant assigned to one shared connection to completion.
 void RunConnection(const std::vector<int>& tenant_indices,
                    const std::vector<prob::CountDistribution>& baseline,
-                   const WorkerConfig& config, WorkerResult& result) {
-  auto client = net::FrameClient::Connect(config.host, config.port,
+                   const WorkerConfig& config, const Target& target,
+                   WorkerResult& result) {
+  auto client = net::FrameClient::Connect(target.host, target.port,
                                           /*connect_wait_ms=*/10000);
   if (!client.ok()) {
     // The whole replay is unanswered: count every request it would have
@@ -215,6 +255,8 @@ void RunConnection(const std::vector<int>& tenant_indices,
   size_t active = tenants.size();
   size_t cursor = 0;  // round-robin top-up position
 
+  int reconnects_left = config.reconnects;
+
   // When the transport dies mid-replay, everything already sent but not
   // answered — and everything the connection's tenants would still have
   // sent — is counted as unanswered, mirroring the connect-failure path.
@@ -231,6 +273,38 @@ void RunConnection(const std::vector<int>& tenant_indices,
         result.transport_failures += remaining;
       }
     }
+  };
+
+  // Bounded transport recovery: re-dial and re-send every in-flight
+  // request byte-identical — same correlation ids, so nothing is double
+  // counted and the pairing/order checks keep running. Safe against the
+  // router because a dropped connection's unanswered requests are exactly
+  // the ones that got no terminal response; re-sending re-routes them.
+  // Returns false (caller aborts) once the budget is spent or the re-dial
+  // itself fails.
+  const auto try_recover = [&](const util::Status& status) -> bool {
+    if (reconnects_left <= 0) return false;
+    --reconnects_left;
+    auto fresh = net::FrameClient::Connect(target.host, target.port,
+                                           /*connect_wait_ms=*/10000);
+    if (!fresh.ok()) {
+      result.SampleError(fresh.status().ToString());
+      return false;
+    }
+    client = std::move(fresh);
+    if (config.timeout_ms > 0) {
+      (void)client->SetReceiveTimeout(config.timeout_ms);
+    }
+    ++result.reconnects;
+    result.SampleError("reconnected after: " + status.ToString());
+    // Everything in flight was lost with the socket; hand the payloads
+    // back to their tenants for the next top-up (requests were already
+    // counted at first send; the re-send counts again, like a retry).
+    for (const auto& [id, slot] : outstanding) {
+      tenants[slot].in_flight = false;
+    }
+    outstanding.clear();
+    return true;
   };
 
   // Advances one tenant past a terminal response. `ok` distinguishes a
@@ -284,10 +358,19 @@ void RunConnection(const std::vector<int>& tenant_indices,
     outstanding.erase(it);
     tenant.in_flight = false;
 
-    if (op->status == OpResponse::Status::kOverloaded &&
+    // `overloaded` and `backend_down` both mean nothing-was-applied, so
+    // re-sending the same payload (same id) is safe; `backend_down`
+    // additionally implies a cluster failover is in progress and the
+    // retry will re-route to the tenant's new owner.
+    if ((op->status == OpResponse::Status::kOverloaded ||
+         op->status == OpResponse::Status::kBackendDown) &&
         tenant.attempts < config.retries) {
       ++tenant.attempts;
-      ++result.overloaded_retries;
+      if (op->status == OpResponse::Status::kOverloaded) {
+        ++result.overloaded_retries;
+      } else {
+        ++result.backend_down_retries;
+      }
       tenant.backoff_until =
           Clock::now() +
           std::chrono::milliseconds(config.retry_backoff_ms);
@@ -299,6 +382,11 @@ void RunConnection(const std::vector<int>& tenant_indices,
             .count());
     if (op->status == OpResponse::Status::kOverloaded) {
       ++result.gave_up_overloaded;
+      advance(tenant, /*op_ok=*/false);
+      return true;
+    }
+    if (op->status == OpResponse::Status::kBackendDown) {
+      ++result.gave_up_backend_down;
       advance(tenant, /*op_ok=*/false);
       return true;
     }
@@ -374,8 +462,11 @@ void RunConnection(const std::vector<int>& tenant_indices,
     }
     if (queued_any) {
       if (util::Status sent = client->FlushSends(); !sent.ok()) {
-        abort_connection(sent);
-        return;
+        if (!try_recover(sent)) {
+          abort_connection(sent);
+          return;
+        }
+        continue;
       }
     }
 
@@ -391,28 +482,38 @@ void RunConnection(const std::vector<int>& tenant_indices,
     // a burst of pipelined responses costs one recv(2).
     auto response = client->Receive();
     if (!response.ok()) {
-      abort_connection(response.status());
-      return;
+      if (!try_recover(response.status())) {
+        abort_connection(response.status());
+        return;
+      }
+      continue;
     }
     process_response(*response);
+    bool recovered = false;
     for (;;) {
       std::string buffered;
       auto more = client->ReceiveBuffered(&buffered);
       if (!more.ok()) {
-        abort_connection(more.status());
-        return;
+        if (!try_recover(more.status())) {
+          abort_connection(more.status());
+          return;
+        }
+        recovered = true;
+        break;
       }
       if (!*more) break;
       process_response(buffered);
     }
+    if (recovered) continue;
   }
 }
 
 int Run(int argc, char** argv) {
   util::FlagParser flags;
   flags.Define("connect", "",
-               "host:port of a running audit_server (empty = start one "
-               "in-process on an ephemeral port)");
+               "comma-separated host:port targets of running servers or "
+               "routers (connection c dials target c mod targets; empty = "
+               "start an audit_server in-process on an ephemeral port)");
   flags.Define("tenants", "64", "simulated tenants (multiplexed)");
   flags.Define("cycles", "25",
                "audit cycles per tenant (1 ingest + solves_per_cycle "
@@ -426,8 +527,14 @@ int Run(int argc, char** argv) {
                "tenant)");
   flags.Define("encoding", "binary",
                "wire encoding of the hot verbs: binary, json");
-  flags.Define("retries", "50", "max retries per overloaded response");
-  flags.Define("retry_backoff_ms", "5", "tenant sit-out after overloaded");
+  flags.Define("retries", "50",
+               "max retries per overloaded/backend_down response");
+  flags.Define("retry_backoff_ms", "5", "tenant sit-out after a retryable "
+               "response");
+  flags.Define("reconnects", "0",
+               "transport re-dials per connection before the run aborts "
+               "(cluster mode: ride out a router/backend restart); 0 = a "
+               "dropped connection is fatal");
   flags.Define("timeout_ms", "30000", "per-response receive timeout");
   flags.Define("min_throughput", "0",
                "fail (and report throughput_floor_met=false) below this "
@@ -500,6 +607,7 @@ int Run(int argc, char** argv) {
   config.retries = flags.GetInt("retries");
   config.retry_backoff_ms = flags.GetInt("retry_backoff_ms");
   config.timeout_ms = flags.GetInt("timeout_ms");
+  config.reconnects = std::max(0, flags.GetInt("reconnects"));
   config.binary = encoding == "binary";
   config.stream_spec.kind = *stream_kind;
   config.stream_spec.drift_amplitude = flags.GetDouble("drift");
@@ -507,7 +615,9 @@ int Run(int argc, char** argv) {
   config.stream_spec.season_period = flags.GetInt("season");
   config.stream_spec.seed = static_cast<uint64_t>(flags.GetInt("stream_seed"));
 
-  // Target: external server, or an in-process one on an ephemeral port.
+  // Targets: external servers/routers, or an in-process server on an
+  // ephemeral port.
+  std::vector<Target> targets;
   std::unique_ptr<server::AuditServer> local_server;
   std::thread server_thread;
   const std::string connect = flags.GetString("connect");
@@ -530,26 +640,34 @@ int Run(int argc, char** argv) {
       std::cerr << started << "\n";
       return 1;
     }
-    config.host = "127.0.0.1";
-    config.port = local_server->port();
+    targets.push_back(Target{"127.0.0.1", local_server->port()});
     server_thread = std::thread([&local_server] {
       if (util::Status run = local_server->Run(); !run.ok()) {
         std::cerr << "in-process server: " << run << "\n";
       }
     });
   } else {
-    const size_t colon = connect.rfind(':');
-    if (colon == std::string::npos) {
-      std::cerr << "--connect must be host:port\n";
+    std::string entry;
+    std::stringstream list(connect);
+    while (std::getline(list, entry, ',')) {
+      if (entry.empty()) continue;
+      const size_t colon = entry.rfind(':');
+      if (colon == std::string::npos) {
+        std::cerr << "--connect entries must be host:port\n";
+        return 1;
+      }
+      auto port = util::ParseFullInt(entry.substr(colon + 1));
+      if (!port.ok() || *port < 1 || *port > 65535) {
+        std::cerr << "--connect entry has an invalid port: " << entry << "\n";
+        return 1;
+      }
+      targets.push_back(
+          Target{entry.substr(0, colon), static_cast<uint16_t>(*port)});
+    }
+    if (targets.empty()) {
+      std::cerr << "--connect must name at least one host:port\n";
       return 1;
     }
-    config.host = connect.substr(0, colon);
-    auto port = util::ParseFullInt(connect.substr(colon + 1));
-    if (!port.ok() || *port < 1 || *port > 65535) {
-      std::cerr << "--connect has an invalid port\n";
-      return 1;
-    }
-    config.port = static_cast<uint16_t>(*port);
   }
 
   const int tenants = std::max(1, flags.GetInt("tenants"));
@@ -567,9 +685,11 @@ int Run(int argc, char** argv) {
   workers.reserve(static_cast<size_t>(connections));
   util::Timer wall;
   for (int c = 0; c < connections; ++c) {
+    const Target& target =
+        targets[static_cast<size_t>(c) % targets.size()];
     workers.emplace_back(RunConnection, std::cref(partition[c]),
                          std::cref(baseline), std::cref(config),
-                         std::ref(results[c]));
+                         std::cref(target), std::ref(results[c]));
   }
   for (std::thread& worker : workers) worker.join();
   const double wall_seconds = wall.ElapsedSeconds();
@@ -577,8 +697,8 @@ int Run(int argc, char** argv) {
   // One stats round trip for the server-side view (queue depths, batches,
   // per-shard tenancy) before tearing anything down.
   std::string server_stats;
-  if (auto client =
-          net::FrameClient::Connect(config.host, config.port, 2000);
+  if (auto client = net::FrameClient::Connect(targets[0].host,
+                                              targets[0].port, 2000);
       client.ok()) {
     (void)client->SetReceiveTimeout(5000);
     if (auto reply = client->Call(server::MakeStatsRequest(0)); reply.ok()) {
@@ -602,6 +722,9 @@ int Run(int argc, char** argv) {
     total.transport_failures += r.transport_failures;
     total.overloaded_retries += r.overloaded_retries;
     total.gave_up_overloaded += r.gave_up_overloaded;
+    total.backend_down_retries += r.backend_down_retries;
+    total.gave_up_backend_down += r.gave_up_backend_down;
+    total.reconnects += r.reconnects;
     total.order_violations += r.order_violations;
     total.unmatched_responses += r.unmatched_responses;
     latencies.insert(latencies.end(), r.latency_seconds.begin(),
@@ -639,6 +762,9 @@ int Run(int argc, char** argv) {
             << ", unmatched " << total.unmatched_responses
             << ", overloaded retries " << total.overloaded_retries
             << " (gave up " << total.gave_up_overloaded << ")"
+            << ", backend_down retries " << total.backend_down_retries
+            << " (gave up " << total.gave_up_backend_down << ")"
+            << ", reconnects " << total.reconnects
             << ", order violations " << total.order_violations << "\n"
             << "  latency: p50 " << p50 << "s p90 " << p90 << "s p99 " << p99
             << "s max " << worst << "s\n";
@@ -677,6 +803,11 @@ int Run(int argc, char** argv) {
         static_cast<double>(total.overloaded_retries);
     summary["gave_up_overloaded"] =
         static_cast<double>(total.gave_up_overloaded);
+    summary["backend_down_retries"] =
+        static_cast<double>(total.backend_down_retries);
+    summary["gave_up_backend_down"] =
+        static_cast<double>(total.gave_up_backend_down);
+    summary["reconnects"] = static_cast<double>(total.reconnects);
     summary["order_violations"] =
         static_cast<double>(total.order_violations);
     // The gated contract: booleans must stay true, the ratio must not
