@@ -19,6 +19,8 @@
 #include <utility>
 #include <vector>
 
+#include "adversary/attacker.h"
+#include "adversary/loop.h"
 #include "bench/exit_codes.h"
 #include "core/cggs.h"
 #include "core/detection.h"
@@ -70,6 +72,65 @@ bool BitIdentical(const core::CggsResult& a, const core::CggsResult& b) {
          a.policy.probabilities == b.policy.probabilities;
 }
 
+/// The closed-loop Stackelberg drill: a best-responding attacker against
+/// the drift-gated serving loop at catalog scale, with an exact re-solve
+/// as the per-cycle oracle. Everything numeric in the result is a
+/// deterministic function of the catalog spec (inline engine, seeded
+/// attacker), so regret/exploitability gaps and the within-2x bit are
+/// machine-independent and CI gates them via bench_compare --require.
+util::StatusOr<util::JsonValue::Object> RunAdversaryDrill(int cycles) {
+  ASSIGN_OR_RETURN(const scenario::ScenarioSpec spec,
+                   scenario::SpecByName("zipf"));
+  ASSIGN_OR_RETURN(core::GameInstance instance, scenario::Generate(spec));
+
+  adversary::DefenderConfig config;
+  config.budget = 10.0;
+  config.solver_options.ishm.step_size = 0.25;
+  config.warm_start_max_drift = 0.25;
+
+  ASSIGN_OR_RETURN(adversary::AttackerEconomics economics,
+                   adversary::DeriveEconomics(instance));
+  adversary::AttackerSpec attacker_spec;
+  attacker_spec.kind = adversary::AttackerKind::kBestResponse;
+  attacker_spec.attack_rate = 0.6;
+  ASSIGN_OR_RETURN(std::unique_ptr<adversary::Attacker> attacker,
+                   adversary::MakeAttacker(attacker_spec,
+                                           instance.alert_distributions,
+                                           std::move(economics)));
+  adversary::InProcessDefender defender(instance, config);
+  ASSIGN_OR_RETURN(adversary::AdversaryLoop loop,
+                   adversary::AdversaryLoop::Create(std::move(instance),
+                                                    config, &defender,
+                                                    attacker.get()));
+  adversary::LoopSpec loop_spec;
+  loop_spec.cycles = cycles;
+  util::Timer timer;
+  ASSIGN_OR_RETURN(const adversary::LoopReport report, loop.Run(loop_spec));
+
+  util::JsonValue::Object obj;
+  obj["scenario"] = "zipf";
+  obj["attacker"] = "best-response";
+  obj["cycles"] = cycles;
+  obj["cycles_completed"] = static_cast<int>(report.cycles.size());
+  obj["cache_hits"] = static_cast<double>(report.cache_hits);
+  obj["warm_solves"] = static_cast<double>(report.warm_solves);
+  obj["cold_solves"] = static_cast<double>(report.cold_solves);
+  const double served =
+      static_cast<double>(report.cache_hits + report.warm_solves +
+                          report.cold_solves);
+  obj["cache_hit_ratio"] =
+      served > 0.0 ? static_cast<double>(report.cache_hits) / served : 0.0;
+  obj["regret_gap_mean"] = report.regret_gap_mean;
+  obj["regret_gap_max"] = report.regret_gap_max;
+  obj["exploitability_gap_mean"] = report.exploitability_gap_mean;
+  obj["exploitability_gap_max"] = report.exploitability_gap_max;
+  obj["tracking_lag_max_cycles"] = report.tracking_lag_max_cycles;
+  obj["tracking_within_2x"] = report.tracking_within_2x;
+  obj["oracle_loss_mean"] = report.oracle_loss_mean;
+  obj["loop_seconds"] = timer.ElapsedSeconds();
+  return obj;
+}
+
 struct PricingRun {
   core::CggsResult result;
   /// Min over reps — the stable estimate for short runs.
@@ -112,6 +173,8 @@ int Run(int argc, char** argv) {
   flags.Define("threads", "4", "pricing threads for the parallel run");
   flags.Define("mc_samples", "30000",
                "Monte-Carlo detection samples for the heavy-pricing cases");
+  flags.Define("adversary_cycles", "12",
+               "closed-loop cycles of the Stackelberg adversary drill");
   auto status = flags.Parse(argc, argv);
   if (!status.ok()) {
     std::fprintf(stderr, "%s\n%s", status.ToString().c_str(),
@@ -203,6 +266,23 @@ int Run(int argc, char** argv) {
     }
   }
 
+  auto adversary_drill = RunAdversaryDrill(flags.GetInt("adversary_cycles"));
+  if (!adversary_drill.ok()) {
+    std::fprintf(stderr, "adversary drill: %s\n",
+                 adversary_drill.status().ToString().c_str());
+    return 1;
+  }
+  const util::JsonValue* within =
+      [&]() -> const util::JsonValue* {
+    const auto it = adversary_drill->find("tracking_within_2x");
+    return it == adversary_drill->end() ? nullptr : &it->second;
+  }();
+  const bool tracking_ok = within != nullptr && within->as_bool();
+  std::printf(
+      "adversary  (zipf ) best-response loop: tracking within 2x of exact "
+      "floor: %s\n",
+      tracking_ok ? "yes" : "NO");
+
   util::JsonValue::Object report;
   report["bench"] = "scenario_suite";
   report["mode"] = "smoke";
@@ -211,6 +291,7 @@ int Run(int argc, char** argv) {
       static_cast<int>(std::thread::hardware_concurrency());
   report["serial_parallel_identical"] = all_identical;
   report["cases"] = std::move(cases);
+  report["adversary"] = util::JsonValue(std::move(*adversary_drill));
 
   const std::string json_path = flags.GetString("json");
   std::ofstream out(json_path);
@@ -223,8 +304,11 @@ int Run(int argc, char** argv) {
     std::printf("wrote %s\n", json_path.c_str());
   }
   // Disagreement outranks a report-write failure: it is the signal CI must
-  // not mistake for an infrastructure problem.
-  return all_identical ? write_status : bench::kSmokeExitDisagreement;
+  // not mistake for an infrastructure problem. The adversary drill's
+  // within-2x bit is gated the same way — a warm re-solve falling behind
+  // the exact floor is a correctness regression, not noise.
+  if (!all_identical || !tracking_ok) return bench::kSmokeExitDisagreement;
+  return write_status;
 }
 
 }  // namespace

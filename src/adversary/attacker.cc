@@ -1,0 +1,277 @@
+#include "adversary/attacker.h"
+
+#include <algorithm>
+#include <cmath>
+#include <utility>
+
+#include "scenario/stream.h"
+
+namespace auditgame::adversary {
+
+util::StatusOr<AttackerKind> AttackerKindFromName(const std::string& name) {
+  if (name == "best-response") return AttackerKind::kBestResponse;
+  if (name == "quantal") return AttackerKind::kQuantalResponse;
+  if (name == "fictitious") return AttackerKind::kFictitiousPlay;
+  return util::NotFoundError("unknown attacker '" + name +
+                             "' (have: best-response, quantal, fictitious)");
+}
+
+const char* AttackerKindName(AttackerKind kind) {
+  switch (kind) {
+    case AttackerKind::kBestResponse:
+      return "best-response";
+    case AttackerKind::kQuantalResponse:
+      return "quantal";
+    case AttackerKind::kFictitiousPlay:
+      return "fictitious";
+  }
+  return "?";
+}
+
+util::StatusOr<AttackerEconomics> DeriveEconomics(
+    const core::GameInstance& instance) {
+  const int num_types = instance.num_types();
+  if (num_types <= 0) {
+    return util::InvalidArgumentError("instance has no alert types");
+  }
+  AttackerEconomics economics;
+  economics.benefits.assign(static_cast<size_t>(num_types), 0.0);
+  economics.penalties.assign(static_cast<size_t>(num_types), 0.0);
+  economics.attack_costs.assign(static_cast<size_t>(num_types), 0.0);
+  std::vector<double> weight(static_cast<size_t>(num_types), 0.0);
+  double global_benefit = 0.0, global_penalty = 0.0, global_cost = 0.0;
+  double global_weight = 0.0;
+  for (const core::Adversary& adversary : instance.adversaries) {
+    for (const core::VictimProfile& victim : adversary.victims) {
+      if (static_cast<int>(victim.type_probs.size()) != num_types) {
+        return util::InvalidArgumentError(
+            "victim type_probs size does not match the type count");
+      }
+      for (int t = 0; t < num_types; ++t) {
+        const double w = victim.type_probs[static_cast<size_t>(t)];
+        if (w <= 0.0) continue;
+        economics.benefits[static_cast<size_t>(t)] += w * victim.benefit;
+        economics.penalties[static_cast<size_t>(t)] += w * victim.penalty;
+        economics.attack_costs[static_cast<size_t>(t)] += w * victim.attack_cost;
+        weight[static_cast<size_t>(t)] += w;
+      }
+      global_benefit += victim.benefit;
+      global_penalty += victim.penalty;
+      global_cost += victim.attack_cost;
+      global_weight += 1.0;
+    }
+  }
+  if (global_weight <= 0.0) {
+    return util::InvalidArgumentError("instance has no victim profiles");
+  }
+  for (int t = 0; t < num_types; ++t) {
+    const size_t i = static_cast<size_t>(t);
+    if (weight[i] > 0.0) {
+      economics.benefits[i] /= weight[i];
+      economics.penalties[i] /= weight[i];
+      economics.attack_costs[i] /= weight[i];
+    } else {
+      // No victim reaches this type: keep it priced (the attacker could
+      // still be offered it by a future drill) at the global victim means.
+      economics.benefits[i] = global_benefit / global_weight;
+      economics.penalties[i] = global_penalty / global_weight;
+      economics.attack_costs[i] = global_cost / global_weight;
+    }
+  }
+  return economics;
+}
+
+std::vector<double> PerTypeAttackUtilities(const AttackerEconomics& economics,
+                                           const std::vector<double>& pal) {
+  const int num_types = economics.num_types();
+  std::vector<double> utilities(static_cast<size_t>(num_types), 0.0);
+  core::VictimProfile channel;
+  channel.type_probs.assign(static_cast<size_t>(num_types), 0.0);
+  for (int t = 0; t < num_types; ++t) {
+    const size_t i = static_cast<size_t>(t);
+    channel.type_probs[i] = 1.0;
+    channel.benefit = economics.benefits[i];
+    channel.penalty = economics.penalties[i];
+    channel.attack_cost = economics.attack_costs[i];
+    utilities[i] = core::AdversaryUtility(channel, pal);
+    channel.type_probs[i] = 0.0;
+  }
+  return utilities;
+}
+
+double BestAttackUtility(const AttackerEconomics& economics,
+                         const std::vector<double>& pal) {
+  double best = 0.0;
+  for (double u : PerTypeAttackUtilities(economics, pal)) {
+    best = std::max(best, u);
+  }
+  return best;
+}
+
+namespace {
+
+/// Shared machinery: the subclasses produce an attack-mass allocation from
+/// the observation, the base turns it into tilted distributions. A type
+/// with zero allocation keeps its baseline distribution bit for bit, so
+/// "no attack" cycles are exact cache revisits on the defender side.
+class AllocationAttacker : public Attacker {
+ public:
+  AllocationAttacker(const AttackerSpec& spec,
+                     std::vector<prob::CountDistribution> baseline,
+                     AttackerEconomics economics)
+      : spec_(spec),
+        baseline_(std::move(baseline)),
+        economics_(std::move(economics)),
+        allocation_(baseline_.size(), 0.0) {}
+
+  util::StatusOr<std::vector<prob::CountDistribution>> NextCycle(
+      const std::vector<double>& observed_detection) override {
+    if (observed_detection.empty()) {
+      // Nothing observed yet (cycle 1): lie low, emit the benign stream.
+      std::fill(allocation_.begin(), allocation_.end(), 0.0);
+    } else if (static_cast<int>(observed_detection.size()) !=
+               economics_.num_types()) {
+      return util::InvalidArgumentError(
+          "observed detection vector has " +
+          std::to_string(observed_detection.size()) + " entries for " +
+          std::to_string(economics_.num_types()) + " types");
+    } else {
+      allocation_ = Allocate(observed_detection);
+    }
+    std::vector<prob::CountDistribution> next;
+    next.reserve(baseline_.size());
+    for (size_t t = 0; t < baseline_.size(); ++t) {
+      const double w = allocation_[t];
+      if (w <= 0.0) {
+        next.push_back(baseline_[t]);
+        continue;
+      }
+      ASSIGN_OR_RETURN(
+          prob::CountDistribution tilted,
+          scenario::ExponentialTilt(baseline_[t], spec_.attack_rate * w));
+      next.push_back(std::move(tilted));
+    }
+    return next;
+  }
+
+  const std::vector<double>& last_allocation() const override {
+    return allocation_;
+  }
+
+ protected:
+  /// Attack-mass allocation (w_t in [0, 1]) for one observation.
+  virtual std::vector<double> Allocate(const std::vector<double>& pal) = 0;
+
+  const AttackerSpec spec_;
+  const std::vector<prob::CountDistribution> baseline_;
+  const AttackerEconomics economics_;
+  std::vector<double> allocation_;
+};
+
+/// Index of the utility-maximizing type, or -1 when no attack is worth it.
+/// Ties break to the lowest index, deterministically.
+int BestResponseType(const std::vector<double>& utilities) {
+  int best = -1;
+  double best_utility = 0.0;
+  for (size_t t = 0; t < utilities.size(); ++t) {
+    if (utilities[t] > best_utility) {
+      best = static_cast<int>(t);
+      best_utility = utilities[t];
+    }
+  }
+  return best;
+}
+
+class BestResponseAttacker : public AllocationAttacker {
+ public:
+  using AllocationAttacker::AllocationAttacker;
+  std::string_view Name() const override { return "best-response"; }
+
+ protected:
+  std::vector<double> Allocate(const std::vector<double>& pal) override {
+    std::vector<double> allocation(baseline_.size(), 0.0);
+    const int target = BestResponseType(PerTypeAttackUtilities(economics_, pal));
+    if (target >= 0) allocation[static_cast<size_t>(target)] = 1.0;
+    return allocation;
+  }
+};
+
+class QuantalResponseAttacker : public AllocationAttacker {
+ public:
+  using AllocationAttacker::AllocationAttacker;
+  std::string_view Name() const override { return "quantal"; }
+
+ protected:
+  std::vector<double> Allocate(const std::vector<double>& pal) override {
+    const std::vector<double> utilities =
+        PerTypeAttackUtilities(economics_, pal);
+    // Softmax with the max subtracted for numerical stability; the shift
+    // cancels in the normalization.
+    const double peak = *std::max_element(utilities.begin(), utilities.end());
+    std::vector<double> allocation(utilities.size(), 0.0);
+    double total = 0.0;
+    for (size_t t = 0; t < utilities.size(); ++t) {
+      allocation[t] = std::exp(spec_.lambda * (utilities[t] - peak));
+      total += allocation[t];
+    }
+    for (double& w : allocation) w /= total;
+    return allocation;
+  }
+};
+
+class FictitiousPlayAttacker : public AllocationAttacker {
+ public:
+  using AllocationAttacker::AllocationAttacker;
+  std::string_view Name() const override { return "fictitious"; }
+
+ protected:
+  std::vector<double> Allocate(const std::vector<double>& pal) override {
+    if (pal_sum_.empty()) pal_sum_.assign(pal.size(), 0.0);
+    for (size_t t = 0; t < pal.size(); ++t) pal_sum_[t] += pal[t];
+    ++observations_;
+    std::vector<double> mean_pal(pal.size());
+    for (size_t t = 0; t < pal.size(); ++t) {
+      mean_pal[t] = pal_sum_[t] / static_cast<double>(observations_);
+    }
+    std::vector<double> allocation(baseline_.size(), 0.0);
+    const int target =
+        BestResponseType(PerTypeAttackUtilities(economics_, mean_pal));
+    if (target >= 0) allocation[static_cast<size_t>(target)] = 1.0;
+    return allocation;
+  }
+
+ private:
+  std::vector<double> pal_sum_;
+  int64_t observations_ = 0;
+};
+
+}  // namespace
+
+util::StatusOr<std::unique_ptr<Attacker>> MakeAttacker(
+    const AttackerSpec& spec, std::vector<prob::CountDistribution> baseline,
+    AttackerEconomics economics) {
+  if (baseline.empty() ||
+      static_cast<int>(baseline.size()) != economics.num_types()) {
+    return util::InvalidArgumentError(
+        "attacker baseline and economics must cover the same non-empty "
+        "type set");
+  }
+  if (!(spec.attack_rate >= 0.0) || !(spec.lambda >= 0.0)) {
+    return util::InvalidArgumentError(
+        "attack_rate and lambda must be non-negative");
+  }
+  switch (spec.kind) {
+    case AttackerKind::kBestResponse:
+      return std::unique_ptr<Attacker>(new BestResponseAttacker(
+          spec, std::move(baseline), std::move(economics)));
+    case AttackerKind::kQuantalResponse:
+      return std::unique_ptr<Attacker>(new QuantalResponseAttacker(
+          spec, std::move(baseline), std::move(economics)));
+    case AttackerKind::kFictitiousPlay:
+      return std::unique_ptr<Attacker>(new FictitiousPlayAttacker(
+          spec, std::move(baseline), std::move(economics)));
+  }
+  return util::InvalidArgumentError("unknown attacker kind");
+}
+
+}  // namespace auditgame::adversary

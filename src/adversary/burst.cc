@@ -1,0 +1,89 @@
+#include "adversary/burst.h"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <utility>
+
+#include "scenario/stream.h"
+#include "util/random.h"
+
+namespace auditgame::adversary {
+
+util::StatusOr<BurstKind> BurstKindFromName(const std::string& name) {
+  if (name == "flash") return BurstKind::kFlashCrowd;
+  if (name == "fraud") return BurstKind::kCoordinatedFraud;
+  return util::NotFoundError("unknown burst kind '" + name +
+                             "' (have: flash, fraud)");
+}
+
+BurstGenerator::BurstGenerator(const BurstSpec& spec, int num_tenants,
+                               int num_types)
+    : spec_(spec),
+      num_tenants_(std::max(0, num_tenants)),
+      num_types_(std::max(0, num_types)) {}
+
+BurstEvent BurstGenerator::EventAt(int cycle) const {
+  BurstEvent event;
+  if (spec_.period <= 0 || spec_.duration <= 0 || cycle < spec_.period ||
+      num_tenants_ <= 0) {
+    return event;
+  }
+  // The burst that could cover this cycle started at the latest multiple of
+  // `period` at or before it.
+  const int burst_index = cycle / spec_.period;
+  const int start = burst_index * spec_.period;
+  if (cycle >= start + spec_.duration) return event;
+
+  event.active = true;
+  event.target_type = spec_.kind == BurstKind::kCoordinatedFraud
+                          ? spec_.target_type % std::max(1, num_types_)
+                          : -1;
+  const double fraction = std::clamp(spec_.tenant_fraction, 0.0, 1.0);
+  const int affected = std::min(
+      num_tenants_,
+      static_cast<int>(
+          std::ceil(fraction * static_cast<double>(num_tenants_))));
+  if (affected <= 0) return event;
+  // Seeded per-burst shuffle: which tenants surge is deterministic in
+  // (seed, burst index) and independent of everything else.
+  std::vector<int> tenants(static_cast<size_t>(num_tenants_));
+  std::iota(tenants.begin(), tenants.end(), 0);
+  util::Rng rng(spec_.seed + 0x9E3779B97F4A7C15ULL *
+                                 static_cast<uint64_t>(burst_index));
+  rng.Shuffle(tenants);
+  tenants.resize(static_cast<size_t>(affected));
+  std::sort(tenants.begin(), tenants.end());
+  event.tenants = std::move(tenants);
+  return event;
+}
+
+bool BurstGenerator::Affects(int cycle, int tenant) const {
+  const BurstEvent event = EventAt(cycle);
+  return event.active && std::binary_search(event.tenants.begin(),
+                                            event.tenants.end(), tenant);
+}
+
+util::StatusOr<std::vector<prob::CountDistribution>> BurstGenerator::Apply(
+    int cycle, int tenant,
+    const std::vector<prob::CountDistribution>& distributions) const {
+  if (!Affects(cycle, tenant)) return distributions;
+  const BurstEvent event = EventAt(cycle);
+  std::vector<prob::CountDistribution> surged;
+  surged.reserve(distributions.size());
+  for (size_t t = 0; t < distributions.size(); ++t) {
+    const bool hit = event.target_type < 0 ||
+                     static_cast<size_t>(event.target_type) == t;
+    if (!hit) {
+      surged.push_back(distributions[t]);
+      continue;
+    }
+    ASSIGN_OR_RETURN(
+        prob::CountDistribution tilted,
+        scenario::ExponentialTilt(distributions[t], spec_.amplitude));
+    surged.push_back(std::move(tilted));
+  }
+  return surged;
+}
+
+}  // namespace auditgame::adversary

@@ -1,0 +1,90 @@
+#ifndef AUDIT_GAME_ADVERSARY_BURST_H_
+#define AUDIT_GAME_ADVERSARY_BURST_H_
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "prob/count_distribution.h"
+#include "util/statusor.h"
+
+namespace auditgame::adversary {
+
+/// Cross-tenant correlated burst events: many tenants' alert streams surge
+/// in the same cycles, the load shape that stresses shard fairness and the
+/// server's `overloaded` backpressure (each shard serializes its tenants,
+/// so a correlated surge of re-solves queues where independent drift would
+/// not).
+enum class BurstKind {
+  /// Flash crowd: every type's alert volume surges for the affected
+  /// tenants — a benign load event (product launch, incident) that still
+  /// drifts every distribution past the warm-start gate at once.
+  kFlashCrowd,
+  /// Coordinated fraud: one alert type's volume surges across the affected
+  /// tenants — the multi-tenant signature of a campaign targeting the same
+  /// weakness everywhere.
+  kCoordinatedFraud,
+};
+
+/// Parses "flash" / "fraud" (the adversary_replay flag values).
+util::StatusOr<BurstKind> BurstKindFromName(const std::string& name);
+
+struct BurstSpec {
+  BurstKind kind = BurstKind::kCoordinatedFraud;
+  /// A burst starts at every multiple of `period` (cycle numbers are
+  /// 1-based); 0 disables bursts entirely.
+  int period = 10;
+  /// Cycles a burst lasts once started.
+  int duration = 2;
+  /// Exponential-tilt strength applied to an affected type (see
+  /// scenario::ExponentialTilt).
+  double amplitude = 1.0;
+  /// Fraction of tenants swept into each burst (rounded up, so a positive
+  /// fraction always affects at least one tenant).
+  double tenant_fraction = 0.5;
+  /// kCoordinatedFraud: the surging type.
+  int target_type = 0;
+  uint64_t seed = 7;
+};
+
+/// What one cycle looks like burst-wise.
+struct BurstEvent {
+  bool active = false;
+  /// Affected tenant indices, sorted ascending.
+  std::vector<int> tenants;
+  /// The surging type (-1 = all types, the flash-crowd case).
+  int target_type = -1;
+};
+
+/// Deterministic burst schedule over a fixed tenant population: the same
+/// spec always produces the same events (the affected-tenant subset is a
+/// seeded shuffle keyed by the burst's index, so successive bursts hit
+/// different but reproducible subsets).
+class BurstGenerator {
+ public:
+  BurstGenerator(const BurstSpec& spec, int num_tenants, int num_types);
+
+  const BurstSpec& spec() const { return spec_; }
+
+  /// The burst state of the given 1-based cycle.
+  BurstEvent EventAt(int cycle) const;
+
+  /// True iff `tenant` surges in `cycle`.
+  bool Affects(int cycle, int tenant) const;
+
+  /// Applies the cycle's burst to one tenant's distributions: a no-op copy
+  /// when the tenant is unaffected, otherwise the per-kind exponential
+  /// tilt.
+  util::StatusOr<std::vector<prob::CountDistribution>> Apply(
+      int cycle, int tenant,
+      const std::vector<prob::CountDistribution>& distributions) const;
+
+ private:
+  BurstSpec spec_;
+  int num_tenants_;
+  int num_types_;
+};
+
+}  // namespace auditgame::adversary
+
+#endif  // AUDIT_GAME_ADVERSARY_BURST_H_

@@ -1,0 +1,128 @@
+#include "adversary/trace.h"
+
+#include <utility>
+
+#include "audit/log.h"
+#include "data/credit.h"
+#include "data/emr.h"
+#include "util/random.h"
+
+namespace auditgame::adversary {
+
+namespace {
+/// Per-cycle seed derivation: SplitMix-style stride keeps cycles
+/// independent while the whole replay stays a pure function of the spec
+/// seed.
+uint64_t CycleSeed(uint64_t root, int cycle) {
+  return root + 0x9E3779B97F4A7C15ULL * static_cast<uint64_t>(cycle);
+}
+}  // namespace
+
+util::StatusOr<TraceKind> TraceKindFromName(const std::string& name) {
+  if (name == "emr") return TraceKind::kEmr;
+  if (name == "credit") return TraceKind::kCredit;
+  return util::NotFoundError("unknown trace '" + name +
+                             "' (have: emr, credit)");
+}
+
+struct TraceAdapter::Worlds {
+  // Exactly one is populated, per the spec's kind.
+  std::unique_ptr<data::EmrWorld> emr;
+  std::unique_ptr<data::CreditWorld> credit;
+};
+
+TraceAdapter::TraceAdapter(const TraceSpec& spec, core::GameInstance instance,
+                           std::unique_ptr<Worlds> worlds)
+    : spec_(spec), instance_(std::move(instance)), worlds_(std::move(worlds)) {}
+
+TraceAdapter::~TraceAdapter() = default;
+
+util::StatusOr<std::unique_ptr<TraceAdapter>> TraceAdapter::Create(
+    const TraceSpec& spec) {
+  if (spec.days_per_cycle < 2) {
+    return util::InvalidArgumentError(
+        "days_per_cycle must be >= 2 (a distribution needs periods)");
+  }
+  auto worlds = std::make_unique<Worlds>();
+  core::GameInstance instance;
+  switch (spec.kind) {
+    case TraceKind::kEmr: {
+      data::EmrConfig config;
+      config.seed = spec.seed;
+      ASSIGN_OR_RETURN(data::EmrWorld world, data::GenerateEmrWorld(config));
+      ASSIGN_OR_RETURN(instance, data::MakeEmrGame(config));
+      worlds->emr = std::make_unique<data::EmrWorld>(std::move(world));
+      break;
+    }
+    case TraceKind::kCredit: {
+      data::CreditConfig config;
+      config.seed = spec.seed;
+      ASSIGN_OR_RETURN(data::CreditWorld world,
+                       data::GenerateCreditWorld(config));
+      ASSIGN_OR_RETURN(instance, data::MakeCreditGame(config));
+      worlds->credit = std::make_unique<data::CreditWorld>(std::move(world));
+      break;
+    }
+  }
+  return std::unique_ptr<TraceAdapter>(
+      new TraceAdapter(spec, std::move(instance), std::move(worlds)));
+}
+
+util::StatusOr<std::vector<prob::CountDistribution>>
+TraceAdapter::NextCycle() {
+  ++cycle_;
+  const uint64_t seed = CycleSeed(spec_.seed, cycle_);
+
+  audit::AlertLog log(instance_.num_types());
+  if (worlds_->emr != nullptr) {
+    ASSIGN_OR_RETURN(
+        log, data::SimulateAccessLog(*worlds_->emr, spec_.days_per_cycle,
+                                     spec_.accesses_per_employee_per_day,
+                                     seed));
+  } else {
+    // Credit: `applications_per_day` applications arrive each day, each a
+    // uniformly drawn (applicant, purpose) pair classified by the world's
+    // rule matrix — the application-stream analogue of the EMR access
+    // simulation.
+    const data::CreditWorld& world = *worlds_->credit;
+    const int num_applicants = static_cast<int>(world.applicants.size());
+    util::Rng rng(seed);
+    for (int day = 0; day < spec_.days_per_cycle; ++day) {
+      log.StartPeriod();
+      for (int i = 0; i < spec_.applications_per_day; ++i) {
+        const int applicant =
+            static_cast<int>(rng.UniformInt(static_cast<uint64_t>(
+                num_applicants)));
+        const int purpose = static_cast<int>(
+            rng.UniformInt(static_cast<uint64_t>(data::kCreditNumPurposes)));
+        const int type =
+            world.pair_types[static_cast<size_t>(applicant)]
+                            [static_cast<size_t>(purpose)];
+        if (type >= 0) {
+          RETURN_IF_ERROR(log.Record(type));
+        }
+      }
+    }
+  }
+
+  std::vector<prob::CountDistribution> refit;
+  refit.reserve(static_cast<size_t>(instance_.num_types()));
+  for (int t = 0; t < instance_.num_types(); ++t) {
+    ASSIGN_OR_RETURN(const std::vector<int> counts, log.PeriodCounts(t));
+    bool any = false;
+    for (int c : counts) any = any || c > 0;
+    if (!any) {
+      // No alerts of this type in the window: keep the prior rather than
+      // refit a degenerate all-zero distribution that would whipsaw the
+      // drift gate.
+      refit.push_back(
+          instance_.alert_distributions[static_cast<size_t>(t)]);
+      continue;
+    }
+    ASSIGN_OR_RETURN(prob::CountDistribution dist, log.LearnDistribution(t));
+    refit.push_back(std::move(dist));
+  }
+  return refit;
+}
+
+}  // namespace auditgame::adversary

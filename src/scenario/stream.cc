@@ -32,9 +32,24 @@ ScenarioStream::ScenarioStream(std::vector<prob::CountDistribution> baseline,
       current_(baseline_),
       rng_(spec.seed) {}
 
+ScenarioStream::ScenarioStream(std::vector<prob::CountDistribution> baseline,
+                               const StreamSpec& spec, CycleSource* source)
+    : ScenarioStream(std::move(baseline), spec) {
+  spec_.kind = StreamKind::kExternal;
+  source_ = source;
+}
+
 util::StatusOr<std::vector<prob::CountDistribution>> ScenarioStream::Next() {
   ++cycle_;
   if (IsRevisit(cycle_)) return baseline_;
+
+  if (spec_.kind == StreamKind::kExternal) {
+    if (source_ == nullptr) {
+      return util::FailedPreconditionError(
+          "kExternal stream has no CycleSource");
+    }
+    return source_->NextCycle();
+  }
 
   std::vector<prob::CountDistribution> next;
   next.reserve(baseline_.size());
@@ -69,6 +84,8 @@ util::StatusOr<std::vector<prob::CountDistribution>> ScenarioStream::Next() {
       }
       break;
     }
+    case StreamKind::kExternal:
+      break;  // handled above
   }
   return next;
 }

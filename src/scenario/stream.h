@@ -24,6 +24,25 @@ enum class StreamKind {
   /// Deterministic exponential tilt of the baseline with sinusoidal
   /// amplitude (weekday/weekend load swings) plus a small jitter.
   kSeasonal,
+  /// Cycles come from an external CycleSource (a trace adapter replaying a
+  /// real dataset, an adversary model) instead of a synthetic drift rule.
+  /// The stream still owns the revisit schedule: revisit cycles replay the
+  /// baseline without consuming the source.
+  kExternal,
+};
+
+/// Producer of per-cycle alert-count distributions for StreamKind::kExternal
+/// — the seam the adversary subsystem's trace adapters plug into so real
+/// EMR/credit replays flow through the same ScenarioStream (revisit
+/// schedule, byte-determinism contract) as the synthetic families.
+class CycleSource {
+ public:
+  virtual ~CycleSource() = default;
+
+  /// Distributions for the next cycle the source produces. Deterministic:
+  /// two sources built from the same configuration yield identical
+  /// sequences.
+  virtual util::StatusOr<std::vector<prob::CountDistribution>> NextCycle() = 0;
 };
 
 struct StreamSpec {
@@ -53,6 +72,12 @@ class ScenarioStream {
   ScenarioStream(std::vector<prob::CountDistribution> baseline,
                  const StreamSpec& spec);
 
+  /// External-source stream: `source` (borrowed, must outlive the stream)
+  /// produces the non-revisit cycles; the spec's kind is forced to
+  /// kExternal and only its revisit_period applies.
+  ScenarioStream(std::vector<prob::CountDistribution> baseline,
+                 const StreamSpec& spec, CycleSource* source);
+
   /// Distributions for the next cycle (the first call is cycle 1).
   util::StatusOr<std::vector<prob::CountDistribution>> Next();
 
@@ -74,6 +99,8 @@ class ScenarioStream {
   /// The random walk's current state (== baseline_ for the other kinds).
   std::vector<prob::CountDistribution> current_;
   util::Rng rng_;
+  /// Borrowed producer for kExternal; null otherwise.
+  CycleSource* source_ = nullptr;
   int cycle_ = 0;
 };
 

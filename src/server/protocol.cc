@@ -78,6 +78,16 @@ util::StatusOr<Request> ParseRequest(const util::JsonValue& doc) {
     }
   }
 
+  if (request.verb == Verb::kSolveCycle) {
+    if (const util::JsonValue* observe = doc.Find("observe_policy");
+        observe != nullptr) {
+      if (!observe->is_bool()) {
+        return util::InvalidArgumentError("observe_policy must be a boolean");
+      }
+      request.observe_policy = observe->as_bool();
+    }
+  }
+
   if (request.verb == Verb::kIngest) {
     const util::JsonValue* dists = doc.Find("distributions");
     if (dists == nullptr) {
@@ -157,11 +167,13 @@ std::string MakeIngestRequest(
   return util::JsonValue(std::move(obj)).Dump();
 }
 
-std::string MakeSolveCycleRequest(int64_t id, const std::string& tenant) {
+std::string MakeSolveCycleRequest(int64_t id, const std::string& tenant,
+                                  bool observe_policy) {
   util::JsonValue::Object obj;
   obj["verb"] = "solve_cycle";
   obj["tenant"] = tenant;
   obj["id"] = static_cast<double>(id);
+  if (observe_policy) obj["observe_policy"] = true;
   return util::JsonValue(std::move(obj)).Dump();
 }
 
@@ -183,7 +195,8 @@ std::string MakeIngestOkResponse(int64_t id, const std::string& tenant,
 
 std::string MakeSolveCycleResponse(
     int64_t id, const std::string& tenant, int shard,
-    const service::AuditService::CycleReport& report) {
+    const service::AuditService::CycleReport& report,
+    const std::vector<std::vector<double>>* detection_probs) {
   util::JsonValue::Object obj = Envelope(id, "ok");
   obj["verb"] = "solve_cycle";
   obj["tenant"] = tenant;
@@ -192,7 +205,8 @@ std::string MakeSolveCycleResponse(
   obj["seconds"] = report.seconds;
   util::JsonValue::Array policies;
   policies.reserve(report.policies.size());
-  for (const service::AuditService::CyclePolicy& policy : report.policies) {
+  for (size_t i = 0; i < report.policies.size(); ++i) {
+    const service::AuditService::CyclePolicy& policy = report.policies[i];
     util::JsonValue::Object p;
     p["budget"] = policy.budget;
     p["source"] = SourceName(policy.source);
@@ -202,10 +216,74 @@ std::string MakeSolveCycleResponse(
     thresholds.reserve(policy.result.thresholds.size());
     for (double b : policy.result.thresholds) thresholds.push_back(b);
     p["thresholds"] = std::move(thresholds);
+    if (detection_probs != nullptr && i < detection_probs->size()) {
+      util::JsonValue::Array probs;
+      probs.reserve((*detection_probs)[i].size());
+      for (double pal : (*detection_probs)[i]) probs.push_back(pal);
+      p["detection_probs"] = std::move(probs);
+    }
     policies.push_back(std::move(p));
   }
   obj["policies"] = std::move(policies);
   return util::JsonValue(std::move(obj)).Dump();
+}
+
+util::StatusOr<SolveCycleReply> ParseSolveCycleReply(
+    const util::JsonValue& doc) {
+  if (!doc.is_object()) {
+    return util::InvalidArgumentError("solve_cycle reply must be an object");
+  }
+  SolveCycleReply reply;
+  ASSIGN_OR_RETURN(const double cycle, doc.GetNumber("cycle"));
+  reply.cycle = static_cast<int64_t>(cycle);
+  ASSIGN_OR_RETURN(const double shard, doc.GetNumber("shard"));
+  reply.shard = static_cast<int>(shard);
+  const util::JsonValue* policies = doc.Find("policies");
+  if (policies == nullptr || !policies->is_array()) {
+    return util::InvalidArgumentError("solve_cycle reply needs policies");
+  }
+  reply.policies.reserve(policies->as_array().size());
+  for (const util::JsonValue& entry : policies->as_array()) {
+    if (!entry.is_object()) {
+      return util::InvalidArgumentError("policy entry must be an object");
+    }
+    SolveCyclePolicy policy;
+    ASSIGN_OR_RETURN(policy.budget, entry.GetNumber("budget"));
+    ASSIGN_OR_RETURN(policy.source, entry.GetString("source"));
+    ASSIGN_OR_RETURN(policy.drift, entry.GetNumber("drift"));
+    ASSIGN_OR_RETURN(policy.objective, entry.GetNumber("objective"));
+    const auto parse_doubles =
+        [&entry](const char* key, bool required,
+                 std::vector<double>* out) -> util::Status {
+      const util::JsonValue* values = entry.Find(key);
+      if (values == nullptr) {
+        if (required) {
+          return util::InvalidArgumentError(std::string("policy needs ") +
+                                            key);
+        }
+        return util::OkStatus();
+      }
+      if (!values->is_array()) {
+        return util::InvalidArgumentError(std::string(key) +
+                                          " must be an array");
+      }
+      out->reserve(values->as_array().size());
+      for (const util::JsonValue& v : values->as_array()) {
+        if (!v.is_number()) {
+          return util::InvalidArgumentError(std::string(key) +
+                                            " entries must be numbers");
+        }
+        out->push_back(v.as_number());
+      }
+      return util::OkStatus();
+    };
+    RETURN_IF_ERROR(
+        parse_doubles("thresholds", /*required=*/true, &policy.thresholds));
+    RETURN_IF_ERROR(parse_doubles("detection_probs", /*required=*/false,
+                                  &policy.detection_probs));
+    reply.policies.push_back(std::move(policy));
+  }
+  return reply;
 }
 
 std::string MakeOverloadedResponse(int64_t id, const std::string& tenant,

@@ -54,6 +54,12 @@ struct Request {
   /// Wire encoding the request arrived in (and its response leaves in):
   /// true = binary (server/binary_codec.h), false = JSON.
   bool binary = false;
+  /// kSolveCycle, JSON only: ask the shard to include each policy's mixed
+  /// per-type detection probabilities in the response. The adversary-loop
+  /// observation channel — computing the probabilities builds a detection
+  /// model per policy, so it is opt-in and deliberately absent from the
+  /// binary hot path (BENCH_server.json gates that throughput).
+  bool observe_policy = false;
   /// kIngest only: the cycle's refreshed per-type distributions.
   std::vector<prob::CountDistribution> distributions;
 };
@@ -71,16 +77,45 @@ int64_t RequestIdOf(const util::JsonValue& doc);
 std::string MakeIngestRequest(
     int64_t id, const std::string& tenant,
     const std::vector<prob::CountDistribution>& distributions);
-std::string MakeSolveCycleRequest(int64_t id, const std::string& tenant);
+std::string MakeSolveCycleRequest(int64_t id, const std::string& tenant,
+                                  bool observe_policy = false);
 std::string MakeStatsRequest(int64_t id);
+
+/// --- client-side response views (adversary loop, tools) ---
+
+/// One policy of a parsed solve_cycle response.
+struct SolveCyclePolicy {
+  double budget = 0.0;
+  std::string source;  // "cache" | "warm" | "cold"
+  double drift = 0.0;
+  double objective = 0.0;
+  std::vector<double> thresholds;
+  /// Mixed per-type detection probabilities; present only when the request
+  /// carried observe_policy.
+  std::vector<double> detection_probs;
+};
+
+struct SolveCycleReply {
+  int64_t cycle = 0;
+  int shard = 0;
+  std::vector<SolveCyclePolicy> policies;
+};
+
+/// Parses the body of a status=="ok" solve_cycle response (the caller
+/// checks `status` first; overloaded/error envelopes have no cycle body).
+util::StatusOr<SolveCycleReply> ParseSolveCycleReply(
+    const util::JsonValue& doc);
 
 /// --- server-side builders ---
 
 std::string MakeIngestOkResponse(int64_t id, const std::string& tenant,
                                  int shard);
+/// `detection_probs`, when non-null, carries one mixed-Pal vector per
+/// policy in the report (the observe_policy response payload).
 std::string MakeSolveCycleResponse(
     int64_t id, const std::string& tenant, int shard,
-    const service::AuditService::CycleReport& report);
+    const service::AuditService::CycleReport& report,
+    const std::vector<std::vector<double>>* detection_probs = nullptr);
 std::string MakeOverloadedResponse(int64_t id, const std::string& tenant,
                                    int shard);
 /// Router-originated: the tenant's backend is unreachable; nothing was

@@ -249,11 +249,30 @@ void Shard::Process(const ShardTask& task, std::vector<Response>* responses) {
       service::AuditService* service = TenantService(request.tenant);
       auto report = service->RunCycle();
       if (report.ok()) {
+        // The adversary-loop observation channel: JSON-only, opt-in, and
+        // computed after the cycle so the gated hot path (binary frames,
+        // no flag) never pays for a detection model it didn't ask for.
+        std::vector<std::vector<double>> detection_probs;
+        const std::vector<std::vector<double>>* probs_ptr = nullptr;
+        if (request.observe_policy && !request.binary) {
+          detection_probs.reserve(report->policies.size());
+          bool all_ok = true;
+          for (const service::AuditService::CyclePolicy& policy :
+               report->policies) {
+            auto pal = service->MixedDetectionForPolicy(policy);
+            if (!pal.ok()) {
+              all_ok = false;
+              break;
+            }
+            detection_probs.push_back(*std::move(pal));
+          }
+          if (all_ok) probs_ptr = &detection_probs;
+        }
         response = request.binary
                        ? EncodeBinarySolveCycleResponse(request.id, index_,
                                                         *report)
                        : MakeSolveCycleResponse(request.id, request.tenant,
-                                                index_, *report);
+                                                index_, *report, probs_ptr);
       } else {
         response = request.binary
                        ? EncodeBinaryErrorResponse(request.id,

@@ -4,6 +4,7 @@
 #include <string>
 #include <utility>
 
+#include "core/policy.h"
 #include "util/serializer.h"
 #include "util/timer.h"
 
@@ -33,6 +34,14 @@ util::Status AuditService::UpdateAlertDistributions(
     return valid;
   }
   return util::OkStatus();
+}
+
+util::StatusOr<std::vector<double>> AuditService::MixedDetectionForPolicy(
+    const CyclePolicy& policy) const {
+  ASSIGN_OR_RETURN(core::DetectionModel model,
+                   core::DetectionModel::Create(instance_, policy.budget,
+                                                options_.detection_options));
+  return core::MixedDetectionProbabilities(model, policy.result.policy);
 }
 
 double AuditService::MeasureDrift(

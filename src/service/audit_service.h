@@ -139,6 +139,17 @@ class AuditService {
     return engine_.compile_cache_stats();
   }
 
+  /// Expected per-type detection probabilities (mixed Pal) of a served
+  /// policy, evaluated under the *current* alert distributions — for a
+  /// cached or stale policy this reflects what the policy actually detects
+  /// today, not what it detected when solved. This is the observable a
+  /// strategic attacker best-responds to, and — because the adversary
+  /// utility of Eq. 3 is linear in Pal — everything needed to evaluate the
+  /// defender's true loss remotely (see adversary/loop.h). Builds a fresh
+  /// DetectionModel per call; keep it off the hot serving path.
+  util::StatusOr<std::vector<double>> MixedDetectionForPolicy(
+      const CyclePolicy& policy) const;
+
   /// Max over types of the total variation distance between two
   /// distribution sets; 1 (maximal) on a size mismatch.
   static double MeasureDrift(const std::vector<prob::CountDistribution>& a,

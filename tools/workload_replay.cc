@@ -22,6 +22,7 @@
 #include <utility>
 #include <vector>
 
+#include "bench/exit_codes.h"
 #include "prob/count_distribution.h"
 #include "scenario/generator.h"
 #include "scenario/stream.h"
@@ -127,14 +128,26 @@ int Run(int argc, char** argv) {
   int cycles_completed = 0;
   util::CsvWriter csv(std::cout);
   csv.WriteRow({"cycle", "budget", "source", "drift", "objective",
-                "cycle_seconds"});
+                "observed_drift", "cycle_seconds"});
   std::vector<double> cycle_seconds;
+  // Cycle-over-cycle drift of the stream itself (max-over-types total
+  // variation distance vs the previous cycle), independent of the warm-start
+  // baseline the per-policy drift column measures against — so adversarial
+  // mass-shifts and statistical drift are visible in one report.
+  std::vector<prob::CountDistribution> previous_dists;
+  std::vector<double> observed_drifts;
   for (int cycle = 1; cycle <= cycles && !g_interrupted; ++cycle) {
     auto dists = stream.Next();
     if (!dists.ok()) {
       std::cerr << "cycle " << cycle << ": " << dists.status() << "\n";
       return 1;
     }
+    const double observed_drift =
+        cycle == 1 ? 0.0
+                   : service::AuditService::MeasureDrift(previous_dists,
+                                                         *dists);
+    if (cycle > 1) observed_drifts.push_back(observed_drift);
+    previous_dists = *dists;
     if (util::Status update =
             service.UpdateAlertDistributions(std::move(*dists));
         !update.ok()) {
@@ -154,6 +167,7 @@ int Run(int argc, char** argv) {
                     SourceName(policy.source),
                     util::CsvWriter::FormatDouble(policy.drift),
                     util::CsvWriter::FormatDouble(policy.result.objective),
+                    util::CsvWriter::FormatDouble(observed_drift),
                     util::CsvWriter::FormatDouble(report->seconds)});
     }
   }
@@ -163,6 +177,13 @@ int Run(int argc, char** argv) {
   const double p90 = util::NearestRankPercentileSorted(cycle_seconds, 0.90);
   const double p99 = util::NearestRankPercentileSorted(cycle_seconds, 0.99);
   const double worst = cycle_seconds.empty() ? 0.0 : cycle_seconds.back();
+  std::sort(observed_drifts.begin(), observed_drifts.end());
+  const double drift_p50 =
+      util::NearestRankPercentileSorted(observed_drifts, 0.50);
+  const double drift_p90 =
+      util::NearestRankPercentileSorted(observed_drifts, 0.90);
+  const double drift_max =
+      observed_drifts.empty() ? 0.0 : observed_drifts.back();
   // The split and wall time come from the service's own counters —
   // the same numbers the audit server's `stats` verb serves.
   const service::AuditService::Stats stats = service.stats();
@@ -178,6 +199,8 @@ int Run(int argc, char** argv) {
             << " cold\n"
             << "cycle latency: p50 " << p50 << "s p90 " << p90 << "s p99 "
             << p99 << "s max " << worst << "s\n"
+            << "observed drift (cycle-over-cycle TV): p50 " << drift_p50
+            << " p90 " << drift_p90 << " max " << drift_max << "\n"
             << "policy cache: " << stats.cache.hits << " hits / "
             << stats.cache.misses << " misses, " << stats.cache.insertions
             << " insertions, " << stats.cache.evictions << " evictions; "
@@ -202,14 +225,23 @@ int Run(int argc, char** argv) {
     summary["cycle_seconds_p90"] = p90;
     summary["cycle_seconds_p99"] = p99;
     summary["cycle_seconds_max"] = worst;
+    summary["observed_drift_p50"] = drift_p50;
+    summary["observed_drift_p90"] = drift_p90;
+    summary["observed_drift_max"] = drift_max;
+    // Report-I/O failures get the dedicated smoke exit code so CI can
+    // tell them from metric failures (bench/exit_codes.h).
     std::ofstream out(json_path);
     if (!out) {
       std::cerr << "cannot write " << json_path << "\n";
-      return 1;
+      return bench::kSmokeExitIoError;
     }
     out << util::JsonValue(std::move(summary)).Dump(2) << "\n";
+    if (!out) {
+      std::cerr << "write failed for " << json_path << "\n";
+      return bench::kSmokeExitIoError;
+    }
   }
-  return 0;
+  return bench::kSmokeExitOk;
 }
 
 }  // namespace
